@@ -1,0 +1,65 @@
+"""Ablation: piecewise alpha-beta estimation (§3.2) vs a single-piece fit.
+
+The paper argues that a single alpha-beta curve (as used by homogeneous-model
+planners) misfits heterogeneous MT MM workloads.  The ablation fits each
+MetaOp's curve through only the two endpoint measurements (1 GPU and the full
+cluster) and measures the resulting estimation error against ground truth,
+compared with the piecewise fit through all profiled points.
+"""
+
+from bench_utils import emit
+
+from repro.cluster.topology import make_cluster
+from repro.core.contraction import contract_graph
+from repro.core.estimator import ScalabilityEstimator, ScalingCurve
+from repro.costmodel.profiler import SyntheticProfiler
+from repro.experiments.reporting import format_table
+from repro.graph.builder import build_unified_graph
+from repro.models.multitask_clip import multitask_clip_tasks
+
+EVALUATION_POINTS = (2, 4, 8, 16, 24)
+
+
+def _estimation_errors():
+    cluster = make_cluster(32)
+    profiler = SyntheticProfiler(cluster)
+    metagraph = contract_graph(build_unified_graph(multitask_clip_tasks(4)))
+
+    piecewise = ScalabilityEstimator(profiler).estimate(metagraph)
+    single_piece = {
+        index: ScalingCurve(
+            profiler.profile_operator(metaop.representative, points=[1, 32])
+        )
+        for index, metaop in metagraph.metaops.items()
+    }
+
+    def mean_error(curves):
+        errors = []
+        for index, metaop in metagraph.metaops.items():
+            for n in EVALUATION_POINTS:
+                if metaop.batch_size % n != 0 and n % metaop.batch_size != 0:
+                    continue
+                truth = profiler.timing_model.operator_time(metaop.representative, n)
+                errors.append(abs(curves[index].time(n) - truth) / truth)
+        return sum(errors) / len(errors)
+
+    return mean_error(piecewise), mean_error(single_piece)
+
+
+def test_ablation_piecewise_estimator(benchmark):
+    piecewise_error, single_error = benchmark.pedantic(
+        _estimation_errors, rounds=1, iterations=1
+    )
+    emit(
+        "ablation_estimator",
+        format_table(
+            ["estimator", "mean relative error at valid allocations"],
+            [
+                ["piecewise alpha-beta (Spindle)", f"{piecewise_error * 100:.1f}%"],
+                ["single-piece alpha-beta", f"{single_error * 100:.1f}%"],
+            ],
+            title="Ablation: scalability estimator accuracy",
+        ),
+    )
+    assert piecewise_error < single_error
+    assert piecewise_error < 0.05

@@ -1,0 +1,80 @@
+"""Ablation: wave time-span alignment (§3.4 step 3) vs unsliced waves.
+
+Spindle dissects ASL-tuples so the MetaOps scheduled in one wave finish
+together.  The ablation scheduler skips the slicing step and always runs every
+proposed tuple to completion, so a wave lasts as long as its longest tuple and
+devices assigned to shorter tuples idle — inflating the makespan.
+"""
+
+from bench_utils import emit
+
+from repro.core.planner import ExecutionPlanner
+from repro.core.scheduler import WavefrontScheduler
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import clip_workload, ofasys_workload
+
+WORKLOADS = (clip_workload(4, 16), clip_workload(10, 32), ofasys_workload(7, 16))
+
+
+class UnalignedScheduler(WavefrontScheduler):
+    """Ablation: schedule whole tuples per wave without time-span alignment."""
+
+    def _align_time_span(self, candidates):
+        entries = []
+        duration = 0.0
+        for candidate in candidates:
+            layers = candidate.source.layers_remaining
+            entry_duration = layers * candidate.per_layer_time
+            from repro.core.plan import WaveEntry
+
+            entries.append(
+                WaveEntry(
+                    metaop_index=candidate.pending.metaop.index,
+                    n_devices=candidate.n_devices,
+                    layers=layers,
+                    duration=entry_duration,
+                    operator_offset=candidate.pending.operator_cursor,
+                )
+            )
+            duration = max(duration, entry_duration)
+        return entries, duration
+
+
+def _makespan(workload, scheduler_cls):
+    cluster = workload.cluster()
+    planner = ExecutionPlanner(cluster)
+    planner.scheduler = scheduler_cls(
+        cluster.num_devices, valid_allocation_fn=planner.allocator.valid_allocation_fn
+    )
+    plan = planner.plan(workload.tasks())
+    return plan.estimated_compute_makespan, plan.schedule.num_waves
+
+
+def test_ablation_wave_alignment(benchmark):
+    benchmark.pedantic(
+        lambda: _makespan(WORKLOADS[0], WavefrontScheduler), rounds=1, iterations=1
+    )
+    rows = []
+    ratios = []
+    for workload in WORKLOADS:
+        aligned, aligned_waves = _makespan(workload, WavefrontScheduler)
+        unaligned, unaligned_waves = _makespan(workload, UnalignedScheduler)
+        ratios.append(unaligned / aligned)
+        rows.append(
+            [
+                workload.name,
+                f"{aligned * 1e3:.1f} ({aligned_waves} waves)",
+                f"{unaligned * 1e3:.1f} ({unaligned_waves} waves)",
+                f"{unaligned / aligned:.2f}x",
+            ]
+        )
+    emit(
+        "ablation_wave_alignment",
+        format_table(
+            ["workload", "aligned waves (ms)", "unsliced waves (ms)", "unsliced / aligned"],
+            rows,
+            title="Ablation: wave time-span alignment",
+        ),
+    )
+    assert all(ratio >= 0.98 for ratio in ratios)
+    assert max(ratios) > 1.02

@@ -1,0 +1,64 @@
+"""Fig. 4: MetaOp execution time and resource scalability (scaling curves).
+
+Profiles the MetaOps of 4-task Multitask-CLIP on a 32-GPU cluster and prints
+per-MetaOp execution time T(n) and resource scalability sigma(n) = T(1)/T(n)
+for n in {1, 2, 4, 8, 16, 32} -- the two panels of Fig. 4.
+"""
+
+from bench_utils import emit
+
+from repro.cluster.topology import make_cluster
+from repro.core.contraction import contract_graph
+from repro.core.estimator import ScalabilityEstimator
+from repro.costmodel.profiler import SyntheticProfiler
+from repro.experiments.reporting import format_table
+from repro.graph.builder import build_unified_graph
+from repro.models.multitask_clip import multitask_clip_tasks
+
+DEVICE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def _estimate():
+    cluster = make_cluster(32)
+    metagraph = contract_graph(build_unified_graph(multitask_clip_tasks(4)))
+    estimator = ScalabilityEstimator(SyntheticProfiler(cluster))
+    return metagraph, estimator.estimate(metagraph)
+
+
+def test_fig04_scaling_curves(benchmark):
+    metagraph, curves = benchmark.pedantic(_estimate, rounds=3, iterations=1)
+
+    encoder_metaops = [
+        m for m in metagraph.metaops.values() if m.num_operators > 1
+    ]
+    time_rows, speedup_rows = [], []
+    for metaop in encoder_metaops:
+        curve = curves[metaop.index]
+        label = f"{metaop.task}/{metaop.modality}"
+        time_rows.append(
+            [label] + [f"{curve.time(n) * 1e3:.2f}" for n in DEVICE_COUNTS]
+        )
+        speedup_rows.append(
+            [label] + [f"{curve.speedup(n):.2f}" for n in DEVICE_COUNTS]
+        )
+
+    headers = ["MetaOp"] + [f"n={n}" for n in DEVICE_COUNTS]
+    emit(
+        "fig04_execution_time",
+        format_table(headers, time_rows, title="Fig. 4 (left): per-operator time (ms)"),
+    )
+    emit(
+        "fig04_resource_scalability",
+        format_table(headers, speedup_rows, title="Fig. 4 (right): speedup T(1)/T(n)"),
+    )
+
+    # Shape checks: every curve is non-increasing; scalability is heterogeneous
+    # (the best MetaOp scales much further than the worst, as in Fig. 4).
+    final_speedups = []
+    for metaop in encoder_metaops:
+        curve = curves[metaop.index]
+        times = [curve.time(n) for n in DEVICE_COUNTS]
+        assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+        final_speedups.append(curve.speedup(32))
+    assert max(final_speedups) > 3 * min(final_speedups)
+    assert max(final_speedups) > 8.0

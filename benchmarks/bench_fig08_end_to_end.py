@@ -1,0 +1,84 @@
+"""Fig. 8: end-to-end iteration time of Spindle vs the baseline systems.
+
+Regenerates every panel of Fig. 8: Multitask-CLIP with {4, 7, 10} tasks and
+OFASys with {4, 7} tasks on {8, 16, 32} GPUs, and QWen-VAL (3 tasks) on
+{32, 64} GPUs.  For each workload the speedup of every system over DeepSpeed
+is reported; Spindle is expected to win everywhere, with the advantage growing
+with task count and cluster size (the paper's headline result, up to 1.71x).
+"""
+
+import pytest
+
+from bench_utils import FIG8_SYSTEMS, comparison_table, emit
+
+from repro.experiments.harness import run_comparison
+from repro.experiments.workloads import (
+    FIG8_CLIP_CLUSTERS,
+    FIG8_CLIP_TASK_COUNTS,
+    FIG8_OFASYS_CLUSTERS,
+    FIG8_OFASYS_TASK_COUNTS,
+    FIG8_QWEN_CLUSTERS,
+    clip_workload,
+    ofasys_workload,
+    qwen_val_workload,
+)
+
+CLIP_GRID = [
+    clip_workload(tasks, gpus)
+    for tasks in FIG8_CLIP_TASK_COUNTS
+    for gpus in FIG8_CLIP_CLUSTERS
+]
+OFASYS_GRID = [
+    ofasys_workload(tasks, gpus)
+    for tasks in FIG8_OFASYS_TASK_COUNTS
+    for gpus in FIG8_OFASYS_CLUSTERS
+]
+QWEN_GRID = [qwen_val_workload(gpus) for gpus in FIG8_QWEN_CLUSTERS]
+
+
+def _run_and_report(workload, benchmark):
+    comparison = benchmark.pedantic(
+        lambda: run_comparison(workload, systems=FIG8_SYSTEMS), rounds=1, iterations=1
+    )
+    emit(f"fig08_{workload.name}", comparison_table(comparison, f"Fig. 8: {workload.describe()}"))
+    assert comparison.best_system == "spindle"
+    assert comparison.speedup("spindle") >= 1.0
+    return comparison
+
+
+@pytest.mark.parametrize("workload", CLIP_GRID, ids=lambda w: w.name)
+def test_fig08_multitask_clip(benchmark, workload):
+    comparison = _run_and_report(workload, benchmark)
+    # On the larger clusters Spindle's gain is substantial (paper: up to 71%).
+    if workload.num_gpus >= 32:
+        assert comparison.speedup("spindle") > 1.25
+
+
+@pytest.mark.parametrize("workload", OFASYS_GRID, ids=lambda w: w.name)
+def test_fig08_ofasys(benchmark, workload):
+    comparison = _run_and_report(workload, benchmark)
+    if workload.num_gpus >= 32 and workload.num_tasks >= 7:
+        assert comparison.speedup("spindle") > 1.3
+
+
+@pytest.mark.parametrize("workload", QWEN_GRID, ids=lambda w: w.name)
+def test_fig08_qwen_val(benchmark, workload):
+    comparison = _run_and_report(workload, benchmark)
+    assert comparison.speedup("spindle") > 1.1
+
+
+def test_fig08_scaling_trends(benchmark):
+    """Spindle's advantage grows with task count and with cluster size."""
+    small = benchmark.pedantic(
+        lambda: run_comparison(clip_workload(4, 8), systems=("spindle", "deepspeed")),
+        rounds=1,
+        iterations=1,
+    )
+    large = run_comparison(clip_workload(10, 32), systems=("spindle", "deepspeed"))
+    emit(
+        "fig08_scaling_trend",
+        "Spindle speedup over DeepSpeed\n"
+        f"  CLIP  4 tasks,  8 GPUs: {small.speedup('spindle'):.2f}x\n"
+        f"  CLIP 10 tasks, 32 GPUs: {large.speedup('spindle'):.2f}x",
+    )
+    assert large.speedup("spindle") > small.speedup("spindle")

@@ -1,0 +1,86 @@
+"""Fig. 9: case study of Multitask-CLIP (4 tasks, 16 GPUs).
+
+Reports (a) the cluster utilization over one iteration for Spindle,
+Spindle-Optimus, DistMM-MT and DeepSpeed, and (b) per-device and per-MetaOp
+utilization — the spider charts of Fig. 9b.  Spindle should sustain the highest
+and most even utilization.
+"""
+
+import pytest
+
+from bench_utils import emit
+
+from repro.experiments.harness import run_comparison
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.workloads import CASE_STUDY_WORKLOAD
+
+SYSTEMS = ("spindle", "spindle-optimus", "distmm-mt", "deepspeed")
+
+
+@pytest.fixture(scope="module")
+def case_study():
+    return run_comparison(CASE_STUDY_WORKLOAD, systems=SYSTEMS)
+
+
+def test_fig09a_cluster_utilization_over_time(benchmark, case_study):
+    benchmark.pedantic(
+        lambda: run_comparison(CASE_STUDY_WORKLOAD, systems=("spindle",)),
+        rounds=1,
+        iterations=1,
+    )
+    sections = []
+    averages = {}
+    for name in SYSTEMS:
+        trace = case_study.results[name].trace
+        timeline = [(t * 1e3, v / 1e12) for t, v in trace.cluster_timeline(40)]
+        averages[name] = trace.cluster_average_flops()
+        sections.append(
+            f"--- {name} ---\n"
+            + format_series(timeline, "time (ms)", "cluster TFLOP/s", max_points=20)
+        )
+    emit("fig09a_cluster_utilization", "\n\n".join(sections))
+
+    assert averages["spindle"] == max(averages.values())
+
+
+def test_fig09b_device_and_metaop_utilization(benchmark, case_study):
+    benchmark.pedantic(lambda: case_study.results["spindle"].trace.device_utilization(),
+                       rounds=1, iterations=1)
+    device_rows = []
+    cluster = CASE_STUDY_WORKLOAD.cluster()
+    for device in range(cluster.num_devices):
+        row = [device]
+        for name in SYSTEMS:
+            util = case_study.results[name].trace.device_utilization()[device]
+            row.append(f"{util * 100:.1f}%")
+        device_rows.append(row)
+    emit(
+        "fig09b_device_utilization",
+        format_table(
+            ["device"] + list(SYSTEMS), device_rows,
+            title="Fig. 9b (left): per-device utilization",
+        ),
+    )
+
+    metaop_rows = []
+    spindle_metaops = case_study.results["spindle"].trace.metaop_utilization()
+    for metaop_index in sorted(spindle_metaops):
+        row = [metaop_index]
+        for name in SYSTEMS:
+            util = case_study.results[name].trace.metaop_utilization().get(metaop_index)
+            row.append("-" if util is None else f"{util * 100:.1f}%")
+        metaop_rows.append(row)
+    emit(
+        "fig09b_metaop_utilization",
+        format_table(
+            ["MetaOp"] + list(SYSTEMS), metaop_rows,
+            title="Fig. 9b (right): per-MetaOp utilization",
+        ),
+    )
+
+    def mean_device_util(name):
+        values = case_study.results[name].trace.device_utilization().values()
+        return sum(values) / len(values)
+
+    assert mean_device_util("spindle") > mean_device_util("deepspeed")
+    assert mean_device_util("spindle") > mean_device_util("spindle-optimus")

@@ -1,0 +1,94 @@
+"""Fig. 10: runtime breakdown and the device-placement ablation.
+
+For Multitask-CLIP (10 tasks), OFASys (7 tasks) and QWen-VAL (3 tasks) on one
+and two nodes (or 4/8 nodes for QWen-VAL), reports the decomposition of the
+iteration into forward/backward, parameter synchronisation and inter-wave
+send/receive for DeepSpeed and Spindle, plus Spindle with the naive sequential
+placement (the ablation), whose send/receive share should be several times
+larger than Spindle's.
+"""
+
+import pytest
+
+from bench_utils import emit
+
+from repro.experiments.harness import run_single_system
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import clip_workload, ofasys_workload, qwen_val_workload
+
+WORKLOADS = (
+    clip_workload(10, 8),
+    clip_workload(10, 16),
+    ofasys_workload(7, 8),
+    ofasys_workload(7, 16),
+    qwen_val_workload(32),
+    qwen_val_workload(64),
+)
+
+
+def _breakdown_row(label, result):
+    b = result.breakdown
+    return [
+        label,
+        f"{result.iteration_time * 1e3:8.1f}",
+        f"{b.forward_backward * 1e3:8.1f}",
+        f"{b.param_sync * 1e3:7.1f}",
+        f"{b.send_recv * 1e3:7.2f}",
+        f"{b.fraction('send_recv') * 100:5.1f}%",
+    ]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+def test_fig10_time_breakdown(benchmark, workload):
+    _, deepspeed = run_single_system(workload, "deepspeed")
+    _, spindle = benchmark.pedantic(
+        lambda: run_single_system(workload, "spindle"), rounds=1, iterations=1
+    )
+    _, ablation = run_single_system(workload, "spindle", placement_strategy="sequential")
+
+    rows = [
+        _breakdown_row("DeepSpeed", deepspeed),
+        _breakdown_row("Spindle", spindle),
+        _breakdown_row("Spindle (sequential placement)", ablation),
+    ]
+    emit(
+        f"fig10_breakdown_{workload.name}",
+        format_table(
+            ["system", "iter (ms)", "fwd&bwd (ms)", "sync (ms)", "send&recv (ms)", "send&recv %"],
+            rows,
+            title=f"Fig. 10: {workload.describe()}",
+        ),
+    )
+
+    # Forward/backward dominates the iteration (80-95% in the paper).
+    assert spindle.breakdown.fraction("forward_backward") > 0.6
+    # Spindle's inter-wave communication stays a small share of the iteration.
+    assert spindle.breakdown.fraction("send_recv") < 0.15
+    # The locality-aware placement never loses to the sequential ablation.
+    assert spindle.breakdown.send_recv <= ablation.breakdown.send_recv + 1e-9
+
+
+def test_fig10_placement_ablation_aggregate(benchmark):
+    """Across the breakdown workloads the naive placement inflates send/recv."""
+    benchmark.pedantic(lambda: run_single_system(WORKLOADS[0], "spindle"), rounds=1, iterations=1)
+    inflations = []
+    for workload in WORKLOADS[:4]:
+        _, spindle = run_single_system(workload, "spindle")
+        _, ablation = run_single_system(
+            workload, "spindle", placement_strategy="sequential"
+        )
+        if spindle.breakdown.send_recv > 0:
+            inflations.append(
+                ablation.breakdown.send_recv / spindle.breakdown.send_recv
+            )
+    rows = [[w.name, f"{x:.2f}x"] for w, x in zip(WORKLOADS, inflations)]
+    emit(
+        "fig10_placement_ablation",
+        format_table(
+            ["workload", "send&recv inflation (sequential / locality)"],
+            rows,
+            title="Fig. 10 ablation: sequential placement vs Spindle placement",
+        ),
+    )
+    assert inflations
+    assert max(inflations) >= 1.0

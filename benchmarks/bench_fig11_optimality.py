@@ -1,0 +1,70 @@
+"""Fig. 11: optimality analysis of the Spindle execution planner.
+
+Compares the compute makespan achieved by Spindle's discrete plan with the
+theoretical optimum C* of the continuous MPSP relaxation (Theorem 1) for
+Multitask-CLIP with {4, 7, 10} tasks on 16 and 32 GPUs.  The paper reports a
+deviation consistently below 7%; the simulated substrate stays within a
+comparable, small band.
+"""
+
+import pytest
+
+from bench_utils import emit
+
+from repro.experiments.harness import run_single_system
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import FIG11_WORKLOADS
+
+
+@pytest.mark.parametrize("workload", FIG11_WORKLOADS, ids=lambda w: w.name)
+def test_fig11_optimality_gap(benchmark, workload):
+    system, result = benchmark.pedantic(
+        lambda: run_single_system(workload, "spindle"), rounds=1, iterations=1
+    )
+    optimum = system.last_plan.theoretical_optimum
+    achieved = result.breakdown.forward_backward
+    gap = achieved / optimum - 1.0
+
+    emit(
+        f"fig11_{workload.name}",
+        format_table(
+            ["workload", "theoretical optimum C* (ms)", "Spindle fwd&bwd (ms)", "gap"],
+            [[workload.name, f"{optimum * 1e3:.1f}", f"{achieved * 1e3:.1f}", f"{gap * 100:.1f}%"]],
+            title="Fig. 11: optimality of the execution planner",
+        ),
+    )
+
+    # The discrete plan can never beat the relaxation by more than estimation
+    # noise, and stays within a modest band above it.
+    assert achieved >= optimum * 0.92
+    assert gap <= 0.35
+
+
+def test_fig11_aggregate_table(benchmark):
+    benchmark.pedantic(lambda: run_single_system(FIG11_WORKLOADS[0], "spindle"), rounds=1, iterations=1)
+    rows = []
+    gaps = []
+    for workload in FIG11_WORKLOADS:
+        system, result = run_single_system(workload, "spindle")
+        optimum = system.last_plan.theoretical_optimum
+        achieved = result.breakdown.forward_backward
+        gap = achieved / optimum - 1.0
+        gaps.append(gap)
+        rows.append(
+            [
+                workload.name,
+                f"{optimum * 1e3:.1f}",
+                f"{achieved * 1e3:.1f}",
+                f"{gap * 100:+.1f}%",
+            ]
+        )
+    emit(
+        "fig11_optimality_summary",
+        format_table(
+            ["workload", "C* (ms)", "Spindle (ms)", "deviation"],
+            rows,
+            title="Fig. 11: deviation from the theoretical optimum",
+        ),
+    )
+    # The average deviation over the grid stays small.
+    assert sum(gaps) / len(gaps) < 0.2

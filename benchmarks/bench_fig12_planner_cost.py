@@ -1,0 +1,56 @@
+"""Fig. 12: time cost of Spindle's execution planner.
+
+Measures the wall-clock cost of generating the execution plan for every
+workload across 8-64 GPUs.  The paper reports under 3 seconds everywhere; this
+is a genuine performance benchmark of the planner implementation, so the
+pytest-benchmark timings themselves are the reproduced quantity.
+"""
+
+import pytest
+
+from bench_utils import emit
+
+from repro.baselines.spindle_system import SpindleSystem
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import clip_workload, ofasys_workload, qwen_val_workload
+
+SWEEP = (
+    [clip_workload(t, g) for t in (4, 7, 10) for g in (8, 16, 32, 64)]
+    + [ofasys_workload(t, g) for t in (4, 7) for g in (8, 16, 32, 64)]
+    + [qwen_val_workload(g) for g in (8, 16, 32, 64)]
+)
+
+
+@pytest.mark.parametrize(
+    "workload",
+    [clip_workload(10, g) for g in (8, 16, 32, 64)]
+    + [ofasys_workload(7, 64), qwen_val_workload(64)],
+    ids=lambda w: w.name,
+)
+def test_fig12_planner_time(benchmark, workload):
+    cluster = workload.cluster()
+    tasks = workload.tasks()
+    system = SpindleSystem(cluster)
+    benchmark(lambda: system.plan(tasks))
+    assert system.last_planning_seconds < 3.0
+
+
+def test_fig12_planner_cost_sweep(benchmark):
+    benchmark.pedantic(lambda: SpindleSystem(SWEEP[0].cluster()).plan(SWEEP[0].tasks()), rounds=1, iterations=1)
+    rows = []
+    worst = 0.0
+    for workload in SWEEP:
+        system = SpindleSystem(workload.cluster())
+        system.plan(workload.tasks())
+        seconds = system.last_planning_seconds
+        worst = max(worst, seconds)
+        rows.append([workload.name, f"{seconds * 1e3:.0f} ms"])
+    emit(
+        "fig12_planner_cost",
+        format_table(
+            ["workload", "planning time"],
+            rows,
+            title="Fig. 12: execution planner cost (paper: < 3 s)",
+        ),
+    )
+    assert worst < 3.0

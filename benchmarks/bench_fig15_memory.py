@@ -1,0 +1,66 @@
+"""Fig. 15 (Appendix G): per-device memory consumption.
+
+Reports the per-device memory footprint of every system on the Multitask-CLIP
+(4 tasks, 16 GPUs) case study.  Spindle's selective parameter storage keeps its
+footprint at or below the SOTA systems, and its device placement keeps memory
+well balanced across devices.
+"""
+
+import pytest
+
+from bench_utils import emit
+
+from repro.experiments.harness import run_comparison
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import CASE_STUDY_WORKLOAD
+
+SYSTEMS = ("spindle", "spindle-optimus", "distmm-mt", "megatron-lm", "deepspeed")
+
+
+@pytest.fixture(scope="module")
+def case_study():
+    return run_comparison(CASE_STUDY_WORKLOAD, systems=SYSTEMS)
+
+
+def test_fig15_memory_consumption(benchmark, case_study):
+    benchmark.pedantic(
+        lambda: run_comparison(CASE_STUDY_WORKLOAD, systems=("spindle",)),
+        rounds=1,
+        iterations=1,
+    )
+    cluster = CASE_STUDY_WORKLOAD.cluster()
+    rows = []
+    for device in range(cluster.num_devices):
+        row = [device]
+        for name in SYSTEMS:
+            memory = case_study.results[name].device_memory_bytes[device]
+            row.append(f"{memory / 1024**3:.1f}")
+        rows.append(row)
+    emit(
+        "fig15_memory",
+        format_table(
+            ["device"] + [f"{n} (GiB)" for n in SYSTEMS],
+            rows,
+            title="Fig. 15: per-device memory, Multitask-CLIP (4 tasks, 16 GPUs)",
+        ),
+    )
+
+    peaks = {
+        name: case_study.results[name].peak_device_memory_bytes for name in SYSTEMS
+    }
+    capacity = cluster.device_spec.memory_bytes
+    # Everything fits, and Spindle does not exceed the replicated baselines.
+    assert all(peak <= capacity for peak in peaks.values())
+    assert peaks["spindle"] <= peaks["deepspeed"] * 1.1
+    assert peaks["spindle"] <= peaks["megatron-lm"] * 1.1
+
+
+def test_fig15_spindle_memory_is_balanced(benchmark, case_study):
+    """Spindle balances memory across devices better than task-level allocation."""
+    benchmark.pedantic(lambda: case_study.results["spindle"].peak_device_memory_bytes, rounds=1, iterations=1)
+
+    def imbalance(name):
+        values = list(case_study.results[name].device_memory_bytes.values())
+        return max(values) / (sum(values) / len(values))
+
+    assert imbalance("spindle") <= imbalance("spindle-optimus") + 0.25

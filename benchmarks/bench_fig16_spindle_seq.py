@@ -1,0 +1,47 @@
+"""Fig. 16 (Appendix H): system implementation performance of Spindle-Seq.
+
+Spindle-Seq executes the naive decoupled plan through the Spindle engine.  Its
+iteration time should match Megatron-LM and DeepSpeed closely (within a few
+percent) on every workload, demonstrating that Spindle's gains in Fig. 8 come
+from planning, not from implementation differences.
+"""
+
+import pytest
+
+from bench_utils import emit
+
+from repro.experiments.harness import run_comparison
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import clip_workload, ofasys_workload, qwen_val_workload
+
+WORKLOADS = (
+    clip_workload(4, 8),
+    clip_workload(7, 16),
+    clip_workload(10, 32),
+    ofasys_workload(4, 8),
+    ofasys_workload(7, 16),
+    qwen_val_workload(32),
+)
+SYSTEMS = ("spindle-seq", "megatron-lm", "deepspeed")
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+def test_fig16_spindle_seq_parity(benchmark, workload):
+    comparison = benchmark.pedantic(
+        lambda: run_comparison(workload, systems=SYSTEMS), rounds=1, iterations=1
+    )
+    rows = [
+        [name, f"{result.iteration_time * 1e3:.1f} ms", f"{comparison.speedup(name):.2f}x"]
+        for name, result in comparison.results.items()
+    ]
+    emit(
+        f"fig16_{workload.name}",
+        format_table(
+            ["system", "iteration time", "vs DeepSpeed"],
+            rows,
+            title=f"Fig. 16: Spindle-Seq parity, {workload.describe()}",
+        ),
+    )
+
+    # Parity within a few percent of the SOTA systems (paper: 0.98x-1.07x).
+    assert 0.9 <= comparison.speedup("spindle-seq") <= 1.1

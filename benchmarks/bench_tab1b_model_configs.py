@@ -1,0 +1,43 @@
+"""Tab. 1b: configuration of the MT MM models used for evaluation."""
+
+from bench_utils import emit
+
+from repro.experiments.reporting import format_table
+from repro.models.registry import MODEL_REGISTRY, get_model_info
+
+#: Parameter counts the paper reports (Tab. 1b).
+PAPER_PARAMS = {
+    "multitask-clip": 1.20e9,
+    "ofasys": 0.66e9,
+    "qwen-val": 9.25e9,
+}
+
+
+def test_tab1b_model_configurations(benchmark):
+    params = benchmark.pedantic(
+        lambda: {key: get_model_info(key).parameter_count() for key in MODEL_REGISTRY},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for key, info in MODEL_REGISTRY.items():
+        rows.append(
+            [
+                info.name,
+                f"{params[key] / 1e9:.2f} B (paper: {PAPER_PARAMS[key] / 1e9:.2f} B)",
+                info.num_modalities,
+                info.max_tasks,
+                info.cross_modal_module,
+            ]
+        )
+    emit(
+        "tab1b_model_configs",
+        format_table(
+            ["MT MM model", "# Param.", "# Modalities", "# Tasks", "Cross-Modal Module"],
+            rows,
+            title="Tab. 1b: configuration of MT MM models for evaluation",
+        ),
+    )
+
+    for key, expected in PAPER_PARAMS.items():
+        assert abs(params[key] - expected) / expected < 0.2

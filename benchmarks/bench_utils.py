@@ -1,0 +1,58 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_fig*.py`` module regenerates one table or figure of the paper's
+evaluation: it runs the relevant systems on the relevant workloads, prints the
+same rows/series the paper reports, writes them under ``reports/`` (so they
+survive pytest's output capturing), and registers one pytest-benchmark timing
+for the piece of the pipeline the figure is about.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.harness import ComparisonResult, run_comparison
+from repro.experiments.reporting import format_table, write_report
+from repro.experiments.workloads import WorkloadSpec
+
+#: Systems of the Fig. 8 comparison, in the paper's plotting order.
+FIG8_SYSTEMS = ("spindle", "spindle-optimus", "distmm-mt", "megatron-lm", "deepspeed")
+
+
+def speedup_rows(comparison: ComparisonResult) -> list[list[str]]:
+    """Rows of (system, iteration time, speedup over DeepSpeed)."""
+    rows = []
+    for name, result in comparison.results.items():
+        rows.append(
+            [
+                name,
+                f"{result.iteration_time * 1e3:8.1f} ms",
+                f"{comparison.speedup(name):.2f}x",
+            ]
+        )
+    return rows
+
+
+def comparison_table(comparison: ComparisonResult, title: str) -> str:
+    return format_table(
+        ["system", "iteration time", "speedup vs DeepSpeed"],
+        speedup_rows(comparison),
+        title=title,
+    )
+
+
+def emit(report_name: str, text: str) -> None:
+    """Print a paper-style table and persist it under ``reports/``."""
+    print("\n" + text)
+    write_report(report_name, text)
+
+
+def run_grid(
+    workloads: Sequence[WorkloadSpec],
+    systems: Sequence[str] = FIG8_SYSTEMS,
+) -> dict[str, ComparisonResult]:
+    """Run a comparison for every workload of a figure's grid."""
+    return {
+        workload.name: run_comparison(workload, systems=systems)
+        for workload in workloads
+    }

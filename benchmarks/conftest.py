@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration."""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Keep the benchmark suite ordered by figure number for readable output."""
+    items.sort(key=lambda item: item.nodeid)
+
+
+@pytest.fixture(scope="session")
+def once_per_session_cache():
+    """A session-wide dict benchmarks can use to avoid recomputing workloads."""
+    return {}

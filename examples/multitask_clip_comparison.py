@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare Spindle with the baseline systems on Multitask-CLIP.
+
+Reproduces a slice of the paper's end-to-end evaluation (Fig. 8) and case
+study (Fig. 9) on the simulated cluster: 4-task Multitask-CLIP on 16 GPUs.
+
+Run with::
+
+    python examples/multitask_clip_comparison.py [num_tasks] [num_gpus]
+"""
+
+import sys
+
+from repro.experiments.harness import run_comparison
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import clip_workload
+
+SYSTEMS = ("spindle", "spindle-optimus", "distmm-mt", "megatron-lm", "deepspeed")
+
+
+def main() -> None:
+    num_tasks = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    num_gpus = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    workload = clip_workload(num_tasks, num_gpus)
+    print(f"workload: {workload.describe()}")
+
+    comparison = run_comparison(workload, systems=SYSTEMS)
+
+    rows = []
+    for name, result in sorted(
+        comparison.results.items(), key=lambda item: item[1].iteration_time
+    ):
+        utilization = result.trace.device_utilization()
+        rows.append(
+            [
+                name,
+                f"{result.iteration_time * 1e3:8.1f} ms",
+                f"{comparison.speedup(name):.2f}x",
+                f"{result.breakdown.fraction('param_sync') * 100:4.1f}%",
+                f"{result.breakdown.fraction('send_recv') * 100:4.1f}%",
+                f"{sum(utilization.values()) / len(utilization) * 100:4.1f}%",
+                f"{result.peak_device_memory_bytes / 1024**3:5.1f} GiB",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "system",
+                "iteration",
+                "speedup",
+                "sync share",
+                "send/recv share",
+                "avg device util",
+                "peak memory",
+            ],
+            rows,
+            title="End-to-end comparison (speedups are relative to DeepSpeed)",
+        )
+    )
+
+    spindle = comparison.results["spindle"]
+    print("\nSpindle cluster utilization over the iteration (TFLOP/s):")
+    for t, flops in spindle.trace.cluster_timeline(num_points=10):
+        bar = "#" * int(flops / 1e12 / 20)
+        print(f"  {t * 1e3:7.2f} ms  {flops / 1e12:8.1f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quickstart: define two multi-modal tasks, plan them with Spindle, and
+simulate one training iteration.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ExecutionPlanner, RuntimeEngine, SpindleTask, make_cluster
+from repro.costmodel.flops import (
+    LayerConfig,
+    make_contrastive_loss_op,
+    make_transformer_layer_op,
+)
+from repro.graph.ops import TensorSpec
+
+
+def build_encoder(task: str, modality: str, layers: int, batch: int, seq: int, hidden: int):
+    """A small modality encoder: a stack of identical transformer layers."""
+    spec = TensorSpec(batch=batch, seq_len=seq, hidden=hidden)
+    config = LayerConfig(hidden_size=hidden)
+    return [
+        make_transformer_layer_op(
+            name=f"{task}.{modality}.layer{i}",
+            op_type=f"{modality}_layer",
+            task=task,
+            modality=modality,
+            spec=spec,
+            config=config,
+            param_key=f"shared.{modality}.layer{i}",  # shared across tasks
+        )
+        for i in range(layers)
+    ]
+
+
+def build_tasks():
+    """Two CLIP-style contrastive tasks sharing their text encoder."""
+    tasks = []
+    for name, other_modality, batch in (
+        ("image_text_pairing", "vision", 32),
+        ("audio_text_pairing", "audio", 64),
+    ):
+        task = SpindleTask(name, batch_size=batch)
+        task.add_module("text_encoder", build_encoder(name, "text", 6, batch, 77, 512))
+        task.add_module(
+            f"{other_modality}_encoder",
+            build_encoder(name, other_modality, 12, batch, 196, 768),
+        )
+        task.add_module(
+            "loss", [make_contrastive_loss_op(f"{name}.loss", name, batch, 512)]
+        )
+        # The user-facing add_flow API wires model components together (§4).
+        task.add_flow("text_encoder", "loss")
+        task.add_flow(f"{other_modality}_encoder", "loss")
+        tasks.append(task)
+    return tasks
+
+
+def main() -> None:
+    cluster = make_cluster(8)
+    tasks = build_tasks()
+
+    planner = ExecutionPlanner(cluster)
+    plan = planner.plan(tasks)
+
+    print(f"cluster          : {cluster}")
+    print(f"tasks            : {[t.name for t in tasks]}")
+    print(f"MetaOps          : {plan.metagraph.num_metaops} "
+          f"({plan.metagraph.num_operators} operators, "
+          f"{plan.metagraph.num_levels} MetaLevels)")
+    print(f"waves            : {plan.schedule.num_waves}")
+    print(f"planning time    : {plan.report.total_seconds * 1e3:.1f} ms")
+
+    print("\nwavefront schedule:")
+    for wave in plan.waves:
+        slices = ", ".join(
+            f"{plan.metagraph.metaop(e.metaop_index).op_type} x{e.layers} on {e.n_devices} GPUs"
+            for e in wave.entries
+        )
+        print(f"  wave {wave.index:2d} (level {wave.level}): {slices}")
+
+    engine = RuntimeEngine(plan)
+    result = engine.run_iteration()
+    breakdown = result.breakdown
+    print("\nsimulated iteration:")
+    print(f"  iteration time : {result.iteration_time * 1e3:.2f} ms")
+    print(f"  fwd+bwd        : {breakdown.forward_backward * 1e3:.2f} ms")
+    print(f"  param sync     : {breakdown.param_sync * 1e3:.2f} ms")
+    print(f"  send/recv      : {breakdown.send_recv * 1e3:.2f} ms")
+    print(f"  peak memory    : {result.peak_device_memory_bytes / 1024**3:.1f} GiB/device")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Spindle reproduction: wavefront-scheduled multi-task multi-modal training.
+
+This package reproduces the system described in *"Spindle: Efficient
+Distributed Training of Multi-Task Large Models via Wavefront Scheduling"*
+(ASPLOS 2025) on a simulated GPU cluster:
+
+* :mod:`repro.graph` — the operator/computation-graph IR and the
+  ``SpindleTask`` / ``add_flow`` task definition API,
+* :mod:`repro.core` — the execution planner (graph contraction, scalability
+  estimation, MPSP resource allocation, wavefront scheduling, device placement),
+* :mod:`repro.runtime` — the simulated runtime engine,
+* :mod:`repro.models` — the Multitask-CLIP / OFASys / QWen-VAL workloads,
+* :mod:`repro.baselines` — the competitor systems of the evaluation,
+* :mod:`repro.experiments` — the workload grid and comparison harness behind
+  every table and figure of the paper.
+
+Quickstart::
+
+    from repro import SpindleSystem, make_cluster, multitask_clip_tasks
+
+    cluster = make_cluster(16)
+    tasks = multitask_clip_tasks(num_tasks=4)
+    result = SpindleSystem(cluster).run_iteration(tasks)
+    print(f"iteration time: {result.iteration_time * 1e3:.1f} ms")
+"""
+
+from repro.baselines import (
+    DeepSpeedSystem,
+    DistMMMTSystem,
+    MegatronLMSystem,
+    SpindleOptimusSystem,
+    SpindleSeqSystem,
+    SpindleSystem,
+    TrainingSystem,
+    make_system,
+)
+from repro.cluster import ClusterTopology, make_cluster
+from repro.core import ExecutionPlan, ExecutionPlanner
+from repro.graph import ComputationGraph, Operator, SpindleTask, TensorSpec
+from repro.models import multitask_clip_tasks, ofasys_tasks, qwen_val_tasks
+from repro.runtime import IterationResult, RuntimeEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterTopology",
+    "ComputationGraph",
+    "DeepSpeedSystem",
+    "DistMMMTSystem",
+    "ExecutionPlan",
+    "ExecutionPlanner",
+    "IterationResult",
+    "MegatronLMSystem",
+    "Operator",
+    "RuntimeEngine",
+    "SpindleOptimusSystem",
+    "SpindleSeqSystem",
+    "SpindleSystem",
+    "SpindleTask",
+    "TensorSpec",
+    "TrainingSystem",
+    "make_cluster",
+    "make_system",
+    "multitask_clip_tasks",
+    "ofasys_tasks",
+    "qwen_val_tasks",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Training systems under evaluation: Spindle and the competitors of Tab. 1a."""
+
+from repro.baselines.base import SystemCapabilities, TrainingSystem
+from repro.baselines.distmm import DistMMMTSystem
+from repro.baselines.optimus import SpindleOptimusSystem
+from repro.baselines.sequential import (
+    DeepSpeedSystem,
+    MegatronLMSystem,
+    SpindleSeqSystem,
+    TemporallyDecoupledSystem,
+)
+from repro.baselines.spindle_system import SpindleSystem
+
+#: All systems of the end-to-end comparison (Fig. 8), keyed by name.
+SYSTEM_CLASSES: dict[str, type[TrainingSystem]] = {
+    SpindleSystem.name: SpindleSystem,
+    SpindleOptimusSystem.name: SpindleOptimusSystem,
+    DistMMMTSystem.name: DistMMMTSystem,
+    MegatronLMSystem.name: MegatronLMSystem,
+    DeepSpeedSystem.name: DeepSpeedSystem,
+    SpindleSeqSystem.name: SpindleSeqSystem,
+}
+
+
+def make_system(name: str, cluster, **kwargs) -> TrainingSystem:
+    """Instantiate a training system by name on the given cluster."""
+    key = name.lower()
+    if key not in SYSTEM_CLASSES:
+        raise KeyError(f"Unknown system {name!r}; available: {sorted(SYSTEM_CLASSES)}")
+    return SYSTEM_CLASSES[key](cluster, **kwargs)
+
+
+__all__ = [
+    "DeepSpeedSystem",
+    "DistMMMTSystem",
+    "MegatronLMSystem",
+    "SYSTEM_CLASSES",
+    "SpindleOptimusSystem",
+    "SpindleSeqSystem",
+    "SpindleSystem",
+    "SystemCapabilities",
+    "TemporallyDecoupledSystem",
+    "TrainingSystem",
+    "make_system",
+]

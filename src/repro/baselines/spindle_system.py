@@ -1,0 +1,65 @@
+"""The full Spindle system: execution planner + runtime engine behind the
+common :class:`~repro.baselines.base.TrainingSystem` interface."""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.baselines.base import SystemCapabilities, TrainingSystem
+from repro.cluster.topology import ClusterTopology
+from repro.core.plan import ExecutionPlan
+from repro.core.planner import ExecutionPlanner
+from repro.costmodel.memory import MemoryModel
+from repro.costmodel.timing import TimingModelConfig
+from repro.graph.task import SpindleTask
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.results import IterationResult
+
+
+class SpindleSystem(TrainingSystem):
+    """Spindle: wavefront-scheduled MT MM training (the paper's contribution)."""
+
+    name = "spindle"
+    capabilities = SystemCapabilities(inter_task_aware=True, intra_task_aware=True)
+
+    def __init__(
+        self,
+        cluster: ClusterTopology,
+        timing_config: TimingModelConfig | None = None,
+        memory_model: MemoryModel | None = None,
+        placement_strategy: str = "locality",
+        profile_noise_std: float = 0.0,
+    ) -> None:
+        super().__init__(cluster, timing_config, memory_model)
+        self.placement_strategy = placement_strategy
+        self.profile_noise_std = profile_noise_std
+        self._timing_config = timing_config
+        self.last_plan: ExecutionPlan | None = None
+        self.last_engine: RuntimeEngine | None = None
+
+    def plan(self, tasks: Sequence[SpindleTask]) -> ExecutionPlan:
+        """Run the execution planner only (used by planner-cost experiments)."""
+        planner = ExecutionPlanner(
+            self.cluster,
+            timing_config=self._timing_config,
+            memory_model=self.memory_model,
+            placement_strategy=self.placement_strategy,
+            profile_noise_std=self.profile_noise_std,
+        )
+        start = time.perf_counter()
+        plan = planner.plan(list(tasks))
+        self.last_planning_seconds = time.perf_counter() - start
+        self.last_plan = plan
+        return plan
+
+    def run_iteration(self, tasks: Sequence[SpindleTask]) -> IterationResult:
+        plan = self.plan(tasks)
+        engine = RuntimeEngine(plan, timing_config=self._timing_config)
+        self.last_engine = engine
+        result = engine.run_iteration()
+        result.metadata["system"] = self.name
+        result.metadata["planning_seconds"] = self.last_planning_seconds
+        result.metadata["num_metaops"] = plan.metagraph.num_metaops
+        result.metadata["theoretical_optimum"] = plan.theoretical_optimum
+        return result

@@ -1,0 +1,195 @@
+"""Command-line interface for the Spindle reproduction.
+
+Three subcommands cover the common workflows:
+
+``repro plan``
+    Run the execution planner on a registered workload and print (or save) the
+    wavefront execution plan.
+
+``repro compare``
+    Run Spindle and the baseline systems on a workload and print the Fig.-8
+    style comparison table.
+
+``repro scaling``
+    Print the scaling curves (Fig. 4) of a workload's MetaOps.
+
+Examples
+--------
+::
+
+    repro compare --model multitask-clip --tasks 4 --gpus 16
+    repro plan --model qwen-val --tasks 3 --gpus 32 --output plan.json
+    repro scaling --model ofasys --tasks 7 --gpus 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.baselines import SYSTEM_CLASSES
+from repro.core.serialization import plan_to_json, save_plan
+from repro.experiments.harness import run_comparison, run_single_system
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import WorkloadSpec
+from repro.models.registry import MODEL_REGISTRY
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        required=True,
+        choices=sorted(MODEL_REGISTRY),
+        help="workload from the model zoo",
+    )
+    parser.add_argument("--tasks", type=int, default=None, help="number of tasks")
+    parser.add_argument("--gpus", type=int, default=16, help="cluster size in GPUs")
+    parser.add_argument(
+        "--model-size",
+        default=None,
+        help="model size variant (qwen-val only: 10b, 30b or 70b)",
+    )
+
+
+def _workload_from_args(args: argparse.Namespace) -> WorkloadSpec:
+    info = MODEL_REGISTRY[args.model]
+    num_tasks = args.tasks if args.tasks is not None else info.max_tasks
+    kwargs = {}
+    if args.model_size:
+        kwargs["size"] = args.model_size
+    return WorkloadSpec(
+        model=args.model, num_tasks=num_tasks, num_gpus=args.gpus, model_kwargs=kwargs
+    )
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    workload = _workload_from_args(args)
+    system, result = run_single_system(workload, "spindle")
+    plan = system.last_plan
+    assert plan is not None
+
+    print(f"workload        : {workload.describe()}")
+    print(f"MetaOps         : {plan.metagraph.num_metaops} "
+          f"in {plan.metagraph.num_levels} MetaLevels")
+    print(f"waves           : {plan.schedule.num_waves}")
+    print(f"planning time   : {system.last_planning_seconds * 1e3:.1f} ms")
+    print(f"est. iteration  : {result.iteration_time * 1e3:.1f} ms "
+          f"(fwd&bwd {result.breakdown.forward_backward * 1e3:.1f} ms)")
+
+    rows = []
+    for wave in plan.waves:
+        for entry in wave.entries:
+            metaop = plan.metagraph.metaop(entry.metaop_index)
+            rows.append(
+                [
+                    wave.index,
+                    wave.level,
+                    f"{metaop.task}/{metaop.op_type}",
+                    entry.layers,
+                    entry.n_devices,
+                    ",".join(str(d) for d in entry.devices),
+                ]
+            )
+    print(
+        format_table(
+            ["wave", "level", "MetaOp", "ops", "#GPUs", "devices"],
+            rows,
+            title="wavefront execution plan",
+        )
+    )
+    if args.output:
+        path = save_plan(plan, args.output)
+        print(f"\nplan written to {path}")
+    elif args.json:
+        print(plan_to_json(plan))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    workload = _workload_from_args(args)
+    systems = tuple(args.systems) if args.systems else (
+        "spindle", "spindle-optimus", "distmm-mt", "megatron-lm", "deepspeed"
+    )
+    comparison = run_comparison(workload, systems=systems)
+    rows = [
+        [name, f"{time_ms:.1f} ms", f"{speedup:.2f}x"]
+        for name, time_ms, speedup in comparison.as_rows()
+    ]
+    print(
+        format_table(
+            ["system", "iteration time", f"speedup vs {comparison.reference}"],
+            rows,
+            title=workload.describe(),
+        )
+    )
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    workload = _workload_from_args(args)
+    system, _ = run_single_system(workload, "spindle")
+    plan = system.last_plan
+    assert plan is not None
+    device_counts = [n for n in (1, 2, 4, 8, 16, 32, 64) if n <= workload.num_gpus]
+    rows = []
+    for index, curve in plan.curves.items():
+        metaop = plan.metagraph.metaop(index)
+        rows.append(
+            [f"{metaop.task}/{metaop.op_type}", metaop.num_operators]
+            + [f"{curve.speedup(n):.2f}" for n in device_counts]
+        )
+    print(
+        format_table(
+            ["MetaOp", "L"] + [f"sigma({n})" for n in device_counts],
+            rows,
+            title=f"resource scalability, {workload.describe()}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spindle reproduction: wavefront scheduling for MT MM training",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    plan_parser = subparsers.add_parser("plan", help="run the execution planner")
+    _add_workload_arguments(plan_parser)
+    plan_parser.add_argument("--output", default=None, help="write the plan as JSON")
+    plan_parser.add_argument(
+        "--json", action="store_true", help="print the plan document as JSON"
+    )
+    plan_parser.set_defaults(func=_cmd_plan)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare Spindle with the baseline systems"
+    )
+    _add_workload_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--systems",
+        nargs="+",
+        choices=sorted(SYSTEM_CLASSES),
+        default=None,
+        help="systems to run (default: the Fig. 8 set)",
+    )
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    scaling_parser = subparsers.add_parser(
+        "scaling", help="print the MetaOp scaling curves (Fig. 4)"
+    )
+    _add_workload_arguments(scaling_parser)
+    scaling_parser.set_defaults(func=_cmd_scaling)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Simulated GPU cluster: device specs, topology and interconnects."""
+
+from repro.cluster.device import A800_SPEC, TEST_GPU_SPEC, Device, DeviceSpec
+from repro.cluster.topology import (
+    DEFAULT_INTER_ISLAND,
+    DEFAULT_INTRA_DEVICE,
+    DEFAULT_INTRA_ISLAND,
+    ClusterTopology,
+    InterconnectSpec,
+    TopologyError,
+    make_cluster,
+)
+
+__all__ = [
+    "A800_SPEC",
+    "TEST_GPU_SPEC",
+    "ClusterTopology",
+    "DEFAULT_INTER_ISLAND",
+    "DEFAULT_INTRA_DEVICE",
+    "DEFAULT_INTRA_ISLAND",
+    "Device",
+    "DeviceSpec",
+    "InterconnectSpec",
+    "TopologyError",
+    "make_cluster",
+]

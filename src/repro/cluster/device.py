@@ -1,0 +1,77 @@
+"""GPU device specifications used by the simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static characteristics of a single accelerator.
+
+    Attributes
+    ----------
+    name:
+        Human readable device name (e.g. ``"A800-80GB"``).
+    peak_flops:
+        Peak dense fp16 throughput in FLOP/s.
+    memory_bytes:
+        HBM capacity in bytes.
+    achievable_fraction:
+        Fraction of peak FLOP/s a well-tuned, fully-occupied transformer kernel
+        actually achieves (model FLOPs utilisation ceiling).  The execution time
+        model multiplies this by a workload-dependent efficiency factor.
+    """
+
+    name: str
+    peak_flops: float
+    memory_bytes: float
+    achievable_fraction: float = 0.55
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise ValueError("peak_flops must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if not (0.0 < self.achievable_fraction <= 1.0):
+            raise ValueError("achievable_fraction must be in (0, 1]")
+
+    @property
+    def achievable_flops(self) -> float:
+        """Sustained FLOP/s ceiling for large, well-shaped kernels."""
+        return self.peak_flops * self.achievable_fraction
+
+
+#: NVIDIA A800 80 GB — the accelerator used in the paper's testbed (§5.1).
+A800_SPEC = DeviceSpec(
+    name="A800-80GB",
+    peak_flops=312e12,
+    memory_bytes=80 * 1024**3,
+    achievable_fraction=0.55,
+)
+
+#: A smaller accelerator useful for unit tests and laptop-scale examples.
+TEST_GPU_SPEC = DeviceSpec(
+    name="TestGPU-16GB",
+    peak_flops=20e12,
+    memory_bytes=16 * 1024**3,
+    achievable_fraction=0.5,
+)
+
+
+@dataclass(frozen=True)
+class Device:
+    """A physical device instance placed inside a cluster topology."""
+
+    device_id: int
+    node_id: int
+    local_rank: int
+    spec: DeviceSpec
+
+    def __post_init__(self) -> None:
+        if self.device_id < 0 or self.node_id < 0 or self.local_rank < 0:
+            raise ValueError("Device ids must be non-negative")
+
+    @property
+    def name(self) -> str:
+        return f"node{self.node_id}:gpu{self.local_rank}"

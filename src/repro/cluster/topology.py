@@ -1,0 +1,198 @@
+"""Cluster topology: device islands, bandwidths and latencies.
+
+The paper evaluates on an 8-node cluster where every node holds 8 NVLink-
+connected A800 GPUs and nodes are interconnected with 400 Gbps InfiniBand
+(§5.1).  A *device island* (§3.5) is a set of devices connected by the
+high-bandwidth intra-node interconnect; the device placement pass prefers
+placing MetaOps and high-volume data flows within one island.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.device import A800_SPEC, Device, DeviceSpec
+
+
+class TopologyError(Exception):
+    """Raised for invalid cluster descriptions or device id lookups."""
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Bandwidth/latency of one link class, in bytes/s and seconds."""
+
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_time(self, volume_bytes: float) -> float:
+        """Time to move ``volume_bytes`` over this link (alpha-beta model)."""
+        if volume_bytes < 0:
+            raise ValueError("volume must be non-negative")
+        return self.latency + volume_bytes / self.bandwidth
+
+
+#: NVLink within a node (~200 GB/s effective unidirectional for A800 NVLink).
+DEFAULT_INTRA_ISLAND = InterconnectSpec(bandwidth=200e9, latency=5e-6)
+#: 400 Gbps InfiniBand per GPU between nodes (~45 GB/s effective per link).
+DEFAULT_INTER_ISLAND = InterconnectSpec(bandwidth=45e9, latency=12e-6)
+#: On-device copy between two waves mapped to the same GPU.
+DEFAULT_INTRA_DEVICE = InterconnectSpec(bandwidth=1200e9, latency=1e-6)
+
+
+@dataclass
+class ClusterTopology:
+    """A homogeneous GPU cluster organised into device islands (nodes).
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes (device islands).
+    devices_per_node:
+        Number of GPUs per node.
+    device_spec:
+        Accelerator specification shared by all devices.
+    intra_island / inter_island / intra_device:
+        Interconnect specifications of the three link classes used by the
+        placement pass and the runtime engine.
+    """
+
+    num_nodes: int
+    devices_per_node: int
+    device_spec: DeviceSpec = A800_SPEC
+    intra_island: InterconnectSpec = DEFAULT_INTRA_ISLAND
+    inter_island: InterconnectSpec = DEFAULT_INTER_ISLAND
+    intra_device: InterconnectSpec = DEFAULT_INTRA_DEVICE
+    devices: list[Device] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise TopologyError("num_nodes must be positive")
+        if self.devices_per_node <= 0:
+            raise TopologyError("devices_per_node must be positive")
+        self.devices = [
+            Device(
+                device_id=node * self.devices_per_node + local,
+                node_id=node,
+                local_rank=local,
+                spec=self.device_spec,
+            )
+            for node in range(self.num_nodes)
+            for local in range(self.devices_per_node)
+        ]
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_devices(self) -> int:
+        return self.num_nodes * self.devices_per_node
+
+    @property
+    def total_peak_flops(self) -> float:
+        return self.num_devices * self.device_spec.peak_flops
+
+    @property
+    def total_memory_bytes(self) -> float:
+        return self.num_devices * self.device_spec.memory_bytes
+
+    # ---------------------------------------------------------------- lookups
+    def device(self, device_id: int) -> Device:
+        if not 0 <= device_id < self.num_devices:
+            raise TopologyError(
+                f"Device id {device_id} out of range [0, {self.num_devices})"
+            )
+        return self.devices[device_id]
+
+    def island_of(self, device_id: int) -> int:
+        """Return the island (node) index that hosts ``device_id``."""
+        return self.device(device_id).node_id
+
+    def islands(self) -> list[list[int]]:
+        """Device ids grouped by island, in island order."""
+        groups: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for dev in self.devices:
+            groups[dev.node_id].append(dev.device_id)
+        return groups
+
+    def island_devices(self, island: int) -> list[int]:
+        if not 0 <= island < self.num_nodes:
+            raise TopologyError(f"Island {island} out of range [0, {self.num_nodes})")
+        return self.islands()[island]
+
+    def same_island(self, a: int, b: int) -> bool:
+        return self.island_of(a) == self.island_of(b)
+
+    # ------------------------------------------------------------------ links
+    def link_between(self, src: int, dst: int) -> InterconnectSpec:
+        """Interconnect spec of the link class connecting two devices."""
+        if src == dst:
+            return self.intra_device
+        if self.same_island(src, dst):
+            return self.intra_island
+        return self.inter_island
+
+    def bandwidth_between(self, src: int, dst: int) -> float:
+        return self.link_between(src, dst).bandwidth
+
+    def group_bandwidth(self, device_ids: Sequence[int]) -> InterconnectSpec:
+        """Effective link spec for a collective over ``device_ids``.
+
+        Collectives inside one island run at NVLink bandwidth.  Collectives
+        spanning islands are bottlenecked by the InfiniBand fabric, but every
+        GPU drives its own NIC (rail-optimised clusters), so the effective
+        cross-island bandwidth of a hierarchical all-reduce scales with the
+        number of participating devices per island, capped by the intra-island
+        bandwidth.
+        """
+        ids = list(device_ids)
+        if not ids:
+            raise TopologyError("Device group must not be empty")
+        if len(ids) == 1:
+            return self.intra_device
+        islands = {self.island_of(d) for d in ids}
+        if len(islands) == 1:
+            return self.intra_island
+        devices_per_island = len(ids) / len(islands)
+        effective = min(
+            self.intra_island.bandwidth,
+            self.inter_island.bandwidth * max(1.0, devices_per_island),
+        )
+        return InterconnectSpec(
+            bandwidth=effective, latency=self.inter_island.latency
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterTopology(nodes={self.num_nodes}, gpus_per_node="
+            f"{self.devices_per_node}, device={self.device_spec.name!r})"
+        )
+
+
+def make_cluster(
+    num_devices: int,
+    devices_per_node: int = 8,
+    device_spec: DeviceSpec = A800_SPEC,
+) -> ClusterTopology:
+    """Build a cluster with ``num_devices`` GPUs packed into 8-GPU nodes.
+
+    Mirrors the paper's experimental clusters: 8, 16, 32, 64 or 256 GPUs in
+    nodes of 8.  Clusters smaller than one node become a single island.
+    """
+    if num_devices <= 0:
+        raise TopologyError("num_devices must be positive")
+    per_node = min(devices_per_node, num_devices)
+    if num_devices % per_node != 0:
+        raise TopologyError(
+            f"num_devices={num_devices} is not a multiple of devices_per_node={per_node}"
+        )
+    return ClusterTopology(
+        num_nodes=num_devices // per_node,
+        devices_per_node=per_node,
+        device_spec=device_spec,
+    )

@@ -1,0 +1,80 @@
+"""The Spindle execution planner: contraction, estimation, allocation,
+wavefront scheduling and device placement."""
+
+from repro.core.allocator import (
+    AllocationError,
+    ContinuousAllocation,
+    ResourceAllocator,
+    default_valid_allocations,
+    find_inverse_value,
+)
+from repro.core.contraction import can_contract, contract_graph
+from repro.core.estimator import (
+    AlphaBetaPiece,
+    EstimatorError,
+    ScalabilityEstimator,
+    ScalingCurve,
+)
+from repro.core.metagraph import MetaGraph, MetaGraphError, MetaOp
+from repro.core.placement import (
+    LocalityAwarePlacer,
+    PlacementError,
+    SequentialPlacer,
+)
+from repro.core.plan import (
+    ASLTuple,
+    ExecutionPlan,
+    LevelAllocation,
+    PlacementResult,
+    PlanError,
+    PlanningReport,
+    Wave,
+    WaveEntry,
+    WavefrontSchedule,
+)
+from repro.core.planner import ExecutionPlanner
+from repro.core.scheduler import SchedulerError, WavefrontScheduler
+from repro.core.serialization import (
+    SerializationError,
+    load_plan_document,
+    plan_to_dict,
+    plan_to_json,
+    save_plan,
+)
+
+__all__ = [
+    "ASLTuple",
+    "AllocationError",
+    "AlphaBetaPiece",
+    "ContinuousAllocation",
+    "EstimatorError",
+    "ExecutionPlan",
+    "ExecutionPlanner",
+    "LevelAllocation",
+    "LocalityAwarePlacer",
+    "MetaGraph",
+    "MetaGraphError",
+    "MetaOp",
+    "PlacementError",
+    "PlacementResult",
+    "PlanError",
+    "PlanningReport",
+    "ResourceAllocator",
+    "ScalabilityEstimator",
+    "ScalingCurve",
+    "SchedulerError",
+    "SequentialPlacer",
+    "SerializationError",
+    "load_plan_document",
+    "plan_to_dict",
+    "plan_to_json",
+    "save_plan",
+    "Wave",
+    "WaveEntry",
+    "WavefrontSchedule",
+    "WavefrontScheduler",
+    "can_contract",
+    "contract_graph",
+    "default_valid_allocations",
+    "find_inverse_value",
+]

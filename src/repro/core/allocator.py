@@ -1,0 +1,245 @@
+"""Resource allocator: MPSP relaxation + bi-point discretization (§3.3, App. B).
+
+For each MetaLevel the allocator
+
+1. relaxes the problem to the malleable project scheduling problem (MPSP) with
+   continuously divisible devices and operators, and finds the optimum
+   completion time ``C*`` and allocations ``n*_m`` by bisection search over
+   ``sum_m T_m^{-1}(C*/L_m) = N`` (Theorem 1, Algorithm 2);
+2. discretizes each continuous allocation ``n*_m`` into at most two *valid*
+   integer allocations ⟨n̄, l̄⟩, ⟨n̲, l̲⟩ whose combined execution time equals
+   ``C*`` (conditions 10a/10b), rounding layer counts to integers at the end.
+
+Valid allocations respect practical parallelism constraints: a MetaOp's device
+count must divide its global batch size (pure data parallelism) or be a
+multiple of it (hybrid data/tensor parallelism), mirroring §3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.estimator import ScalingCurve
+from repro.core.metagraph import MetaGraph, MetaOp
+from repro.core.plan import ASLTuple, LevelAllocation
+
+
+class AllocationError(Exception):
+    """Raised when no feasible allocation exists."""
+
+
+ValidAllocationFn = Callable[[MetaOp, int], list[int]]
+
+
+def default_valid_allocations(metaop: MetaOp, max_devices: int) -> list[int]:
+    """Valid device counts for a MetaOp on a cluster of ``max_devices`` GPUs.
+
+    ``n`` is valid when it divides the MetaOp's global batch size (so data
+    parallelism partitions samples evenly) or is a multiple of the batch size
+    (each sample group adds tensor-parallel ranks).
+    """
+    if max_devices <= 0:
+        raise AllocationError("max_devices must be positive")
+    batch = metaop.batch_size
+    valid = [
+        n
+        for n in range(1, max_devices + 1)
+        if batch % n == 0 or n % batch == 0
+    ]
+    if not valid:
+        valid = [1]
+    return valid
+
+
+@dataclass(frozen=True)
+class ContinuousAllocation:
+    """Optimum of the continuous (MPSP) relaxation for one MetaLevel."""
+
+    c_star: float
+    allocations: dict[int, float]
+
+    def total_devices(self) -> float:
+        return sum(self.allocations.values())
+
+
+def find_inverse_value(
+    curve: ScalingCurve,
+    target_time: float,
+    valid: Sequence[int],
+) -> float:
+    """``Find_Inverse_Value`` of Appendix B over the valid allocation grid.
+
+    Finds the closest valid allocations ``n̲, n̄`` such that
+    ``target_time ∈ [T(n̄), T(n̲)]`` and returns the linear combination of
+    Eq. (11).  Targets slower than ``T(n_min)`` extrapolate below one device
+    (fractional allocations signal the dummy-allocation case); targets faster
+    than ``T(n_max)`` saturate at the largest valid allocation.
+    """
+    if target_time <= 0:
+        raise AllocationError("Target time must be positive")
+    grid = sorted(set(int(n) for n in valid))
+    if not grid:
+        raise AllocationError("Valid allocation grid is empty")
+    times = [curve.time(n) for n in grid]
+
+    if target_time >= times[0]:
+        # Fewer devices than the smallest valid allocation would suffice.
+        return grid[0] * times[0] / target_time
+    if target_time <= times[-1]:
+        return float(grid[-1])
+    for (n_lo, t_lo), (n_hi, t_hi) in zip(zip(grid, times), zip(grid[1:], times[1:])):
+        if t_hi <= target_time <= t_lo:
+            if abs(t_lo - t_hi) < 1e-15:
+                return float(n_hi)
+            return ((target_time - t_hi) * n_lo + (t_lo - target_time) * n_hi) / (
+                t_lo - t_hi
+            )
+    return float(grid[-1])
+
+
+class ResourceAllocator:
+    """Derives the allocation plan of each MetaLevel."""
+
+    def __init__(
+        self,
+        num_devices: int,
+        valid_allocation_fn: ValidAllocationFn | None = None,
+        bisection_tolerance: float = 1e-4,
+        max_bisection_iters: int = 200,
+    ) -> None:
+        if num_devices <= 0:
+            raise AllocationError("num_devices must be positive")
+        self.num_devices = num_devices
+        self.valid_allocation_fn = valid_allocation_fn or default_valid_allocations
+        self.bisection_tolerance = bisection_tolerance
+        self.max_bisection_iters = max_bisection_iters
+
+    # ---------------------------------------------------------- continuous
+    def solve_continuous(
+        self,
+        metaops: Sequence[MetaOp],
+        curves: dict[int, ScalingCurve],
+    ) -> ContinuousAllocation:
+        """Bisection search for the MPSP optimum ``C*`` (Algorithm 2)."""
+        if not metaops:
+            raise AllocationError("Cannot allocate an empty MetaLevel")
+        valid = {
+            m.index: self.valid_allocation_fn(m, self.num_devices) for m in metaops
+        }
+        max_valid = {idx: max(v) for idx, v in valid.items()}
+
+        def level_allocations(c: float) -> dict[int, float]:
+            return {
+                m.index: min(
+                    float(max_valid[m.index]),
+                    find_inverse_value(
+                        curves[m.index], c / m.num_operators, valid[m.index]
+                    ),
+                )
+                for m in metaops
+            }
+
+        c_low = max(
+            curves[m.index].time(max_valid[m.index]) * m.num_operators for m in metaops
+        )
+        c_high = sum(curves[m.index].time(1) * m.num_operators for m in metaops)
+        c_high = max(c_high, c_low * (1 + self.bisection_tolerance))
+
+        # If even the fastest completion (every MetaOp at its largest valid
+        # allocation) fits in the cluster, the lower bound is already optimal.
+        if sum(level_allocations(c_low).values()) <= self.num_devices:
+            allocations = level_allocations(c_low)
+            return ContinuousAllocation(c_star=c_low, allocations=allocations)
+
+        for _ in range(self.max_bisection_iters):
+            if c_high - c_low <= self.bisection_tolerance * c_high:
+                break
+            c_mid = 0.5 * (c_low + c_high)
+            total = sum(level_allocations(c_mid).values())
+            if total < self.num_devices:
+                c_high = c_mid
+            else:
+                c_low = c_mid
+        c_star = c_high
+        return ContinuousAllocation(c_star=c_star, allocations=level_allocations(c_star))
+
+    # --------------------------------------------------------- discretization
+    def discretize(
+        self,
+        metaop: MetaOp,
+        n_star: float,
+        c_star: float,
+        curve: ScalingCurve,
+    ) -> list[ASLTuple]:
+        """Bi-point discretized allocation of one MetaOp (conditions 10a/10b)."""
+        valid = self.valid_allocation_fn(metaop, self.num_devices)
+        total_layers = metaop.num_operators
+        lower = [n for n in valid if n <= n_star]
+        upper = [n for n in valid if n >= n_star]
+
+        if not lower:
+            # The continuous optimum needs less than the smallest valid
+            # allocation: the lower point is a dummy allocation (n = 0) that
+            # preserves condition (10b) as idle time and is then ignored.  All
+            # operators run on the smallest valid allocation.
+            return [ASLTuple(n_devices=min(valid), layers=total_layers)]
+        if not upper:
+            return [ASLTuple(n_devices=max(valid), layers=total_layers)]
+
+        n_lo, n_hi = max(lower), min(upper)
+        if n_lo == n_hi:
+            return [ASLTuple(n_devices=n_lo, layers=total_layers)]
+
+        t_lo, t_hi = curve.time(n_lo), curve.time(n_hi)
+        if abs(t_lo - t_hi) < 1e-15:
+            return [ASLTuple(n_devices=n_lo, layers=total_layers)]
+        # Solve l_hi * t_hi + l_lo * t_lo = c_star with l_hi + l_lo = L.
+        layers_hi = (c_star - total_layers * t_lo) / (t_hi - t_lo)
+        layers_hi = min(float(total_layers), max(0.0, layers_hi))
+        layers_hi_int = int(round(layers_hi))
+        layers_lo_int = total_layers - layers_hi_int
+
+        tuples: list[ASLTuple] = []
+        if layers_hi_int > 0:
+            tuples.append(ASLTuple(n_devices=n_hi, layers=layers_hi_int))
+        if layers_lo_int > 0:
+            tuples.append(ASLTuple(n_devices=n_lo, layers=layers_lo_int))
+        if not tuples:
+            tuples.append(ASLTuple(n_devices=n_hi, layers=total_layers))
+        return tuples
+
+    # ----------------------------------------------------------------- levels
+    def allocate_level(
+        self,
+        level: int,
+        metaops: Sequence[MetaOp],
+        curves: dict[int, ScalingCurve],
+    ) -> LevelAllocation:
+        """Full allocation pipeline (continuous optimum + discretization)."""
+        continuous = self.solve_continuous(metaops, curves)
+        plan = {
+            m.index: self.discretize(
+                m,
+                continuous.allocations[m.index],
+                continuous.c_star,
+                curves[m.index],
+            )
+            for m in metaops
+        }
+        return LevelAllocation(
+            level=level,
+            c_star=continuous.c_star,
+            continuous=dict(continuous.allocations),
+            plan=plan,
+        )
+
+    def allocate(
+        self, metagraph: MetaGraph, curves: dict[int, ScalingCurve]
+    ) -> dict[int, LevelAllocation]:
+        """Allocate every MetaLevel of the MetaGraph individually."""
+        allocations: dict[int, LevelAllocation] = {}
+        for level, indices in enumerate(metagraph.levels()):
+            metaops = [metagraph.metaop(i) for i in indices]
+            allocations[level] = self.allocate_level(level, metaops, curves)
+        return allocations

@@ -1,0 +1,86 @@
+"""Graph contraction: computation graph -> MetaGraph (§3.1).
+
+Two adjacent operators ``i -> j`` are contracted into the same MetaOp when
+
+1. the edge is exclusive — ``out_degree(i) == 1`` and ``in_degree(j) == 1`` —
+   so they are direct predecessor/successor of each other, and
+2. they share the same operator type and input data size, confirming identical
+   workloads.
+
+The graph is traversed in topological order and operators are merged until no
+further pair satisfies the criteria, yielding the contracted MetaGraph
+``G_M``.  MetaLevels are then assigned from the dependency topology.
+"""
+
+from __future__ import annotations
+
+from repro.core.metagraph import MetaGraph, MetaOp
+from repro.graph.graph import ComputationGraph
+
+
+def can_contract(graph: ComputationGraph, src: str, dst: str) -> bool:
+    """Whether the edge ``src -> dst`` satisfies the contraction criteria."""
+    if graph.out_degree(src) != 1 or graph.in_degree(dst) != 1:
+        return False
+    src_op = graph.operator(src)
+    dst_op = graph.operator(dst)
+    return src_op.workload_signature() == dst_op.workload_signature()
+
+
+def contract_graph(graph: ComputationGraph, assign_levels: bool = True) -> MetaGraph:
+    """Contract ``graph`` into a MetaGraph of MetaOps.
+
+    Parameters
+    ----------
+    graph:
+        The unified multi-task computation graph.
+    assign_levels:
+        Assign MetaLevels after contraction (on by default; disable only when
+        the caller wants to inspect the raw contraction).
+    """
+    graph.validate()
+    order = graph.topological_order()
+
+    # Chain assignment: operators that contract together share a chain id.
+    chain_of: dict[str, int] = {}
+    chain_members: dict[int, list[str]] = {}
+    next_chain = 0
+    for name in order:
+        preds = graph.predecessors(name)
+        merged = False
+        if len(preds) == 1:
+            pred = preds[0]
+            if can_contract(graph, pred, name):
+                chain_id = chain_of[pred]
+                chain_of[name] = chain_id
+                chain_members[chain_id].append(name)
+                merged = True
+        if not merged:
+            chain_of[name] = next_chain
+            chain_members[next_chain] = [name]
+            next_chain += 1
+
+    metagraph = MetaGraph()
+    # MetaOps are indexed in order of first appearance (topological order of
+    # their first operator), which matches the numbering of Fig. 3.
+    for chain_id in sorted(chain_members, key=lambda cid: order.index(chain_members[cid][0])):
+        members = chain_members[chain_id]
+        operators = [graph.operator(name) for name in members]
+        metagraph.add_metaop(MetaOp(index=metagraph.num_metaops, operators=operators))
+
+    # Re-index chains to MetaOp indices for edge construction.
+    metaop_of_operator: dict[str, int] = {}
+    for metaop in metagraph.metaops.values():
+        for op in metaop.operators:
+            metaop_of_operator[op.name] = metaop.index
+
+    for flow in graph.flows:
+        src_meta = metaop_of_operator[flow.src]
+        dst_meta = metaop_of_operator[flow.dst]
+        if src_meta != dst_meta:
+            metagraph.add_edge(src_meta, dst_meta, flow.volume_bytes)
+
+    if assign_levels:
+        metagraph.assign_levels()
+    metagraph.validate()
+    return metagraph

@@ -1,0 +1,203 @@
+"""Scalability estimator: piecewise alpha-beta scaling curves (§3.2, App. A).
+
+The estimator profiles each MetaOp for a handful of discrete allocation sizes
+and fits a *piecewise* alpha-beta function
+
+    T_m(n) = alpha_i + beta_i / n        for n in [n_{i-1}, n_i]
+
+through the measurements.  The piecewise form matters because MT MM workloads
+invoke different kernels under different per-device workloads, so a single
+alpha-beta fit (as used by homogeneous-model planners) misestimates lightweight
+operators.  The resulting :class:`ScalingCurve` exposes:
+
+* ``time(n)`` — estimated per-operator execution time on ``n`` devices,
+* ``inverse(t)`` — the (possibly fractional) allocation needed to reach time
+  ``t`` (the ``Find_Inverse_Value`` routine of Appendix B),
+* ``speedup(n)`` — the resource scalability ``sigma(n) = T(1)/T(n)`` of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.metagraph import MetaGraph, MetaOp
+from repro.costmodel.profiler import ProfileSample, SyntheticProfiler
+
+
+class EstimatorError(Exception):
+    """Raised for malformed profiles or unusable curves."""
+
+
+@dataclass(frozen=True)
+class AlphaBetaPiece:
+    """One piece of the piecewise alpha-beta model: ``T(n) = alpha + beta/n``."""
+
+    n_lo: float
+    n_hi: float
+    alpha: float
+    beta: float
+
+    def time(self, n: float) -> float:
+        if n <= 0:
+            raise EstimatorError("Allocation must be positive")
+        return self.alpha + self.beta / n
+
+    def covers(self, n: float) -> bool:
+        return self.n_lo <= n <= self.n_hi
+
+
+class ScalingCurve:
+    """Piecewise alpha-beta execution-time curve of one MetaOp."""
+
+    def __init__(self, samples: Sequence[ProfileSample]) -> None:
+        if not samples:
+            raise EstimatorError("Cannot fit a scaling curve with no samples")
+        ordered = sorted(samples, key=lambda s: s.n_devices)
+        deduped: list[ProfileSample] = []
+        for sample in ordered:
+            if deduped and deduped[-1].n_devices == sample.n_devices:
+                continue
+            deduped.append(sample)
+        # Enforce the non-increasing property required by Theorem 1: noisy
+        # measurements occasionally show a slowdown at larger allocations; the
+        # allocator needs a monotone curve, so clip upward excursions.
+        monotone: list[ProfileSample] = []
+        for sample in deduped:
+            time = sample.time_seconds
+            if monotone:
+                time = min(time, monotone[-1].time_seconds)
+            monotone.append(ProfileSample(sample.n_devices, max(time, 1e-12)))
+        self.samples = monotone
+        self.pieces = self._fit_pieces(monotone)
+
+    @staticmethod
+    def _fit_pieces(samples: list[ProfileSample]) -> list[AlphaBetaPiece]:
+        if len(samples) == 1:
+            only = samples[0]
+            return [
+                AlphaBetaPiece(
+                    n_lo=only.n_devices,
+                    n_hi=only.n_devices,
+                    alpha=only.time_seconds,
+                    beta=0.0,
+                )
+            ]
+        pieces: list[AlphaBetaPiece] = []
+        for left, right in zip(samples, samples[1:]):
+            inv_lo, inv_hi = 1.0 / left.n_devices, 1.0 / right.n_devices
+            if math.isclose(inv_lo, inv_hi):
+                beta = 0.0
+            else:
+                beta = (left.time_seconds - right.time_seconds) / (inv_lo - inv_hi)
+            alpha = left.time_seconds - beta * inv_lo
+            pieces.append(
+                AlphaBetaPiece(
+                    n_lo=float(left.n_devices),
+                    n_hi=float(right.n_devices),
+                    alpha=alpha,
+                    beta=beta,
+                )
+            )
+        return pieces
+
+    # -------------------------------------------------------------- evaluation
+    @property
+    def min_devices(self) -> int:
+        return self.samples[0].n_devices
+
+    @property
+    def max_devices(self) -> int:
+        return self.samples[-1].n_devices
+
+    def time(self, n: float) -> float:
+        """Estimated per-operator execution time for a (fractional) allocation."""
+        if n <= 0:
+            raise EstimatorError("Allocation must be positive")
+        if n <= self.pieces[0].n_lo:
+            return self.pieces[0].time(n)
+        for piece in self.pieces:
+            if piece.covers(n):
+                return piece.time(n)
+        return self.pieces[-1].time(n)
+
+    def inverse(self, target_time: float, max_devices: float | None = None) -> float:
+        """Allocation ``n`` such that ``time(n) == target_time`` (Eq. 11).
+
+        Values below one device are allowed (they signal that the MetaOp does
+        not need a full device to meet the target, the "dummy allocation"
+        situation of §3.3).  The result is capped at ``max_devices`` when the
+        target is unreachable even with the largest profiled allocation.
+        """
+        if target_time <= 0:
+            raise EstimatorError("Target time must be positive")
+        cap = max_devices if max_devices is not None else float(self.max_devices)
+        if target_time >= self.time(self.min_devices):
+            piece = self.pieces[0]
+            if piece.beta <= 0:
+                return float(self.min_devices)
+            if target_time <= piece.alpha:
+                return float(self.min_devices)
+            return max(1e-6, piece.beta / (target_time - piece.alpha))
+        for piece in self.pieces:
+            t_lo = piece.time(piece.n_lo)
+            t_hi = piece.time(piece.n_hi)
+            if t_hi <= target_time <= t_lo:
+                if piece.beta <= 0 or math.isclose(t_lo, t_hi):
+                    return float(piece.n_hi)
+                return piece.beta / (target_time - piece.alpha)
+        # Target faster than anything profiled: extrapolate with the last piece.
+        last = self.pieces[-1]
+        if last.beta <= 0 or target_time <= last.alpha:
+            return float(cap)
+        return min(float(cap), last.beta / (target_time - last.alpha))
+
+    def speedup(self, n: float) -> float:
+        """Resource scalability ``sigma(n) = T(1) / T(n)`` (Fig. 4, right)."""
+        return self.time(1.0) / self.time(n)
+
+    def as_table(self) -> list[tuple[int, float, float]]:
+        """Measured points as ``(n, time, speedup)`` rows (for reporting)."""
+        base = self.samples[0].time_seconds
+        return [
+            (s.n_devices, s.time_seconds, base / s.time_seconds) for s in self.samples
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScalingCurve(n=[{self.min_devices}..{self.max_devices}], "
+            f"T(1)={self.time(self.min_devices):.4e}s, pieces={len(self.pieces)})"
+        )
+
+
+class ScalabilityEstimator:
+    """Profiles MetaOps and fits their scaling curves."""
+
+    def __init__(
+        self,
+        profiler: SyntheticProfiler,
+        profile_points: Sequence[int] | None = None,
+        include_backward: bool = True,
+    ) -> None:
+        self.profiler = profiler
+        self.profile_points = (
+            list(profile_points) if profile_points is not None else None
+        )
+        self.include_backward = include_backward
+
+    def estimate_metaop(self, metaop: MetaOp) -> ScalingCurve:
+        """Fit the per-operator scaling curve of one MetaOp."""
+        samples = self.profiler.profile_operator(
+            metaop.representative,
+            points=self.profile_points,
+            include_backward=self.include_backward,
+        )
+        return ScalingCurve(samples)
+
+    def estimate(self, metagraph: MetaGraph) -> dict[int, ScalingCurve]:
+        """Fit scaling curves for every MetaOp in the MetaGraph."""
+        return {
+            index: self.estimate_metaop(metaop)
+            for index, metaop in metagraph.metaops.items()
+        }

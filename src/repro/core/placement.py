@@ -1,0 +1,299 @@
+"""Device placement: mapping wave entries to physical devices (§3.5).
+
+The locality-aware placer follows the paper's three guidelines:
+
+* **Intra-device-island placement** — MetaOps and the data flows between them
+  prefer devices inside one island (NVLink-connected node).
+* **Prioritising high communication workloads** — when not everything fits
+  inside an island, the MetaOps with the largest inter-wave data-flow volume
+  get the best locality.
+* **Device memory balance** — parameter/optimizer state and retained
+  activations are tracked per device; placement prefers the devices with the
+  most free memory and falls back to alternative (less local) placements, with
+  bounded backtracking, when a device would run out of memory.
+
+A deliberately naive :class:`SequentialPlacer` is provided for the placement
+ablation of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.metagraph import MetaGraph
+from repro.core.plan import PlacementResult, Wave, WaveEntry
+from repro.costmodel.comm import group_transfer_time
+from repro.costmodel.memory import MemoryModel
+
+
+class PlacementError(Exception):
+    """Raised when no feasible placement exists."""
+
+
+@dataclass
+class _DeviceState:
+    """Mutable per-device bookkeeping during placement."""
+
+    memory_bytes: float = 0.0
+    param_keys: set[str] = field(default_factory=set)
+
+
+class LocalityAwarePlacer:
+    """Greedy, wave-by-wave locality- and memory-aware device placement."""
+
+    def __init__(
+        self,
+        cluster: ClusterTopology,
+        memory_model: MemoryModel | None = None,
+        memory_weight: float = 0.15,
+        max_backtracks: int = 32,
+    ) -> None:
+        self.cluster = cluster
+        self.memory_model = memory_model or MemoryModel()
+        self.memory_weight = memory_weight
+        self.max_backtracks = max_backtracks
+
+    # ------------------------------------------------------------- public API
+    def place(self, waves: Sequence[Wave], metagraph: MetaGraph) -> PlacementResult:
+        result = PlacementResult()
+        states = {
+            device.device_id: _DeviceState(
+                memory_bytes=self.memory_model.framework_overhead()
+            )
+            for device in self.cluster.devices
+        }
+        last_devices: dict[int, tuple[int, ...]] = {}
+
+        for wave in waves:
+            free = set(range(self.cluster.num_devices))
+            entries = sorted(
+                wave.entries,
+                key=lambda e: self._communication_priority(e, metagraph, last_devices),
+                reverse=True,
+            )
+            for entry in entries:
+                devices = self._place_entry(
+                    entry, wave, metagraph, free, states, last_devices, result
+                )
+                entry.devices = devices
+                result.assignments[(wave.index, entry.metaop_index)] = devices
+                free -= set(devices)
+                last_devices[entry.metaop_index] = devices
+                self._charge_memory(entry, devices, metagraph, states)
+
+        result.device_memory_bytes = {
+            device_id: state.memory_bytes for device_id, state in states.items()
+        }
+        return result
+
+    # -------------------------------------------------------------- heuristics
+    def _communication_priority(
+        self,
+        entry: WaveEntry,
+        metagraph: MetaGraph,
+        last_devices: dict[int, tuple[int, ...]],
+    ) -> float:
+        metaop = metagraph.metaop(entry.metaop_index)
+        volume = 0.0
+        if entry.metaop_index in last_devices:
+            # Residual slice of the same MetaOp: activations of the previous
+            # slice flow into this one.
+            volume += metaop.representative.activation_bytes
+        for pred in metagraph.predecessors(entry.metaop_index):
+            if pred in last_devices:
+                volume += metagraph.edge_volume(pred, entry.metaop_index)
+        return volume
+
+    def _candidate_blocks(
+        self,
+        entry: WaveEntry,
+        free: set[int],
+        preferred: list[int],
+    ) -> list[tuple[int, ...]]:
+        """Enumerate candidate device groups for an entry, best-first."""
+        n = entry.n_devices
+        candidates: list[tuple[int, ...]] = []
+
+        # Preferred devices may be suggested by several sources (previous slice
+        # of the same MetaOp, several predecessors); keep first occurrences.
+        preferred = list(dict.fromkeys(preferred))
+        preferred_free = [d for d in preferred if d in free]
+        if len(preferred_free) >= n:
+            candidates.append(tuple(preferred_free[:n]))
+
+        preferred_islands = {self.cluster.island_of(d) for d in preferred}
+        islands = sorted(
+            range(self.cluster.num_nodes),
+            key=lambda i: (i not in preferred_islands, i),
+        )
+        for island in islands:
+            island_free = [d for d in self.cluster.island_devices(island) if d in free]
+            if len(island_free) >= n:
+                candidates.append(tuple(island_free[:n]))
+        spill = sorted(free)
+        if len(spill) >= n:
+            # Prefer spilling devices from preferred islands first.
+            spill.sort(key=lambda d: (self.cluster.island_of(d) not in preferred_islands, d))
+            candidates.append(tuple(spill[:n]))
+        # Deduplicate while preserving order.
+        unique: list[tuple[int, ...]] = []
+        seen = set()
+        for cand in candidates:
+            if cand not in seen:
+                unique.append(cand)
+                seen.add(cand)
+        return unique
+
+    def _place_entry(
+        self,
+        entry: WaveEntry,
+        wave: Wave,
+        metagraph: MetaGraph,
+        free: set[int],
+        states: dict[int, _DeviceState],
+        last_devices: dict[int, tuple[int, ...]],
+        result: PlacementResult,
+    ) -> tuple[int, ...]:
+        if len(free) < entry.n_devices:
+            raise PlacementError(
+                f"Wave {wave.index}: MetaOp {entry.metaop_index} needs "
+                f"{entry.n_devices} devices but only {len(free)} are free"
+            )
+        metaop = metagraph.metaop(entry.metaop_index)
+        preferred: list[int] = list(last_devices.get(entry.metaop_index, ()))
+        for pred in metagraph.predecessors(entry.metaop_index):
+            preferred.extend(last_devices.get(pred, ()))
+
+        candidates = self._candidate_blocks(entry, free, preferred)
+        if not candidates:
+            raise PlacementError(
+                f"No candidate device block of size {entry.n_devices} for MetaOp "
+                f"{entry.metaop_index} in wave {wave.index}"
+            )
+
+        scored: list[tuple[float, bool, tuple[int, ...]]] = []
+        per_device_bytes = self._entry_device_bytes(entry, metaop)
+        capacity = self.cluster.device_spec.memory_bytes
+        for devices in candidates:
+            comm = self._transfer_cost(entry, metaop, metagraph, devices, last_devices)
+            peak = max(states[d].memory_bytes + per_device_bytes for d in devices)
+            fits = peak <= capacity
+            score = comm + self.memory_weight * (peak / capacity) * max(comm, 1e-6)
+            scored.append((score, fits, devices))
+
+        feasible = [item for item in scored if item[1]]
+        if feasible:
+            feasible.sort(key=lambda item: item[0])
+            return feasible[0][2]
+
+        # All candidates would exceed memory: record the OOM, pick the one with
+        # the lowest projected peak (best memory balance, §3.5 backtracking).
+        result.oom_events.append((wave.index, entry.metaop_index))
+        result.backtracks += 1
+        if result.backtracks > self.max_backtracks:
+            raise PlacementError(
+                "Exceeded backtracking budget while balancing device memory"
+            )
+        best = min(
+            scored,
+            key=lambda item: max(
+                states[d].memory_bytes + per_device_bytes for d in item[2]
+            ),
+        )
+        return best[2]
+
+    def _transfer_cost(
+        self,
+        entry: WaveEntry,
+        metaop,
+        metagraph: MetaGraph,
+        devices: tuple[int, ...],
+        last_devices: dict[int, tuple[int, ...]],
+    ) -> float:
+        cost = 0.0
+        prev = last_devices.get(entry.metaop_index)
+        if prev:
+            cost += group_transfer_time(
+                self.cluster, prev, devices, metaop.representative.activation_bytes
+            )
+        for pred in metagraph.predecessors(entry.metaop_index):
+            pred_devices = last_devices.get(pred)
+            if pred_devices:
+                cost += group_transfer_time(
+                    self.cluster,
+                    pred_devices,
+                    devices,
+                    metagraph.edge_volume(pred, entry.metaop_index),
+                )
+        return cost
+
+    def _entry_device_bytes(self, entry: WaveEntry, metaop) -> float:
+        op = metaop.representative
+        per_layer = self.memory_model.operator_device_bytes(op, entry.n_devices)
+        return per_layer * entry.layers
+
+    def _charge_memory(
+        self,
+        entry: WaveEntry,
+        devices: tuple[int, ...],
+        metagraph: MetaGraph,
+        states: dict[int, _DeviceState],
+    ) -> None:
+        metaop = metagraph.metaop(entry.metaop_index)
+        op = metaop.representative
+        param_bytes = self.memory_model.parameter_state_bytes(op, entry.n_devices)
+        act_bytes = self.memory_model.activation_bytes(op, entry.n_devices)
+        key = op.param_key
+        for device in devices:
+            state = states[device]
+            # Parameters shared across tasks (same param_key) are stored once
+            # per device; activations accumulate for every executed layer.
+            if key is None or key not in state.param_keys:
+                state.memory_bytes += param_bytes * entry.layers
+                if key is not None:
+                    state.param_keys.add(key)
+            state.memory_bytes += act_bytes * entry.layers
+
+
+class SequentialPlacer:
+    """Naive placement baseline for the Fig. 10 ablation.
+
+    Assigns each wave entry a block of consecutive device ids starting from
+    device 0 in MetaOp-index order, ignoring where previous waves placed the
+    same MetaOp and ignoring island boundaries.
+    """
+
+    def __init__(
+        self, cluster: ClusterTopology, memory_model: MemoryModel | None = None
+    ) -> None:
+        self.cluster = cluster
+        self.memory_model = memory_model or MemoryModel()
+
+    def place(self, waves: Sequence[Wave], metagraph: MetaGraph) -> PlacementResult:
+        result = PlacementResult()
+        memory = {
+            device.device_id: self.memory_model.framework_overhead()
+            for device in self.cluster.devices
+        }
+        for wave in waves:
+            cursor = 0
+            for entry in sorted(wave.entries, key=lambda e: e.metaop_index):
+                devices = tuple(range(cursor, cursor + entry.n_devices))
+                if cursor + entry.n_devices > self.cluster.num_devices:
+                    raise PlacementError(
+                        f"Wave {wave.index} does not fit on the cluster"
+                    )
+                cursor += entry.n_devices
+                entry.devices = devices
+                result.assignments[(wave.index, entry.metaop_index)] = devices
+                op = metagraph.metaop(entry.metaop_index).representative
+                per_device = (
+                    self.memory_model.operator_device_bytes(op, entry.n_devices)
+                    * entry.layers
+                )
+                for device in devices:
+                    memory[device] += per_device
+        result.device_memory_bytes = memory
+        return result

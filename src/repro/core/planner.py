@@ -1,0 +1,132 @@
+"""End-to-end execution planner tying the pipeline of Fig. 2 together.
+
+``ExecutionPlanner.plan`` takes the user-defined tasks (or an already-merged
+computation graph) and the target cluster, and runs
+
+    graph contraction (§3.1) → scalability estimation (§3.2)
+    → per-MetaLevel resource allocation (§3.3) → wavefront scheduling (§3.4)
+    → device placement (§3.5)
+
+producing an :class:`~repro.core.plan.ExecutionPlan` that the runtime engine
+(§3.6) instantiates and executes.  Planning-stage wall-clock timings are
+recorded in the plan's :class:`~repro.core.plan.PlanningReport` (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence, Union
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.allocator import ResourceAllocator, ValidAllocationFn
+from repro.core.contraction import contract_graph
+from repro.core.estimator import ScalabilityEstimator
+from repro.core.placement import LocalityAwarePlacer, SequentialPlacer
+from repro.core.plan import ExecutionPlan, PlanningReport
+from repro.core.scheduler import WavefrontScheduler
+from repro.costmodel.memory import MemoryModel
+from repro.costmodel.profiler import SyntheticProfiler
+from repro.costmodel.timing import ExecutionTimeModel, TimingModelConfig
+from repro.graph.builder import build_unified_graph
+from repro.graph.graph import ComputationGraph
+from repro.graph.task import SpindleTask
+
+PlannerInput = Union[ComputationGraph, Sequence[SpindleTask]]
+
+
+class ExecutionPlanner:
+    """The Spindle execution planner (Fig. 2, left half)."""
+
+    def __init__(
+        self,
+        cluster: ClusterTopology,
+        timing_config: TimingModelConfig | None = None,
+        profiler: SyntheticProfiler | None = None,
+        memory_model: MemoryModel | None = None,
+        valid_allocation_fn: ValidAllocationFn | None = None,
+        placement_strategy: str = "locality",
+        profile_noise_std: float = 0.0,
+    ) -> None:
+        if placement_strategy not in ("locality", "sequential"):
+            raise ValueError(
+                f"Unknown placement strategy {placement_strategy!r}; "
+                "expected 'locality' or 'sequential'"
+            )
+        self.cluster = cluster
+        self.timing_model = ExecutionTimeModel(cluster, timing_config)
+        self.profiler = profiler or SyntheticProfiler(
+            cluster, self.timing_model, noise_std=profile_noise_std
+        )
+        self.memory_model = memory_model or MemoryModel()
+        self.estimator = ScalabilityEstimator(self.profiler)
+        self.allocator = ResourceAllocator(
+            cluster.num_devices, valid_allocation_fn=valid_allocation_fn
+        )
+        self.scheduler = WavefrontScheduler(
+            cluster.num_devices,
+            valid_allocation_fn=valid_allocation_fn
+            or self.allocator.valid_allocation_fn,
+        )
+        if placement_strategy == "locality":
+            self.placer = LocalityAwarePlacer(cluster, self.memory_model)
+        else:
+            self.placer = SequentialPlacer(cluster, self.memory_model)
+        self.placement_strategy = placement_strategy
+
+    # ------------------------------------------------------------- public API
+    def plan(self, workload: PlannerInput) -> ExecutionPlan:
+        """Produce the full Spindle execution plan for ``workload``."""
+        report = PlanningReport()
+
+        graph = self._resolve_graph(workload)
+
+        start = time.perf_counter()
+        metagraph = contract_graph(graph)
+        report.stage_seconds["graph_contraction"] = time.perf_counter() - start
+        report.num_metaops = metagraph.num_metaops
+        report.num_levels = metagraph.num_levels
+
+        start = time.perf_counter()
+        curves = self.estimator.estimate(metagraph)
+        report.stage_seconds["scalability_estimation"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        level_allocations = self.allocator.allocate(metagraph, curves)
+        report.stage_seconds["resource_allocation"] = time.perf_counter() - start
+        report.level_c_star = {
+            level: alloc.c_star for level, alloc in level_allocations.items()
+        }
+
+        start = time.perf_counter()
+        metaops_by_level = {
+            level: metagraph.metaops_at_level(level)
+            for level in level_allocations
+        }
+        schedule = self.scheduler.schedule(level_allocations, metaops_by_level, curves)
+        report.stage_seconds["wavefront_scheduling"] = time.perf_counter() - start
+        report.num_waves = schedule.num_waves
+
+        start = time.perf_counter()
+        placement = self.placer.place(schedule.waves, metagraph)
+        report.stage_seconds["device_placement"] = time.perf_counter() - start
+
+        plan = ExecutionPlan(
+            metagraph=metagraph,
+            cluster=self.cluster,
+            schedule=schedule,
+            placement=placement,
+            curves=curves,
+            level_allocations=level_allocations,
+            report=report,
+        )
+        plan.validate()
+        return plan
+
+    # -------------------------------------------------------------- internals
+    def _resolve_graph(self, workload: PlannerInput) -> ComputationGraph:
+        if isinstance(workload, ComputationGraph):
+            return workload
+        tasks = list(workload)
+        if not tasks:
+            raise ValueError("Planner needs at least one task")
+        return build_unified_graph(tasks)

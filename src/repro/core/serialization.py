@@ -1,0 +1,155 @@
+"""Serialization of execution plans to plain dictionaries / JSON.
+
+A real deployment wants to generate the execution plan once (the planner is the
+expensive, profiled step) and ship it to the training job; this module provides
+a stable, framework-agnostic representation of a plan — the wavefront schedule,
+the device placement and the per-level allocation summary — that can be saved
+to JSON and reloaded for inspection or comparison.
+
+The serialized form intentionally describes the *plan* rather than the model:
+MetaOps are referenced by index, name, task and operator count, which is what
+an external runtime needs in order to map plan entries back onto its own module
+objects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.plan import ExecutionPlan
+
+#: Version tag of the serialization format.
+PLAN_FORMAT_VERSION = 1
+
+
+class SerializationError(Exception):
+    """Raised when a plan document is malformed or from an unknown version."""
+
+
+def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
+    """Convert an execution plan into a JSON-serializable dictionary."""
+    metaops = [
+        {
+            "index": metaop.index,
+            "name": metaop.name,
+            "task": metaop.task,
+            "op_type": metaop.op_type,
+            "level": metaop.level,
+            "num_operators": metaop.num_operators,
+            "input_shape": list(metaop.input_spec.as_tuple()),
+        }
+        for metaop in plan.metagraph.metaops.values()
+    ]
+    waves = [
+        {
+            "index": wave.index,
+            "level": wave.level,
+            "start": wave.start,
+            "duration": wave.duration,
+            "entries": [
+                {
+                    "metaop": entry.metaop_index,
+                    "n_devices": entry.n_devices,
+                    "layers": entry.layers,
+                    "operator_offset": entry.operator_offset,
+                    "devices": list(
+                        plan.placement.devices_for(wave.index, entry.metaop_index)
+                    ),
+                }
+                for entry in wave.entries
+            ],
+        }
+        for wave in plan.waves
+    ]
+    allocations = {
+        str(level): {
+            "c_star": allocation.c_star,
+            "continuous": {str(k): v for k, v in allocation.continuous.items()},
+            "tuples": {
+                str(k): [[t.n_devices, t.layers] for t in tuples]
+                for k, tuples in allocation.plan.items()
+            },
+        }
+        for level, allocation in plan.level_allocations.items()
+    }
+    return {
+        "format_version": PLAN_FORMAT_VERSION,
+        "cluster": {
+            "num_nodes": plan.cluster.num_nodes,
+            "devices_per_node": plan.cluster.devices_per_node,
+            "device": plan.cluster.device_spec.name,
+        },
+        "metaops": metaops,
+        "waves": waves,
+        "level_allocations": allocations,
+        "makespan": plan.schedule.makespan,
+        "theoretical_optimum": plan.theoretical_optimum,
+        "planning_report": {
+            "stage_seconds": dict(plan.report.stage_seconds),
+            "num_waves": plan.report.num_waves,
+            "num_metaops": plan.report.num_metaops,
+            "num_levels": plan.report.num_levels,
+        },
+    }
+
+
+def plan_to_json(plan: ExecutionPlan, indent: int = 2) -> str:
+    """Serialize an execution plan to a JSON string."""
+    return json.dumps(plan_to_dict(plan), indent=indent)
+
+
+def save_plan(plan: ExecutionPlan, path: str | Path) -> Path:
+    """Write the plan document to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(plan_to_json(plan), encoding="utf-8")
+    return path
+
+
+def load_plan_document(path: str | Path) -> dict[str, Any]:
+    """Load and validate a serialized plan document.
+
+    Returns the raw dictionary; reconstruction into live planner objects is not
+    needed by any consumer in this repository (the document is self-contained),
+    but the structure is validated so downstream tools can rely on it.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"Invalid plan JSON in {path}: {exc}") from exc
+    validate_plan_document(document)
+    return document
+
+
+def validate_plan_document(document: dict[str, Any]) -> None:
+    """Raise :class:`SerializationError` if the document is malformed."""
+    if document.get("format_version") != PLAN_FORMAT_VERSION:
+        raise SerializationError(
+            f"Unsupported plan format version {document.get('format_version')!r}"
+        )
+    for key in ("cluster", "metaops", "waves", "level_allocations", "makespan"):
+        if key not in document:
+            raise SerializationError(f"Plan document is missing the {key!r} field")
+    metaop_indices = {m["index"] for m in document["metaops"]}
+    num_devices = (
+        document["cluster"]["num_nodes"] * document["cluster"]["devices_per_node"]
+    )
+    for wave in document["waves"]:
+        used = 0
+        for entry in wave["entries"]:
+            if entry["metaop"] not in metaop_indices:
+                raise SerializationError(
+                    f"Wave {wave['index']} references unknown MetaOp {entry['metaop']}"
+                )
+            if len(entry["devices"]) != entry["n_devices"]:
+                raise SerializationError(
+                    f"Wave {wave['index']} MetaOp {entry['metaop']}: device list does "
+                    f"not match n_devices"
+                )
+            used += entry["n_devices"]
+        if used > num_devices:
+            raise SerializationError(
+                f"Wave {wave['index']} uses {used} devices, cluster has {num_devices}"
+            )

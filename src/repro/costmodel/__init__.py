@@ -1,0 +1,72 @@
+"""Analytic cost models: FLOPs, execution time, communication and memory."""
+
+from repro.costmodel.comm import (
+    LinkClass,
+    all_gather_time,
+    classify_link,
+    group_allreduce_time,
+    group_transfer_time,
+    link_spec,
+    p2p_time,
+    reduce_scatter_time,
+    ring_allreduce_time,
+)
+from repro.costmodel.flops import (
+    LayerConfig,
+    contrastive_loss_flops,
+    embedding_flops,
+    embedding_params,
+    make_contrastive_loss_op,
+    make_projection_op,
+    make_transformer_layer_op,
+    projection_flops,
+    projection_params,
+    transformer_layer_activation_bytes,
+    transformer_layer_flops,
+    transformer_layer_params,
+)
+from repro.costmodel.memory import MemoryModel, MemoryModelConfig
+from repro.costmodel.profiler import (
+    ProfileSample,
+    SyntheticProfiler,
+    default_profile_points,
+)
+from repro.costmodel.timing import (
+    ExecutionTimeModel,
+    ParallelSplit,
+    TimingModelConfig,
+    split_allocation,
+)
+
+__all__ = [
+    "ExecutionTimeModel",
+    "LayerConfig",
+    "LinkClass",
+    "MemoryModel",
+    "MemoryModelConfig",
+    "ParallelSplit",
+    "ProfileSample",
+    "SyntheticProfiler",
+    "TimingModelConfig",
+    "all_gather_time",
+    "classify_link",
+    "contrastive_loss_flops",
+    "default_profile_points",
+    "embedding_flops",
+    "embedding_params",
+    "group_allreduce_time",
+    "group_transfer_time",
+    "link_spec",
+    "make_contrastive_loss_op",
+    "make_projection_op",
+    "make_transformer_layer_op",
+    "p2p_time",
+    "projection_flops",
+    "projection_params",
+    "reduce_scatter_time",
+    "ring_allreduce_time",
+    "split_allocation",
+    "transformer_layer_activation_bytes",
+    "transformer_layer_flops",
+    "transformer_layer_params",
+]

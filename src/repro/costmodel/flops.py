@@ -1,0 +1,161 @@
+"""Analytic FLOP, parameter and activation accounting for transformer operators.
+
+These formulas provide the "ground truth" workload numbers used by the
+synthetic profiler and the runtime simulator.  They follow the standard dense
+transformer accounting (attention + MLP) used by Megatron-LM and by automatic
+parallelisation planners such as Alpa/Galvatron, which is accurate enough to
+reproduce the *relative* workload heterogeneity that Spindle exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.ops import FP16_BYTES, Operator, TensorSpec
+
+
+@dataclass(frozen=True)
+class LayerConfig:
+    """Configuration of a transformer layer used to derive workload numbers."""
+
+    hidden_size: int
+    ffn_mult: float = 4.0
+    num_heads: int = 16
+
+    def __post_init__(self) -> None:
+        if self.hidden_size <= 0:
+            raise ValueError("hidden_size must be positive")
+        if self.ffn_mult <= 0:
+            raise ValueError("ffn_mult must be positive")
+        if self.num_heads <= 0:
+            raise ValueError("num_heads must be positive")
+
+
+def transformer_layer_params(config: LayerConfig) -> float:
+    """Parameter count of one transformer layer (attention + MLP + norms)."""
+    h = config.hidden_size
+    attention = 4 * h * h + 4 * h
+    mlp = 2 * config.ffn_mult * h * h + (config.ffn_mult + 1) * h
+    norms = 4 * h
+    return attention + mlp + norms
+
+
+def transformer_layer_flops(spec: TensorSpec, config: LayerConfig) -> float:
+    """Forward FLOPs of one transformer layer over the full global batch.
+
+    Uses the 2*MACs convention: a (m, k) x (k, n) matmul costs ``2*m*k*n``.
+    """
+    b, s, h = spec.batch, spec.seq_len, spec.hidden
+    if h != config.hidden_size:
+        raise ValueError(
+            f"TensorSpec hidden {h} does not match LayerConfig hidden "
+            f"{config.hidden_size}"
+        )
+    tokens = b * s
+    qkv_proj = 2 * tokens * h * (3 * h)
+    attn_scores = 2 * b * s * s * h
+    attn_values = 2 * b * s * s * h
+    out_proj = 2 * tokens * h * h
+    mlp = 2 * 2 * tokens * h * (config.ffn_mult * h)
+    return float(qkv_proj + attn_scores + attn_values + out_proj + mlp)
+
+
+def transformer_layer_activation_bytes(spec: TensorSpec) -> float:
+    """Bytes of the layer's output activation (what flows to the next layer)."""
+    return float(spec.bytes)
+
+
+def embedding_params(vocab_size: int, hidden_size: int) -> float:
+    return float(vocab_size * hidden_size)
+
+
+def embedding_flops(spec: TensorSpec, vocab_size: int) -> float:
+    """Forward FLOPs of an embedding lookup plus output projection tie."""
+    return float(2 * spec.batch * spec.seq_len * spec.hidden)
+
+
+def projection_flops(spec: TensorSpec, out_dim: int) -> float:
+    """Forward FLOPs of a dense projection from ``hidden`` to ``out_dim``."""
+    return float(2 * spec.batch * spec.seq_len * spec.hidden * out_dim)
+
+
+def projection_params(in_dim: int, out_dim: int) -> float:
+    return float(in_dim * out_dim + out_dim)
+
+
+def contrastive_loss_flops(batch: int, embed_dim: int) -> float:
+    """Forward FLOPs of a CLIP-style contrastive loss over paired embeddings."""
+    similarity = 2 * batch * batch * embed_dim
+    softmax = 10 * batch * batch
+    return float(similarity + softmax)
+
+
+def make_transformer_layer_op(
+    name: str,
+    op_type: str,
+    task: str,
+    modality: str,
+    spec: TensorSpec,
+    config: LayerConfig,
+    param_key: str | None,
+) -> Operator:
+    """Build a transformer-layer :class:`Operator` with analytic workloads."""
+    return Operator(
+        name=name,
+        op_type=op_type,
+        task=task,
+        modality=modality,
+        input_spec=spec,
+        flops=transformer_layer_flops(spec, config),
+        param_bytes=transformer_layer_params(config) * FP16_BYTES,
+        activation_bytes=transformer_layer_activation_bytes(spec),
+        param_key=param_key,
+        metadata={"hidden_size": config.hidden_size, "ffn_mult": config.ffn_mult},
+    )
+
+
+def make_projection_op(
+    name: str,
+    op_type: str,
+    task: str,
+    modality: str,
+    spec: TensorSpec,
+    out_dim: int,
+    param_key: str | None,
+) -> Operator:
+    """Build a projection/adapter :class:`Operator` (e.g. modality adaptor)."""
+    out_spec = TensorSpec(batch=spec.batch, seq_len=spec.seq_len, hidden=out_dim)
+    return Operator(
+        name=name,
+        op_type=op_type,
+        task=task,
+        modality=modality,
+        input_spec=spec,
+        flops=projection_flops(spec, out_dim),
+        param_bytes=projection_params(spec.hidden, out_dim) * FP16_BYTES,
+        activation_bytes=float(out_spec.bytes),
+        param_key=param_key,
+        metadata={"out_dim": out_dim},
+    )
+
+
+def make_contrastive_loss_op(
+    name: str,
+    task: str,
+    batch: int,
+    embed_dim: int,
+) -> Operator:
+    """Build the lightweight contrastive-loss operator of CLIP-style tasks."""
+    spec = TensorSpec(batch=batch, seq_len=1, hidden=embed_dim)
+    return Operator(
+        name=name,
+        op_type="contrastive_loss",
+        task=task,
+        modality="fusion",
+        input_spec=spec,
+        flops=contrastive_loss_flops(batch, embed_dim),
+        param_bytes=0.0,
+        activation_bytes=float(spec.bytes),
+        param_key=None,
+        metadata={"embed_dim": embed_dim},
+    )

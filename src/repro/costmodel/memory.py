@@ -1,0 +1,76 @@
+"""Per-device memory estimation for operators and execution plans.
+
+Used by the device placement pass (§3.5, "Device Memory Balance") and by the
+memory-consumption experiment (Appendix G).  The accounting follows standard
+mixed-precision Adam training:
+
+* parameter + gradient + optimizer state: 16 bytes per parameter
+  (fp16 weight, fp16 gradient, fp32 master weight, fp32 Adam moments),
+* activations retained for the backward pass, proportional to the operator's
+  activation footprint and divided across the devices that execute it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.timing import split_allocation
+from repro.graph.ops import FP16_BYTES, Operator
+
+#: Bytes of state per parameter for mixed-precision Adam training.
+ADAM_STATE_BYTES_PER_PARAM = 16.0
+
+#: Multiple of the layer-output size retained as intermediate activations.
+ACTIVATION_RETENTION_MULTIPLIER = 4.0
+
+
+@dataclass(frozen=True)
+class MemoryModelConfig:
+    """Tunable constants of the memory model."""
+
+    state_bytes_per_param: float = ADAM_STATE_BYTES_PER_PARAM
+    activation_multiplier: float = ACTIVATION_RETENTION_MULTIPLIER
+    #: Fixed framework/workspace overhead reserved on every device (bytes).
+    framework_overhead_bytes: float = 1.5 * 1024**3
+    #: ZeRO-style optimizer state sharding factor (1.0 = fully replicated).
+    optimizer_shard_over_dp: bool = True
+
+
+class MemoryModel:
+    """Estimates per-device memory consumption of operators and plans."""
+
+    def __init__(self, config: MemoryModelConfig | None = None) -> None:
+        self.config = config or MemoryModelConfig()
+
+    def parameter_state_bytes(self, op: Operator, n_devices: int = 1) -> float:
+        """Bytes of parameter + optimizer state held per device for ``op``."""
+        if op.param_bytes == 0:
+            return 0.0
+        split = split_allocation(op.batch_size, max(1, n_devices))
+        params = op.param_count
+        state = params * self.config.state_bytes_per_param
+        state /= split.tensor_parallel
+        if self.config.optimizer_shard_over_dp and split.data_parallel > 1:
+            # fp32 master weight + Adam moments (12 of the 16 bytes) shard
+            # across data-parallel ranks, as in ZeRO stage 1/2.
+            sharded = params * 12.0 / split.tensor_parallel
+            state -= sharded * (1.0 - 1.0 / split.data_parallel)
+        return state
+
+    def activation_bytes(self, op: Operator, n_devices: int = 1) -> float:
+        """Bytes of activations retained per device for the backward pass."""
+        per_device = op.activation_bytes / max(1, n_devices)
+        return per_device * self.config.activation_multiplier
+
+    def operator_device_bytes(self, op: Operator, n_devices: int = 1) -> float:
+        """Total per-device footprint of executing ``op`` with ``n`` devices."""
+        return self.parameter_state_bytes(op, n_devices) + self.activation_bytes(
+            op, n_devices
+        )
+
+    def framework_overhead(self) -> float:
+        return self.config.framework_overhead_bytes
+
+    @staticmethod
+    def param_count(param_bytes: float) -> float:
+        return param_bytes / FP16_BYTES

@@ -1,0 +1,112 @@
+"""Synthetic profiler producing the sample points behind scaling curves.
+
+On a real deployment, Spindle profiles each MetaOp for a handful of device
+allocations and parallel configurations ("several discrete data points
+``(n_i, T_m(n_i))``", §3.2) and the scalability estimator fits a piecewise
+alpha-beta curve through them.  Without GPUs we substitute the measurement step
+with the analytic :class:`~repro.costmodel.timing.ExecutionTimeModel`,
+optionally perturbed by multiplicative measurement noise, which preserves the
+property the estimator must handle: heterogeneous, non-linear scaling across
+MetaOps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.costmodel.timing import ExecutionTimeModel
+from repro.graph.ops import Operator
+
+
+def default_profile_points(max_devices: int) -> list[int]:
+    """Power-of-two allocation sizes up to ``max_devices`` (1, 2, 4, ...)."""
+    if max_devices <= 0:
+        raise ValueError("max_devices must be positive")
+    points = []
+    n = 1
+    while n <= max_devices:
+        points.append(n)
+        n *= 2
+    if points[-1] != max_devices:
+        points.append(max_devices)
+    return points
+
+
+@dataclass(frozen=True)
+class ProfileSample:
+    """A single profiled measurement: allocation size and execution time."""
+
+    n_devices: int
+    time_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ValueError("n_devices must be positive")
+        if self.time_seconds <= 0:
+            raise ValueError("time_seconds must be positive")
+
+
+class SyntheticProfiler:
+    """Profiles operators on the simulated cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster whose performance characteristics are profiled.
+    timing_model:
+        Ground-truth execution time model; a default one is constructed when
+        omitted.
+    noise_std:
+        Relative standard deviation of multiplicative log-normal measurement
+        noise.  Zero (the default) yields exact measurements.
+    seed:
+        Seed of the noise generator, so profiles are reproducible.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterTopology,
+        timing_model: ExecutionTimeModel | None = None,
+        noise_std: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        self.cluster = cluster
+        self.timing_model = timing_model or ExecutionTimeModel(cluster)
+        self.noise_std = noise_std
+        self._rng = np.random.default_rng(seed)
+
+    def profile_operator(
+        self,
+        op: Operator,
+        points: Sequence[int] | None = None,
+        include_backward: bool = True,
+    ) -> list[ProfileSample]:
+        """Measure ``op`` at each candidate allocation size."""
+        if points is None:
+            points = default_profile_points(self.cluster.num_devices)
+        samples: list[ProfileSample] = []
+        for n in points:
+            if n <= 0 or n > self.cluster.num_devices:
+                raise ValueError(
+                    f"Profile point {n} outside cluster size "
+                    f"{self.cluster.num_devices}"
+                )
+            time = self.timing_model.operator_time(
+                op, n, include_backward=include_backward
+            )
+            if self.noise_std > 0:
+                time *= float(
+                    np.exp(self._rng.normal(0.0, self.noise_std))
+                )
+            samples.append(ProfileSample(n_devices=n, time_seconds=time))
+        return samples
+
+    def profile_points(self) -> list[int]:
+        """Default allocation sizes profiled for this cluster."""
+        return default_profile_points(self.cluster.num_devices)

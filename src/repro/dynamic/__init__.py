@@ -1,0 +1,19 @@
+"""Dynamic multi-task workloads (task arrival/exit) and their runner."""
+
+from repro.dynamic.workload import (
+    DynamicRunResult,
+    DynamicWorkloadError,
+    DynamicWorkloadRunner,
+    DynamicWorkloadSchedule,
+    PhaseResult,
+    WorkloadPhase,
+)
+
+__all__ = [
+    "DynamicRunResult",
+    "DynamicWorkloadError",
+    "DynamicWorkloadRunner",
+    "DynamicWorkloadSchedule",
+    "PhaseResult",
+    "WorkloadPhase",
+]

@@ -1,0 +1,138 @@
+"""Dynamic multi-task workloads: task arrival and departure (Appendix D).
+
+MT MM training workloads change over time — tasks with little data exit early,
+new tasks join partway through training.  Appendix D simulates this by
+altering the training task set at fixed points; each system re-plans (Spindle
+regenerates its execution plan, paying the planner cost) and continues
+training.  The runner below reproduces that methodology and yields the
+cumulative training-time curves of Fig. 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.baselines.base import TrainingSystem
+from repro.graph.task import SpindleTask
+
+
+class DynamicWorkloadError(Exception):
+    """Raised for malformed dynamic workload schedules."""
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """A contiguous stretch of training with a fixed task set."""
+
+    name: str
+    task_names: tuple[str, ...]
+    num_iterations: int
+
+    def __post_init__(self) -> None:
+        if not self.task_names:
+            raise DynamicWorkloadError(f"Phase {self.name!r} has no tasks")
+        if self.num_iterations <= 0:
+            raise DynamicWorkloadError(
+                f"Phase {self.name!r} must run at least one iteration"
+            )
+
+
+@dataclass
+class DynamicWorkloadSchedule:
+    """A task pool and the sequence of phases drawn from it."""
+
+    task_pool: dict[str, SpindleTask]
+    phases: list[WorkloadPhase] = field(default_factory=list)
+
+    @classmethod
+    def from_tasks(
+        cls, tasks: Sequence[SpindleTask], phases: Sequence[tuple[Sequence[str], int]]
+    ) -> "DynamicWorkloadSchedule":
+        """Build a schedule from ``(task_names, num_iterations)`` pairs."""
+        pool = {task.name: task for task in tasks}
+        schedule = cls(task_pool=pool)
+        for index, (names, iterations) in enumerate(phases):
+            schedule.add_phase(f"phase{index}", names, iterations)
+        return schedule
+
+    def add_phase(
+        self, name: str, task_names: Sequence[str], num_iterations: int
+    ) -> WorkloadPhase:
+        unknown = [n for n in task_names if n not in self.task_pool]
+        if unknown:
+            raise DynamicWorkloadError(f"Unknown tasks in phase {name!r}: {unknown}")
+        phase = WorkloadPhase(
+            name=name, task_names=tuple(task_names), num_iterations=num_iterations
+        )
+        self.phases.append(phase)
+        return phase
+
+    def tasks_for(self, phase: WorkloadPhase) -> list[SpindleTask]:
+        return [self.task_pool[name] for name in phase.task_names]
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(p.num_iterations for p in self.phases)
+
+
+@dataclass
+class PhaseResult:
+    """Outcome of one phase for one system."""
+
+    phase: WorkloadPhase
+    iteration_time: float
+    replanning_seconds: float
+
+    @property
+    def phase_time(self) -> float:
+        return self.replanning_seconds + self.iteration_time * self.phase.num_iterations
+
+
+@dataclass
+class DynamicRunResult:
+    """Total-training-time curve of one system on a dynamic workload."""
+
+    system_name: str
+    phase_results: list[PhaseResult] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return sum(p.phase_time for p in self.phase_results)
+
+    def cumulative_curve(self) -> list[tuple[int, float]]:
+        """``(cumulative_iterations, cumulative_time)`` points, one per phase."""
+        curve = []
+        iterations = 0
+        elapsed = 0.0
+        for result in self.phase_results:
+            iterations += result.phase.num_iterations
+            elapsed += result.phase_time
+            curve.append((iterations, elapsed))
+        return curve
+
+
+class DynamicWorkloadRunner:
+    """Runs a system through a dynamic workload schedule, re-planning per phase."""
+
+    def __init__(self, schedule: DynamicWorkloadSchedule) -> None:
+        if not schedule.phases:
+            raise DynamicWorkloadError("Schedule has no phases")
+        self.schedule = schedule
+
+    def run(self, system: TrainingSystem) -> DynamicRunResult:
+        result = DynamicRunResult(system_name=system.name)
+        for phase in self.schedule.phases:
+            tasks = self.schedule.tasks_for(phase)
+            iteration = system.run_iteration(tasks)
+            result.phase_results.append(
+                PhaseResult(
+                    phase=phase,
+                    iteration_time=iteration.iteration_time,
+                    replanning_seconds=system.last_planning_seconds,
+                )
+            )
+        return result
+
+    def run_all(self, systems: Sequence[TrainingSystem]) -> dict[str, DynamicRunResult]:
+        return {system.name: self.run(system) for system in systems}

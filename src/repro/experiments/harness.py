@@ -1,0 +1,89 @@
+"""Experiment harness: run several systems on one workload and compare them.
+
+The paper reports every end-to-end number as a speedup over DeepSpeed (Fig. 8,
+Tab. 2); :class:`ComparisonResult` reproduces that convention while keeping the
+raw iteration results around for the breakdown / utilization / memory figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.baselines import SYSTEM_CLASSES, TrainingSystem, make_system
+from repro.experiments.workloads import WorkloadSpec
+from repro.runtime.results import IterationResult
+
+#: Systems of the main end-to-end comparison, in the plotting order of Fig. 8.
+DEFAULT_SYSTEMS = (
+    "spindle",
+    "spindle-optimus",
+    "distmm-mt",
+    "megatron-lm",
+    "deepspeed",
+)
+
+#: Reference system of all speedup ratios in the paper.
+REFERENCE_SYSTEM = "deepspeed"
+
+
+@dataclass
+class ComparisonResult:
+    """Results of all systems on one workload, plus speedups vs the reference."""
+
+    workload: WorkloadSpec
+    results: dict[str, IterationResult] = field(default_factory=dict)
+    reference: str = REFERENCE_SYSTEM
+
+    def iteration_time(self, system: str) -> float:
+        return self.results[system].iteration_time
+
+    def speedup(self, system: str) -> float:
+        """Speedup of ``system`` over the reference (larger than 1 is faster)."""
+        return self.iteration_time(self.reference) / self.iteration_time(system)
+
+    def speedups(self) -> dict[str, float]:
+        return {name: self.speedup(name) for name in self.results}
+
+    @property
+    def best_system(self) -> str:
+        return min(self.results, key=lambda name: self.iteration_time(name))
+
+    def as_rows(self) -> list[tuple[str, float, float]]:
+        """``(system, iteration_time_ms, speedup)`` rows sorted by time."""
+        rows = [
+            (name, result.iteration_time * 1e3, self.speedup(name))
+            for name, result in self.results.items()
+        ]
+        rows.sort(key=lambda row: row[1])
+        return rows
+
+
+def run_comparison(
+    workload: WorkloadSpec,
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    system_kwargs: dict[str, dict] | None = None,
+) -> ComparisonResult:
+    """Run every requested system on the workload and collect the results."""
+    system_kwargs = system_kwargs or {}
+    cluster = workload.cluster()
+    tasks = workload.tasks()
+    comparison = ComparisonResult(workload=workload)
+    for name in systems:
+        if name not in SYSTEM_CLASSES:
+            raise KeyError(f"Unknown system {name!r}")
+        system = make_system(name, cluster, **system_kwargs.get(name, {}))
+        comparison.results[name] = system.run_iteration(tasks)
+    if comparison.reference not in comparison.results:
+        comparison.reference = next(iter(comparison.results))
+    return comparison
+
+
+def run_single_system(
+    workload: WorkloadSpec, system: str, **kwargs
+) -> tuple[TrainingSystem, IterationResult]:
+    """Run one system on one workload; returns the system (with its last plan)."""
+    cluster = workload.cluster()
+    instance = make_system(system, cluster, **kwargs)
+    result = instance.run_iteration(workload.tasks())
+    return instance, result

@@ -1,0 +1,93 @@
+"""Plain-text reporting helpers used by the benchmark harness.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: Directory (relative to the working directory) where benchmark modules drop
+#: their paper-style tables; override with the ``REPRO_REPORT_DIR`` variable.
+DEFAULT_REPORT_DIR = "reports"
+
+
+def format_milliseconds(seconds: float) -> str:
+    return f"{seconds * 1e3:.1f} ms"
+
+
+def format_speedup(speedup: float) -> str:
+    return f"{speedup:.2f}x"
+
+
+def format_gib(num_bytes: float) -> str:
+    return f"{num_bytes / 1024**3:.1f} GiB"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"Row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a GitHub-flavoured markdown table (used to build EXPERIMENTS.md)."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def write_report(name: str, text: str, directory: str | os.PathLike | None = None) -> Path:
+    """Persist a paper-style table/series under the reports directory.
+
+    The benchmark harness both prints every table and writes it here so the
+    regenerated rows survive pytest's output capturing.
+    """
+    base = Path(directory or os.environ.get("REPRO_REPORT_DIR", DEFAULT_REPORT_DIR))
+    base.mkdir(parents=True, exist_ok=True)
+    path = base / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def format_series(
+    points: Sequence[tuple[float, float]],
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 20,
+) -> str:
+    """Render a (sub-sampled) numeric series as rows (used for Fig. 9/13 curves)."""
+    if not points:
+        return f"{x_label}: (empty series)"
+    step = max(1, len(points) // max_points)
+    sampled = list(points)[::step]
+    rows = [(f"{x:.4g}", f"{y:.4g}") for x, y in sampled]
+    return format_table([x_label, y_label], rows)

@@ -1,0 +1,118 @@
+"""Workload registry: the model x task-count x cluster-size grid of §5.
+
+Every experiment in the paper is a combination of an MT MM model, a number of
+tasks and a cluster size.  :class:`WorkloadSpec` captures one such combination
+and knows how to build its tasks and its cluster; the module-level constants
+enumerate the exact grids used by each figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import ClusterTopology, make_cluster
+from repro.graph.task import SpindleTask
+from repro.models.registry import get_model_tasks
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One experimental workload: model, task count and cluster size."""
+
+    model: str
+    num_tasks: int
+    num_gpus: int
+    model_kwargs: dict = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def name(self) -> str:
+        suffix = "".join(f"-{k}{v}" for k, v in sorted(self.model_kwargs.items()))
+        return f"{self.model}-{self.num_tasks}tasks-{self.num_gpus}gpus{suffix}"
+
+    def tasks(self) -> list[SpindleTask]:
+        return get_model_tasks(self.model, self.num_tasks, **self.model_kwargs)
+
+    def cluster(self) -> ClusterTopology:
+        return make_cluster(self.num_gpus)
+
+    def describe(self) -> str:
+        nodes = max(1, self.num_gpus // 8)
+        return (
+            f"{self.model} with {self.num_tasks} tasks on {self.num_gpus} GPUs "
+            f"({nodes} node{'s' if nodes > 1 else ''})"
+        )
+
+
+def clip_workload(num_tasks: int, num_gpus: int) -> WorkloadSpec:
+    return WorkloadSpec(model="multitask-clip", num_tasks=num_tasks, num_gpus=num_gpus)
+
+
+def ofasys_workload(num_tasks: int, num_gpus: int) -> WorkloadSpec:
+    return WorkloadSpec(model="ofasys", num_tasks=num_tasks, num_gpus=num_gpus)
+
+
+def qwen_val_workload(num_gpus: int, size: str = "10b", num_tasks: int = 3) -> WorkloadSpec:
+    return WorkloadSpec(
+        model="qwen-val",
+        num_tasks=num_tasks,
+        num_gpus=num_gpus,
+        model_kwargs={"size": size},
+    )
+
+
+#: Fig. 8 — end-to-end comparison grid.  The paper uses clusters of 8/16/32
+#: GPUs for Multitask-CLIP and OFASys and 32/64 GPUs for QWen-VAL.
+FIG8_CLIP_TASK_COUNTS = (4, 7, 10)
+FIG8_CLIP_CLUSTERS = (8, 16, 32)
+FIG8_OFASYS_TASK_COUNTS = (4, 7)
+FIG8_OFASYS_CLUSTERS = (8, 16, 32)
+FIG8_QWEN_CLUSTERS = (32, 64)
+
+
+def fig8_workloads() -> list[WorkloadSpec]:
+    """The full Fig. 8 grid."""
+    workloads: list[WorkloadSpec] = []
+    for tasks in FIG8_CLIP_TASK_COUNTS:
+        for gpus in FIG8_CLIP_CLUSTERS:
+            workloads.append(clip_workload(tasks, gpus))
+    for tasks in FIG8_OFASYS_TASK_COUNTS:
+        for gpus in FIG8_OFASYS_CLUSTERS:
+            workloads.append(ofasys_workload(tasks, gpus))
+    for gpus in FIG8_QWEN_CLUSTERS:
+        workloads.append(qwen_val_workload(gpus))
+    return workloads
+
+
+#: Fig. 9 / Fig. 15 case-study workload: Multitask-CLIP, 4 tasks, 16 GPUs.
+CASE_STUDY_WORKLOAD = clip_workload(4, 16)
+
+#: Fig. 10 time-breakdown workloads.
+FIG10_WORKLOADS = (
+    clip_workload(10, 8),
+    clip_workload(10, 16),
+    ofasys_workload(7, 8),
+    ofasys_workload(7, 16),
+    qwen_val_workload(32),
+    qwen_val_workload(64),
+)
+
+#: Fig. 11 optimality-analysis workloads.
+FIG11_WORKLOADS = tuple(
+    clip_workload(tasks, gpus) for gpus in (16, 32) for tasks in (4, 7, 10)
+)
+
+#: Fig. 12 planner-cost grid.
+FIG12_WORKLOADS = tuple(
+    [clip_workload(t, g) for t in (4, 7, 10) for g in (8, 16, 32, 64)]
+    + [ofasys_workload(t, g) for t in (4, 7) for g in (8, 16, 32, 64)]
+    + [qwen_val_workload(g) for g in (8, 16, 32, 64)]
+)
+
+#: Fig. 14 single-task multi-modal workloads.
+FIG14_WORKLOADS = tuple(clip_workload(1, gpus) for gpus in (8, 16, 32))
+
+#: Tab. 2 larger-scale simulated workloads (256 GPUs).
+TAB2_WORKLOADS = (
+    qwen_val_workload(256, size="30b"),
+    qwen_val_workload(256, size="70b"),
+)

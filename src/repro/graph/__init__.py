@@ -1,0 +1,27 @@
+"""Operator / computation-graph IR and the user-facing task definition API."""
+
+from repro.graph.builder import MultiTaskGraphBuilder, build_unified_graph
+from repro.graph.graph import ComputationGraph, GraphError
+from repro.graph.ops import (
+    ALL_MODALITIES,
+    FP16_BYTES,
+    DataFlow,
+    Operator,
+    TensorSpec,
+)
+from repro.graph.task import ModuleSpec, SpindleTask, TaskError
+
+__all__ = [
+    "ALL_MODALITIES",
+    "FP16_BYTES",
+    "ComputationGraph",
+    "DataFlow",
+    "GraphError",
+    "ModuleSpec",
+    "MultiTaskGraphBuilder",
+    "Operator",
+    "SpindleTask",
+    "TaskError",
+    "TensorSpec",
+    "build_unified_graph",
+]

@@ -1,0 +1,80 @@
+"""Merging per-task graphs into the unified multi-task computation graph."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.graph.graph import ComputationGraph
+from repro.graph.task import SpindleTask, TaskError
+
+
+class MultiTaskGraphBuilder:
+    """Builds the unified computation graph for a set of :class:`SpindleTask`.
+
+    Each task contributes its own operator chain (operator names are already
+    unique because the model zoo prefixes them with the task name).  Parameter
+    sharing across tasks is expressed through ``Operator.param_key`` and is
+    *not* merged structurally: as in the paper (Fig. 3), every task has its own
+    operator nodes and data flows, while shared components are tied together at
+    parameter-synchronisation time by the runtime engine.
+    """
+
+    def __init__(self, tasks: Iterable[SpindleTask] | None = None) -> None:
+        self._tasks: dict[str, SpindleTask] = {}
+        if tasks is not None:
+            for task in tasks:
+                self.add_task(task)
+
+    def add_task(self, task: SpindleTask) -> None:
+        if task.name in self._tasks:
+            raise TaskError(f"Duplicate task {task.name!r}")
+        self._tasks[task.name] = task
+
+    @property
+    def tasks(self) -> list[SpindleTask]:
+        return list(self._tasks.values())
+
+    @property
+    def task_names(self) -> list[str]:
+        return list(self._tasks)
+
+    def task(self, name: str) -> SpindleTask:
+        try:
+            return self._tasks[name]
+        except KeyError as exc:
+            raise TaskError(f"Unknown task {name!r}") from exc
+
+    def build(self) -> ComputationGraph:
+        """Merge all tasks into a single unified computation graph."""
+        if not self._tasks:
+            raise TaskError("Cannot build a multi-task graph with zero tasks")
+        unified = ComputationGraph()
+        for task in self._tasks.values():
+            task_graph = task.build_graph()
+            for op in task_graph:
+                unified.add_operator(op)
+            for flow in task_graph.flows:
+                unified.add_flow(flow.src, flow.dst, flow.volume_bytes)
+        unified.validate()
+        return unified
+
+    def shared_parameter_keys(self) -> dict[str, list[str]]:
+        """Map parameter keys to the tasks that activate them.
+
+        Keys activated by more than one task require cross-task gradient
+        synchronisation (handled by the parameter device group pool, §3.6).
+        """
+        keys: dict[str, list[str]] = {}
+        for task in self._tasks.values():
+            for op in task.operators:
+                if op.param_key is None:
+                    continue
+                tasks_for_key = keys.setdefault(op.param_key, [])
+                if task.name not in tasks_for_key:
+                    tasks_for_key.append(task.name)
+        return keys
+
+
+def build_unified_graph(tasks: Sequence[SpindleTask]) -> ComputationGraph:
+    """Convenience wrapper: merge ``tasks`` into one computation graph."""
+    return MultiTaskGraphBuilder(tasks).build()

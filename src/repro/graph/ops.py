@@ -1,0 +1,183 @@
+"""Operator-level intermediate representation for multi-task multi-modal models.
+
+The Spindle planner works on a directed acyclic computation graph ``G = (V, E)``
+where every node is an :class:`Operator` (e.g. a transformer layer of one
+modality encoder) and every edge is a data flow between operators (§3 of the
+paper).  Operators carry everything the planner and the cost model need:
+
+* the shape of the activation tensor that flows through them,
+* the forward FLOP count for the whole (global) mini-batch of their task,
+* the number of parameter bytes they own and a *parameter sharing key* so the
+  runtime engine can build parameter device groups (§3.6),
+* the task and modality they belong to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+#: Number of bytes per element for half-precision activations / parameters.
+FP16_BYTES = 2
+
+#: Canonical modality tags used across the model zoo.  Free-form strings are
+#: accepted everywhere; these constants only exist to avoid typos.
+MODALITY_TEXT = "text"
+MODALITY_VISION = "vision"
+MODALITY_AUDIO = "audio"
+MODALITY_DEPTH = "depth"
+MODALITY_THERMAL = "thermal"
+MODALITY_MOTION = "motion"
+MODALITY_FUSION = "fusion"
+
+ALL_MODALITIES = (
+    MODALITY_TEXT,
+    MODALITY_VISION,
+    MODALITY_AUDIO,
+    MODALITY_DEPTH,
+    MODALITY_THERMAL,
+    MODALITY_MOTION,
+    MODALITY_FUSION,
+)
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape of the activation tensor consumed by an operator.
+
+    The paper describes input data sizes as ``[batch, sequence, hidden]``
+    triples (Fig. 3).  Two operators are only eligible for contraction into the
+    same MetaOp when their :class:`TensorSpec` compare equal (§3.1).
+    """
+
+    batch: int
+    seq_len: int
+    hidden: int
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0 or self.seq_len <= 0 or self.hidden <= 0:
+            raise ValueError(f"TensorSpec dimensions must be positive, got {self}")
+
+    @property
+    def numel(self) -> int:
+        """Total number of elements in the tensor."""
+        return self.batch * self.seq_len * self.hidden
+
+    @property
+    def bytes(self) -> int:
+        """Size of the tensor in bytes assuming fp16 storage."""
+        return self.numel * FP16_BYTES
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.batch, self.seq_len, self.hidden)
+
+    def with_batch(self, batch: int) -> "TensorSpec":
+        """Return a copy of this spec with a different batch dimension."""
+        return TensorSpec(batch=batch, seq_len=self.seq_len, hidden=self.hidden)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.batch}, {self.seq_len}, {self.hidden}]"
+
+
+@dataclass
+class Operator:
+    """A single computational operator in the unified computation graph.
+
+    Attributes
+    ----------
+    name:
+        Unique name within a computation graph (the multi-task builder prefixes
+        the task name to guarantee uniqueness).
+    op_type:
+        Workload class of the operator, e.g. ``"vision_layer"`` or
+        ``"lm_decoder_layer"``.  Operators of the same type and input spec are
+        assumed to have identical workloads and may be contracted into one
+        MetaOp.
+    task:
+        Name of the training task whose data flow activates this operator.
+    modality:
+        Modality tag of the data flowing through the operator.
+    input_spec:
+        Shape of the activation tensor the operator consumes.
+    flops:
+        Forward-pass floating point operations for the *global* batch of the
+        operator's task.
+    param_bytes:
+        Bytes of trainable parameters owned by the operator (fp16).
+    activation_bytes:
+        Bytes of output activations produced for the global batch; used as the
+        default data-flow volume of outgoing edges and for memory estimation.
+    param_key:
+        Parameter sharing key.  Operators in different tasks that carry the
+        same ``param_key`` share parameters, so their gradients must be
+        accumulated and synchronised within a parameter device group (§3.6).
+        ``None`` marks a parameter-free operator (e.g. a loss).
+    """
+
+    name: str
+    op_type: str
+    task: str
+    modality: str
+    input_spec: TensorSpec
+    flops: float
+    param_bytes: float = 0.0
+    activation_bytes: float = 0.0
+    param_key: Optional[str] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("Operator name must be a non-empty string")
+        if self.flops < 0:
+            raise ValueError(f"Operator {self.name!r} has negative FLOPs")
+        if self.param_bytes < 0:
+            raise ValueError(f"Operator {self.name!r} has negative param bytes")
+        if self.activation_bytes < 0:
+            raise ValueError(f"Operator {self.name!r} has negative activation bytes")
+        if not self.activation_bytes:
+            self.activation_bytes = float(self.input_spec.bytes)
+
+    @property
+    def batch_size(self) -> int:
+        """Global batch size of the data flow through the operator."""
+        return self.input_spec.batch
+
+    @property
+    def param_count(self) -> float:
+        """Approximate number of trainable parameters (fp16 storage assumed)."""
+        return self.param_bytes / FP16_BYTES
+
+    def workload_signature(self) -> tuple[str, tuple[int, int, int]]:
+        """Signature used by graph contraction to detect identical workloads."""
+        return (self.op_type, self.input_spec.as_tuple())
+
+    def renamed(self, name: str) -> "Operator":
+        """Return a copy of the operator under a different unique name."""
+        return replace(self, name=name, metadata=dict(self.metadata))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Operator(name={self.name!r}, type={self.op_type!r}, task={self.task!r}, "
+            f"input={self.input_spec}, flops={self.flops:.3e})"
+        )
+
+
+@dataclass(frozen=True)
+class DataFlow:
+    """A directed data flow (edge) between two operators.
+
+    ``volume_bytes`` is the number of activation bytes transmitted from the
+    source operator to the destination operator in the forward pass.  The
+    backward pass transmits roughly the same volume of gradients in the
+    opposite direction; the runtime engine accounts for both.
+    """
+
+    src: str
+    dst: str
+    volume_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"Self-loop data flow on operator {self.src!r}")
+        if self.volume_bytes < 0:
+            raise ValueError("Data flow volume must be non-negative")

@@ -1,0 +1,71 @@
+"""The MT MM model zoo used for evaluation: Multitask-CLIP, OFASys, QWen-VAL."""
+
+from repro.models.modules import (
+    EncoderConfig,
+    contrastive_module,
+    encoder_stack,
+    projection_module,
+)
+from repro.models.multitask_clip import (
+    CLIP_EMBED_DIM,
+    CLIP_ENCODERS,
+    CLIP_TASKS,
+    ClipTaskSpec,
+    build_clip_task,
+    multitask_clip_tasks,
+)
+from repro.models.ofasys import (
+    OFASYS_ADAPTORS,
+    OFASYS_TASKS,
+    OFASysTaskSpec,
+    build_ofasys_task,
+    ofasys_tasks,
+)
+from repro.models.qwen_val import (
+    QWEN_VAL_10B,
+    QWEN_VAL_30B,
+    QWEN_VAL_70B,
+    QWEN_VAL_CONFIGS,
+    QWEN_VAL_TASKS,
+    QwenValConfig,
+    QwenValTaskSpec,
+    build_qwen_val_task,
+    qwen_val_tasks,
+)
+from repro.models.registry import (
+    MODEL_REGISTRY,
+    ModelInfo,
+    get_model_info,
+    get_model_tasks,
+)
+
+__all__ = [
+    "CLIP_EMBED_DIM",
+    "CLIP_ENCODERS",
+    "CLIP_TASKS",
+    "ClipTaskSpec",
+    "EncoderConfig",
+    "MODEL_REGISTRY",
+    "ModelInfo",
+    "OFASYS_ADAPTORS",
+    "OFASYS_TASKS",
+    "OFASysTaskSpec",
+    "QWEN_VAL_10B",
+    "QWEN_VAL_30B",
+    "QWEN_VAL_70B",
+    "QWEN_VAL_CONFIGS",
+    "QWEN_VAL_TASKS",
+    "QwenValConfig",
+    "QwenValTaskSpec",
+    "build_clip_task",
+    "build_ofasys_task",
+    "build_qwen_val_task",
+    "contrastive_module",
+    "encoder_stack",
+    "get_model_info",
+    "get_model_tasks",
+    "multitask_clip_tasks",
+    "ofasys_tasks",
+    "projection_module",
+    "qwen_val_tasks",
+]

@@ -1,0 +1,113 @@
+"""Reusable building blocks for the MT MM model zoo.
+
+Models are described purely analytically: a module is a chain of
+:class:`~repro.graph.ops.Operator` objects whose FLOP, parameter and activation
+numbers come from the cost model.  That is all the execution planner and the
+simulated runtime need — weights never materialise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.flops import (
+    LayerConfig,
+    make_contrastive_loss_op,
+    make_projection_op,
+    make_transformer_layer_op,
+)
+from repro.graph.ops import Operator, TensorSpec
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Architecture of one modality encoder (a stack of transformer layers)."""
+
+    modality: str
+    num_layers: int
+    hidden_size: int
+    seq_len: int
+    ffn_mult: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if self.seq_len <= 0:
+            raise ValueError("seq_len must be positive")
+
+    @property
+    def layer_config(self) -> LayerConfig:
+        return LayerConfig(hidden_size=self.hidden_size, ffn_mult=self.ffn_mult)
+
+    def spec(self, batch: int) -> TensorSpec:
+        return TensorSpec(batch=batch, seq_len=self.seq_len, hidden=self.hidden_size)
+
+
+def encoder_stack(
+    task: str,
+    module_name: str,
+    op_type: str,
+    config: EncoderConfig,
+    batch: int,
+    shared_scope: str | None,
+) -> list[Operator]:
+    """Build the operator chain of one encoder for one task.
+
+    ``shared_scope`` names the parameter scope shared across tasks (e.g.
+    ``"clip.vision"``); layer ``i`` of every task then carries the parameter
+    key ``"<scope>.layer<i>"`` so the runtime engine synchronises gradients of
+    the shared encoder across the tasks that activate it.
+    """
+    spec = config.spec(batch)
+    layer_config = config.layer_config
+    ops = []
+    for layer in range(config.num_layers):
+        param_key = f"{shared_scope}.layer{layer}" if shared_scope else None
+        ops.append(
+            make_transformer_layer_op(
+                name=f"{task}.{module_name}.layer{layer}",
+                op_type=op_type,
+                task=task,
+                modality=config.modality,
+                spec=spec,
+                config=layer_config,
+                param_key=param_key,
+            )
+        )
+    return ops
+
+
+def projection_module(
+    task: str,
+    module_name: str,
+    modality: str,
+    in_spec: TensorSpec,
+    out_dim: int,
+    shared_scope: str | None,
+) -> list[Operator]:
+    """A single-operator projection (modality adaptor / embedding head)."""
+    param_key = f"{shared_scope}.projection" if shared_scope else None
+    pooled = TensorSpec(batch=in_spec.batch, seq_len=1, hidden=in_spec.hidden)
+    return [
+        make_projection_op(
+            name=f"{task}.{module_name}",
+            op_type=f"{modality}_projection",
+            task=task,
+            modality=modality,
+            spec=pooled,
+            out_dim=out_dim,
+            param_key=param_key,
+        )
+    ]
+
+
+def contrastive_module(task: str, batch: int, embed_dim: int) -> list[Operator]:
+    """The contrastive-loss cross-modal module of CLIP-style tasks."""
+    return [
+        make_contrastive_loss_op(
+            name=f"{task}.contrastive_loss",
+            task=task,
+            batch=batch,
+            embed_dim=embed_dim,
+        )
+    ]

@@ -1,0 +1,112 @@
+"""Multitask-CLIP: the ImageBind-style multi-task contrastive workload (§5.1).
+
+Six modality encoders (text, vision, audio, depth, thermal, motion) following
+the ImageBind configuration, and ten contrastive-learning tasks, each pairing
+two modalities.  The cross-modal module (the contrastive loss) is much lighter
+than the modality encoders — the workload class in which most computation
+happens inside the towers.  Model size ≈ 1.2 B parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.ops import (
+    MODALITY_AUDIO,
+    MODALITY_DEPTH,
+    MODALITY_MOTION,
+    MODALITY_TEXT,
+    MODALITY_THERMAL,
+    MODALITY_VISION,
+)
+from repro.graph.task import SpindleTask
+from repro.models.modules import EncoderConfig, contrastive_module, encoder_stack, projection_module
+
+#: ImageBind-style modality encoder configurations.
+CLIP_ENCODERS: dict[str, EncoderConfig] = {
+    MODALITY_TEXT: EncoderConfig(MODALITY_TEXT, num_layers=24, hidden_size=1024, seq_len=77),
+    MODALITY_VISION: EncoderConfig(MODALITY_VISION, num_layers=32, hidden_size=1280, seq_len=257),
+    MODALITY_AUDIO: EncoderConfig(MODALITY_AUDIO, num_layers=12, hidden_size=768, seq_len=229),
+    MODALITY_DEPTH: EncoderConfig(MODALITY_DEPTH, num_layers=12, hidden_size=768, seq_len=257),
+    MODALITY_THERMAL: EncoderConfig(MODALITY_THERMAL, num_layers=12, hidden_size=768, seq_len=197),
+    MODALITY_MOTION: EncoderConfig(MODALITY_MOTION, num_layers=6, hidden_size=512, seq_len=64),
+}
+
+#: Shared embedding dimension of the contrastive space.
+CLIP_EMBED_DIM = 1024
+
+
+@dataclass(frozen=True)
+class ClipTaskSpec:
+    """A contrastive task pairing two modalities with a given batch size."""
+
+    name: str
+    modality_a: str
+    modality_b: str
+    batch_size: int
+
+
+#: The ten multi-modal contrastive tasks used for evaluation (Appendix C).
+#: Per-task global batch sizes differ, which is one source of the inter-task
+#: workload heterogeneity shown in Fig. 1.
+CLIP_TASKS: tuple[ClipTaskSpec, ...] = (
+    ClipTaskSpec("task01_text_audio", MODALITY_TEXT, MODALITY_AUDIO, 64),
+    ClipTaskSpec("task02_vision_depth", MODALITY_VISION, MODALITY_DEPTH, 32),
+    ClipTaskSpec("task03_audio_thermal", MODALITY_AUDIO, MODALITY_THERMAL, 64),
+    ClipTaskSpec("task04_motion_thermal", MODALITY_MOTION, MODALITY_THERMAL, 128),
+    ClipTaskSpec("task05_vision_text", MODALITY_VISION, MODALITY_TEXT, 64),
+    ClipTaskSpec("task06_audio_vision", MODALITY_AUDIO, MODALITY_VISION, 32),
+    ClipTaskSpec("task07_depth_text", MODALITY_DEPTH, MODALITY_TEXT, 64),
+    ClipTaskSpec("task08_thermal_text", MODALITY_THERMAL, MODALITY_TEXT, 64),
+    ClipTaskSpec("task09_motion_vision", MODALITY_MOTION, MODALITY_VISION, 128),
+    ClipTaskSpec("task10_depth_thermal", MODALITY_DEPTH, MODALITY_THERMAL, 32),
+)
+
+
+def build_clip_task(spec: ClipTaskSpec) -> SpindleTask:
+    """Build one Multitask-CLIP task: two encoder towers + contrastive loss."""
+    task = SpindleTask(spec.name, batch_size=spec.batch_size)
+    for modality in (spec.modality_a, spec.modality_b):
+        encoder_cfg = CLIP_ENCODERS[modality]
+        encoder_module = f"{modality}_encoder"
+        task.add_module(
+            encoder_module,
+            encoder_stack(
+                task=spec.name,
+                module_name=encoder_module,
+                op_type=f"{modality}_layer",
+                config=encoder_cfg,
+                batch=spec.batch_size,
+                shared_scope=f"clip.{modality}",
+            ),
+        )
+        projection_module_name = f"{modality}_projection"
+        task.add_module(
+            projection_module_name,
+            projection_module(
+                task=spec.name,
+                module_name=projection_module_name,
+                modality=modality,
+                in_spec=encoder_cfg.spec(spec.batch_size),
+                out_dim=CLIP_EMBED_DIM,
+                shared_scope=f"clip.{modality}",
+            ),
+        )
+        task.add_flow(encoder_module, projection_module_name)
+
+    task.add_module(
+        "contrastive_loss",
+        contrastive_module(spec.name, batch=spec.batch_size, embed_dim=CLIP_EMBED_DIM),
+    )
+    task.add_flow(f"{spec.modality_a}_projection", "contrastive_loss")
+    task.add_flow(f"{spec.modality_b}_projection", "contrastive_loss")
+    return task
+
+
+def multitask_clip_tasks(num_tasks: int = 10) -> list[SpindleTask]:
+    """The first ``num_tasks`` Multitask-CLIP tasks (4, 7 and 10 in the paper)."""
+    if not 1 <= num_tasks <= len(CLIP_TASKS):
+        raise ValueError(
+            f"num_tasks must be between 1 and {len(CLIP_TASKS)}, got {num_tasks}"
+        )
+    return [build_clip_task(spec) for spec in CLIP_TASKS[:num_tasks]]

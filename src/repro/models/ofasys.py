@@ -1,0 +1,130 @@
+"""OFASys: the unified encoder-decoder MT MM workload (§5.1, Appendix C).
+
+OFASys couples lightweight modality adaptors with one shared encoder-decoder
+language model used as the cross-modal module for every task, so the
+cross-modal workload is comparable to (or larger than) the adaptors.  The text
+adaptor in particular is very light, which is why tower-level parallelisation
+strategies (DistMM-MT) gain little on this workload.  Model size ≈ 0.66 B
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.ops import (
+    MODALITY_AUDIO,
+    MODALITY_FUSION,
+    MODALITY_TEXT,
+    MODALITY_VISION,
+    TensorSpec,
+)
+from repro.graph.task import SpindleTask
+from repro.models.modules import EncoderConfig, encoder_stack, projection_module
+
+#: Modality adaptors: ViT-B-style encoders for vision/audio, tiny text adaptor.
+OFASYS_ADAPTORS: dict[str, EncoderConfig] = {
+    MODALITY_VISION: EncoderConfig(MODALITY_VISION, num_layers=12, hidden_size=768, seq_len=257),
+    MODALITY_AUDIO: EncoderConfig(MODALITY_AUDIO, num_layers=12, hidden_size=768, seq_len=229),
+    MODALITY_TEXT: EncoderConfig(MODALITY_TEXT, num_layers=2, hidden_size=768, seq_len=128),
+}
+
+#: The unified encoder-decoder LM used as the cross-modal module.
+OFASYS_LM_HIDDEN = 1280
+OFASYS_LM_ENCODER_LAYERS = 12
+OFASYS_LM_DECODER_LAYERS = 12
+OFASYS_LM_SEQ_LEN = 512
+
+
+@dataclass(frozen=True)
+class OFASysTaskSpec:
+    """One OFASys multi-modal task: input modality + shared LM."""
+
+    name: str
+    modality: str
+    batch_size: int
+
+
+#: Seven multi-modal tasks selected for evaluation (Appendix C).
+OFASYS_TASKS: tuple[OFASysTaskSpec, ...] = (
+    OFASysTaskSpec("image_captioning", MODALITY_VISION, 32),
+    OFASysTaskSpec("speech_recognition", MODALITY_AUDIO, 32),
+    OFASysTaskSpec("text_summarization", MODALITY_TEXT, 64),
+    OFASysTaskSpec("visual_grounding", MODALITY_VISION, 16),
+    OFASysTaskSpec("text_to_sql", MODALITY_TEXT, 64),
+    OFASysTaskSpec("sound_event_detection", MODALITY_AUDIO, 16),
+    OFASysTaskSpec("visual_question_answering", MODALITY_VISION, 32),
+)
+
+
+def _lm_module(task: str, role: str, num_layers: int, batch: int) -> list:
+    config = EncoderConfig(
+        MODALITY_FUSION,
+        num_layers=num_layers,
+        hidden_size=OFASYS_LM_HIDDEN,
+        seq_len=OFASYS_LM_SEQ_LEN,
+    )
+    return encoder_stack(
+        task=task,
+        module_name=f"lm_{role}",
+        op_type=f"lm_{role}_layer",
+        config=config,
+        batch=batch,
+        shared_scope=f"ofasys.lm.{role}",
+    )
+
+
+def build_ofasys_task(spec: OFASysTaskSpec) -> SpindleTask:
+    """Build one OFASys task: modality adaptor -> LM encoder -> LM decoder."""
+    task = SpindleTask(spec.name, batch_size=spec.batch_size)
+    adaptor_cfg = OFASYS_ADAPTORS[spec.modality]
+
+    adaptor_module = f"{spec.modality}_adaptor"
+    task.add_module(
+        adaptor_module,
+        encoder_stack(
+            task=spec.name,
+            module_name=adaptor_module,
+            op_type=f"{spec.modality}_adaptor_layer",
+            config=adaptor_cfg,
+            batch=spec.batch_size,
+            shared_scope=f"ofasys.adaptor.{spec.modality}",
+        ),
+    )
+
+    bridge_module = f"{spec.modality}_bridge"
+    task.add_module(
+        bridge_module,
+        projection_module(
+            task=spec.name,
+            module_name=bridge_module,
+            modality=spec.modality,
+            in_spec=adaptor_cfg.spec(spec.batch_size),
+            out_dim=OFASYS_LM_HIDDEN,
+            shared_scope=f"ofasys.adaptor.{spec.modality}",
+        ),
+    )
+
+    task.add_module(
+        "lm_encoder", _lm_module(spec.name, "encoder", OFASYS_LM_ENCODER_LAYERS, spec.batch_size)
+    )
+    task.add_module(
+        "lm_decoder", _lm_module(spec.name, "decoder", OFASYS_LM_DECODER_LAYERS, spec.batch_size)
+    )
+
+    lm_activation = TensorSpec(
+        batch=spec.batch_size, seq_len=OFASYS_LM_SEQ_LEN, hidden=OFASYS_LM_HIDDEN
+    ).bytes
+    task.add_flow(adaptor_module, bridge_module)
+    task.add_flow(bridge_module, "lm_encoder", volume_bytes=lm_activation)
+    task.add_flow("lm_encoder", "lm_decoder")
+    return task
+
+
+def ofasys_tasks(num_tasks: int = 7) -> list[SpindleTask]:
+    """The first ``num_tasks`` OFASys tasks (4 and 7 in the paper)."""
+    if not 1 <= num_tasks <= len(OFASYS_TASKS):
+        raise ValueError(
+            f"num_tasks must be between 1 and {len(OFASYS_TASKS)}, got {num_tasks}"
+        )
+    return [build_ofasys_task(spec) for spec in OFASYS_TASKS[:num_tasks]]

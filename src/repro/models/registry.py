@@ -1,0 +1,74 @@
+"""Model registry: the MT MM workloads of Tab. 1b by name."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graph.builder import MultiTaskGraphBuilder
+from repro.graph.ops import FP16_BYTES
+from repro.graph.task import SpindleTask
+from repro.models.multitask_clip import CLIP_TASKS, multitask_clip_tasks
+from repro.models.ofasys import OFASYS_TASKS, ofasys_tasks
+from repro.models.qwen_val import QWEN_VAL_TASKS, qwen_val_tasks
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Descriptive metadata of one workload (the rows of Tab. 1b)."""
+
+    name: str
+    max_tasks: int
+    num_modalities: int
+    cross_modal_module: str
+    builder: Callable[..., list[SpindleTask]]
+
+    def tasks(self, num_tasks: int | None = None, **kwargs) -> list[SpindleTask]:
+        if num_tasks is None:
+            num_tasks = self.max_tasks
+        return self.builder(num_tasks, **kwargs)
+
+    def parameter_count(self, num_tasks: int | None = None, **kwargs) -> float:
+        """Deduplicated parameter count of the model (shared weights once)."""
+        tasks = self.tasks(num_tasks, **kwargs)
+        graph = MultiTaskGraphBuilder(tasks).build()
+        return graph.total_param_bytes(deduplicate_shared=True) / FP16_BYTES
+
+
+MODEL_REGISTRY: dict[str, ModelInfo] = {
+    "multitask-clip": ModelInfo(
+        name="Multitask-CLIP",
+        max_tasks=len(CLIP_TASKS),
+        num_modalities=6,
+        cross_modal_module="Contrastive Loss",
+        builder=multitask_clip_tasks,
+    ),
+    "ofasys": ModelInfo(
+        name="OFASys",
+        max_tasks=len(OFASYS_TASKS),
+        num_modalities=6,
+        cross_modal_module="Enc-Dec LLM",
+        builder=ofasys_tasks,
+    ),
+    "qwen-val": ModelInfo(
+        name="QWen-VAL",
+        max_tasks=len(QWEN_VAL_TASKS),
+        num_modalities=3,
+        cross_modal_module="Dec-only LLM",
+        builder=qwen_val_tasks,
+    ),
+}
+
+
+def get_model_info(name: str) -> ModelInfo:
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(
+            f"Unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
+        )
+    return MODEL_REGISTRY[key]
+
+
+def get_model_tasks(name: str, num_tasks: int | None = None, **kwargs) -> list[SpindleTask]:
+    """Build the task list of a registered workload."""
+    return get_model_info(name).tasks(num_tasks, **kwargs)

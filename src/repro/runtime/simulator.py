@@ -1,0 +1,148 @@
+"""Discrete-event simulation of wave-by-wave execution on the cluster.
+
+This module substitutes the paper's physical testbed: it executes an
+:class:`~repro.core.plan.ExecutionPlan` against the analytic cost models,
+charging per-wave compute on the allocated device groups, inter-wave
+transmission at wave boundaries, and group-wise parameter synchronisation at
+the end of the iteration.  The same methodology backs the paper's own
+larger-scale simulations (Appendix E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import ExecutionPlan
+from repro.costmodel.timing import ExecutionTimeModel
+from repro.runtime.param_groups import ParameterDeviceGroupPool
+from repro.runtime.results import IterationResult, TimeBreakdown
+from repro.runtime.trace import UtilizationTrace
+from repro.runtime.transmission import TransmissionOp
+
+
+@dataclass
+class WaveSimulation:
+    """Timing of one simulated wave."""
+
+    wave_index: int
+    start: float
+    compute_duration: float
+    boundary_duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.compute_duration + self.boundary_duration
+
+
+class WaveExecutionSimulator:
+    """Simulates one training iteration of an execution plan."""
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        timing_model: ExecutionTimeModel,
+        transmissions: list[TransmissionOp],
+        param_pool: ParameterDeviceGroupPool,
+    ) -> None:
+        self.plan = plan
+        self.timing_model = timing_model
+        self.transmissions = transmissions
+        self.param_pool = param_pool
+
+    def run_iteration(self) -> IterationResult:
+        cluster = self.plan.cluster
+        trace = UtilizationTrace(
+            num_devices=cluster.num_devices,
+            peak_flops_per_device=cluster.device_spec.peak_flops,
+        )
+        boundary_transmissions = self._transmissions_by_boundary()
+
+        current_time = 0.0
+        compute_total = 0.0
+        send_recv_total = 0.0
+        wave_timings: list[WaveSimulation] = []
+
+        for wave in self.plan.waves:
+            wave_start = current_time
+            compute_duration = 0.0
+            for entry in wave.entries:
+                metaop = self.plan.metagraph.metaop(entry.metaop_index)
+                devices = self.plan.placement.devices_for(
+                    wave.index, entry.metaop_index
+                )
+                per_layer = self.timing_model.operator_time(
+                    metaop.representative, entry.n_devices
+                )
+                entry_time = per_layer * entry.layers
+                compute_duration = max(compute_duration, entry_time)
+                achieved = self.timing_model.achieved_flops_per_second(
+                    metaop.representative, entry.n_devices
+                )
+                per_device_flops = achieved / max(1, entry.n_devices)
+                for device in devices:
+                    trace.add_busy(
+                        device_id=device,
+                        start=wave_start,
+                        duration=entry_time,
+                        flops_per_second=per_device_flops,
+                        metaop_index=entry.metaop_index,
+                        label=f"wave{wave.index}",
+                    )
+            boundary_duration = self._boundary_duration(
+                boundary_transmissions.get(wave.index, [])
+            )
+            wave_timings.append(
+                WaveSimulation(
+                    wave_index=wave.index,
+                    start=wave_start,
+                    compute_duration=compute_duration,
+                    boundary_duration=boundary_duration,
+                )
+            )
+            compute_total += compute_duration
+            send_recv_total += boundary_duration
+            current_time = wave_start + compute_duration + boundary_duration
+
+        sync_time = self.param_pool.sync_time(cluster)
+        iteration_time = current_time + sync_time
+        trace.end_time = max(trace.end_time, iteration_time)
+
+        breakdown = TimeBreakdown(
+            forward_backward=compute_total,
+            param_sync=sync_time,
+            send_recv=send_recv_total,
+        )
+        return IterationResult(
+            iteration_time=iteration_time,
+            breakdown=breakdown,
+            trace=trace,
+            device_memory_bytes=dict(self.plan.placement.device_memory_bytes),
+            num_waves=len(self.plan.waves),
+            metadata={
+                "wave_timings": wave_timings,
+                "num_parameter_groups": self.param_pool.num_groups,
+            },
+        )
+
+    # ----------------------------------------------------------------- helpers
+    def _transmissions_by_boundary(self) -> dict[int, list[TransmissionOp]]:
+        grouped: dict[int, list[TransmissionOp]] = {}
+        for t in self.transmissions:
+            grouped.setdefault(t.boundary_after_wave, []).append(t)
+        return grouped
+
+    @staticmethod
+    def _boundary_duration(transmissions: list[TransmissionOp]) -> float:
+        """Critical-path duration of the transfers at one wave boundary.
+
+        Transfers between disjoint device pairs overlap; transfers sharing a
+        device serialise on that device's link, so the boundary lasts as long
+        as the busiest device's accumulated transfer time.
+        """
+        per_device: dict[int, float] = {}
+        for t in transmissions:
+            for device in set(t.src_devices) | set(t.dst_devices):
+                per_device[device] = per_device.get(device, 0.0) + t.time_seconds
+        if not per_device:
+            return 0.0
+        return max(per_device.values())

@@ -1,0 +1,149 @@
+"""Utilization traces produced by the simulated runtime engine.
+
+These traces back the case-study figures of the paper: cluster utilization over
+the iteration timeline (Fig. 1 lower, Fig. 9a), per-device utilization and
+per-MetaOp utilization spider charts (Fig. 9b).  Utilization is measured in
+achieved FLOP/s, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TraceSegment:
+    """A contiguous busy period of one device."""
+
+    device_id: int
+    start: float
+    end: float
+    flops_per_second: float
+    metaop_index: Optional[int] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("Trace segment ends before it starts")
+        if self.flops_per_second < 0:
+            raise ValueError("Trace segment has negative throughput")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def flops(self) -> float:
+        return self.flops_per_second * self.duration
+
+
+@dataclass
+class UtilizationTrace:
+    """Collection of busy segments over one (or more) training iterations."""
+
+    num_devices: int
+    peak_flops_per_device: float
+    segments: list[TraceSegment] = field(default_factory=list)
+    end_time: float = 0.0
+
+    def add_segment(self, segment: TraceSegment) -> None:
+        if not 0 <= segment.device_id < self.num_devices:
+            raise ValueError(
+                f"Device id {segment.device_id} outside [0, {self.num_devices})"
+            )
+        self.segments.append(segment)
+        self.end_time = max(self.end_time, segment.end)
+
+    def add_busy(
+        self,
+        device_id: int,
+        start: float,
+        duration: float,
+        flops_per_second: float,
+        metaop_index: Optional[int] = None,
+        label: str = "",
+    ) -> None:
+        self.add_segment(
+            TraceSegment(
+                device_id=device_id,
+                start=start,
+                end=start + duration,
+                flops_per_second=flops_per_second,
+                metaop_index=metaop_index,
+                label=label,
+            )
+        )
+
+    # ------------------------------------------------------------- aggregates
+    def device_busy_time(self) -> dict[int, float]:
+        busy = {d: 0.0 for d in range(self.num_devices)}
+        for seg in self.segments:
+            busy[seg.device_id] += seg.duration
+        return busy
+
+    def device_average_flops(self) -> dict[int, float]:
+        """Average achieved FLOP/s per device over the full timeline."""
+        if self.end_time <= 0:
+            return {d: 0.0 for d in range(self.num_devices)}
+        totals = {d: 0.0 for d in range(self.num_devices)}
+        for seg in self.segments:
+            totals[seg.device_id] += seg.flops
+        return {d: total / self.end_time for d, total in totals.items()}
+
+    def device_utilization(self) -> dict[int, float]:
+        """Average utilization of each device as a fraction of peak FLOP/s."""
+        return {
+            d: flops / self.peak_flops_per_device
+            for d, flops in self.device_average_flops().items()
+        }
+
+    def cluster_average_flops(self) -> float:
+        """Cluster-wide average achieved FLOP/s over the timeline."""
+        if self.end_time <= 0:
+            return 0.0
+        return sum(seg.flops for seg in self.segments) / self.end_time
+
+    def cluster_timeline(self, num_points: int = 200) -> list[tuple[float, float]]:
+        """Sampled cluster FLOP/s over time (the curve of Fig. 9a)."""
+        if num_points <= 0:
+            raise ValueError("num_points must be positive")
+        if self.end_time <= 0:
+            return [(0.0, 0.0)]
+        step = self.end_time / num_points
+        points = []
+        for i in range(num_points):
+            t_lo, t_hi = i * step, (i + 1) * step
+            total = 0.0
+            for seg in self.segments:
+                overlap = min(seg.end, t_hi) - max(seg.start, t_lo)
+                if overlap > 0:
+                    total += seg.flops_per_second * overlap
+            points.append((t_lo, total / step))
+        return points
+
+    def metaop_average_flops(self) -> dict[int, float]:
+        """Average achieved FLOP/s of each MetaOp while it executes (Fig. 9b)."""
+        time_per_metaop: dict[int, float] = {}
+        flops_per_metaop: dict[int, float] = {}
+        for seg in self.segments:
+            if seg.metaop_index is None:
+                continue
+            time_per_metaop[seg.metaop_index] = (
+                time_per_metaop.get(seg.metaop_index, 0.0) + seg.duration
+            )
+            flops_per_metaop[seg.metaop_index] = (
+                flops_per_metaop.get(seg.metaop_index, 0.0) + seg.flops
+            )
+        return {
+            idx: flops_per_metaop[idx] / time_per_metaop[idx]
+            for idx in time_per_metaop
+            if time_per_metaop[idx] > 0
+        }
+
+    def metaop_utilization(self) -> dict[int, float]:
+        """Per-MetaOp utilization as a fraction of per-device peak FLOP/s."""
+        return {
+            idx: flops / self.peak_flops_per_device
+            for idx, flops in self.metaop_average_flops().items()
+        }

@@ -1,0 +1,144 @@
+"""Shared fixtures: small clusters, toy tasks and a Fig.-3-style graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.device import DeviceSpec
+from repro.cluster.topology import ClusterTopology, make_cluster
+from repro.costmodel.flops import (
+    LayerConfig,
+    make_contrastive_loss_op,
+    make_transformer_layer_op,
+)
+from repro.graph.builder import build_unified_graph
+from repro.graph.graph import ComputationGraph
+from repro.graph.ops import Operator, TensorSpec
+from repro.graph.task import SpindleTask
+
+
+def make_layer_op(
+    name: str,
+    task: str = "task",
+    op_type: str = "text_layer",
+    modality: str = "text",
+    batch: int = 8,
+    seq_len: int = 64,
+    hidden: int = 256,
+    param_key: str | None = None,
+) -> Operator:
+    """Build a small transformer-layer operator for tests."""
+    spec = TensorSpec(batch=batch, seq_len=seq_len, hidden=hidden)
+    return make_transformer_layer_op(
+        name=name,
+        op_type=op_type,
+        task=task,
+        modality=modality,
+        spec=spec,
+        config=LayerConfig(hidden_size=hidden),
+        param_key=param_key,
+    )
+
+
+def make_chain_task(
+    name: str,
+    module_layers: dict[str, int],
+    batch: int = 8,
+    hidden: int = 256,
+    seq_len: int = 64,
+    shared_prefix: str | None = None,
+) -> SpindleTask:
+    """Build a task whose modules form a single chain, each with N layers."""
+    task = SpindleTask(name, batch_size=batch)
+    previous = None
+    for module_name, layers in module_layers.items():
+        ops = [
+            make_layer_op(
+                name=f"{name}.{module_name}.layer{i}",
+                task=name,
+                op_type=f"{module_name}_layer",
+                modality=module_name,
+                batch=batch,
+                seq_len=seq_len,
+                hidden=hidden,
+                param_key=(
+                    f"{shared_prefix}.{module_name}.layer{i}" if shared_prefix else None
+                ),
+            )
+            for i in range(layers)
+        ]
+        task.add_module(module_name, ops)
+        if previous is not None:
+            task.add_flow(previous, module_name)
+        previous = module_name
+    return task
+
+
+@pytest.fixture
+def tiny_device_spec() -> DeviceSpec:
+    return DeviceSpec(name="tiny", peak_flops=50e12, memory_bytes=16 * 1024**3)
+
+
+@pytest.fixture
+def single_island_cluster() -> ClusterTopology:
+    """Four devices in one island."""
+    return make_cluster(4, devices_per_node=4)
+
+
+@pytest.fixture
+def two_island_cluster() -> ClusterTopology:
+    """Eight devices split into two islands of four."""
+    return make_cluster(8, devices_per_node=4)
+
+
+@pytest.fixture
+def cluster16() -> ClusterTopology:
+    """Sixteen devices in two islands of eight (one 'node pair')."""
+    return make_cluster(16, devices_per_node=8)
+
+
+@pytest.fixture
+def tiny_tasks() -> list[SpindleTask]:
+    """Two toy tasks sharing an 'lm' component (via param keys)."""
+    audio_task = make_chain_task(
+        "audio_task",
+        {"audio": 3, "text": 2, "lm": 3},
+        batch=8,
+        shared_prefix="shared",
+    )
+    vision_task = make_chain_task(
+        "vision_task",
+        {"vision": 2, "lm": 3},
+        batch=4,
+        shared_prefix="shared",
+    )
+    return [audio_task, vision_task]
+
+
+@pytest.fixture
+def tiny_graph(tiny_tasks) -> ComputationGraph:
+    return build_unified_graph(tiny_tasks)
+
+
+@pytest.fixture
+def contrastive_task() -> SpindleTask:
+    """A CLIP-style task: two encoder towers feeding one contrastive loss."""
+    task = SpindleTask("pairing", batch_size=8)
+    vision_ops = [
+        make_layer_op(f"pairing.vision.layer{i}", task="pairing", op_type="vision_layer",
+                      modality="vision", batch=8, seq_len=32, hidden=256)
+        for i in range(3)
+    ]
+    text_ops = [
+        make_layer_op(f"pairing.text.layer{i}", task="pairing", op_type="text_layer",
+                      modality="text", batch=8, seq_len=16, hidden=128)
+        for i in range(2)
+    ]
+    task.add_module("vision", vision_ops)
+    task.add_module("text", text_ops)
+    task.add_module(
+        "loss", [make_contrastive_loss_op("pairing.loss", "pairing", batch=8, embed_dim=128)]
+    )
+    task.add_flow("vision", "loss")
+    task.add_flow("text", "loss")
+    return task

@@ -1,0 +1,107 @@
+"""Tests for the DistMM-MT baseline (intra-task tower allocation)."""
+
+import pytest
+
+from repro.baselines.distmm import DistMMMTSystem
+from repro.baselines.sequential import DeepSpeedSystem
+from repro.graph.builder import build_unified_graph
+from tests.conftest import make_chain_task
+
+
+class TestTowerSplitting:
+    def test_split_towers_on_contrastive_task(self, contrastive_task):
+        graph = build_unified_graph([contrastive_task]).task_subgraph("pairing")
+        towers, dependents = DistMMMTSystem._split_towers(graph)
+        assert len(towers) == 2
+        tower_types = {tower[0].op_type for tower in towers}
+        assert tower_types == {"vision_layer", "text_layer"}
+        assert [op.op_type for op in dependents] == ["contrastive_loss"]
+
+    def test_split_towers_on_chain_task(self):
+        task = make_chain_task("chain", {"enc": 3, "dec": 2})
+        graph = build_unified_graph([task]).task_subgraph("chain")
+        towers, dependents = DistMMMTSystem._split_towers(graph)
+        assert len(towers) == 1
+        assert len(towers[0]) + len(dependents) == 5
+
+
+class TestTowerAllocation:
+    def test_single_tower_gets_whole_cluster(self, two_island_cluster):
+        system = DistMMMTSystem(two_island_cluster)
+        task = make_chain_task("chain", {"enc": 3})
+        graph = build_unified_graph([task]).task_subgraph("chain")
+        towers, _ = system._split_towers(graph)
+        assert system._allocate_towers(task, towers, 8) == [8]
+
+    def test_two_towers_partition_the_cluster(self, two_island_cluster, contrastive_task):
+        system = DistMMMTSystem(two_island_cluster)
+        graph = build_unified_graph([contrastive_task]).task_subgraph("pairing")
+        towers, _ = system._split_towers(graph)
+        shares = system._allocate_towers(contrastive_task, towers, 8)
+        assert sum(shares) == 8
+        assert all(s >= 1 for s in shares)
+
+    def test_heavier_tower_gets_more_devices(self, two_island_cluster):
+        """When both towers scale, the FLOP-heavy tower gets the larger share."""
+        from repro.costmodel.flops import make_contrastive_loss_op
+        from repro.graph.task import SpindleTask
+        from tests.conftest import make_layer_op
+
+        task = SpindleTask("heavy_pair", batch_size=32)
+        vision = [
+            make_layer_op(
+                f"heavy_pair.vision.layer{i}", task="heavy_pair",
+                op_type="vision_layer", modality="vision",
+                batch=32, seq_len=256, hidden=1024,
+            )
+            for i in range(6)
+        ]
+        text = [
+            make_layer_op(
+                f"heavy_pair.text.layer{i}", task="heavy_pair",
+                op_type="text_layer", modality="text",
+                batch=32, seq_len=64, hidden=256,
+            )
+            for i in range(2)
+        ]
+        task.add_module("vision", vision)
+        task.add_module("text", text)
+        task.add_module(
+            "loss",
+            [make_contrastive_loss_op("heavy_pair.loss", "heavy_pair", 32, 256)],
+        )
+        task.add_flow("vision", "loss")
+        task.add_flow("text", "loss")
+
+        system = DistMMMTSystem(two_island_cluster)
+        graph = build_unified_graph([task]).task_subgraph("heavy_pair")
+        towers, _ = system._split_towers(graph)
+        shares = system._allocate_towers(task, towers, 8)
+        flops = [sum(op.flops for op in tower) for tower in towers]
+        heavier = 0 if flops[0] >= flops[1] else 1
+        assert shares[heavier] > shares[1 - heavier]
+
+
+class TestEndToEnd:
+    def test_iteration_result_structure(self, two_island_cluster, tiny_tasks):
+        result = DistMMMTSystem(two_island_cluster).run_iteration(tiny_tasks)
+        assert result.iteration_time > 0
+        assert result.breakdown.send_recv == 0.0
+        assert result.num_waves == len(tiny_tasks)
+
+    def test_rejects_empty_tasks(self, two_island_cluster):
+        with pytest.raises(ValueError):
+            DistMMMTSystem(two_island_cluster).run_iteration([])
+
+    def test_beats_deepspeed_on_multi_tower_tasks(self, cluster16):
+        """Intra-task tower parallelism pays off on CLIP-style tasks (§5.2)."""
+        from repro.models.multitask_clip import multitask_clip_tasks
+
+        tasks = multitask_clip_tasks(4)
+        distmm = DistMMMTSystem(cluster16).run_iteration(tasks)
+        deepspeed = DeepSpeedSystem(cluster16).run_iteration(tasks)
+        assert distmm.iteration_time < deepspeed.iteration_time
+
+    def test_capability_flags(self):
+        assert DistMMMTSystem.capabilities.intra_task_aware
+        assert not DistMMMTSystem.capabilities.inter_task_aware

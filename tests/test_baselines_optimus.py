@@ -1,0 +1,83 @@
+"""Tests for the Spindle-Optimus baseline (task-level marginal-gain allocation)."""
+
+import pytest
+
+from repro.baselines.optimus import SpindleOptimusSystem
+from tests.conftest import make_chain_task
+
+
+@pytest.fixture
+def system(two_island_cluster):
+    return SpindleOptimusSystem(two_island_cluster)
+
+
+@pytest.fixture
+def unbalanced_tasks():
+    heavy = make_chain_task("heavy", {"vision": 6}, batch=16, hidden=512, seq_len=128)
+    light = make_chain_task("light", {"motion": 2}, batch=8, hidden=128)
+    return [heavy, light]
+
+
+class TestAllocation:
+    def test_every_task_gets_at_least_one_device(self, system, unbalanced_tasks):
+        allocations = system.allocate(unbalanced_tasks, 8)
+        assert set(allocations) == {"heavy", "light"}
+        assert all(n >= 1 for n in allocations.values())
+        assert sum(allocations.values()) <= 8
+
+    def test_heavier_task_gets_more_devices(self, system, unbalanced_tasks):
+        allocations = system.allocate(unbalanced_tasks, 8)
+        assert allocations["heavy"] > allocations["light"]
+
+    def test_marginal_gain_balances_completion_times(self, system, unbalanced_tasks):
+        allocations = system.allocate(unbalanced_tasks, 8)
+        heavy_time = system.task_completion_time(unbalanced_tasks[0], allocations["heavy"])
+        light_time = system.task_completion_time(unbalanced_tasks[1], allocations["light"])
+        # The greedy rule narrows the gap to well under the single-device ratio.
+        single_ratio = system.task_completion_time(
+            unbalanced_tasks[0], 1
+        ) / system.task_completion_time(unbalanced_tasks[1], 1)
+        assert heavy_time / light_time < single_ratio
+
+    def test_completion_time_decreases_with_devices(self, system, unbalanced_tasks):
+        task = unbalanced_tasks[0]
+        times = [system.task_completion_time(task, n) for n in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True)
+
+    def test_more_tasks_than_devices_split_into_rounds(self, single_island_cluster):
+        system = SpindleOptimusSystem(single_island_cluster)
+        tasks = [
+            make_chain_task(f"t{i}", {"enc": 2}, batch=4, hidden=128) for i in range(10)
+        ]
+        rounds = system._split_into_rounds(tasks, single_island_cluster.num_devices)
+        assert len(rounds) == 3
+        assert sum(len(r) for r in rounds) == 10
+        result = system.run_iteration(tasks)
+        assert result.num_waves == 3
+
+
+class TestEndToEnd:
+    def test_iteration_result_structure(self, system, tiny_tasks):
+        result = system.run_iteration(tiny_tasks)
+        assert result.iteration_time > 0
+        assert result.breakdown.send_recv == 0.0
+        assert "task_allocations" in result.metadata
+
+    def test_tasks_run_concurrently_on_disjoint_blocks(self, system, unbalanced_tasks):
+        result = system.run_iteration(unbalanced_tasks)
+        devices_by_task: dict[int, set[int]] = {}
+        for seg in result.trace.segments:
+            devices_by_task.setdefault(seg.metaop_index, set()).add(seg.device_id)
+        # Compute time is the maximum task time, not the sum.
+        individual = [
+            system.task_completion_time(task, 1) for task in unbalanced_tasks
+        ]
+        assert result.breakdown.forward_backward < sum(individual)
+
+    def test_rejects_empty_tasks(self, system):
+        with pytest.raises(ValueError):
+            system.run_iteration([])
+
+    def test_capability_flags(self):
+        assert SpindleOptimusSystem.capabilities.inter_task_aware
+        assert not SpindleOptimusSystem.capabilities.intra_task_aware

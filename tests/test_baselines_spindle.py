@@ -1,0 +1,80 @@
+"""Tests for the SpindleSystem wrapper and the system registry."""
+
+import pytest
+
+from repro.baselines import SYSTEM_CLASSES, make_system
+from repro.baselines.spindle_system import SpindleSystem
+from repro.baselines.sequential import DeepSpeedSystem
+
+
+class TestSpindleSystem:
+    def test_run_iteration_produces_plan_and_result(self, two_island_cluster, tiny_tasks):
+        system = SpindleSystem(two_island_cluster)
+        result = system.run_iteration(tiny_tasks)
+        assert result.iteration_time > 0
+        assert system.last_plan is not None
+        assert system.last_engine is not None
+        assert system.last_planning_seconds > 0
+        assert result.metadata["system"] == "spindle"
+        assert result.metadata["num_metaops"] == system.last_plan.metagraph.num_metaops
+
+    def test_plan_only_entry_point(self, two_island_cluster, tiny_tasks):
+        system = SpindleSystem(two_island_cluster)
+        plan = system.plan(tiny_tasks)
+        plan.validate()
+        assert plan.cluster is two_island_cluster
+
+    def test_sequential_placement_variant(self, two_island_cluster, tiny_tasks):
+        locality = SpindleSystem(two_island_cluster).run_iteration(tiny_tasks)
+        sequential = SpindleSystem(
+            two_island_cluster, placement_strategy="sequential"
+        ).run_iteration(tiny_tasks)
+        # The locality-aware placement never increases send/recv time.
+        assert locality.breakdown.send_recv <= sequential.breakdown.send_recv + 1e-9
+
+    def test_outperforms_deepspeed_on_multi_task_workload(self, cluster16):
+        from repro.models.multitask_clip import multitask_clip_tasks
+
+        tasks = multitask_clip_tasks(4)
+        spindle = SpindleSystem(cluster16).run_iteration(tasks)
+        deepspeed = DeepSpeedSystem(cluster16).run_iteration(tasks)
+        assert spindle.iteration_time < deepspeed.iteration_time
+
+    def test_capability_flags(self):
+        assert SpindleSystem.capabilities.inter_task_aware
+        assert SpindleSystem.capabilities.intra_task_aware
+
+
+class TestSystemRegistry:
+    def test_all_paper_systems_registered(self):
+        assert set(SYSTEM_CLASSES) == {
+            "spindle",
+            "spindle-optimus",
+            "distmm-mt",
+            "megatron-lm",
+            "deepspeed",
+            "spindle-seq",
+        }
+
+    def test_make_system(self, two_island_cluster):
+        system = make_system("deepspeed", two_island_cluster)
+        assert isinstance(system, DeepSpeedSystem)
+        assert make_system("SPINDLE", two_island_cluster).name == "spindle"
+
+    def test_make_system_unknown(self, two_island_cluster):
+        with pytest.raises(KeyError):
+            make_system("alpa", two_island_cluster)
+
+    def test_tab1a_capability_matrix(self):
+        """Tab. 1a: heterogeneity awareness of the competitors."""
+        expectations = {
+            "megatron-lm": (False, False),
+            "deepspeed": (False, False),
+            "distmm-mt": (False, True),
+            "spindle-optimus": (True, False),
+            "spindle": (True, True),
+        }
+        for name, (inter, intra) in expectations.items():
+            capabilities = SYSTEM_CLASSES[name].capabilities
+            assert capabilities.inter_task_aware is inter
+            assert capabilities.intra_task_aware is intra

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--model", "bogus"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["compare", "--model", "multitask-clip"])
+        assert args.gpus == 16
+        assert args.tasks is None
+
+
+class TestCompareCommand:
+    def test_prints_comparison_table(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--model", "multitask-clip",
+                "--tasks", "2",
+                "--gpus", "8",
+                "--systems", "spindle", "deepspeed",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "spindle" in output
+        assert "deepspeed" in output
+        assert "speedup vs deepspeed" in output
+
+
+class TestPlanCommand:
+    def test_prints_plan_table(self, capsys):
+        exit_code = main(
+            ["plan", "--model", "multitask-clip", "--tasks", "2", "--gpus", "8"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "wavefront execution plan" in output
+        assert "MetaOps" in output
+
+    def test_writes_plan_json(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        exit_code = main(
+            [
+                "plan",
+                "--model", "multitask-clip",
+                "--tasks", "2",
+                "--gpus", "8",
+                "--output", str(path),
+            ]
+        )
+        assert exit_code == 0
+        document = json.loads(path.read_text())
+        assert document["format_version"] == 1
+        assert document["waves"]
+        assert str(path) in capsys.readouterr().out
+
+    def test_model_size_forwarded(self, capsys):
+        exit_code = main(
+            ["plan", "--model", "qwen-val", "--tasks", "1", "--gpus", "8",
+             "--model-size", "10b"]
+        )
+        assert exit_code == 0
+
+
+class TestScalingCommand:
+    def test_prints_scaling_table(self, capsys):
+        exit_code = main(
+            ["scaling", "--model", "multitask-clip", "--tasks", "2", "--gpus", "8"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "resource scalability" in output
+        assert "sigma(8)" in output

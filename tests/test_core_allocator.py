@@ -1,0 +1,189 @@
+"""Unit tests for the MPSP resource allocator (§3.3, Appendix B)."""
+
+import pytest
+
+from repro.core.allocator import (
+    AllocationError,
+    ResourceAllocator,
+    default_valid_allocations,
+    find_inverse_value,
+)
+from repro.core.contraction import contract_graph
+from repro.core.estimator import ScalabilityEstimator, ScalingCurve
+from repro.core.metagraph import MetaOp
+from repro.costmodel.profiler import ProfileSample, SyntheticProfiler
+from tests.conftest import make_layer_op
+
+
+def make_metaop(index, num_ops, batch=8, op_type="text_layer", hidden=256, seq_len=64):
+    ops = [
+        make_layer_op(
+            f"m{index}.{i}", op_type=op_type, batch=batch, hidden=hidden, seq_len=seq_len
+        )
+        for i in range(num_ops)
+    ]
+    return MetaOp(index=index, operators=ops)
+
+
+def ideal_curve(unit_time=8.0, max_devices=16):
+    """A perfectly scalable curve: T(n) = unit_time / n."""
+    points = [ProfileSample(n, unit_time / n) for n in (1, 2, 4, 8, max_devices)]
+    return ScalingCurve(points)
+
+
+class TestValidAllocations:
+    def test_divisors_and_multiples_of_batch(self):
+        metaop = make_metaop(0, 2, batch=8)
+        assert default_valid_allocations(metaop, 32) == [1, 2, 4, 8, 16, 24, 32]
+
+    def test_small_cluster(self):
+        metaop = make_metaop(0, 2, batch=6)
+        assert default_valid_allocations(metaop, 4) == [1, 2, 3]
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(AllocationError):
+            default_valid_allocations(make_metaop(0, 1), 0)
+
+
+class TestFindInverseValue:
+    def test_exact_grid_point(self):
+        curve = ideal_curve(8.0)
+        assert find_inverse_value(curve, 2.0, [1, 2, 4, 8]) == pytest.approx(4.0)
+
+    def test_interpolates_between_grid_points(self):
+        curve = ideal_curve(8.0)
+        n = find_inverse_value(curve, 3.0, [1, 2, 4, 8])
+        # Eq. (11) interpolates linearly between (2, T=4) and (4, T=2).
+        assert 2.0 < n < 4.0
+
+    def test_below_minimum_allocation(self):
+        curve = ideal_curve(8.0)
+        n = find_inverse_value(curve, 16.0, [1, 2, 4])
+        assert n == pytest.approx(0.5)
+
+    def test_saturates_at_maximum(self):
+        curve = ideal_curve(8.0)
+        assert find_inverse_value(curve, 0.1, [1, 2, 4]) == 4.0
+
+    def test_invalid_inputs(self):
+        curve = ideal_curve()
+        with pytest.raises(AllocationError):
+            find_inverse_value(curve, 0.0, [1, 2])
+        with pytest.raises(AllocationError):
+            find_inverse_value(curve, 1.0, [])
+
+
+class TestContinuousSolution:
+    def test_theorem1_on_identical_perfectly_scalable_metaops(self):
+        """Two identical, perfectly scalable MetaOps split the cluster evenly."""
+        allocator = ResourceAllocator(num_devices=8)
+        metaops = [make_metaop(0, 4, batch=8), make_metaop(1, 4, batch=8)]
+        curves = {0: ideal_curve(8.0), 1: ideal_curve(8.0)}
+        solution = allocator.solve_continuous(metaops, curves)
+        assert solution.allocations[0] == pytest.approx(4.0, rel=0.05)
+        assert solution.allocations[1] == pytest.approx(4.0, rel=0.05)
+        # All MetaOps finish together at C*: T(n*) * L = C*.
+        for idx, metaop in zip((0, 1), metaops):
+            finish = curves[idx].time(solution.allocations[idx]) * metaop.num_operators
+            assert finish == pytest.approx(solution.c_star, rel=0.05)
+
+    def test_heavier_metaop_receives_more_devices(self):
+        allocator = ResourceAllocator(num_devices=8)
+        metaops = [make_metaop(0, 8, batch=8), make_metaop(1, 2, batch=8)]
+        curves = {0: ideal_curve(8.0), 1: ideal_curve(8.0)}
+        solution = allocator.solve_continuous(metaops, curves)
+        assert solution.allocations[0] > solution.allocations[1]
+        assert solution.total_devices() <= 8 + 1e-6
+
+    def test_capacity_constraint_respected(self, cluster16, tiny_graph):
+        metagraph = contract_graph(tiny_graph)
+        curves = ScalabilityEstimator(SyntheticProfiler(cluster16)).estimate(metagraph)
+        allocator = ResourceAllocator(num_devices=16)
+        for level, indices in enumerate(metagraph.levels()):
+            metaops = [metagraph.metaop(i) for i in indices]
+            solution = allocator.solve_continuous(metaops, curves)
+            assert solution.total_devices() <= 16 + 1e-6
+
+    def test_abundant_resources_hit_lower_bound(self):
+        """With plenty of devices, C* equals the slowest MetaOp at max allocation."""
+        allocator = ResourceAllocator(num_devices=32)
+        metaops = [make_metaop(0, 2, batch=4)]
+        curve = ideal_curve(8.0, max_devices=32)
+        solution = allocator.solve_continuous(metaops, {0: curve})
+        valid_max = max(default_valid_allocations(metaops[0], 32))
+        assert solution.c_star == pytest.approx(curve.time(valid_max) * 2, rel=1e-3)
+
+    def test_empty_level_rejected(self):
+        with pytest.raises(AllocationError):
+            ResourceAllocator(4).solve_continuous([], {})
+
+    def test_invalid_device_count(self):
+        with pytest.raises(AllocationError):
+            ResourceAllocator(0)
+
+
+class TestBiPointDiscretization:
+    def test_integer_optimum_yields_single_tuple(self):
+        allocator = ResourceAllocator(num_devices=8)
+        metaop = make_metaop(0, 6, batch=8)
+        curve = ideal_curve(8.0)
+        tuples = allocator.discretize(metaop, 4.0, curve.time(4.0) * 6, curve)
+        assert len(tuples) == 1
+        assert tuples[0].n_devices == 4
+        assert tuples[0].layers == 6
+
+    def test_fractional_optimum_splits_into_two_tuples(self):
+        allocator = ResourceAllocator(num_devices=8)
+        metaop = make_metaop(0, 12, batch=8)
+        curve = ideal_curve(8.0)
+        n_star = 1.5
+        c_star = curve.time(n_star) * 12
+        tuples = allocator.discretize(metaop, n_star, c_star, curve)
+        assert len(tuples) == 2
+        assert {t.n_devices for t in tuples} == {1, 2}
+        # Condition (10a): the layer counts cover the whole MetaOp.
+        assert sum(t.layers for t in tuples) == 12
+        # Condition (10b): combined execution time approximately equals C*.
+        total_time = sum(curve.time(t.n_devices) * t.layers for t in tuples)
+        assert total_time == pytest.approx(c_star, rel=0.15)
+        # The larger allocation is listed first (executed first).
+        assert tuples[0].n_devices > tuples[1].n_devices
+
+    def test_dummy_allocation_below_one_device(self):
+        """n* < 1 (Fig. 5a MetaOp 3): all layers run on the smallest allocation."""
+        allocator = ResourceAllocator(num_devices=4)
+        metaop = make_metaop(0, 6, batch=8)
+        curve = ideal_curve(8.0, max_devices=4)
+        tuples = allocator.discretize(metaop, 0.6, 80.0, curve)
+        assert len(tuples) == 1
+        assert tuples[0].n_devices == 1
+        assert tuples[0].layers == 6
+
+    def test_optimum_above_max_valid_allocation(self):
+        allocator = ResourceAllocator(num_devices=8)
+        metaop = make_metaop(0, 4, batch=8)
+        curve = ideal_curve(8.0)
+        tuples = allocator.discretize(metaop, 12.0, curve.time(8) * 4, curve)
+        assert len(tuples) == 1
+        assert tuples[0].n_devices == 8
+
+
+class TestAllocateLevel:
+    def test_every_metaop_covered(self, cluster16, tiny_graph):
+        metagraph = contract_graph(tiny_graph)
+        curves = ScalabilityEstimator(SyntheticProfiler(cluster16)).estimate(metagraph)
+        allocator = ResourceAllocator(num_devices=16)
+        allocations = allocator.allocate(metagraph, curves)
+        assert set(allocations) == set(range(metagraph.num_levels))
+        for level, allocation in allocations.items():
+            for metaop in metagraph.metaops_at_level(level):
+                assert allocation.total_layers(metaop.index) == metaop.num_operators
+                for t in allocation.tuples_for(metaop.index):
+                    assert 1 <= t.n_devices <= 16
+
+    def test_c_star_recorded_per_level(self, cluster16, tiny_graph):
+        metagraph = contract_graph(tiny_graph)
+        curves = ScalabilityEstimator(SyntheticProfiler(cluster16)).estimate(metagraph)
+        allocations = ResourceAllocator(16).allocate(metagraph, curves)
+        for allocation in allocations.values():
+            assert allocation.c_star > 0

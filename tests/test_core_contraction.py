@@ -1,0 +1,136 @@
+"""Unit tests for graph contraction (§3.1)."""
+
+import pytest
+
+from repro.core.contraction import can_contract, contract_graph
+from repro.graph.graph import ComputationGraph
+from repro.graph.ops import TensorSpec
+from tests.conftest import make_layer_op
+
+
+def chain(graph, names, **kwargs):
+    for name in names:
+        graph.add_operator(make_layer_op(name, **kwargs))
+    for src, dst in zip(names, names[1:]):
+        graph.add_flow(src, dst)
+
+
+class TestCanContract:
+    def test_identical_consecutive_ops(self):
+        graph = ComputationGraph()
+        chain(graph, ["a", "b"])
+        assert can_contract(graph, "a", "b")
+
+    def test_different_type_blocks_contraction(self):
+        graph = ComputationGraph()
+        graph.add_operator(make_layer_op("a", op_type="text_layer"))
+        graph.add_operator(make_layer_op("b", op_type="vision_layer"))
+        graph.add_flow("a", "b")
+        assert not can_contract(graph, "a", "b")
+
+    def test_different_shape_blocks_contraction(self):
+        graph = ComputationGraph()
+        graph.add_operator(make_layer_op("a", seq_len=64))
+        graph.add_operator(make_layer_op("b", seq_len=128))
+        graph.add_flow("a", "b")
+        assert not can_contract(graph, "a", "b")
+
+    def test_branching_blocks_contraction(self):
+        graph = ComputationGraph()
+        chain(graph, ["a", "b"])
+        graph.add_operator(make_layer_op("c"))
+        graph.add_flow("a", "c")  # a now has out-degree 2
+        assert not can_contract(graph, "a", "b")
+
+
+class TestContractGraph:
+    def test_single_chain_contracts_to_one_metaop(self):
+        graph = ComputationGraph()
+        chain(graph, [f"l{i}" for i in range(6)])
+        metagraph = contract_graph(graph)
+        assert metagraph.num_metaops == 1
+        assert metagraph.metaop(0).num_operators == 6
+        assert metagraph.metaop(0).level == 0
+
+    def test_operator_count_is_preserved(self, tiny_graph):
+        metagraph = contract_graph(tiny_graph)
+        assert metagraph.num_operators == tiny_graph.num_operators
+
+    def test_heterogeneous_chain_splits_at_type_change(self):
+        graph = ComputationGraph()
+        chain(graph, ["a0", "a1"], op_type="audio_layer")
+        chain(graph, ["t0", "t1", "t2"], op_type="text_layer")
+        graph.add_flow("a1", "t0")
+        metagraph = contract_graph(graph)
+        assert metagraph.num_metaops == 2
+        sizes = sorted(m.num_operators for m in metagraph.metaops.values())
+        assert sizes == [2, 3]
+
+    def test_levels_follow_dependencies(self, tiny_graph):
+        metagraph = contract_graph(tiny_graph)
+        for (src, dst) in metagraph.edges:
+            assert metagraph.metaop(src).level < metagraph.metaop(dst).level
+
+    def test_fig3_style_example(self):
+        """Two tasks (audio->text->lm, vision->text->lm with other shapes)."""
+        graph = ComputationGraph()
+        chain(graph, ["al.a0", "al.a1", "al.a2"], task="al", op_type="audio_layer",
+              batch=8, seq_len=229)
+        chain(graph, ["al.t0", "al.t1"], task="al", op_type="text_layer",
+              batch=8, seq_len=77)
+        chain(graph, ["al.l0", "al.l1", "al.l2"], task="al", op_type="lm_layer",
+              batch=8, seq_len=512)
+        graph.add_flow("al.a2", "al.l0")
+        graph.add_flow("al.t1", "al.l0")
+        chain(graph, ["vl.t0", "vl.t1"], task="vl", op_type="text_layer",
+              batch=4, seq_len=77)
+        chain(graph, ["vl.v0", "vl.v1"], task="vl", op_type="vision_layer",
+              batch=4, seq_len=257)
+        chain(graph, ["vl.w0", "vl.w1"], task="vl", op_type="vision_layer",
+              batch=4, seq_len=197)
+        chain(graph, ["vl.l0", "vl.l1", "vl.l2"], task="vl", op_type="lm_layer",
+              batch=4, seq_len=512)
+        graph.add_flow("vl.v1", "vl.w0")
+        graph.add_flow("vl.t1", "vl.l0")
+        graph.add_flow("vl.w1", "vl.l0")
+        metagraph = contract_graph(graph)
+        # Mirrors Fig. 3: 7 MetaOps -- audio, text and LM for the audio task;
+        # text, two vision MetaOps (different resolutions) and LM for the
+        # vision task.  The two text MetaOps differ in batch size.
+        assert metagraph.num_metaops == 7
+        assert metagraph.num_operators == graph.num_operators
+        # Encoders sit at level 0; each LM MetaOp is one level deeper than its
+        # deepest predecessor (level 1 for the audio task, level 2 for the
+        # vision task whose tower has two stages).
+        lm_levels = sorted(
+            m.level for m in metagraph.metaops.values() if m.op_type == "lm_layer"
+        )
+        assert lm_levels == [1, 2]
+
+    def test_branching_keeps_tower_structure(self, contrastive_task):
+        metagraph = contract_graph(contrastive_task.build_graph())
+        # vision tower, text tower and the loss stay separate MetaOps.
+        assert metagraph.num_metaops == 3
+        loss = [m for m in metagraph.metaops.values() if m.op_type == "contrastive_loss"]
+        assert len(loss) == 1
+        assert loss[0].level == 1
+
+    def test_levels_not_assigned_when_disabled(self, tiny_graph):
+        metagraph = contract_graph(tiny_graph, assign_levels=False)
+        assert all(m.level == -1 for m in metagraph.metaops.values())
+
+    def test_edge_volumes_survive_contraction(self):
+        graph = ComputationGraph()
+        chain(graph, ["a0", "a1"], op_type="audio_layer")
+        chain(graph, ["b0", "b1"], op_type="text_layer")
+        graph.add_flow("a1", "b0", volume_bytes=77.0)
+        metagraph = contract_graph(graph)
+        assert metagraph.edge_volume(0, 1) == pytest.approx(77.0)
+
+    def test_contraction_is_batch_size_sensitive(self):
+        graph = ComputationGraph()
+        graph.add_operator(make_layer_op("a", batch=8))
+        graph.add_operator(make_layer_op("b", batch=4, seq_len=64))
+        graph.add_flow("a", "b")
+        metagraph = contract_graph(graph)
+        assert metagraph.num_metaops == 2

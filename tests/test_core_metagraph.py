@@ -1,0 +1,133 @@
+"""Unit tests for MetaOps, MetaGraph and MetaLevel assignment."""
+
+import pytest
+
+from repro.core.metagraph import MetaGraph, MetaGraphError, MetaOp
+from tests.conftest import make_layer_op
+
+
+def metaop(index, num_ops=3, task="t", op_type="text_layer", batch=8):
+    ops = [
+        make_layer_op(f"{task}.{op_type}.{index}.{i}", task=task, op_type=op_type, batch=batch)
+        for i in range(num_ops)
+    ]
+    return MetaOp(index=index, operators=ops)
+
+
+class TestMetaOp:
+    def test_aggregates(self):
+        m = metaop(0, num_ops=4)
+        assert m.num_operators == 4
+        assert m.flops_per_operator == m.representative.flops
+        assert m.total_flops == pytest.approx(4 * m.representative.flops)
+        assert m.param_bytes == pytest.approx(4 * m.representative.param_bytes)
+        assert m.batch_size == 8
+        assert m.op_type == "text_layer"
+
+    def test_name_spans_first_and_last(self):
+        m = metaop(0, num_ops=3)
+        assert ".." in m.name
+        single = metaop(1, num_ops=1)
+        assert ".." not in single.name
+
+    def test_rejects_empty(self):
+        with pytest.raises(MetaGraphError):
+            MetaOp(index=0, operators=[])
+
+    def test_rejects_mixed_workloads(self):
+        ops = [
+            make_layer_op("a", op_type="text_layer"),
+            make_layer_op("b", op_type="vision_layer"),
+        ]
+        with pytest.raises(MetaGraphError):
+            MetaOp(index=0, operators=ops)
+
+    def test_operator_slice(self):
+        m = metaop(0, num_ops=5)
+        middle = m.operator_slice(1, 3)
+        assert [op.name for op in middle] == [op.name for op in m.operators[1:4]]
+        with pytest.raises(MetaGraphError):
+            m.operator_slice(3, 4)
+        with pytest.raises(MetaGraphError):
+            m.operator_slice(-1, 2)
+
+
+class TestMetaGraph:
+    def build_diamond(self):
+        """a -> {b, c} -> d MetaGraph."""
+        graph = MetaGraph()
+        for i in range(4):
+            graph.add_metaop(metaop(i, op_type=f"type{i}"))
+        graph.add_edge(0, 1, 10.0)
+        graph.add_edge(0, 2, 20.0)
+        graph.add_edge(1, 3, 30.0)
+        graph.add_edge(2, 3, 40.0)
+        return graph
+
+    def test_add_and_lookup(self):
+        graph = self.build_diamond()
+        assert graph.num_metaops == 4
+        assert graph.num_operators == 12
+        assert graph.metaop(2).index == 2
+        with pytest.raises(MetaGraphError):
+            graph.metaop(9)
+
+    def test_duplicate_and_invalid_edges(self):
+        graph = MetaGraph()
+        graph.add_metaop(metaop(0))
+        with pytest.raises(MetaGraphError):
+            graph.add_metaop(metaop(0))
+        with pytest.raises(MetaGraphError):
+            graph.add_edge(0, 0, 1.0)
+        with pytest.raises(MetaGraphError):
+            graph.add_edge(0, 5, 1.0)
+
+    def test_parallel_edges_accumulate_volume(self):
+        graph = MetaGraph()
+        graph.add_metaop(metaop(0))
+        graph.add_metaop(metaop(1, op_type="other"))
+        graph.add_edge(0, 1, 10.0)
+        graph.add_edge(0, 1, 5.0)
+        assert graph.edge_volume(0, 1) == 15.0
+
+    def test_neighbors(self):
+        graph = self.build_diamond()
+        assert set(graph.successors(0)) == {1, 2}
+        assert set(graph.predecessors(3)) == {1, 2}
+        assert graph.edge_volume(2, 3) == 40.0
+        assert graph.edge_volume(3, 2) == 0.0
+
+    def test_level_assignment(self):
+        graph = self.build_diamond()
+        graph.assign_levels()
+        levels = {i: graph.metaop(i).level for i in range(4)}
+        assert levels == {0: 0, 1: 1, 2: 1, 3: 2}
+        assert graph.num_levels == 3
+        assert graph.levels() == [[0], [1, 2], [3]]
+        assert [m.index for m in graph.metaops_at_level(1)] == [1, 2]
+
+    def test_levels_require_assignment(self):
+        graph = self.build_diamond()
+        with pytest.raises(MetaGraphError):
+            graph.levels()
+
+    def test_same_level_metaops_are_independent(self):
+        graph = self.build_diamond()
+        graph.assign_levels()
+        for (src, dst) in graph.edges:
+            assert graph.metaop(src).level < graph.metaop(dst).level
+
+    def test_cycle_detection(self):
+        graph = MetaGraph()
+        graph.add_metaop(metaop(0))
+        graph.add_metaop(metaop(1, op_type="other"))
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 0, 1.0)
+        with pytest.raises(MetaGraphError):
+            graph.assign_levels()
+
+    def test_tasks(self):
+        graph = MetaGraph()
+        graph.add_metaop(metaop(0, task="a"))
+        graph.add_metaop(metaop(1, task="b", op_type="other"))
+        assert graph.tasks() == ["a", "b"]

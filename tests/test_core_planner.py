@@ -1,0 +1,106 @@
+"""Unit tests for the end-to-end execution planner."""
+
+import pytest
+
+from repro.core.plan import PlanError
+from repro.core.planner import ExecutionPlanner
+from repro.graph.builder import build_unified_graph
+from tests.conftest import make_chain_task
+
+
+class TestExecutionPlanner:
+    @pytest.fixture
+    def planner(self, two_island_cluster):
+        return ExecutionPlanner(two_island_cluster)
+
+    def test_plan_from_tasks(self, planner, tiny_tasks):
+        plan = planner.plan(tiny_tasks)
+        plan.validate()
+        assert plan.metagraph.num_metaops > 0
+        assert plan.schedule.num_waves > 0
+        assert plan.estimated_compute_makespan > 0
+
+    def test_plan_from_graph(self, planner, tiny_graph):
+        plan = planner.plan(tiny_graph)
+        plan.validate()
+        assert plan.metagraph.num_operators == tiny_graph.num_operators
+
+    def test_empty_workload_rejected(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan([])
+
+    def test_report_covers_all_stages(self, planner, tiny_tasks):
+        plan = planner.plan(tiny_tasks)
+        stages = set(plan.report.stage_seconds)
+        assert stages == {
+            "graph_contraction",
+            "scalability_estimation",
+            "resource_allocation",
+            "wavefront_scheduling",
+            "device_placement",
+        }
+        assert plan.report.total_seconds > 0
+        assert plan.report.num_metaops == plan.metagraph.num_metaops
+        assert plan.report.num_waves == plan.schedule.num_waves
+        assert set(plan.report.level_c_star) == set(plan.level_allocations)
+
+    def test_theoretical_optimum_is_a_lower_bound_estimate(self, planner, tiny_tasks):
+        plan = planner.plan(tiny_tasks)
+        assert plan.theoretical_optimum > 0
+        # The schedule cannot beat the sum of per-level optima by much (only
+        # estimation error can make it appear faster).
+        assert plan.estimated_compute_makespan >= plan.theoretical_optimum * 0.8
+
+    def test_all_operators_scheduled_once(self, planner, tiny_tasks):
+        plan = planner.plan(tiny_tasks)
+        scheduled = sum(
+            entry.layers for wave in plan.waves for entry in wave.entries
+        )
+        assert scheduled == plan.metagraph.num_operators
+
+    def test_sequential_placement_strategy(self, two_island_cluster, tiny_tasks):
+        planner = ExecutionPlanner(two_island_cluster, placement_strategy="sequential")
+        plan = planner.plan(tiny_tasks)
+        plan.validate()
+
+    def test_unknown_placement_strategy_rejected(self, two_island_cluster):
+        with pytest.raises(ValueError):
+            ExecutionPlanner(two_island_cluster, placement_strategy="bogus")
+
+    def test_profile_noise_still_produces_valid_plans(self, two_island_cluster, tiny_tasks):
+        planner = ExecutionPlanner(two_island_cluster, profile_noise_std=0.15)
+        plan = planner.plan(tiny_tasks)
+        plan.validate()
+
+    def test_single_task_workload(self, planner):
+        task = make_chain_task("solo", {"enc": 4, "dec": 2}, batch=8)
+        plan = planner.plan([task])
+        plan.validate()
+        assert set(plan.metagraph.tasks()) == {"solo"}
+
+    def test_many_small_tasks_on_small_cluster(self, single_island_cluster):
+        """More MetaOps than devices: waves must serialise without violations."""
+        tasks = [
+            make_chain_task(f"t{i}", {"enc": 2}, batch=4, hidden=128)
+            for i in range(6)
+        ]
+        planner = ExecutionPlanner(single_island_cluster)
+        plan = planner.plan(tasks)
+        plan.validate()
+        for wave in plan.waves:
+            assert wave.devices_used <= single_island_cluster.num_devices
+
+    def test_validate_detects_corrupted_plan(self, planner, tiny_tasks):
+        plan = planner.plan(tiny_tasks)
+        plan.waves[0].entries[0].layers += 1
+        with pytest.raises(PlanError):
+            plan.validate()
+
+    def test_plans_are_deterministic(self, two_island_cluster, tiny_tasks):
+        plan_a = ExecutionPlanner(two_island_cluster).plan(tiny_tasks)
+        plan_b = ExecutionPlanner(two_island_cluster).plan(tiny_tasks)
+        assert plan_a.estimated_compute_makespan == pytest.approx(
+            plan_b.estimated_compute_makespan
+        )
+        assert plan_a.schedule.num_waves == plan_b.schedule.num_waves
+        assert plan_a.placement.assignments == plan_b.placement.assignments

@@ -1,0 +1,217 @@
+"""Unit tests for the wavefront scheduler (§3.4, Algorithm 1)."""
+
+import pytest
+
+from repro.core.allocator import ResourceAllocator
+from repro.core.contraction import contract_graph
+from repro.core.estimator import ScalabilityEstimator, ScalingCurve
+from repro.core.metagraph import MetaOp
+from repro.core.plan import ASLTuple, LevelAllocation
+from repro.core.scheduler import SchedulerError, WavefrontScheduler
+from repro.costmodel.profiler import ProfileSample, SyntheticProfiler
+from tests.conftest import make_layer_op
+
+
+def make_metaop(index, num_ops, batch=8):
+    ops = [
+        make_layer_op(f"m{index}.{i}", op_type=f"type{index}", batch=batch)
+        for i in range(num_ops)
+    ]
+    return MetaOp(index=index, operators=ops, level=0)
+
+
+def ideal_curve(unit_time=1.0, max_devices=8):
+    points = [ProfileSample(n, unit_time / n) for n in (1, 2, 4, max_devices)]
+    return ScalingCurve(points)
+
+
+def allocation_for(plan: dict[int, list[ASLTuple]], c_star: float = 1.0, level: int = 0):
+    return LevelAllocation(level=level, c_star=c_star, continuous={}, plan=plan)
+
+
+class TestScheduleLevelBasics:
+    def test_single_metaop_single_wave(self):
+        metaop = make_metaop(0, 4)
+        curves = {0: ideal_curve()}
+        scheduler = WavefrontScheduler(num_devices=8)
+        allocation = allocation_for({0: [ASLTuple(n_devices=8, layers=4)]})
+        waves, end = scheduler.schedule_level(allocation, [metaop], curves)
+        assert len(waves) == 1
+        assert waves[0].entries[0].layers == 4
+        assert waves[0].entries[0].n_devices == 8
+        assert end == pytest.approx(waves[0].duration)
+
+    def test_all_layers_scheduled_exactly_once(self):
+        metaops = [make_metaop(0, 10), make_metaop(1, 6), make_metaop(2, 3)]
+        curves = {i: ideal_curve(unit_time=1.0 + i) for i in range(3)}
+        scheduler = WavefrontScheduler(num_devices=8)
+        allocation = allocation_for(
+            {
+                0: [ASLTuple(4, 7), ASLTuple(2, 3)],
+                1: [ASLTuple(2, 6)],
+                2: [ASLTuple(1, 3)],
+            }
+        )
+        waves, _ = scheduler.schedule_level(allocation, metaops, curves)
+        for metaop in metaops:
+            scheduled = sum(
+                e.layers
+                for w in waves
+                for e in w.entries
+                if e.metaop_index == metaop.index
+            )
+            assert scheduled == metaop.num_operators
+
+    def test_capacity_never_exceeded(self):
+        metaops = [make_metaop(i, 8) for i in range(5)]
+        curves = {i: ideal_curve() for i in range(5)}
+        scheduler = WavefrontScheduler(num_devices=8)
+        allocation = allocation_for(
+            {i: [ASLTuple(4, 5), ASLTuple(2, 3)] for i in range(5)}
+        )
+        waves, _ = scheduler.schedule_level(allocation, metaops, curves)
+        for wave in waves:
+            assert wave.devices_used <= 8
+            wave.validate(8)
+
+    def test_wave_count_bounded_by_twice_metaops(self):
+        """Each wave consumes at least one ASL-tuple, of which there are <= 2L."""
+        metaops = [make_metaop(i, 12) for i in range(4)]
+        curves = {i: ideal_curve(unit_time=0.5 + 0.3 * i) for i in range(4)}
+        scheduler = WavefrontScheduler(num_devices=8)
+        allocation = allocation_for(
+            {i: [ASLTuple(2, 9), ASLTuple(1, 3)] for i in range(4)}
+        )
+        waves, _ = scheduler.schedule_level(allocation, metaops, curves)
+        assert len(waves) <= 2 * len(metaops)
+
+    def test_start_time_offsets_are_contiguous(self):
+        metaops = [make_metaop(0, 8), make_metaop(1, 8)]
+        curves = {0: ideal_curve(1.0), 1: ideal_curve(2.0)}
+        scheduler = WavefrontScheduler(num_devices=4)
+        allocation = allocation_for(
+            {0: [ASLTuple(2, 8)], 1: [ASLTuple(2, 8)]}
+        )
+        waves, end = scheduler.schedule_level(
+            allocation, metaops, curves, start_time=5.0
+        )
+        assert waves[0].start == pytest.approx(5.0)
+        for prev, nxt in zip(waves, waves[1:]):
+            assert nxt.start == pytest.approx(prev.end)
+        assert end == pytest.approx(waves[-1].end)
+
+
+class TestWaveCrafting:
+    def test_wave_packs_as_many_devices_as_possible(self):
+        metaops = [make_metaop(0, 4), make_metaop(1, 4), make_metaop(2, 4)]
+        curves = {i: ideal_curve() for i in range(3)}
+        scheduler = WavefrontScheduler(num_devices=8)
+        allocation = allocation_for(
+            {0: [ASLTuple(4, 4)], 1: [ASLTuple(2, 4)], 2: [ASLTuple(2, 4)]}
+        )
+        waves, _ = scheduler.schedule_level(allocation, metaops, curves)
+        assert waves[0].devices_used == 8
+        assert len(waves[0].entries) == 3
+
+    def test_resource_extension_fills_idle_devices(self):
+        """A lone remaining MetaOp is extended to use the idle devices."""
+        metaop = make_metaop(0, 8, batch=8)
+        curves = {0: ideal_curve()}
+        scheduler = WavefrontScheduler(num_devices=8)
+        allocation = allocation_for({0: [ASLTuple(2, 8)]})
+        waves, _ = scheduler.schedule_level(allocation, [metaop], curves)
+        # The 2-device tuple is extended to occupy the full cluster.
+        assert waves[0].entries[0].n_devices == 8
+
+    def test_time_span_alignment_slices_longer_tuples(self):
+        """The shortest tuple finishes entirely; longer ones are sliced."""
+        metaops = [make_metaop(0, 16), make_metaop(1, 2)]
+        curves = {0: ideal_curve(1.0), 1: ideal_curve(1.0)}
+        scheduler = WavefrontScheduler(num_devices=8)
+        allocation = allocation_for(
+            {0: [ASLTuple(4, 16)], 1: [ASLTuple(4, 2)]}
+        )
+        waves, _ = scheduler.schedule_level(allocation, metaops, curves)
+        first = waves[0]
+        short_entry = first.entry_for(1)
+        long_entry = first.entry_for(0)
+        assert short_entry.layers == 2
+        assert long_entry.layers < 16
+        # Durations inside the wave are aligned (within one layer's time).
+        assert long_entry.duration <= first.duration + 1e-9
+
+    def test_operator_offsets_advance_with_slices(self):
+        metaop = make_metaop(0, 10)
+        other = make_metaop(1, 2)
+        curves = {0: ideal_curve(1.0), 1: ideal_curve(1.0)}
+        scheduler = WavefrontScheduler(num_devices=8)
+        allocation = allocation_for(
+            {0: [ASLTuple(4, 10)], 1: [ASLTuple(4, 2)]}
+        )
+        waves, _ = scheduler.schedule_level(allocation, [metaop, other], curves)
+        offsets = [
+            (w.index, e.operator_offset, e.layers)
+            for w in waves
+            for e in w.entries
+            if e.metaop_index == 0
+        ]
+        cursor = 0
+        for _, offset, layers in offsets:
+            assert offset == cursor
+            cursor += layers
+        assert cursor == 10
+
+
+class TestScheduleMultiLevel:
+    def test_levels_execute_back_to_back(self, cluster16, tiny_graph):
+        metagraph = contract_graph(tiny_graph)
+        curves = ScalabilityEstimator(SyntheticProfiler(cluster16)).estimate(metagraph)
+        allocator = ResourceAllocator(16)
+        allocations = allocator.allocate(metagraph, curves)
+        scheduler = WavefrontScheduler(16)
+        metaops_by_level = {
+            level: metagraph.metaops_at_level(level) for level in allocations
+        }
+        schedule = scheduler.schedule(allocations, metaops_by_level, curves)
+        schedule.validate(16)
+        # Waves of a later level never start before all earlier-level waves end.
+        for level in range(1, metagraph.num_levels):
+            earlier_end = max(w.end for w in schedule.waves if w.level < level)
+            for wave in schedule.waves_at_level(level):
+                assert wave.start >= earlier_end - 1e-9
+        # Every operator of every MetaOp is scheduled.
+        for metaop in metagraph.metaops.values():
+            assert schedule.scheduled_layers(metaop.index) == metaop.num_operators
+
+    def test_makespan_is_last_wave_end(self, cluster16, tiny_graph):
+        metagraph = contract_graph(tiny_graph)
+        curves = ScalabilityEstimator(SyntheticProfiler(cluster16)).estimate(metagraph)
+        allocations = ResourceAllocator(16).allocate(metagraph, curves)
+        scheduler = WavefrontScheduler(16)
+        metaops_by_level = {
+            level: metagraph.metaops_at_level(level) for level in allocations
+        }
+        schedule = scheduler.schedule(allocations, metaops_by_level, curves)
+        assert schedule.makespan == pytest.approx(max(w.end for w in schedule.waves))
+
+
+class TestSchedulerErrors:
+    def test_rejects_invalid_device_count(self):
+        with pytest.raises(SchedulerError):
+            WavefrontScheduler(num_devices=0)
+
+    def test_rejects_incomplete_allocation(self):
+        metaop = make_metaop(0, 8)
+        curves = {0: ideal_curve()}
+        scheduler = WavefrontScheduler(num_devices=4)
+        allocation = allocation_for({0: [ASLTuple(2, 5)]})  # only 5 of 8 layers
+        with pytest.raises(SchedulerError):
+            scheduler.schedule_level(allocation, [metaop], curves)
+
+    def test_rejects_all_dummy_allocation(self):
+        metaop = make_metaop(0, 4)
+        curves = {0: ideal_curve()}
+        scheduler = WavefrontScheduler(num_devices=4)
+        allocation = allocation_for({0: [ASLTuple(0, 4)]})
+        with pytest.raises(SchedulerError):
+            scheduler.schedule_level(allocation, [metaop], curves)

@@ -1,0 +1,115 @@
+"""Unit tests for the analytic FLOP / parameter / activation accounting."""
+
+import pytest
+
+from repro.costmodel.flops import (
+    LayerConfig,
+    contrastive_loss_flops,
+    embedding_flops,
+    embedding_params,
+    make_contrastive_loss_op,
+    make_projection_op,
+    make_transformer_layer_op,
+    projection_flops,
+    projection_params,
+    transformer_layer_activation_bytes,
+    transformer_layer_flops,
+    transformer_layer_params,
+)
+from repro.graph.ops import TensorSpec
+
+
+class TestLayerConfig:
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            LayerConfig(hidden_size=0)
+        with pytest.raises(ValueError):
+            LayerConfig(hidden_size=8, ffn_mult=0)
+        with pytest.raises(ValueError):
+            LayerConfig(hidden_size=8, num_heads=0)
+
+
+class TestTransformerLayer:
+    def test_params_dominated_by_12_h_squared(self):
+        config = LayerConfig(hidden_size=1024)
+        params = transformer_layer_params(config)
+        assert params == pytest.approx(12 * 1024**2, rel=0.01)
+
+    def test_params_scale_quadratically_with_hidden(self):
+        small = transformer_layer_params(LayerConfig(hidden_size=512))
+        large = transformer_layer_params(LayerConfig(hidden_size=1024))
+        assert large / small == pytest.approx(4.0, rel=0.02)
+
+    def test_flops_scale_linearly_with_batch(self):
+        config = LayerConfig(hidden_size=256)
+        f1 = transformer_layer_flops(TensorSpec(4, 64, 256), config)
+        f2 = transformer_layer_flops(TensorSpec(8, 64, 256), config)
+        assert f2 / f1 == pytest.approx(2.0)
+
+    def test_flops_superlinear_in_sequence_length(self):
+        config = LayerConfig(hidden_size=256)
+        f1 = transformer_layer_flops(TensorSpec(4, 64, 256), config)
+        f2 = transformer_layer_flops(TensorSpec(4, 128, 256), config)
+        # Attention's quadratic term makes doubling the sequence more than 2x.
+        assert f2 / f1 > 2.0
+
+    def test_flops_reject_mismatched_hidden(self):
+        with pytest.raises(ValueError):
+            transformer_layer_flops(TensorSpec(4, 64, 128), LayerConfig(hidden_size=256))
+
+    def test_activation_bytes_equal_tensor_bytes(self):
+        spec = TensorSpec(2, 16, 64)
+        assert transformer_layer_activation_bytes(spec) == spec.bytes
+
+    def test_flops_match_manual_small_case(self):
+        spec = TensorSpec(1, 2, 4)
+        config = LayerConfig(hidden_size=4, ffn_mult=4)
+        tokens = 2
+        expected = (
+            2 * tokens * 4 * 12          # qkv proj
+            + 2 * 1 * 2 * 2 * 4 * 2      # scores + values
+            + 2 * tokens * 4 * 4         # out proj
+            + 2 * 2 * tokens * 4 * 16    # mlp
+        )
+        assert transformer_layer_flops(spec, config) == pytest.approx(expected)
+
+
+class TestAuxiliaryOps:
+    def test_projection(self):
+        spec = TensorSpec(2, 1, 8)
+        assert projection_flops(spec, 16) == pytest.approx(2 * 2 * 1 * 8 * 16)
+        assert projection_params(8, 16) == 8 * 16 + 16
+
+    def test_embedding(self):
+        spec = TensorSpec(2, 4, 8)
+        assert embedding_params(100, 8) == 800
+        assert embedding_flops(spec, 100) == pytest.approx(2 * 2 * 4 * 8)
+
+    def test_contrastive_loss_quadratic_in_batch(self):
+        f1 = contrastive_loss_flops(8, 64)
+        f2 = contrastive_loss_flops(16, 64)
+        assert f2 / f1 == pytest.approx(4.0, rel=0.05)
+
+
+class TestOperatorFactories:
+    def test_transformer_layer_op(self):
+        spec = TensorSpec(4, 8, 32)
+        op = make_transformer_layer_op(
+            "t.layer0", "text_layer", "t", "text", spec, LayerConfig(32), "k.0"
+        )
+        assert op.flops == transformer_layer_flops(spec, LayerConfig(32))
+        assert op.param_bytes == transformer_layer_params(LayerConfig(32)) * 2
+        assert op.param_key == "k.0"
+        assert op.metadata["hidden_size"] == 32
+
+    def test_projection_op_changes_activation_width(self):
+        spec = TensorSpec(4, 8, 32)
+        op = make_projection_op("t.proj", "proj", "t", "text", spec, 64, None)
+        assert op.activation_bytes == 4 * 8 * 64 * 2
+        assert op.param_key is None
+
+    def test_contrastive_op_has_no_parameters(self):
+        op = make_contrastive_loss_op("t.loss", "t", batch=8, embed_dim=32)
+        assert op.param_bytes == 0.0
+        assert op.op_type == "contrastive_loss"
+        assert op.modality == "fusion"

@@ -1,0 +1,63 @@
+"""Unit tests for the memory model."""
+
+import pytest
+
+from repro.costmodel.memory import MemoryModel, MemoryModelConfig
+from tests.conftest import make_layer_op
+
+
+class TestMemoryModel:
+    @pytest.fixture
+    def model(self):
+        return MemoryModel()
+
+    @pytest.fixture
+    def op(self):
+        return make_layer_op("m", batch=8, seq_len=64, hidden=512)
+
+    def test_parameter_state_is_multiple_of_param_bytes(self, model, op):
+        state = model.parameter_state_bytes(op, n_devices=1)
+        # 16 bytes of optimizer state per parameter vs 2 bytes of fp16 weight.
+        assert state == pytest.approx(op.param_count * 16)
+
+    def test_parameter_free_operator(self, model):
+        loss = make_layer_op("loss", batch=8)
+        loss.param_bytes = 0.0
+        assert model.parameter_state_bytes(loss, 4) == 0.0
+
+    def test_data_parallel_shards_optimizer_state(self, model, op):
+        replicated = model.parameter_state_bytes(op, n_devices=1)
+        sharded = model.parameter_state_bytes(op, n_devices=4)
+        assert sharded < replicated
+        # fp16 weights and gradients stay replicated, so at least 4 bytes/param.
+        assert sharded >= op.param_count * 4
+
+    def test_tensor_parallel_shards_everything(self, model):
+        op = make_layer_op("tp", batch=2, hidden=512)
+        wide = model.parameter_state_bytes(op, n_devices=8)  # dp=2, tp=4
+        narrow = model.parameter_state_bytes(op, n_devices=2)
+        assert wide < narrow
+
+    def test_activation_memory_splits_across_devices(self, model, op):
+        assert model.activation_bytes(op, 4) == pytest.approx(
+            model.activation_bytes(op, 1) / 4
+        )
+
+    def test_operator_device_bytes_is_sum(self, model, op):
+        total = model.operator_device_bytes(op, 2)
+        assert total == pytest.approx(
+            model.parameter_state_bytes(op, 2) + model.activation_bytes(op, 2)
+        )
+
+    def test_framework_overhead_configurable(self):
+        model = MemoryModel(MemoryModelConfig(framework_overhead_bytes=123.0))
+        assert model.framework_overhead() == 123.0
+
+    def test_no_optimizer_sharding_option(self, op):
+        model = MemoryModel(MemoryModelConfig(optimizer_shard_over_dp=False))
+        assert model.parameter_state_bytes(op, 4) == pytest.approx(
+            op.param_count * 16
+        )
+
+    def test_param_count_helper(self):
+        assert MemoryModel.param_count(200.0) == 100.0

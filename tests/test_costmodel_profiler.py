@@ -1,0 +1,78 @@
+"""Unit tests for the synthetic profiler."""
+
+import pytest
+
+from repro.costmodel.profiler import (
+    ProfileSample,
+    SyntheticProfiler,
+    default_profile_points,
+)
+from tests.conftest import make_layer_op
+
+
+class TestDefaultProfilePoints:
+    def test_powers_of_two(self):
+        assert default_profile_points(16) == [1, 2, 4, 8, 16]
+
+    def test_non_power_of_two_appends_max(self):
+        assert default_profile_points(12) == [1, 2, 4, 8, 12]
+
+    def test_single_device(self):
+        assert default_profile_points(1) == [1]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            default_profile_points(0)
+
+
+class TestProfileSample:
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            ProfileSample(n_devices=0, time_seconds=1.0)
+        with pytest.raises(ValueError):
+            ProfileSample(n_devices=1, time_seconds=0.0)
+
+
+class TestSyntheticProfiler:
+    def test_profile_matches_timing_model(self, cluster16):
+        profiler = SyntheticProfiler(cluster16)
+        op = make_layer_op("p", batch=16)
+        samples = profiler.profile_operator(op)
+        assert [s.n_devices for s in samples] == [1, 2, 4, 8, 16]
+        for sample in samples:
+            expected = profiler.timing_model.operator_time(op, sample.n_devices)
+            assert sample.time_seconds == pytest.approx(expected)
+
+    def test_custom_points(self, cluster16):
+        profiler = SyntheticProfiler(cluster16)
+        op = make_layer_op("p", batch=16)
+        samples = profiler.profile_operator(op, points=[1, 3, 5])
+        assert [s.n_devices for s in samples] == [1, 3, 5]
+
+    def test_out_of_range_point_rejected(self, cluster16):
+        profiler = SyntheticProfiler(cluster16)
+        op = make_layer_op("p")
+        with pytest.raises(ValueError):
+            profiler.profile_operator(op, points=[32])
+
+    def test_noise_is_reproducible(self, cluster16):
+        op = make_layer_op("p", batch=16)
+        a = SyntheticProfiler(cluster16, noise_std=0.1, seed=7).profile_operator(op)
+        b = SyntheticProfiler(cluster16, noise_std=0.1, seed=7).profile_operator(op)
+        c = SyntheticProfiler(cluster16, noise_std=0.1, seed=8).profile_operator(op)
+        assert [s.time_seconds for s in a] == [s.time_seconds for s in b]
+        assert [s.time_seconds for s in a] != [s.time_seconds for s in c]
+
+    def test_noise_must_be_non_negative(self, cluster16):
+        with pytest.raises(ValueError):
+            SyntheticProfiler(cluster16, noise_std=-0.1)
+
+    def test_forward_only_profiles_are_cheaper(self, cluster16):
+        profiler = SyntheticProfiler(cluster16)
+        op = make_layer_op("p", batch=16)
+        fwd = profiler.profile_operator(op, include_backward=False)
+        full = profiler.profile_operator(op, include_backward=True)
+        assert all(f.time_seconds < g.time_seconds for f, g in zip(fwd, full))
+
+    def test_profile_points_helper(self, cluster16):
+        assert SyntheticProfiler(cluster16).profile_points() == [1, 2, 4, 8, 16]

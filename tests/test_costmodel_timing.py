@@ -1,0 +1,111 @@
+"""Unit tests for the execution time model (the simulated cluster's physics)."""
+
+import pytest
+
+from repro.costmodel.timing import (
+    ExecutionTimeModel,
+    TimingModelConfig,
+    data_parallel_imbalance,
+    split_allocation,
+)
+from tests.conftest import make_layer_op
+
+
+class TestSplitAllocation:
+    def test_pure_data_parallel(self):
+        split = split_allocation(batch_size=8, n_devices=4)
+        assert split.data_parallel == 4
+        assert split.tensor_parallel == 1
+        assert split.world_size == 4
+
+    def test_hybrid_beyond_batch(self):
+        split = split_allocation(batch_size=8, n_devices=32)
+        assert split.data_parallel == 8
+        assert split.tensor_parallel == 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            split_allocation(0, 4)
+        with pytest.raises(ValueError):
+            split_allocation(4, 0)
+
+    def test_imbalance_factor(self):
+        assert data_parallel_imbalance(8, 4) == pytest.approx(1.0)
+        assert data_parallel_imbalance(8, 3) == pytest.approx(3 * 3 / 8)
+        with pytest.raises(ValueError):
+            data_parallel_imbalance(8, 0)
+
+
+class TestExecutionTimeModel:
+    @pytest.fixture
+    def model(self, cluster16):
+        return ExecutionTimeModel(cluster16)
+
+    @pytest.fixture
+    def heavy_op(self):
+        return make_layer_op("heavy", batch=32, seq_len=256, hidden=1024)
+
+    @pytest.fixture
+    def light_op(self):
+        return make_layer_op("light", batch=8, seq_len=32, hidden=256)
+
+    def test_time_positive_and_monotone_in_devices(self, model, heavy_op):
+        times = [model.operator_time(heavy_op, n) for n in (1, 2, 4, 8, 16)]
+        assert all(t > 0 for t in times)
+        for slower, faster in zip(times, times[1:]):
+            assert faster <= slower + 1e-12
+
+    def test_invalid_device_count(self, model, heavy_op):
+        with pytest.raises(ValueError):
+            model.operator_time(heavy_op, 0)
+
+    def test_device_count_clamped_to_cluster(self, model, heavy_op):
+        at_cluster = model.operator_time(heavy_op, 16)
+        beyond = model.operator_time(heavy_op, 64)
+        assert beyond == pytest.approx(at_cluster)
+
+    def test_backward_multiplies_cost(self, model, heavy_op):
+        fwd = model.operator_time(heavy_op, 4, include_backward=False)
+        fwd_bwd = model.operator_time(heavy_op, 4, include_backward=True)
+        assert fwd_bwd > 2 * fwd
+
+    def test_heavy_ops_scale_better_than_light_ops(self, model, heavy_op, light_op):
+        heavy_speedup = model.operator_time(heavy_op, 1) / model.operator_time(heavy_op, 16)
+        light_speedup = model.operator_time(light_op, 1) / model.operator_time(light_op, 16)
+        assert heavy_speedup > light_speedup
+        assert heavy_speedup > 6.0
+        assert light_speedup < 6.0
+
+    def test_launch_overhead_is_a_floor(self, model, light_op):
+        config = model.config
+        floor = config.kernel_launch_overhead * 2
+        assert model.operator_time(light_op, 16) >= floor
+
+    def test_tensor_parallel_adds_communication(self, cluster16):
+        model = ExecutionTimeModel(cluster16)
+        op = make_layer_op("tp", batch=4, seq_len=128, hidden=512)
+        # Eight devices on a batch of four forces TP=2: the extra collective
+        # removes most (possibly all) of the benefit of the extra devices.
+        t4 = model.operator_time(op, 4)
+        t8 = model.operator_time(op, 8)
+        assert t4 / t8 < 1.3
+
+    def test_operators_time_sums_chain(self, model, heavy_op, light_op):
+        total = model.operators_time([heavy_op, light_op], 4)
+        assert total == pytest.approx(
+            model.operator_time(heavy_op, 4) + model.operator_time(light_op, 4)
+        )
+
+    def test_achieved_flops_bounded_by_peak(self, model, heavy_op):
+        for n in (1, 2, 4, 8, 16):
+            achieved = model.achieved_flops_per_second(heavy_op, n)
+            assert 0 < achieved <= n * model.cluster.device_spec.peak_flops
+
+    def test_custom_config_changes_behaviour(self, cluster16, light_op):
+        default = ExecutionTimeModel(cluster16)
+        overhead_free = ExecutionTimeModel(
+            cluster16, TimingModelConfig(kernel_launch_overhead=0.0)
+        )
+        assert overhead_free.operator_time(light_op, 16) < default.operator_time(
+            light_op, 16
+        )

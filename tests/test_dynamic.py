@@ -1,0 +1,94 @@
+"""Tests for dynamic multi-task workloads (Appendix D)."""
+
+import pytest
+
+from repro.baselines.sequential import DeepSpeedSystem
+from repro.baselines.spindle_system import SpindleSystem
+from repro.dynamic.workload import (
+    DynamicWorkloadError,
+    DynamicWorkloadRunner,
+    DynamicWorkloadSchedule,
+    WorkloadPhase,
+)
+
+
+@pytest.fixture
+def schedule(tiny_tasks):
+    return DynamicWorkloadSchedule.from_tasks(
+        tiny_tasks,
+        phases=[
+            (["audio_task"], 10),
+            (["audio_task", "vision_task"], 20),
+            (["vision_task"], 5),
+        ],
+    )
+
+
+class TestScheduleConstruction:
+    def test_from_tasks(self, schedule):
+        assert len(schedule.phases) == 3
+        assert schedule.total_iterations == 35
+        assert [t.name for t in schedule.tasks_for(schedule.phases[1])] == [
+            "audio_task",
+            "vision_task",
+        ]
+
+    def test_unknown_task_rejected(self, tiny_tasks):
+        schedule = DynamicWorkloadSchedule.from_tasks(tiny_tasks, phases=[])
+        with pytest.raises(DynamicWorkloadError):
+            schedule.add_phase("p", ["missing_task"], 5)
+
+    def test_invalid_phase(self):
+        with pytest.raises(DynamicWorkloadError):
+            WorkloadPhase(name="p", task_names=(), num_iterations=5)
+        with pytest.raises(DynamicWorkloadError):
+            WorkloadPhase(name="p", task_names=("a",), num_iterations=0)
+
+    def test_runner_requires_phases(self, tiny_tasks):
+        empty = DynamicWorkloadSchedule.from_tasks(tiny_tasks, phases=[])
+        with pytest.raises(DynamicWorkloadError):
+            DynamicWorkloadRunner(empty)
+
+
+class TestRunner:
+    def test_run_produces_phase_results(self, schedule, two_island_cluster):
+        runner = DynamicWorkloadRunner(schedule)
+        result = runner.run(DeepSpeedSystem(two_island_cluster))
+        assert len(result.phase_results) == 3
+        assert result.total_time > 0
+
+    def test_cumulative_curve_is_monotone(self, schedule, two_island_cluster):
+        runner = DynamicWorkloadRunner(schedule)
+        result = runner.run(DeepSpeedSystem(two_island_cluster))
+        curve = result.cumulative_curve()
+        assert curve[-1][0] == schedule.total_iterations
+        iterations = [p[0] for p in curve]
+        times = [p[1] for p in curve]
+        assert iterations == sorted(iterations)
+        assert times == sorted(times)
+        assert result.total_time == pytest.approx(times[-1])
+
+    def test_spindle_replans_per_phase(self, schedule, two_island_cluster):
+        runner = DynamicWorkloadRunner(schedule)
+        result = runner.run(SpindleSystem(two_island_cluster))
+        assert all(p.replanning_seconds > 0 for p in result.phase_results)
+        # Replanning cost is negligible against the phase training time.
+        for phase_result in result.phase_results:
+            assert phase_result.replanning_seconds < phase_result.phase_time
+
+    def test_run_all_compares_systems(self, schedule, two_island_cluster):
+        runner = DynamicWorkloadRunner(schedule)
+        results = runner.run_all(
+            [SpindleSystem(two_island_cluster), DeepSpeedSystem(two_island_cluster)]
+        )
+        assert set(results) == {"spindle", "deepspeed"}
+        # Spindle adapts its plan to every phase and never ends up slower.
+        assert results["spindle"].total_time <= results["deepspeed"].total_time * 1.05
+
+    def test_phase_time_accounts_iterations(self, schedule, two_island_cluster):
+        runner = DynamicWorkloadRunner(schedule)
+        result = runner.run(DeepSpeedSystem(two_island_cluster))
+        first = result.phase_results[0]
+        assert first.phase_time == pytest.approx(
+            first.replanning_seconds + 10 * first.iteration_time
+        )

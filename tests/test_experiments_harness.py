@@ -1,0 +1,87 @@
+"""Tests for the comparison harness."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ComparisonResult,
+    run_comparison,
+    run_single_system,
+)
+from repro.experiments.workloads import WorkloadSpec, clip_workload
+
+
+@pytest.fixture(scope="module")
+def small_comparison():
+    """A small but real comparison reused across the tests of this module."""
+    workload = clip_workload(2, 8)
+    return run_comparison(workload, systems=("spindle", "deepspeed", "spindle-optimus"))
+
+
+class TestRunComparison:
+    def test_all_requested_systems_present(self, small_comparison):
+        assert set(small_comparison.results) == {
+            "spindle",
+            "deepspeed",
+            "spindle-optimus",
+        }
+
+    def test_speedups_relative_to_deepspeed(self, small_comparison):
+        speedups = small_comparison.speedups()
+        assert speedups["deepspeed"] == pytest.approx(1.0)
+        assert speedups["spindle"] == pytest.approx(
+            small_comparison.iteration_time("deepspeed")
+            / small_comparison.iteration_time("spindle")
+        )
+
+    def test_best_system_is_fastest(self, small_comparison):
+        best = small_comparison.best_system
+        assert small_comparison.iteration_time(best) == min(
+            r.iteration_time for r in small_comparison.results.values()
+        )
+
+    def test_rows_sorted_by_time(self, small_comparison):
+        rows = small_comparison.as_rows()
+        times = [row[1] for row in rows]
+        assert times == sorted(times)
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(KeyError):
+            run_comparison(clip_workload(2, 8), systems=("alpa",))
+
+    def test_reference_falls_back_when_missing(self):
+        result = run_comparison(clip_workload(2, 8), systems=("spindle-optimus",))
+        assert result.reference == "spindle-optimus"
+        assert result.speedup("spindle-optimus") == pytest.approx(1.0)
+
+
+class TestRunSingleSystem:
+    def test_returns_system_with_plan(self):
+        system, result = run_single_system(clip_workload(2, 8), "spindle")
+        assert result.iteration_time > 0
+        assert system.last_plan is not None
+
+    def test_kwargs_forwarded(self):
+        system, _ = run_single_system(
+            clip_workload(2, 8), "spindle", placement_strategy="sequential"
+        )
+        assert system.placement_strategy == "sequential"
+
+
+class TestComparisonResultUnit:
+    def test_manual_construction(self):
+        from repro.runtime.results import IterationResult, TimeBreakdown
+        from repro.runtime.trace import UtilizationTrace
+
+        def result(time):
+            return IterationResult(
+                iteration_time=time,
+                breakdown=TimeBreakdown(time, 0.0, 0.0),
+                trace=UtilizationTrace(num_devices=1, peak_flops_per_device=1.0),
+            )
+
+        comparison = ComparisonResult(
+            workload=WorkloadSpec(model="multitask-clip", num_tasks=1, num_gpus=8),
+            results={"deepspeed": result(2.0), "spindle": result(1.0)},
+        )
+        assert comparison.speedup("spindle") == pytest.approx(2.0)
+        assert comparison.best_system == "spindle"

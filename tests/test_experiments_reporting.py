@@ -1,0 +1,59 @@
+"""Tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_gib,
+    format_markdown_table,
+    format_milliseconds,
+    format_series,
+    format_speedup,
+    format_table,
+)
+
+
+class TestScalarFormatting:
+    def test_milliseconds(self):
+        assert format_milliseconds(0.1234) == "123.4 ms"
+
+    def test_speedup(self):
+        assert format_speedup(1.456) == "1.46x"
+
+    def test_gib(self):
+        assert format_gib(2 * 1024**3) == "2.0 GiB"
+
+
+class TestTableFormatting:
+    def test_plain_table_alignment(self):
+        text = format_table(
+            ["system", "time"],
+            [["spindle", "10 ms"], ["deepspeed", "17 ms"]],
+            title="Fig. 8",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig. 8"
+        assert "system" in lines[1] and "time" in lines[1]
+        assert len(lines) == 5
+        # All data rows share the header's column separator position.
+        assert lines[3].index("|") == lines[1].index("|")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_markdown_table(self):
+        text = format_markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestSeriesFormatting:
+    def test_series_subsamples_long_inputs(self):
+        points = [(float(i), float(i * 2)) for i in range(200)]
+        text = format_series(points, "t", "flops", max_points=10)
+        assert len(text.splitlines()) <= 25
+
+    def test_empty_series(self):
+        assert "empty" in format_series([], "t", "y")

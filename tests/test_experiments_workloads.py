@@ -1,0 +1,80 @@
+"""Tests for the experiment workload registry."""
+
+import pytest
+
+from repro.experiments.workloads import (
+    CASE_STUDY_WORKLOAD,
+    FIG10_WORKLOADS,
+    FIG11_WORKLOADS,
+    FIG12_WORKLOADS,
+    FIG14_WORKLOADS,
+    TAB2_WORKLOADS,
+    WorkloadSpec,
+    clip_workload,
+    fig8_workloads,
+    ofasys_workload,
+    qwen_val_workload,
+)
+
+
+class TestWorkloadSpec:
+    def test_tasks_and_cluster_construction(self):
+        spec = clip_workload(4, 16)
+        tasks = spec.tasks()
+        cluster = spec.cluster()
+        assert len(tasks) == 4
+        assert cluster.num_devices == 16
+        assert "multitask-clip" in spec.name
+        assert "16 GPUs" in spec.describe()
+
+    def test_model_kwargs_forwarded(self):
+        spec = qwen_val_workload(32, size="30b")
+        tasks = spec.tasks()
+        assert len(tasks) == 3
+        assert "size30b" in spec.name
+
+    def test_specs_are_hashable_and_comparable(self):
+        assert clip_workload(4, 16) == clip_workload(4, 16)
+        assert clip_workload(4, 16) != clip_workload(7, 16)
+        assert len({clip_workload(4, 16), clip_workload(4, 16)}) == 1
+
+
+class TestPaperGrids:
+    def test_fig8_grid_matches_paper(self):
+        workloads = fig8_workloads()
+        clip = [w for w in workloads if w.model == "multitask-clip"]
+        ofasys = [w for w in workloads if w.model == "ofasys"]
+        qwen = [w for w in workloads if w.model == "qwen-val"]
+        assert len(clip) == 9       # {4,7,10} tasks x {8,16,32} GPUs
+        assert len(ofasys) == 6     # {4,7} tasks x {8,16,32} GPUs
+        assert len(qwen) == 2       # 3 tasks x {32,64} GPUs
+        assert {w.num_gpus for w in qwen} == {32, 64}
+
+    def test_case_study_workload(self):
+        assert CASE_STUDY_WORKLOAD.model == "multitask-clip"
+        assert CASE_STUDY_WORKLOAD.num_tasks == 4
+        assert CASE_STUDY_WORKLOAD.num_gpus == 16
+
+    def test_fig10_covers_all_three_models(self):
+        models = {w.model for w in FIG10_WORKLOADS}
+        assert models == {"multitask-clip", "ofasys", "qwen-val"}
+
+    def test_fig11_uses_clip_on_16_and_32_gpus(self):
+        assert {w.num_gpus for w in FIG11_WORKLOADS} == {16, 32}
+        assert {w.num_tasks for w in FIG11_WORKLOADS} == {4, 7, 10}
+
+    def test_fig12_covers_the_gpu_sweep(self):
+        assert {w.num_gpus for w in FIG12_WORKLOADS} == {8, 16, 32, 64}
+
+    def test_fig14_is_single_task(self):
+        assert all(w.num_tasks == 1 for w in FIG14_WORKLOADS)
+
+    def test_tab2_is_large_scale(self):
+        assert all(w.num_gpus == 256 for w in TAB2_WORKLOADS)
+        sizes = {w.model_kwargs["size"] for w in TAB2_WORKLOADS}
+        assert sizes == {"30b", "70b"}
+
+    def test_ofasys_workload_builder(self):
+        spec = ofasys_workload(7, 8)
+        assert isinstance(spec, WorkloadSpec)
+        assert len(spec.tasks()) == 7

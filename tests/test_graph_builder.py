@@ -1,0 +1,54 @@
+"""Unit tests for the multi-task graph builder."""
+
+import pytest
+
+from repro.graph.builder import MultiTaskGraphBuilder, build_unified_graph
+from repro.graph.task import TaskError
+from tests.conftest import make_chain_task
+
+
+class TestMultiTaskGraphBuilder:
+    def test_merges_all_tasks(self, tiny_tasks):
+        graph = build_unified_graph(tiny_tasks)
+        expected_ops = sum(task.num_operators for task in tiny_tasks)
+        assert graph.num_operators == expected_ops
+        assert set(graph.tasks()) == {task.name for task in tiny_tasks}
+
+    def test_task_lookup(self, tiny_tasks):
+        builder = MultiTaskGraphBuilder(tiny_tasks)
+        assert builder.task("audio_task") is tiny_tasks[0]
+        assert builder.task_names == ["audio_task", "vision_task"]
+        with pytest.raises(TaskError):
+            builder.task("missing")
+
+    def test_duplicate_task_rejected(self, tiny_tasks):
+        builder = MultiTaskGraphBuilder(tiny_tasks)
+        with pytest.raises(TaskError):
+            builder.add_task(tiny_tasks[0])
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(TaskError):
+            MultiTaskGraphBuilder().build()
+
+    def test_shared_parameter_keys(self, tiny_tasks):
+        builder = MultiTaskGraphBuilder(tiny_tasks)
+        shared = builder.shared_parameter_keys()
+        # Both toy tasks share the 'shared.lm.*' parameters.
+        lm_keys = [key for key in shared if key.startswith("shared.lm")]
+        assert lm_keys
+        for key in lm_keys:
+            assert set(shared[key]) == {"audio_task", "vision_task"}
+        # Modality-specific keys belong to a single task.
+        audio_keys = [key for key in shared if key.startswith("shared.audio")]
+        assert all(shared[key] == ["audio_task"] for key in audio_keys)
+
+    def test_no_cross_task_edges(self, tiny_tasks):
+        graph = build_unified_graph(tiny_tasks)
+        for flow in graph.flows:
+            assert graph.operator(flow.src).task == graph.operator(flow.dst).task
+
+    def test_unique_operator_names_required(self):
+        a = make_chain_task("same", {"enc": 1})
+        b = make_chain_task("same", {"enc": 1})
+        with pytest.raises(TaskError):
+            build_unified_graph([a, b])

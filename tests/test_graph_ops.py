@@ -1,0 +1,97 @@
+"""Unit tests for the operator-level IR (TensorSpec, Operator, DataFlow)."""
+
+import pytest
+
+from repro.graph.ops import FP16_BYTES, DataFlow, Operator, TensorSpec
+
+
+class TestTensorSpec:
+    def test_numel_and_bytes(self):
+        spec = TensorSpec(batch=2, seq_len=3, hidden=4)
+        assert spec.numel == 24
+        assert spec.bytes == 24 * FP16_BYTES
+
+    def test_as_tuple(self):
+        assert TensorSpec(1, 2, 3).as_tuple() == (1, 2, 3)
+
+    def test_with_batch_changes_only_batch(self):
+        spec = TensorSpec(batch=2, seq_len=5, hidden=7)
+        resized = spec.with_batch(8)
+        assert resized.batch == 8
+        assert resized.seq_len == 5
+        assert resized.hidden == 7
+
+    @pytest.mark.parametrize("batch,seq,hidden", [(0, 1, 1), (1, 0, 1), (1, 1, 0), (-1, 1, 1)])
+    def test_rejects_non_positive_dimensions(self, batch, seq, hidden):
+        with pytest.raises(ValueError):
+            TensorSpec(batch=batch, seq_len=seq, hidden=hidden)
+
+    def test_equality_used_for_contraction(self):
+        assert TensorSpec(2, 3, 4) == TensorSpec(2, 3, 4)
+        assert TensorSpec(2, 3, 4) != TensorSpec(2, 3, 5)
+
+
+class TestOperator:
+    def make(self, **overrides):
+        defaults = dict(
+            name="op",
+            op_type="text_layer",
+            task="t",
+            modality="text",
+            input_spec=TensorSpec(2, 4, 8),
+            flops=1e9,
+            param_bytes=1000.0,
+            activation_bytes=64.0,
+            param_key="shared.layer0",
+        )
+        defaults.update(overrides)
+        return Operator(**defaults)
+
+    def test_basic_attributes(self):
+        op = self.make()
+        assert op.batch_size == 2
+        assert op.param_count == 500.0
+        assert op.workload_signature() == ("text_layer", (2, 4, 8))
+
+    def test_activation_bytes_defaults_to_input_spec(self):
+        op = self.make(activation_bytes=0.0)
+        assert op.activation_bytes == op.input_spec.bytes
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            self.make(name="")
+
+    def test_rejects_negative_flops(self):
+        with pytest.raises(ValueError):
+            self.make(flops=-1.0)
+
+    def test_rejects_negative_param_bytes(self):
+        with pytest.raises(ValueError):
+            self.make(param_bytes=-1.0)
+
+    def test_renamed_preserves_workload(self):
+        op = self.make()
+        clone = op.renamed("other")
+        assert clone.name == "other"
+        assert clone.flops == op.flops
+        assert clone.workload_signature() == op.workload_signature()
+        assert clone.metadata is not op.metadata
+
+    def test_same_type_different_shape_has_different_signature(self):
+        a = self.make(input_spec=TensorSpec(2, 4, 8))
+        b = self.make(name="b", input_spec=TensorSpec(2, 8, 8))
+        assert a.workload_signature() != b.workload_signature()
+
+
+class TestDataFlow:
+    def test_valid_flow(self):
+        flow = DataFlow(src="a", dst="b", volume_bytes=128.0)
+        assert flow.volume_bytes == 128.0
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            DataFlow(src="a", dst="a", volume_bytes=1.0)
+
+    def test_rejects_negative_volume(self):
+        with pytest.raises(ValueError):
+            DataFlow(src="a", dst="b", volume_bytes=-1.0)

@@ -1,0 +1,147 @@
+"""Integration tests: the qualitative claims of the paper's evaluation hold.
+
+These tests run the real model workloads through the full pipeline (planner +
+runtime engine + baselines) on small-but-realistic clusters and check the
+*shape* of the paper's results rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.baselines import make_system
+from repro.experiments.harness import run_comparison, run_single_system
+from repro.experiments.workloads import clip_workload, ofasys_workload, qwen_val_workload
+from repro.runtime.param_groups import ParameterDeviceGroupPool
+
+
+@pytest.fixture(scope="module")
+def clip4_16():
+    """The Fig. 9 case-study workload: Multitask-CLIP, 4 tasks, 16 GPUs."""
+    return run_comparison(
+        clip_workload(4, 16),
+        systems=("spindle", "spindle-optimus", "distmm-mt", "deepspeed"),
+    )
+
+
+class TestEndToEndOrdering:
+    def test_spindle_is_fastest_on_the_case_study(self, clip4_16):
+        assert clip4_16.best_system == "spindle"
+
+    def test_spindle_speedup_within_paper_band(self, clip4_16):
+        """The paper reports 1.2x-1.7x over DeepSpeed on Multitask-CLIP."""
+        speedup = clip4_16.speedup("spindle")
+        assert 1.1 <= speedup <= 2.5
+
+    def test_spindle_beats_every_baseline_on_ofasys(self):
+        comparison = run_comparison(
+            ofasys_workload(4, 16),
+            systems=("spindle", "distmm-mt", "deepspeed"),
+        )
+        assert comparison.best_system == "spindle"
+
+    def test_spindle_advantage_grows_with_cluster_size(self):
+        """Fig. 8: Spindle's speedup over DeepSpeed increases with the cluster."""
+        small = run_comparison(clip_workload(4, 8), systems=("spindle", "deepspeed"))
+        large = run_comparison(clip_workload(4, 32), systems=("spindle", "deepspeed"))
+        assert large.speedup("spindle") > small.speedup("spindle")
+
+    def test_spindle_advantage_grows_with_task_count(self):
+        few = run_comparison(clip_workload(4, 32), systems=("spindle", "deepspeed"))
+        many = run_comparison(clip_workload(10, 32), systems=("spindle", "deepspeed"))
+        assert many.speedup("spindle") >= few.speedup("spindle") * 0.95
+        assert many.speedup("spindle") > 1.3
+
+    def test_distmm_helps_on_clip_but_not_on_ofasys(self):
+        """§5.2: DistMM-MT gains on CLIP but shows poor performance on OFASys."""
+        clip = run_comparison(clip_workload(4, 16), systems=("distmm-mt", "deepspeed"))
+        ofasys = run_comparison(ofasys_workload(4, 16), systems=("distmm-mt", "deepspeed"))
+        assert clip.speedup("distmm-mt") > 1.02
+        assert ofasys.speedup("distmm-mt") < clip.speedup("distmm-mt")
+
+    def test_qwen_val_ordering(self):
+        comparison = run_comparison(
+            qwen_val_workload(32),
+            systems=("spindle", "spindle-optimus", "deepspeed"),
+        )
+        assert comparison.best_system == "spindle"
+        assert comparison.speedup("spindle") > 1.05
+
+
+class TestCaseStudyUtilization:
+    def test_spindle_has_highest_cluster_utilization(self, clip4_16):
+        """Fig. 9a: Spindle sustains the highest average cluster FLOP/s."""
+        flops = {
+            name: result.trace.cluster_average_flops()
+            for name, result in clip4_16.results.items()
+        }
+        assert flops["spindle"] == max(flops.values())
+
+    def test_spindle_device_utilization_dominates_deepspeed(self, clip4_16):
+        """Fig. 9b: per-device utilization of Spindle exceeds DeepSpeed's."""
+        spindle = clip4_16.results["spindle"].trace.device_utilization()
+        deepspeed = clip4_16.results["deepspeed"].trace.device_utilization()
+        spindle_mean = sum(spindle.values()) / len(spindle)
+        deepspeed_mean = sum(deepspeed.values()) / len(deepspeed)
+        assert spindle_mean > deepspeed_mean
+
+
+class TestTimeBreakdown:
+    def test_forward_backward_dominates(self, clip4_16):
+        """Fig. 10: forward/backward accounts for the bulk of iteration time."""
+        for result in clip4_16.results.values():
+            assert result.breakdown.fraction("forward_backward") > 0.6
+
+    def test_spindle_send_recv_share_is_small(self, clip4_16):
+        """Fig. 10: inter-wave send/recv stays a small share of the iteration."""
+        spindle = clip4_16.results["spindle"]
+        assert spindle.breakdown.fraction("send_recv") < 0.15
+
+    def test_sequential_placement_inflates_send_recv(self):
+        """Fig. 10 ablation: naive placement multiplies inter-wave traffic."""
+        workload = clip_workload(4, 16)
+        _, locality = run_single_system(workload, "spindle")
+        _, sequential = run_single_system(
+            workload, "spindle", placement_strategy="sequential"
+        )
+        assert sequential.breakdown.send_recv >= locality.breakdown.send_recv
+
+
+class TestOptimalityAndPlannerCost:
+    def test_iteration_time_close_to_theoretical_optimum(self):
+        """Fig. 11: Spindle stays within a modest factor of the C* lower bound."""
+        system, result = run_single_system(clip_workload(4, 16), "spindle")
+        optimum = system.last_plan.theoretical_optimum
+        assert result.breakdown.forward_backward >= optimum * 0.95
+        assert result.breakdown.forward_backward <= optimum * 1.35
+
+    def test_planner_cost_is_seconds_not_minutes(self):
+        """Fig. 12: the execution planner runs within a few seconds."""
+        system, _ = run_single_system(clip_workload(10, 32), "spindle")
+        assert system.last_planning_seconds < 3.0
+
+
+class TestMemoryConsumption:
+    def test_spindle_peak_memory_not_worse_than_deepspeed(self, clip4_16):
+        """Appendix G: selective parameter storage keeps Spindle's memory low."""
+        spindle = clip4_16.results["spindle"].peak_device_memory_bytes
+        deepspeed = clip4_16.results["deepspeed"].peak_device_memory_bytes
+        assert spindle <= deepspeed * 1.1
+
+    def test_all_systems_fit_in_device_memory(self, clip4_16):
+        capacity = clip_workload(4, 16).cluster().device_spec.memory_bytes
+        for result in clip4_16.results.values():
+            assert result.peak_device_memory_bytes <= capacity
+
+
+class TestParameterSharing:
+    def test_shared_encoder_gradients_have_cross_task_groups(self):
+        system, _ = run_single_system(clip_workload(4, 16), "spindle")
+        pool = ParameterDeviceGroupPool.from_plan(system.last_plan)
+        multi_device_groups = [g for g in pool.groups if g.group_size > 1]
+        assert multi_device_groups
+
+    def test_spindle_seq_matches_deepspeed(self):
+        """Appendix H: the Spindle engine without planning matches DeepSpeed."""
+        comparison = run_comparison(
+            clip_workload(4, 16), systems=("spindle-seq", "deepspeed")
+        )
+        assert comparison.speedup("spindle-seq") == pytest.approx(1.0, abs=0.1)

@@ -1,0 +1,90 @@
+"""Tests for the Multitask-CLIP (ImageBind-style) workload."""
+
+import pytest
+
+from repro.core.contraction import contract_graph
+from repro.graph.builder import MultiTaskGraphBuilder, build_unified_graph
+from repro.graph.ops import FP16_BYTES
+from repro.models.multitask_clip import (
+    CLIP_EMBED_DIM,
+    CLIP_ENCODERS,
+    CLIP_TASKS,
+    build_clip_task,
+    multitask_clip_tasks,
+)
+
+
+class TestTaskConstruction:
+    def test_ten_tasks_defined(self):
+        assert len(CLIP_TASKS) == 10
+        assert len({spec.name for spec in CLIP_TASKS}) == 10
+
+    def test_six_modalities_covered(self):
+        used = {spec.modality_a for spec in CLIP_TASKS} | {
+            spec.modality_b for spec in CLIP_TASKS
+        }
+        assert used == set(CLIP_ENCODERS)
+
+    def test_task_structure(self):
+        task = build_clip_task(CLIP_TASKS[0])
+        # Two encoders, two projections and the contrastive loss.
+        assert len(task.modules) == 5
+        assert "contrastive_loss" in task.module_names
+        graph = task.build_graph()
+        assert graph.in_degree(f"{task.name}.contrastive_loss") == 2
+
+    def test_encoder_depths_match_config(self):
+        task = build_clip_task(CLIP_TASKS[4])  # vision + text
+        vision = task.module("vision_encoder")
+        text = task.module("text_encoder")
+        assert vision.num_operators == CLIP_ENCODERS["vision"].num_layers
+        assert text.num_operators == CLIP_ENCODERS["text"].num_layers
+
+    def test_num_tasks_selection(self):
+        assert len(multitask_clip_tasks(4)) == 4
+        assert len(multitask_clip_tasks(10)) == 10
+        with pytest.raises(ValueError):
+            multitask_clip_tasks(0)
+        with pytest.raises(ValueError):
+            multitask_clip_tasks(11)
+
+
+class TestWorkloadProperties:
+    def test_parameter_count_close_to_paper(self):
+        """Tab. 1b reports 1.20B parameters for Multitask-CLIP."""
+        graph = build_unified_graph(multitask_clip_tasks(10))
+        params = graph.total_param_bytes() / FP16_BYTES
+        assert params == pytest.approx(1.20e9, rel=0.15)
+
+    def test_encoders_shared_across_tasks(self):
+        builder = MultiTaskGraphBuilder(multitask_clip_tasks(10))
+        shared = builder.shared_parameter_keys()
+        vision_keys = [k for k in shared if k.startswith("clip.vision")]
+        assert vision_keys
+        assert all(len(shared[k]) >= 2 for k in vision_keys)
+
+    def test_cross_modal_module_is_lightweight(self):
+        """The contrastive loss is tiny compared with the encoders (§5.1)."""
+        task = build_clip_task(CLIP_TASKS[4])
+        loss_flops = task.module("contrastive_loss").flops
+        encoder_flops = task.module("vision_encoder").flops
+        assert loss_flops < 0.01 * encoder_flops
+
+    def test_inter_task_heterogeneity(self):
+        """Tasks differ in total workload (the premise of Fig. 1)."""
+        tasks = multitask_clip_tasks(10)
+        flops = [task.flops for task in tasks]
+        assert max(flops) / min(flops) > 3.0
+
+    def test_contraction_produces_one_metaop_per_tower(self):
+        tasks = multitask_clip_tasks(4)
+        metagraph = contract_graph(build_unified_graph(tasks))
+        # Per task: two encoder MetaOps, two projections, one loss.
+        assert metagraph.num_metaops == 5 * len(tasks)
+        # Encoders are level 0, projections level 1, losses level 2.
+        assert metagraph.num_levels == 3
+
+    def test_projection_dimension(self):
+        task = build_clip_task(CLIP_TASKS[0])
+        proj = task.module("text_projection").operators[0]
+        assert proj.metadata["out_dim"] == CLIP_EMBED_DIM

@@ -1,0 +1,74 @@
+"""Tests for the OFASys workload (unified encoder-decoder LM)."""
+
+import pytest
+
+from repro.core.contraction import contract_graph
+from repro.graph.builder import MultiTaskGraphBuilder, build_unified_graph
+from repro.graph.ops import FP16_BYTES
+from repro.models.ofasys import (
+    OFASYS_LM_DECODER_LAYERS,
+    OFASYS_LM_ENCODER_LAYERS,
+    OFASYS_TASKS,
+    build_ofasys_task,
+    ofasys_tasks,
+)
+
+
+class TestTaskConstruction:
+    def test_seven_tasks_defined(self):
+        assert len(OFASYS_TASKS) == 7
+        assert len({spec.name for spec in OFASYS_TASKS}) == 7
+
+    def test_task_structure_is_adaptor_then_lm(self):
+        task = build_ofasys_task(OFASYS_TASKS[0])
+        graph = task.build_graph()
+        order = graph.topological_order()
+        adaptor_positions = [i for i, n in enumerate(order) if "adaptor" in n]
+        lm_positions = [i for i, n in enumerate(order) if ".lm_" in n]
+        assert max(adaptor_positions) < min(lm_positions)
+
+    def test_lm_depth(self):
+        task = build_ofasys_task(OFASYS_TASKS[0])
+        assert task.module("lm_encoder").num_operators == OFASYS_LM_ENCODER_LAYERS
+        assert task.module("lm_decoder").num_operators == OFASYS_LM_DECODER_LAYERS
+
+    def test_num_tasks_selection(self):
+        assert len(ofasys_tasks(4)) == 4
+        with pytest.raises(ValueError):
+            ofasys_tasks(8)
+
+
+class TestWorkloadProperties:
+    def test_parameter_count_close_to_paper(self):
+        """Tab. 1b reports 0.66B parameters for OFASys."""
+        graph = build_unified_graph(ofasys_tasks(7))
+        params = graph.total_param_bytes() / FP16_BYTES
+        assert params == pytest.approx(0.66e9, rel=0.2)
+
+    def test_lm_shared_by_every_task(self):
+        builder = MultiTaskGraphBuilder(ofasys_tasks(7))
+        shared = builder.shared_parameter_keys()
+        lm_keys = [k for k in shared if k.startswith("ofasys.lm")]
+        assert lm_keys
+        for key in lm_keys:
+            assert len(shared[key]) == 7
+
+    def test_cross_modal_module_comparable_to_adaptors(self):
+        """In OFASys the LM workload is comparable to the modality adaptors."""
+        task = build_ofasys_task(OFASYS_TASKS[0])
+        lm_flops = task.module("lm_encoder").flops + task.module("lm_decoder").flops
+        adaptor_flops = task.module("vision_adaptor").flops
+        assert 0.5 < lm_flops / adaptor_flops < 20.0
+
+    def test_text_adaptor_is_lightweight(self):
+        """The text adaptor is tiny, which is why DistMM-MT gains little."""
+        text_task = build_ofasys_task(OFASYS_TASKS[2])
+        vision_task = build_ofasys_task(OFASYS_TASKS[0])
+        text_adaptor = text_task.module("text_adaptor").flops
+        vision_adaptor = vision_task.module("vision_adaptor").flops
+        assert text_adaptor < 0.25 * vision_adaptor
+
+    def test_metalevels_follow_the_pipeline(self):
+        metagraph = contract_graph(build_unified_graph(ofasys_tasks(4)))
+        # adaptor -> bridge -> lm encoder -> lm decoder gives four levels.
+        assert metagraph.num_levels == 4

@@ -1,0 +1,83 @@
+"""Tests for the QWen-VAL workload (decoder-only LLM)."""
+
+import pytest
+
+from repro.core.contraction import contract_graph
+from repro.graph.builder import MultiTaskGraphBuilder, build_unified_graph
+from repro.graph.ops import FP16_BYTES
+from repro.models.qwen_val import (
+    QWEN_VAL_10B,
+    QWEN_VAL_30B,
+    QWEN_VAL_70B,
+    QWEN_VAL_TASKS,
+    build_qwen_val_task,
+    qwen_val_tasks,
+)
+
+
+class TestTaskConstruction:
+    def test_three_tasks_with_expected_modalities(self):
+        assert len(QWEN_VAL_TASKS) == 3
+        assert QWEN_VAL_TASKS[0].modalities == ("vision",)
+        assert QWEN_VAL_TASKS[1].modalities == ("audio",)
+        assert set(QWEN_VAL_TASKS[2].modalities) == {"vision", "audio"}
+
+    def test_val_task_has_two_encoders(self):
+        task = build_qwen_val_task(QWEN_VAL_TASKS[2])
+        assert "vision_encoder" in task.module_names
+        assert "audio_encoder" in task.module_names
+        graph = task.build_graph()
+        llm_first = f"{task.name}.llm.embedding"
+        assert graph.in_degree(llm_first) == 2
+
+    def test_size_selection(self):
+        assert len(qwen_val_tasks(3, size="10b")) == 3
+        with pytest.raises(ValueError):
+            qwen_val_tasks(size="13b")
+        with pytest.raises(ValueError):
+            qwen_val_tasks(num_tasks=4)
+
+
+class TestWorkloadProperties:
+    def test_parameter_count_close_to_paper(self):
+        """Tab. 1b reports 9.25B parameters for QWen-VAL."""
+        graph = build_unified_graph(qwen_val_tasks(3))
+        params = graph.total_param_bytes() / FP16_BYTES
+        assert params == pytest.approx(9.25e9, rel=0.15)
+
+    def test_larger_variants_scale_up(self):
+        def params(size):
+            graph = build_unified_graph(qwen_val_tasks(3, size=size))
+            return graph.total_param_bytes() / FP16_BYTES
+
+        p10, p30, p70 = params("10b"), params("30b"), params("70b")
+        assert p10 < p30 < p70
+        assert p30 == pytest.approx(30e9, rel=0.25)
+        assert p70 == pytest.approx(70e9, rel=0.25)
+
+    def test_llm_dominates_computation(self):
+        """The cross-modal module (LLM) is larger than the encoders (§5.1)."""
+        task = build_qwen_val_task(QWEN_VAL_TASKS[0])
+        llm_flops = task.module("llm").flops
+        encoder_flops = task.module("vision_encoder").flops
+        assert llm_flops > encoder_flops
+
+    def test_llm_shared_across_tasks(self):
+        builder = MultiTaskGraphBuilder(qwen_val_tasks(3))
+        shared = builder.shared_parameter_keys()
+        llm_keys = [k for k in shared if ".llm." in k]
+        assert llm_keys
+        for key in llm_keys:
+            assert len(shared[key]) == 3
+
+    def test_configs_are_consistent(self):
+        assert QWEN_VAL_10B.llm_hidden < QWEN_VAL_30B.llm_hidden <= QWEN_VAL_70B.llm_hidden
+        assert QWEN_VAL_10B.llm_layers < QWEN_VAL_30B.llm_layers < QWEN_VAL_70B.llm_layers
+
+    def test_contraction_keeps_llm_as_single_metaop_per_task(self):
+        metagraph = contract_graph(build_unified_graph(qwen_val_tasks(1)))
+        llm_metaops = [
+            m for m in metagraph.metaops.values() if m.op_type == "llm_decoder_layer"
+        ]
+        assert len(llm_metaops) == 1
+        assert llm_metaops[0].num_operators == QWEN_VAL_10B.llm_layers

@@ -1,0 +1,39 @@
+"""Tests for the model registry (Tab. 1b metadata)."""
+
+import pytest
+
+from repro.models.registry import MODEL_REGISTRY, get_model_info, get_model_tasks
+
+
+class TestRegistry:
+    def test_three_workloads_registered(self):
+        assert set(MODEL_REGISTRY) == {"multitask-clip", "ofasys", "qwen-val"}
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_model_info("Multitask-CLIP").name == "Multitask-CLIP"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model_info("clip-4")
+
+    def test_tab1b_metadata(self):
+        clip = get_model_info("multitask-clip")
+        ofasys = get_model_info("ofasys")
+        qwen = get_model_info("qwen-val")
+        assert clip.max_tasks == 10 and clip.num_modalities == 6
+        assert ofasys.max_tasks == 7 and ofasys.num_modalities == 6
+        assert qwen.max_tasks == 3 and qwen.num_modalities == 3
+        assert clip.cross_modal_module == "Contrastive Loss"
+        assert ofasys.cross_modal_module == "Enc-Dec LLM"
+        assert qwen.cross_modal_module == "Dec-only LLM"
+
+    def test_get_model_tasks_defaults_to_all(self):
+        assert len(get_model_tasks("multitask-clip")) == 10
+        assert len(get_model_tasks("ofasys", 4)) == 4
+        assert len(get_model_tasks("qwen-val", 3, size="30b")) == 3
+
+    def test_parameter_count_ordering(self):
+        clip = get_model_info("multitask-clip").parameter_count()
+        ofasys = get_model_info("ofasys").parameter_count()
+        qwen = get_model_info("qwen-val").parameter_count()
+        assert ofasys < clip < qwen

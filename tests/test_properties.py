@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) for the planner's core invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import make_cluster
+from repro.core.allocator import ResourceAllocator, default_valid_allocations
+from repro.core.contraction import contract_graph
+from repro.core.estimator import ScalingCurve
+from repro.core.metagraph import MetaOp
+from repro.core.plan import ASLTuple, LevelAllocation
+from repro.core.scheduler import WavefrontScheduler
+from repro.costmodel.comm import ring_allreduce_time
+from repro.costmodel.profiler import ProfileSample
+from repro.costmodel.timing import ExecutionTimeModel
+from repro.graph.graph import ComputationGraph
+from repro.graph.ops import TensorSpec
+from tests.conftest import make_layer_op
+
+# ---------------------------------------------------------------- strategies
+
+batch_sizes = st.sampled_from([1, 2, 4, 8, 16, 32, 64])
+hidden_sizes = st.sampled_from([128, 256, 512, 1024])
+seq_lens = st.sampled_from([16, 64, 128, 256])
+
+
+@st.composite
+def scaling_curves(draw):
+    """Random decreasing-ish profiles over power-of-two allocations."""
+    base = draw(st.floats(min_value=1e-4, max_value=1.0))
+    decay = draw(st.floats(min_value=0.3, max_value=1.0))
+    noise = draw(
+        st.lists(st.floats(min_value=0.9, max_value=1.1), min_size=5, max_size=5)
+    )
+    samples = []
+    time = base
+    for i, n in enumerate([1, 2, 4, 8, 16]):
+        samples.append(ProfileSample(n, max(1e-9, time * noise[i])))
+        time *= decay
+    return ScalingCurve(samples)
+
+
+@st.composite
+def metaop_specs(draw, index=0):
+    layers = draw(st.integers(min_value=1, max_value=24))
+    batch = draw(batch_sizes)
+    hidden = draw(hidden_sizes)
+    seq = draw(seq_lens)
+    ops = [
+        make_layer_op(
+            f"prop{index}.{i}",
+            op_type=f"type{index}",
+            batch=batch,
+            hidden=hidden,
+            seq_len=seq,
+        )
+        for i in range(layers)
+    ]
+    return MetaOp(index=index, operators=ops, level=0)
+
+
+@st.composite
+def levels(draw):
+    """A random MetaLevel: MetaOps plus fitted curves plus a cluster size."""
+    num_devices = draw(st.sampled_from([2, 4, 8, 16]))
+    num_metaops = draw(st.integers(min_value=1, max_value=5))
+    metaops = []
+    curves = {}
+    for i in range(num_metaops):
+        metaops.append(draw(metaop_specs(index=i)))
+        curves[i] = draw(scaling_curves())
+    return num_devices, metaops, curves
+
+
+# ------------------------------------------------------------------ estimator
+
+
+@given(scaling_curves())
+@settings(max_examples=50, deadline=None)
+def test_scaling_curves_are_non_increasing(curve):
+    times = [curve.time(n) for n in range(1, 17)]
+    for slower, faster in zip(times, times[1:]):
+        assert faster <= slower + 1e-12
+
+
+@given(scaling_curves(), st.floats(min_value=1.0, max_value=16.0))
+@settings(max_examples=50, deadline=None)
+def test_inverse_is_consistent_with_time(curve, n):
+    target = curve.time(n)
+    recovered = curve.inverse(target)
+    assert curve.time(recovered) <= target * (1 + 1e-6)
+
+
+# ------------------------------------------------------------------ allocator
+
+
+@given(levels())
+@settings(max_examples=30, deadline=None)
+def test_continuous_allocation_respects_capacity(level):
+    num_devices, metaops, curves = level
+    allocator = ResourceAllocator(num_devices)
+    solution = allocator.solve_continuous(metaops, curves)
+    assert solution.c_star > 0
+    assert solution.total_devices() <= num_devices + 1e-6
+    for n in solution.allocations.values():
+        assert n > 0
+
+
+@given(levels())
+@settings(max_examples=30, deadline=None)
+def test_discretized_allocation_covers_all_layers(level):
+    num_devices, metaops, curves = level
+    allocator = ResourceAllocator(num_devices)
+    allocation = allocator.allocate_level(0, metaops, curves)
+    for metaop in metaops:
+        tuples = allocation.tuples_for(metaop.index)
+        assert sum(t.layers for t in tuples) == metaop.num_operators
+        valid = default_valid_allocations(metaop, num_devices)
+        for t in tuples:
+            assert t.n_devices in valid
+
+
+# ------------------------------------------------------------------ scheduler
+
+
+@given(levels())
+@settings(max_examples=30, deadline=None)
+def test_wavefront_schedule_invariants(level):
+    num_devices, metaops, curves = level
+    allocator = ResourceAllocator(num_devices)
+    allocation = allocator.allocate_level(0, metaops, curves)
+    scheduler = WavefrontScheduler(num_devices)
+    waves, end = scheduler.schedule_level(allocation, metaops, curves)
+    # Capacity respected and all layers scheduled exactly once.
+    for wave in waves:
+        assert wave.devices_used <= num_devices
+        wave.validate(num_devices)
+    for metaop in metaops:
+        scheduled = sum(
+            e.layers for w in waves for e in w.entries if e.metaop_index == metaop.index
+        )
+        assert scheduled == metaop.num_operators
+    # Waves are contiguous in time.
+    previous_end = 0.0
+    for wave in waves:
+        assert wave.start >= previous_end - 1e-9
+        previous_end = wave.end
+    assert end == previous_end
+    # Wave count bounded: each wave drains at least one ASL-tuple.
+    total_tuples = sum(len(allocation.tuples_for(m.index)) for m in metaops)
+    assert len(waves) <= total_tuples + len(metaops)
+
+
+# ----------------------------------------------------------------- contraction
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), batch_sizes, seq_lens),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_contraction_preserves_operators_on_random_chains(spec):
+    graph = ComputationGraph()
+    previous = None
+    for i, (op_type, batch, seq) in enumerate(spec):
+        name = f"op{i}"
+        graph.add_operator(
+            make_layer_op(name, op_type=f"{op_type}_layer", batch=batch, seq_len=seq)
+        )
+        if previous is not None:
+            graph.add_flow(previous, name)
+        previous = name
+    metagraph = contract_graph(graph)
+    assert metagraph.num_operators == graph.num_operators
+    # Within every MetaOp all operators share one workload signature.
+    for metaop in metagraph.metaops.values():
+        signatures = {op.workload_signature() for op in metaop.operators}
+        assert len(signatures) == 1
+    # Levels increase along every edge.
+    for (src, dst) in metagraph.edges:
+        assert metagraph.metaop(src).level < metagraph.metaop(dst).level
+
+
+# ------------------------------------------------------------------ cost model
+
+
+@given(batch_sizes, seq_lens, hidden_sizes, st.sampled_from([1, 2, 4, 8, 16, 32]))
+@settings(max_examples=60, deadline=None)
+def test_operator_time_is_positive_and_bounded(batch, seq, hidden, devices):
+    cluster = make_cluster(32)
+    model = ExecutionTimeModel(cluster)
+    op = make_layer_op("x", batch=batch, seq_len=seq, hidden=hidden)
+    time = model.operator_time(op, devices)
+    assert time > 0
+    assert math.isfinite(time)
+    # Achieved throughput can never exceed the allocation's peak.
+    achieved = model.achieved_flops_per_second(op, devices)
+    assert achieved <= devices * cluster.device_spec.peak_flops * (1 + 1e-9)
+
+
+@given(
+    st.floats(min_value=0, max_value=1e10),
+    st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_allreduce_time_non_negative_and_monotone_in_volume(volume, group):
+    cluster = make_cluster(8)
+    link = cluster.intra_island
+    time = ring_allreduce_time(volume, group, link)
+    assert time >= 0
+    assert ring_allreduce_time(volume * 2, group, link) >= time
+
+
+@given(batch_sizes, st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_valid_allocations_divide_or_are_divided_by_batch(batch, num_devices):
+    op = make_layer_op("x", batch=batch)
+    metaop = MetaOp(index=0, operators=[op])
+    valid = default_valid_allocations(metaop, num_devices)
+    assert valid
+    for n in valid:
+        assert 1 <= n <= num_devices
+        assert batch % n == 0 or n % batch == 0
+
+
+@given(st.integers(min_value=1, max_value=4096))
+@settings(max_examples=40, deadline=None)
+def test_tensor_spec_bytes_consistent(numel_seed):
+    spec = TensorSpec(batch=1, seq_len=numel_seed, hidden=3)
+    assert spec.bytes == spec.numel * 2

@@ -1,0 +1,89 @@
+"""Unit tests for the parameter device group pool (§3.6 step 3)."""
+
+import pytest
+
+from repro.core.planner import ExecutionPlanner
+from repro.runtime.param_groups import ParameterDeviceGroupPool
+
+
+@pytest.fixture
+def plan(two_island_cluster, tiny_tasks):
+    return ExecutionPlanner(two_island_cluster).plan(tiny_tasks)
+
+
+class TestParameterDeviceGroupPool:
+    def test_every_shared_key_is_in_exactly_one_group(self, plan, tiny_tasks):
+        pool = ParameterDeviceGroupPool.from_plan(plan)
+        all_keys = [key for group in pool.groups for key in group.param_keys]
+        assert len(all_keys) == len(set(all_keys))
+        expected_keys = {
+            op.param_key
+            for task in tiny_tasks
+            for op in task.operators
+            if op.param_key is not None and op.param_bytes > 0
+        }
+        assert set(all_keys) == expected_keys
+
+    def test_group_devices_cover_placements(self, plan):
+        pool = ParameterDeviceGroupPool.from_plan(plan)
+        # Devices referenced by groups must exist in the cluster.
+        for group in pool.groups:
+            assert all(0 <= d < plan.cluster.num_devices for d in group.devices)
+            assert group.devices == tuple(sorted(group.devices))
+
+    def test_shared_lm_parameters_span_both_tasks_devices(self, plan):
+        """Keys shared by the two toy tasks form groups that include devices of
+        MetaOps from both tasks."""
+        pool = ParameterDeviceGroupPool.from_plan(plan)
+        lm_groups = [
+            group
+            for group in pool.groups
+            if any(key.startswith("shared.lm") for key in group.param_keys)
+        ]
+        assert lm_groups
+        task_devices: dict[str, set[int]] = {}
+        for wave in plan.waves:
+            for entry in wave.entries:
+                metaop = plan.metagraph.metaop(entry.metaop_index)
+                if metaop.op_type == "lm_layer":
+                    task_devices.setdefault(metaop.task, set()).update(
+                        plan.placement.devices_for(wave.index, entry.metaop_index)
+                    )
+        union = set().union(*task_devices.values())
+        grouped = set().union(*(set(g.devices) for g in lm_groups))
+        assert grouped == union
+
+    def test_total_bytes_counts_each_key_once(self, plan, tiny_tasks):
+        pool = ParameterDeviceGroupPool.from_plan(plan)
+        key_bytes = {}
+        for task in tiny_tasks:
+            for op in task.operators:
+                if op.param_key is not None and op.param_bytes > 0:
+                    key_bytes[op.param_key] = op.param_bytes
+        assert pool.total_bytes == pytest.approx(sum(key_bytes.values()))
+
+    def test_sync_time_positive_for_multi_device_groups(self, plan):
+        pool = ParameterDeviceGroupPool.from_plan(plan)
+        if pool.groups_needing_sync():
+            assert pool.sync_time(plan.cluster) > 0
+
+    def test_sync_time_overlap_reduces_cost(self, plan):
+        pool = ParameterDeviceGroupPool.from_plan(plan)
+        full = pool.sync_time(plan.cluster, overlap_fraction=0.0)
+        half = pool.sync_time(plan.cluster, overlap_fraction=0.5)
+        assert half == pytest.approx(0.5 * full)
+        with pytest.raises(ValueError):
+            pool.sync_time(plan.cluster, overlap_fraction=1.0)
+
+    def test_group_for_key(self, plan):
+        pool = ParameterDeviceGroupPool.from_plan(plan)
+        some_key = pool.groups[0].param_keys[0]
+        group = pool.group_for_key(some_key)
+        assert group is pool.groups[0]
+        assert pool.group_for_key("does.not.exist") is None
+
+    def test_single_device_groups_need_no_sync(self, plan):
+        pool = ParameterDeviceGroupPool.from_plan(plan)
+        for group in pool.groups:
+            if group.group_size == 1:
+                assert not group.needs_sync

@@ -1,0 +1,83 @@
+"""Unit tests for the wave-by-wave execution simulator."""
+
+import pytest
+
+from repro.core.planner import ExecutionPlanner
+from repro.costmodel.timing import ExecutionTimeModel
+from repro.runtime.param_groups import ParameterDeviceGroupPool
+from repro.runtime.simulator import WaveExecutionSimulator
+from repro.runtime.transmission import build_transmissions
+
+
+@pytest.fixture
+def plan(two_island_cluster, tiny_tasks):
+    return ExecutionPlanner(two_island_cluster).plan(tiny_tasks)
+
+
+@pytest.fixture
+def simulator(plan):
+    timing = ExecutionTimeModel(plan.cluster)
+    return WaveExecutionSimulator(
+        plan=plan,
+        timing_model=timing,
+        transmissions=build_transmissions(plan),
+        param_pool=ParameterDeviceGroupPool.from_plan(plan),
+    )
+
+
+class TestWaveExecutionSimulator:
+    def test_iteration_time_is_sum_of_components(self, simulator):
+        result = simulator.run_iteration()
+        assert result.iteration_time == pytest.approx(result.breakdown.total)
+        assert result.breakdown.forward_backward > 0
+        assert result.breakdown.param_sync >= 0
+        assert result.breakdown.send_recv >= 0
+
+    def test_compute_dominates_for_this_workload(self, simulator):
+        result = simulator.run_iteration()
+        assert result.breakdown.fraction("forward_backward") > 0.5
+
+    def test_wave_timings_are_contiguous(self, simulator):
+        result = simulator.run_iteration()
+        timings = result.metadata["wave_timings"]
+        assert len(timings) == result.num_waves
+        for prev, nxt in zip(timings, timings[1:]):
+            assert nxt.start == pytest.approx(prev.end)
+
+    def test_wave_compute_matches_slowest_entry(self, simulator, plan):
+        result = simulator.run_iteration()
+        timing = simulator.timing_model
+        for wave, sim in zip(plan.waves, result.metadata["wave_timings"]):
+            slowest = max(
+                timing.operator_time(
+                    plan.metagraph.metaop(e.metaop_index).representative, e.n_devices
+                )
+                * e.layers
+                for e in wave.entries
+            )
+            assert sim.compute_duration == pytest.approx(slowest)
+
+    def test_trace_only_marks_allocated_devices(self, simulator, plan):
+        result = simulator.run_iteration()
+        allocated = set()
+        for wave in plan.waves:
+            for entry in wave.entries:
+                allocated.update(plan.placement.devices_for(wave.index, entry.metaop_index))
+        traced = {seg.device_id for seg in result.trace.segments}
+        assert traced <= allocated
+
+    def test_trace_throughput_below_peak(self, simulator, plan):
+        result = simulator.run_iteration()
+        peak = plan.cluster.device_spec.peak_flops
+        for seg in result.trace.segments:
+            assert seg.flops_per_second <= peak * 1.001
+
+    def test_device_memory_carried_from_placement(self, simulator, plan):
+        result = simulator.run_iteration()
+        assert result.device_memory_bytes == plan.placement.device_memory_bytes
+
+    def test_deterministic(self, simulator):
+        a = simulator.run_iteration()
+        b = simulator.run_iteration()
+        assert a.iteration_time == pytest.approx(b.iteration_time)
+        assert a.breakdown.send_recv == pytest.approx(b.breakdown.send_recv)

@@ -1,0 +1,89 @@
+"""Unit tests for utilization traces."""
+
+import pytest
+
+from repro.runtime.trace import TraceSegment, UtilizationTrace
+
+
+class TestTraceSegment:
+    def test_duration_and_flops(self):
+        seg = TraceSegment(device_id=0, start=1.0, end=3.0, flops_per_second=5.0)
+        assert seg.duration == 2.0
+        assert seg.flops == 10.0
+
+    def test_invalid_segments(self):
+        with pytest.raises(ValueError):
+            TraceSegment(device_id=0, start=2.0, end=1.0, flops_per_second=1.0)
+        with pytest.raises(ValueError):
+            TraceSegment(device_id=0, start=0.0, end=1.0, flops_per_second=-1.0)
+
+
+class TestUtilizationTrace:
+    @pytest.fixture
+    def trace(self):
+        trace = UtilizationTrace(num_devices=2, peak_flops_per_device=100.0)
+        trace.add_busy(0, start=0.0, duration=1.0, flops_per_second=50.0, metaop_index=0)
+        trace.add_busy(0, start=1.0, duration=1.0, flops_per_second=100.0, metaop_index=1)
+        trace.add_busy(1, start=0.0, duration=2.0, flops_per_second=25.0, metaop_index=0)
+        return trace
+
+    def test_end_time_tracks_latest_segment(self, trace):
+        assert trace.end_time == 2.0
+
+    def test_device_id_validated(self, trace):
+        with pytest.raises(ValueError):
+            trace.add_busy(5, start=0.0, duration=1.0, flops_per_second=1.0)
+
+    def test_device_busy_time(self, trace):
+        busy = trace.device_busy_time()
+        assert busy[0] == pytest.approx(2.0)
+        assert busy[1] == pytest.approx(2.0)
+
+    def test_device_average_flops(self, trace):
+        avg = trace.device_average_flops()
+        assert avg[0] == pytest.approx((50 + 100) / 2.0)
+        assert avg[1] == pytest.approx(25.0)
+
+    def test_device_utilization_fraction_of_peak(self, trace):
+        util = trace.device_utilization()
+        assert util[0] == pytest.approx(0.75)
+        assert util[1] == pytest.approx(0.25)
+
+    def test_cluster_average_flops(self, trace):
+        assert trace.cluster_average_flops() == pytest.approx((150 + 50) / 2.0)
+
+    def test_cluster_timeline_integrates_to_total_flops(self, trace):
+        points = trace.cluster_timeline(num_points=50)
+        assert len(points) == 50
+        step = trace.end_time / 50
+        integral = sum(value * step for _, value in points)
+        total = sum(seg.flops for seg in trace.segments)
+        assert integral == pytest.approx(total, rel=1e-6)
+
+    def test_cluster_timeline_shows_idle_periods(self):
+        trace = UtilizationTrace(num_devices=1, peak_flops_per_device=10.0)
+        trace.add_busy(0, start=0.0, duration=1.0, flops_per_second=10.0)
+        trace.add_busy(0, start=3.0, duration=1.0, flops_per_second=10.0)
+        points = trace.cluster_timeline(num_points=4)
+        values = [value for _, value in points]
+        assert values[0] > 0
+        assert values[1] == pytest.approx(0.0)
+        assert values[2] == pytest.approx(0.0)
+
+    def test_metaop_utilization(self, trace):
+        metaop_flops = trace.metaop_average_flops()
+        assert metaop_flops[0] == pytest.approx((50 * 1 + 25 * 2) / 3.0)
+        assert metaop_flops[1] == pytest.approx(100.0)
+        util = trace.metaop_utilization()
+        assert util[1] == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        trace = UtilizationTrace(num_devices=2, peak_flops_per_device=10.0)
+        assert trace.cluster_average_flops() == 0.0
+        assert trace.device_utilization() == {0: 0.0, 1: 0.0}
+        assert trace.cluster_timeline() == [(0.0, 0.0)]
+        assert trace.metaop_utilization() == {}
+
+    def test_invalid_timeline_resolution(self, trace):
+        with pytest.raises(ValueError):
+            trace.cluster_timeline(num_points=0)

@@ -1,0 +1,87 @@
+"""Unit tests for inter-wave transmission construction (§3.6 step 2)."""
+
+import pytest
+
+from repro.core.planner import ExecutionPlanner
+from repro.costmodel.comm import LinkClass
+from repro.runtime.transmission import (
+    build_transmissions,
+    total_transmission_time,
+    transmission_volume_by_link,
+)
+
+
+@pytest.fixture
+def plan(two_island_cluster, tiny_tasks):
+    return ExecutionPlanner(two_island_cluster).plan(tiny_tasks)
+
+
+class TestBuildTransmissions:
+    def test_transmissions_are_well_formed(self, plan):
+        transmissions = build_transmissions(plan)
+        wave_indices = {wave.index for wave in plan.waves}
+        for t in transmissions:
+            assert t.boundary_after_wave in wave_indices
+            assert t.volume_bytes > 0
+            assert t.time_seconds >= 0
+            assert t.src_devices and t.dst_devices
+
+    def test_residual_flows_exist_for_sliced_metaops(self, plan):
+        transmissions = build_transmissions(plan)
+        sliced = {
+            metaop_index
+            for metaop_index in plan.metagraph.metaops
+            if sum(
+                1
+                for wave in plan.waves
+                for e in wave.entries
+                if e.metaop_index == metaop_index
+            )
+            > 1
+        }
+        residual_sources = {
+            t.src_metaop for t in transmissions if t.src_metaop == t.dst_metaop
+        }
+        assert sliced == residual_sources
+
+    def test_inter_metaop_flows_follow_metagraph_edges(self, plan):
+        transmissions = build_transmissions(plan)
+        edge_pairs = {
+            (t.src_metaop, t.dst_metaop)
+            for t in transmissions
+            if t.src_metaop != t.dst_metaop
+        }
+        for pair in edge_pairs:
+            assert pair in plan.metagraph.edges
+
+    def test_every_positive_volume_edge_is_transmitted(self, plan):
+        transmissions = build_transmissions(plan)
+        transmitted = {
+            (t.src_metaop, t.dst_metaop)
+            for t in transmissions
+            if t.src_metaop != t.dst_metaop
+        }
+        for (src, dst), volume in plan.metagraph.edges.items():
+            if volume > 0:
+                assert (src, dst) in transmitted
+
+    def test_backward_doubles_cost(self, plan):
+        fwd_only = build_transmissions(plan, include_backward=False)
+        full = build_transmissions(plan, include_backward=True)
+        assert total_transmission_time(full) == pytest.approx(
+            2 * total_transmission_time(fwd_only)
+        )
+
+    def test_local_transfers_are_cheap(self, plan):
+        for t in build_transmissions(plan):
+            if t.link is LinkClass.INTRA_DEVICE:
+                assert t.is_local
+                assert t.time_seconds < 1e-3
+
+    def test_volume_by_link_partitions_total(self, plan):
+        transmissions = build_transmissions(plan)
+        by_link = transmission_volume_by_link(transmissions)
+        assert sum(by_link.values()) == pytest.approx(
+            sum(t.volume_bytes for t in transmissions)
+        )
+        assert set(by_link) == set(LinkClass)

@@ -1,0 +1,100 @@
+"""Tests for execution plan serialization."""
+
+import json
+
+import pytest
+
+from repro.core.planner import ExecutionPlanner
+from repro.core.serialization import (
+    PLAN_FORMAT_VERSION,
+    SerializationError,
+    load_plan_document,
+    plan_to_dict,
+    plan_to_json,
+    save_plan,
+    validate_plan_document,
+)
+
+
+@pytest.fixture
+def plan(two_island_cluster, tiny_tasks):
+    return ExecutionPlanner(two_island_cluster).plan(tiny_tasks)
+
+
+class TestPlanToDict:
+    def test_document_structure(self, plan):
+        document = plan_to_dict(plan)
+        assert document["format_version"] == PLAN_FORMAT_VERSION
+        assert document["cluster"]["num_nodes"] == 2
+        assert len(document["metaops"]) == plan.metagraph.num_metaops
+        assert len(document["waves"]) == plan.schedule.num_waves
+        assert document["makespan"] == pytest.approx(plan.schedule.makespan)
+
+    def test_wave_entries_carry_placement(self, plan):
+        document = plan_to_dict(plan)
+        for wave in document["waves"]:
+            for entry in wave["entries"]:
+                assert len(entry["devices"]) == entry["n_devices"]
+
+    def test_all_operators_accounted_for(self, plan):
+        document = plan_to_dict(plan)
+        layers_per_metaop: dict[int, int] = {}
+        for wave in document["waves"]:
+            for entry in wave["entries"]:
+                layers_per_metaop[entry["metaop"]] = (
+                    layers_per_metaop.get(entry["metaop"], 0) + entry["layers"]
+                )
+        for metaop in document["metaops"]:
+            assert layers_per_metaop[metaop["index"]] == metaop["num_operators"]
+
+    def test_json_round_trip(self, plan):
+        document = json.loads(plan_to_json(plan))
+        validate_plan_document(document)
+
+
+class TestSaveAndLoad:
+    def test_save_and_load(self, plan, tmp_path):
+        path = save_plan(plan, tmp_path / "plans" / "plan.json")
+        assert path.exists()
+        document = load_plan_document(path)
+        assert document["format_version"] == PLAN_FORMAT_VERSION
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_plan_document(path)
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self, plan):
+        document = plan_to_dict(plan)
+        document["format_version"] = 999
+        with pytest.raises(SerializationError):
+            validate_plan_document(document)
+
+    def test_missing_field_rejected(self, plan):
+        document = plan_to_dict(plan)
+        del document["waves"]
+        with pytest.raises(SerializationError):
+            validate_plan_document(document)
+
+    def test_unknown_metaop_rejected(self, plan):
+        document = plan_to_dict(plan)
+        document["waves"][0]["entries"][0]["metaop"] = 999
+        with pytest.raises(SerializationError):
+            validate_plan_document(document)
+
+    def test_device_count_mismatch_rejected(self, plan):
+        document = plan_to_dict(plan)
+        document["waves"][0]["entries"][0]["devices"] = [0]
+        document["waves"][0]["entries"][0]["n_devices"] = 2
+        with pytest.raises(SerializationError):
+            validate_plan_document(document)
+
+    def test_capacity_violation_rejected(self, plan):
+        document = plan_to_dict(plan)
+        document["cluster"]["num_nodes"] = 1
+        document["cluster"]["devices_per_node"] = 1
+        with pytest.raises(SerializationError):
+            validate_plan_document(document)
