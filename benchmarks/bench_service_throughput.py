@@ -1,0 +1,60 @@
+"""Plan-service throughput: cached/deduplicated serving vs the raw planner.
+
+Replays a synthetic planning-request stream — the overlapping, repetitive
+pattern of dynamic workloads and of a multi-tenant planning tier — against the
+:class:`~repro.service.server.PlanService` and against one uncached
+``ExecutionPlanner.plan()`` call per request (the shared
+:func:`~repro.experiments.harness.run_service_benchmark` protocol behind
+``repro serve-bench``), and reports throughput, cache hit rate and the
+speedup.  The stream has >= 50% repeated workloads; the service must beat the
+uncached planner by at least 5x on it.
+"""
+
+import pytest
+
+from bench_utils import emit
+
+from repro.experiments.harness import run_service_benchmark
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import clip_workload, ofasys_workload
+
+
+@pytest.mark.parametrize(
+    "label,workload,num_requests,num_unique",
+    [
+        ("multitask-clip", clip_workload(10, 16), 40, 4),
+        ("ofasys", ofasys_workload(7, 16), 40, 4),
+    ],
+    ids=["multitask-clip", "ofasys"],
+)
+def test_service_throughput(benchmark, label, workload, num_requests, num_unique):
+    result = run_service_benchmark(
+        workload, num_requests=num_requests, num_unique=num_unique, num_workers=4
+    )
+    assert result.failed_requests == 0
+
+    emit(
+        f"service_throughput_{label}",
+        format_table(
+            ["metric", "value"],
+            result.as_rows(),
+            title=f"plan service throughput ({label}, {workload.describe()})",
+        ),
+    )
+
+    # One pytest-benchmark timing: the full protocol (uncached reference plus
+    # the service run) on the same stream.
+    benchmark.pedantic(
+        lambda: run_service_benchmark(
+            workload, num_requests=num_requests, num_unique=num_unique, num_workers=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Acceptance: >= 50% repeats in the stream, >= 5x over the raw planner.
+    assert result.repeated_fraction >= 0.5
+    assert result.stats.hit_rate >= 0.5
+    assert result.speedup >= 5.0, (
+        f"plan service only {result.speedup:.1f}x faster than the uncached planner"
+    )

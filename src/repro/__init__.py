@@ -39,6 +39,13 @@ from repro.core import ExecutionPlan, ExecutionPlanner
 from repro.graph import ComputationGraph, Operator, SpindleTask, TensorSpec
 from repro.models import multitask_clip_tasks, ofasys_tasks, qwen_val_tasks
 from repro.runtime import IterationResult, RuntimeEngine
+from repro.service import (
+    IncrementalPlanner,
+    PlanCache,
+    PlanService,
+    ServiceStats,
+    fingerprint_workload,
+)
 
 __version__ = "1.0.0"
 
@@ -49,16 +56,21 @@ __all__ = [
     "DistMMMTSystem",
     "ExecutionPlan",
     "ExecutionPlanner",
+    "IncrementalPlanner",
     "IterationResult",
     "MegatronLMSystem",
     "Operator",
+    "PlanCache",
+    "PlanService",
     "RuntimeEngine",
+    "ServiceStats",
     "SpindleOptimusSystem",
     "SpindleSeqSystem",
     "SpindleSystem",
     "SpindleTask",
     "TensorSpec",
     "TrainingSystem",
+    "fingerprint_workload",
     "make_cluster",
     "make_system",
     "multitask_clip_tasks",

@@ -1,6 +1,6 @@
 """Command-line interface for the Spindle reproduction.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 ``repro plan``
     Run the execution planner on a registered workload and print (or save) the
@@ -13,6 +13,10 @@ Three subcommands cover the common workflows:
 ``repro scaling``
     Print the scaling curves (Fig. 4) of a workload's MetaOps.
 
+``repro serve-bench``
+    Replay a synthetic planning-request stream against the caching plan
+    service and report its throughput against the uncached planner.
+
 Examples
 --------
 ::
@@ -20,6 +24,7 @@ Examples
     repro compare --model multitask-clip --tasks 4 --gpus 16
     repro plan --model qwen-val --tasks 3 --gpus 32 --output plan.json
     repro scaling --model ofasys --tasks 7 --gpus 32
+    repro serve-bench --model multitask-clip --gpus 8 --requests 48
 """
 
 from __future__ import annotations
@@ -30,7 +35,12 @@ from typing import Sequence
 
 from repro.baselines import SYSTEM_CLASSES
 from repro.core.serialization import plan_to_json, save_plan
-from repro.experiments.harness import run_comparison, run_single_system
+from repro.costmodel.profiler import default_profile_points
+from repro.experiments.harness import (
+    run_comparison,
+    run_service_benchmark,
+    run_single_system,
+)
 from repro.experiments.reporting import format_table
 from repro.experiments.workloads import WorkloadSpec
 from repro.models.registry import MODEL_REGISTRY
@@ -63,11 +73,17 @@ def _workload_from_args(args: argparse.Namespace) -> WorkloadSpec:
     )
 
 
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 1
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     workload = _workload_from_args(args)
     system, result = run_single_system(workload, "spindle")
     plan = system.last_plan
-    assert plan is not None
+    if plan is None:
+        return _fail(f"planner produced no plan for {workload.describe()}")
 
     print(f"workload        : {workload.describe()}")
     print(f"MetaOps         : {plan.metagraph.num_metaops} "
@@ -130,8 +146,9 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     workload = _workload_from_args(args)
     system, _ = run_single_system(workload, "spindle")
     plan = system.last_plan
-    assert plan is not None
-    device_counts = [n for n in (1, 2, 4, 8, 16, 32, 64) if n <= workload.num_gpus]
+    if plan is None:
+        return _fail(f"planner produced no plan for {workload.describe()}")
+    device_counts = default_profile_points(workload.num_gpus)
     rows = []
     for index, curve in plan.curves.items():
         metaop = plan.metagraph.metaop(index)
@@ -146,6 +163,39 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
             title=f"resource scalability, {workload.describe()}",
         )
     )
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    if args.requests <= 0:
+        return _fail("--requests must be positive")
+    if args.unique <= 0:
+        return _fail("--unique must be positive")
+    if args.workers <= 0:
+        return _fail("--workers must be positive")
+    if args.batch_size <= 0:
+        return _fail("--batch-size must be positive")
+    workload = _workload_from_args(args)
+    result = run_service_benchmark(
+        workload,
+        num_requests=args.requests,
+        num_unique=args.unique,
+        num_workers=args.workers,
+        max_batch_size=args.batch_size,
+        seed=args.seed,
+    )
+    if result.failed_requests:
+        return _fail(
+            f"{result.failed_requests} of {result.num_requests} service requests failed"
+        )
+    print(
+        format_table(
+            ["metric", "value"],
+            result.as_rows(),
+            title=f"plan service throughput, {workload.describe()}",
+        )
+    )
+    print("\n" + result.stats.render())
     return 0
 
 
@@ -182,6 +232,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(scaling_parser)
     scaling_parser.set_defaults(func=_cmd_scaling)
+
+    serve_parser = subparsers.add_parser(
+        "serve-bench",
+        help="benchmark the caching plan service against the uncached planner",
+    )
+    _add_workload_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--requests", type=int, default=48, help="length of the request stream"
+    )
+    serve_parser.add_argument(
+        "--unique", type=int, default=4, help="distinct workloads in the stream"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=4, help="plan service worker threads"
+    )
+    serve_parser.add_argument(
+        "--batch-size", type=int, default=8, help="max requests drained per worker wake-up"
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=0, help="seed of the request stream shuffle"
+    )
+    serve_parser.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

@@ -11,9 +11,11 @@ from repro.core.allocator import (
 from repro.core.contraction import can_contract, contract_graph
 from repro.core.estimator import (
     AlphaBetaPiece,
+    CurveKey,
     EstimatorError,
     ScalabilityEstimator,
     ScalingCurve,
+    metaop_curve_key,
 )
 from repro.core.metagraph import MetaGraph, MetaGraphError, MetaOp
 from repro.core.placement import (
@@ -73,8 +75,10 @@ __all__ = [
     "WaveEntry",
     "WavefrontSchedule",
     "WavefrontScheduler",
+    "CurveKey",
     "can_contract",
     "contract_graph",
     "default_valid_allocations",
     "find_inverse_value",
+    "metaop_curve_key",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.core.metagraph import MetaGraph, MetaOp
 from repro.costmodel.profiler import ProfileSample, SyntheticProfiler
@@ -28,6 +28,27 @@ from repro.costmodel.profiler import ProfileSample, SyntheticProfiler
 
 class EstimatorError(Exception):
     """Raised for malformed profiles or unusable curves."""
+
+
+#: Key type of reusable scaling curves: the structural workload signature of a
+#: MetaOp's representative operator.  Two MetaOps with equal keys profile
+#: identically (on the same cluster and planner configuration), so a fitted
+#: curve can be transferred between plans — the basis of incremental
+#: re-planning in :mod:`repro.service.incremental`.
+CurveKey = tuple
+
+
+def metaop_curve_key(metaop: MetaOp) -> CurveKey:
+    """Reuse key of a MetaOp's scaling curve (workload signature of its rep)."""
+    op = metaop.representative
+    return (
+        op.op_type,
+        op.modality,
+        op.input_spec.as_tuple(),
+        op.flops,
+        op.param_bytes,
+        op.activation_bytes,
+    )
 
 
 @dataclass(frozen=True)
@@ -195,9 +216,36 @@ class ScalabilityEstimator:
         )
         return ScalingCurve(samples)
 
-    def estimate(self, metagraph: MetaGraph) -> dict[int, ScalingCurve]:
-        """Fit scaling curves for every MetaOp in the MetaGraph."""
-        return {
-            index: self.estimate_metaop(metaop)
-            for index, metaop in metagraph.metaops.items()
-        }
+    def estimate(
+        self,
+        metagraph: MetaGraph,
+        precomputed: Mapping[CurveKey, ScalingCurve] | None = None,
+    ) -> dict[int, ScalingCurve]:
+        """Fit scaling curves for every MetaOp in the MetaGraph.
+
+        MetaOps whose curve key appears in ``precomputed`` reuse the supplied
+        curve instead of being re-profiled.
+        """
+        curves, _ = self.estimate_with_reuse(metagraph, precomputed)
+        return curves
+
+    def estimate_with_reuse(
+        self,
+        metagraph: MetaGraph,
+        precomputed: Mapping[CurveKey, ScalingCurve] | None = None,
+    ) -> tuple[dict[int, ScalingCurve], int]:
+        """Like :meth:`estimate`, also returning how many curves were reused."""
+        curves: dict[int, ScalingCurve] = {}
+        reused = 0
+        for index, metaop in metagraph.metaops.items():
+            curve = (
+                precomputed.get(metaop_curve_key(metaop))
+                if precomputed is not None
+                else None
+            )
+            if curve is not None:
+                reused += 1
+            else:
+                curve = self.estimate_metaop(metaop)
+            curves[index] = curve
+        return curves, reused

@@ -220,6 +220,9 @@ class PlanningReport:
     num_metaops: int = 0
     num_levels: int = 0
     num_waves: int = 0
+    #: MetaOps whose scaling curve was supplied precomputed (incremental
+    #: re-planning) instead of being profiled and fitted in this run.
+    reused_curves: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -237,6 +240,9 @@ class ExecutionPlan:
     curves: dict[int, "ScalingCurve"]
     level_allocations: dict[int, LevelAllocation]
     report: PlanningReport = field(default_factory=PlanningReport)
+    #: Canonical content hash of (workload, cluster, planner configuration);
+    #: the cache key of the planning service (``None`` for hand-built plans).
+    fingerprint: Optional[str] = None
 
     @property
     def waves(self) -> list[Wave]:

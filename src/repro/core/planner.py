@@ -14,13 +14,14 @@ recorded in the plan's :class:`~repro.core.plan.PlanningReport` (Fig. 12).
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from typing import Sequence, Union
+from typing import Any, Callable, Mapping, Sequence, Union
 
 from repro.cluster.topology import ClusterTopology
 from repro.core.allocator import ResourceAllocator, ValidAllocationFn
 from repro.core.contraction import contract_graph
-from repro.core.estimator import ScalabilityEstimator
+from repro.core.estimator import CurveKey, ScalabilityEstimator, ScalingCurve
 from repro.core.placement import LocalityAwarePlacer, SequentialPlacer
 from repro.core.plan import ExecutionPlan, PlanningReport
 from repro.core.scheduler import WavefrontScheduler
@@ -32,6 +33,29 @@ from repro.graph.graph import ComputationGraph
 from repro.graph.task import SpindleTask
 
 PlannerInput = Union[ComputationGraph, Sequence[SpindleTask]]
+
+#: Observer invoked after each planning stage with ``(stage_name, seconds)``.
+StageHook = Callable[[str, float], None]
+
+
+def _function_signature(fn: Any) -> str:
+    """Identity string for a configuration callable, for fingerprinting.
+
+    Named module-level functions are identified by ``module.qualname`` (stable
+    across planner instances and processes).  Closures may capture different
+    state under one qualname, so the repr of their captured cell contents is
+    folded in — closures over equal-repr values share a signature, closures
+    over different configuration values never do.
+    """
+    qualname = getattr(fn, "__qualname__", None)
+    if qualname is None:
+        return repr(fn)
+    signature = f"{getattr(fn, '__module__', '')}.{qualname}"
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        cells = ",".join(repr(cell.cell_contents) for cell in closure)
+        signature += f"[{cells}]"
+    return signature
 
 
 class ExecutionPlanner:
@@ -74,25 +98,58 @@ class ExecutionPlanner:
         self.placement_strategy = placement_strategy
 
     # ------------------------------------------------------------- public API
-    def plan(self, workload: PlannerInput) -> ExecutionPlan:
-        """Produce the full Spindle execution plan for ``workload``."""
+    def plan(
+        self,
+        workload: PlannerInput,
+        *,
+        precomputed_curves: Mapping[CurveKey, ScalingCurve] | None = None,
+        stage_hook: StageHook | None = None,
+        fingerprint: str | None = None,
+    ) -> ExecutionPlan:
+        """Produce the full Spindle execution plan for ``workload``.
+
+        Parameters
+        ----------
+        precomputed_curves:
+            Scaling curves keyed by
+            :func:`~repro.core.estimator.metaop_curve_key`; MetaOps with a
+            matching key skip the (dominant) profiling/fitting step.  Curves
+            must come from the same cluster and planner configuration.
+        stage_hook:
+            Called with ``(stage_name, seconds)`` after each pipeline stage,
+            so callers can observe planning progress without re-timing it.
+        fingerprint:
+            The workload's canonical fingerprint, if the caller (a plan cache
+            or service) already computed it; omitted, it is derived here.
+        """
         report = PlanningReport()
 
+        def finish_stage(name: str, start: float) -> None:
+            seconds = time.perf_counter() - start
+            report.stage_seconds[name] = seconds
+            if stage_hook is not None:
+                stage_hook(name, seconds)
+
+        if fingerprint is None:
+            fingerprint = self._fingerprint(workload)
         graph = self._resolve_graph(workload)
 
         start = time.perf_counter()
         metagraph = contract_graph(graph)
-        report.stage_seconds["graph_contraction"] = time.perf_counter() - start
+        finish_stage("graph_contraction", start)
         report.num_metaops = metagraph.num_metaops
         report.num_levels = metagraph.num_levels
 
         start = time.perf_counter()
-        curves = self.estimator.estimate(metagraph)
-        report.stage_seconds["scalability_estimation"] = time.perf_counter() - start
+        curves, reused = self.estimator.estimate_with_reuse(
+            metagraph, precomputed_curves
+        )
+        finish_stage("scalability_estimation", start)
+        report.reused_curves = reused
 
         start = time.perf_counter()
         level_allocations = self.allocator.allocate(metagraph, curves)
-        report.stage_seconds["resource_allocation"] = time.perf_counter() - start
+        finish_stage("resource_allocation", start)
         report.level_c_star = {
             level: alloc.c_star for level, alloc in level_allocations.items()
         }
@@ -103,12 +160,12 @@ class ExecutionPlanner:
             for level in level_allocations
         }
         schedule = self.scheduler.schedule(level_allocations, metaops_by_level, curves)
-        report.stage_seconds["wavefront_scheduling"] = time.perf_counter() - start
+        finish_stage("wavefront_scheduling", start)
         report.num_waves = schedule.num_waves
 
         start = time.perf_counter()
         placement = self.placer.place(schedule.waves, metagraph)
-        report.stage_seconds["device_placement"] = time.perf_counter() - start
+        finish_stage("device_placement", start)
 
         plan = ExecutionPlan(
             metagraph=metagraph,
@@ -118,11 +175,37 @@ class ExecutionPlanner:
             curves=curves,
             level_allocations=level_allocations,
             report=report,
+            fingerprint=fingerprint,
         )
         plan.validate()
         return plan
 
+    def config_signature(self) -> dict[str, Any]:
+        """Canonical description of everything that shapes this planner's plans.
+
+        Together with the workload and the cluster this fully determines the
+        produced plan; the planning service folds it into cache fingerprints
+        so planners with different configurations never share cache entries.
+        """
+        return {
+            "placement_strategy": self.placement_strategy,
+            "profile_noise_std": self.profiler.noise_std,
+            "timing": dataclasses.asdict(self.timing_model.config),
+            "memory": dataclasses.asdict(self.memory_model.config),
+            "profile_points": self.estimator.profile_points,
+            "include_backward": self.estimator.include_backward,
+            "valid_allocation_fn": _function_signature(
+                self.allocator.valid_allocation_fn
+            ),
+        }
+
     # -------------------------------------------------------------- internals
+    def _fingerprint(self, workload: PlannerInput) -> str:
+        # Imported lazily: the service package depends on the core package.
+        from repro.service.fingerprint import fingerprint_workload
+
+        return fingerprint_workload(workload, self.cluster, self.config_signature())
+
     def _resolve_graph(self, workload: PlannerInput) -> ComputationGraph:
         if isinstance(workload, ComputationGraph):
             return workload

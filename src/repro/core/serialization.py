@@ -76,6 +76,7 @@ def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
     }
     return {
         "format_version": PLAN_FORMAT_VERSION,
+        "fingerprint": plan.fingerprint,
         "cluster": {
             "num_nodes": plan.cluster.num_nodes,
             "devices_per_node": plan.cluster.devices_per_node,
@@ -91,6 +92,7 @@ def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
             "num_waves": plan.report.num_waves,
             "num_metaops": plan.report.num_metaops,
             "num_levels": plan.report.num_levels,
+            "reused_curves": plan.report.reused_curves,
         },
     }
 

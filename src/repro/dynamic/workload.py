@@ -15,6 +15,7 @@ from typing import Sequence
 
 from repro.baselines.base import TrainingSystem
 from repro.graph.task import SpindleTask
+from repro.service.cache import PlanCache
 
 
 class DynamicWorkloadError(Exception):
@@ -113,23 +114,62 @@ class DynamicRunResult:
 
 
 class DynamicWorkloadRunner:
-    """Runs a system through a dynamic workload schedule, re-planning per phase."""
+    """Runs a system through a dynamic workload schedule, re-planning per phase.
 
-    def __init__(self, schedule: DynamicWorkloadSchedule) -> None:
+    Re-planning cost is only charged at phase boundaries where the task set
+    actually changed: a system keeps using its current plan — and therefore
+    its current iteration time — across phases with an identical task set, so
+    the simulation does not re-run (or re-plan) such phases at all.
+
+    With a ``plan_cache``, systems that support cached planning (an attachable
+    ``plan_cache`` attribute, i.e. Spindle) additionally skip re-planning for
+    any *previously seen* task set — the recurring-phase pattern of Fig. 13 —
+    paying the planner cost only on first encounter.
+    """
+
+    def __init__(
+        self,
+        schedule: DynamicWorkloadSchedule,
+        plan_cache: PlanCache | None = None,
+    ) -> None:
         if not schedule.phases:
             raise DynamicWorkloadError("Schedule has no phases")
         self.schedule = schedule
+        self.plan_cache = plan_cache
 
     def run(self, system: TrainingSystem) -> DynamicRunResult:
+        attach_cache = self.plan_cache is not None and hasattr(system, "plan_cache")
+        previous_cache = getattr(system, "plan_cache", None) if attach_cache else None
+        if attach_cache:
+            system.plan_cache = self.plan_cache
+        try:
+            return self._run(system)
+        finally:
+            if attach_cache:
+                system.plan_cache = previous_cache
+
+    def _run(self, system: TrainingSystem) -> DynamicRunResult:
         result = DynamicRunResult(system_name=system.name)
+        previous_task_set: frozenset[str] | None = None
         for phase in self.schedule.phases:
-            tasks = self.schedule.tasks_for(phase)
-            iteration = system.run_iteration(tasks)
+            task_set = frozenset(phase.task_names)
+            changed = previous_task_set is None or task_set != previous_task_set
+            previous_task_set = task_set
+            if changed:
+                iteration = system.run_iteration(self.schedule.tasks_for(phase))
+                iteration_time = iteration.iteration_time
+                replanning = system.last_planning_seconds
+            else:
+                # Identical task set: the system keeps its current plan, so
+                # the previous phase's iteration time carries over and no
+                # re-planning cost is paid.
+                iteration_time = result.phase_results[-1].iteration_time
+                replanning = 0.0
             result.phase_results.append(
                 PhaseResult(
                     phase=phase,
-                    iteration_time=iteration.iteration_time,
-                    replanning_seconds=system.last_planning_seconds,
+                    iteration_time=iteration_time,
+                    replanning_seconds=replanning,
                 )
             )
         return result

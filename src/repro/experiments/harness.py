@@ -7,12 +7,16 @@ raw iteration results around for the breakdown / utilization / memory figures.
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import wait
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.baselines import SYSTEM_CLASSES, TrainingSystem, make_system
-from repro.experiments.workloads import WorkloadSpec
+from repro.core.planner import ExecutionPlanner
+from repro.experiments.workloads import WorkloadSpec, planning_request_stream
 from repro.runtime.results import IterationResult
+from repro.service import PlanCache, PlanService, ServiceStats, fingerprint_workload
 
 #: Systems of the main end-to-end comparison, in the plotting order of Fig. 8.
 DEFAULT_SYSTEMS = (
@@ -87,3 +91,104 @@ def run_single_system(
     instance = make_system(system, cluster, **kwargs)
     result = instance.run_iteration(workload.tasks())
     return instance, result
+
+
+@dataclass
+class ServiceBenchmarkResult:
+    """Plan-service throughput vs the uncached planner on one request stream."""
+
+    num_requests: int
+    num_unique: int
+    uncached_seconds: float
+    service_seconds: float
+    stats: ServiceStats
+    failed_requests: int
+
+    @property
+    def repeated_fraction(self) -> float:
+        return 1 - self.num_unique / self.num_requests
+
+    @property
+    def speedup(self) -> float:
+        if self.service_seconds <= 0:
+            return float("inf")
+        return self.uncached_seconds / self.service_seconds
+
+    def as_rows(self) -> list[list[str]]:
+        """The metric/value rows reported by serve-bench and the benchmark."""
+        return [
+            ["requests", str(self.num_requests)],
+            ["unique workloads", str(self.num_unique)],
+            ["repeated requests", f"{self.repeated_fraction * 100:.0f}%"],
+            ["cache hit rate", f"{self.stats.hit_rate * 100:.1f}%"],
+            [
+                "uncached planner",
+                f"{self.uncached_seconds:.3f} s "
+                f"({self.num_requests / self.uncached_seconds:.1f} req/s)",
+            ],
+            [
+                "plan service",
+                f"{self.service_seconds:.3f} s "
+                f"({self.num_requests / self.service_seconds:.1f} req/s)",
+            ],
+            ["speedup", f"{self.speedup:.1f}x"],
+        ]
+
+
+def run_service_benchmark(
+    workload: WorkloadSpec,
+    num_requests: int,
+    num_unique: int,
+    num_workers: int = 4,
+    max_batch_size: int = 8,
+    seed: int = 0,
+) -> ServiceBenchmarkResult:
+    """Replay one planning-request stream uncached, then through the service.
+
+    This is the measurement protocol shared by ``repro serve-bench`` and
+    ``benchmarks/bench_service_throughput.py``: the uncached reference runs
+    one full ``ExecutionPlanner.plan()`` per request serially, the service run
+    submits the same stream to a :class:`PlanService` and waits for every
+    future.
+    """
+    tasks = workload.tasks()
+    cluster = workload.cluster()
+    stream, num_unique = planning_request_stream(
+        tasks, num_requests, num_unique, seed=seed
+    )
+
+    # Fingerprints are precomputed outside the timed window for both sides:
+    # the uncached reference should pay planning cost only, and the service
+    # memoizes fingerprints of repeated requests anyway.
+    planner = ExecutionPlanner(cluster)
+    config = planner.config_signature()
+    unique_requests = {id(request): request for request in stream}
+    fingerprints = {
+        key: fingerprint_workload(request, cluster, config)
+        for key, request in unique_requests.items()
+    }
+    start = time.perf_counter()
+    for request in stream:
+        planner.plan(request, fingerprint=fingerprints[id(request)])
+    uncached_seconds = time.perf_counter() - start
+
+    service = PlanService(
+        lambda: ExecutionPlanner(cluster),
+        cache=PlanCache(capacity=max(64, num_unique)),
+        num_workers=num_workers,
+        max_batch_size=max_batch_size,
+    )
+    with service:
+        start = time.perf_counter()
+        futures = [service.submit(request) for request in stream]
+        wait(futures)
+        service_seconds = time.perf_counter() - start
+
+    return ServiceBenchmarkResult(
+        num_requests=len(stream),
+        num_unique=num_unique,
+        uncached_seconds=uncached_seconds,
+        service_seconds=service_seconds,
+        stats=service.stats,
+        failed_requests=sum(1 for f in futures if f.exception() is not None),
+    )

@@ -8,7 +8,9 @@ enumerate the exact grids used by each figure.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.cluster.topology import ClusterTopology, make_cluster
 from repro.graph.task import SpindleTask
@@ -116,3 +118,30 @@ TAB2_WORKLOADS = (
     qwen_val_workload(256, size="30b"),
     qwen_val_workload(256, size="70b"),
 )
+
+
+def planning_request_stream(
+    tasks: Sequence[SpindleTask],
+    num_requests: int,
+    num_unique: int,
+    seed: int = 0,
+) -> tuple[list[tuple[SpindleTask, ...]], int]:
+    """A shuffled planning-request stream for plan-service experiments.
+
+    Returns ``num_requests`` task sets drawn from ``num_unique`` distinct
+    workloads, plus the effective unique count.  Unique workloads are nested
+    prefixes of the task list — every set shares tasks with the others, the
+    overlapping-request pattern of dynamic workloads — and each appears at
+    least once; the rest of the stream repeats them uniformly at random.
+    Each unique workload is a single tuple object reused across its repeats,
+    matching how a serving tier replays interned requests.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    num_unique = max(1, min(num_unique, len(tasks), num_requests))
+    unique = [tuple(tasks[: len(tasks) - i]) for i in range(num_unique)]
+    rng = random.Random(seed)
+    stream = list(unique)
+    stream.extend(rng.choice(unique) for _ in range(num_requests - len(unique)))
+    rng.shuffle(stream)
+    return stream, num_unique

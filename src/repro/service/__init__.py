@@ -1,0 +1,59 @@
+"""Planning service: fingerprint-keyed caching and concurrent plan serving.
+
+Planning is a pure function of (task set, cluster, planner configuration), so
+identical and overlapping requests can be memoized and served concurrently
+instead of recomputed serially:
+
+* :mod:`repro.service.fingerprint` — canonical, order/naming-insensitive
+  content hashes of planning requests,
+* :mod:`repro.service.cache` — a thread-safe LRU+TTL plan cache serving
+  byte-identical serialized plans,
+* :mod:`repro.service.server` — a concurrent plan service with a bounded
+  worker pool, request batching and single-flight deduplication,
+* :mod:`repro.service.incremental` — incremental re-planning that pools
+  per-MetaOp scalability curves across overlapping requests,
+* :mod:`repro.service.stats` — service-level throughput/latency/hit-rate
+  accounting.
+"""
+
+from repro.service.cache import CacheError, CacheStats, PlanCache
+from repro.service.fingerprint import (
+    canonical_cluster,
+    canonical_graph,
+    canonical_task,
+    canonical_tasks,
+    canonical_workload,
+    fingerprint_workload,
+    hash_document,
+)
+from repro.service.incremental import IncrementalPlanner, IncrementalStats
+from repro.service.server import PlanService, ServiceError
+from repro.service.stats import (
+    OUTCOME_COALESCED,
+    OUTCOME_HIT,
+    OUTCOME_MISS,
+    LatencySummary,
+    ServiceStats,
+)
+
+__all__ = [
+    "CacheError",
+    "CacheStats",
+    "IncrementalPlanner",
+    "IncrementalStats",
+    "LatencySummary",
+    "OUTCOME_COALESCED",
+    "OUTCOME_HIT",
+    "OUTCOME_MISS",
+    "PlanCache",
+    "PlanService",
+    "ServiceError",
+    "ServiceStats",
+    "canonical_cluster",
+    "canonical_graph",
+    "canonical_task",
+    "canonical_tasks",
+    "canonical_workload",
+    "fingerprint_workload",
+    "hash_document",
+]

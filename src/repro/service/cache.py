@@ -1,0 +1,272 @@
+"""Thread-safe fingerprint-keyed plan cache with LRU eviction and TTL expiry.
+
+The cache stores, per fingerprint, the live :class:`ExecutionPlan` object and
+— rendered lazily, on first payload access, via
+:mod:`repro.core.serialization` — its serialized JSON document.  Serving the
+stored string rather than re-serializing per request guarantees that every
+payload hit returns a byte-identical document, which lets downstream consumers
+(request routers, content-addressed stores) deduplicate responses by raw
+bytes; deferring the render means cache users that only ever consume live
+plans (e.g. the dynamic-workload runner) never pay for serialization.
+
+Entries expire ``ttl_seconds`` after insertion (``None`` disables expiry) and
+the least-recently-used entry is evicted once ``capacity`` is exceeded.  The
+cache can persist its payloads to a JSON file and reload them later; reloaded
+entries carry the payload only (the live plan objects are not reconstructed),
+which is what a serving tier restarted from a snapshot needs — :meth:`get`
+treats such entries as misses while :meth:`get_payload` serves them.
+
+Fingerprints are canonical (see :mod:`repro.service.fingerprint`): requests
+that differ only in task naming or ordering share one entry, so the served
+plan embeds the task/operator names of whichever structurally-equal request
+was planned first.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.core.plan import ExecutionPlan
+from repro.core.serialization import plan_to_json
+
+#: Version tag of the persisted cache snapshot format.
+CACHE_SNAPSHOT_VERSION = 1
+
+
+class CacheError(Exception):
+    """Raised for invalid cache configuration or malformed snapshots."""
+
+
+@dataclass
+class CacheStats:
+    """Counters describing the cache's behaviour since construction."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _CacheEntry:
+    plan: Optional[ExecutionPlan]
+    inserted_at: float
+    payload: Optional[str] = None
+    hits: int = field(default=0)
+
+
+class PlanCache:
+    """LRU + TTL cache mapping workload fingerprints to execution plans.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently used entry is evicted
+        when a put would exceed it.
+    ttl_seconds:
+        Entries older than this are treated as absent (and dropped on access).
+        ``None`` means entries never expire.
+    clock:
+        Monotonic time source, injectable for deterministic TTL tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0:
+            raise CacheError("Cache capacity must be positive")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise CacheError("ttl_seconds must be positive (or None to disable)")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # ----------------------------------------------------------------- access
+    def get(self, fingerprint: str) -> Optional[ExecutionPlan]:
+        """Return the cached live plan, or ``None`` on miss/expiry.
+
+        Payload-only entries (loaded from a snapshot) count as misses here:
+        the caller will have to plan anyway, and the hit rate should say so.
+        """
+        entry = self._lookup(fingerprint, need_plan=True)
+        return entry.plan if entry is not None else None
+
+    def get_payload(self, fingerprint: str) -> Optional[str]:
+        """Return the serialized plan document (byte-identical across hits).
+
+        The document is rendered on first access and stored, so every
+        subsequent hit serves the exact same bytes.
+        """
+        entry = self._lookup(fingerprint)
+        if entry is None:
+            return None
+        if entry.payload is None:
+            # Render outside the lock; concurrent renders of the same plan
+            # produce identical strings, so last-writer-wins is benign.
+            entry.payload = plan_to_json(entry.plan)
+        return entry.payload
+
+    def put(
+        self,
+        fingerprint: str,
+        plan: ExecutionPlan,
+        payload: str | None = None,
+    ) -> None:
+        """Insert a plan; its payload is rendered lazily unless supplied."""
+        entry = _CacheEntry(payload=payload, plan=plan, inserted_at=self._clock())
+        with self._lock:
+            self._entries[fingerprint] = entry
+            self._entries.move_to_end(fingerprint)
+            self.stats.puts += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one entry; returns whether it was present."""
+        with self._lock:
+            return self._entries.pop(fingerprint, None) is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def purge_expired(self) -> int:
+        """Drop all expired entries; returns how many were removed."""
+        if self.ttl_seconds is None:
+            return 0
+        now = self._clock()
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if now - entry.inserted_at > self.ttl_seconds
+            ]
+            for key in stale:
+                del self._entries[key]
+                self.stats.expirations += 1
+        return len(stale)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return False
+            return not self._expired(entry)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def fingerprints(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str | Path) -> Path:
+        """Write the cached payloads (keyed by fingerprint) to ``path``."""
+        with self._lock:
+            for entry in self._entries.values():
+                if entry.payload is None:
+                    entry.payload = plan_to_json(entry.plan)
+            snapshot = {
+                "format_version": CACHE_SNAPSHOT_VERSION,
+                "entries": {
+                    key: entry.payload for key, entry in self._entries.items()
+                },
+            }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+        return path
+
+    def load(self, path: str | Path) -> int:
+        """Load payload-only entries from a snapshot; returns how many."""
+        try:
+            snapshot = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise CacheError(f"Invalid cache snapshot {path}: {exc}") from exc
+        if snapshot.get("format_version") != CACHE_SNAPSHOT_VERSION:
+            raise CacheError(
+                f"Unsupported cache snapshot version "
+                f"{snapshot.get('format_version')!r}"
+            )
+        entries = snapshot.get("entries")
+        if not isinstance(entries, dict):
+            raise CacheError("Cache snapshot is missing its 'entries' mapping")
+        now = self._clock()
+        with self._lock:
+            for key, payload in entries.items():
+                if not isinstance(payload, str):
+                    raise CacheError(f"Snapshot entry {key!r} is not a payload string")
+                self._entries[key] = _CacheEntry(
+                    payload=payload, plan=None, inserted_at=now
+                )
+                self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return len(entries)
+
+    # -------------------------------------------------------------- internals
+    def _expired(self, entry: _CacheEntry) -> bool:
+        return (
+            self.ttl_seconds is not None
+            and self._clock() - entry.inserted_at > self.ttl_seconds
+        )
+
+    def _lookup(
+        self, fingerprint: str, need_plan: bool = False
+    ) -> Optional[_CacheEntry]:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if self._expired(entry):
+                del self._entries[fingerprint]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
+            if need_plan and entry.plan is None:
+                # Snapshot-loaded entry: the payload is servable but the
+                # caller needs a live plan, which it will have to compute.
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            entry.hits += 1
+            self.stats.hits += 1
+            return entry

@@ -1,0 +1,151 @@
+"""Canonical workload fingerprints keying the plan cache.
+
+Planning is a pure function of (task set, cluster topology, planner
+configuration): identical inputs always produce identical plans, so the plan
+service keys its cache on a content hash of those three inputs.  The hash is
+*canonical* — insensitive to task ordering and to task naming — because dynamic
+workloads (Appendix D) resubmit the same task sets under fresh phase labels and
+in arbitrary order, and those requests must land on the same cache entry.
+
+Canonicalisation rules:
+
+* A task is described structurally: batch size, weight, its modules (each an
+  ordered chain of operator descriptors) and the module-level flows.  Operator
+  *names* and the owning task's *name* are excluded — operator names embed the
+  task name, and neither influences the schedule, allocation or placement the
+  planner produces.  Parameter sharing keys are kept verbatim: they define
+  cross-task parameter groups and are not derived from task names anywhere in
+  the model zoo.  Note the resulting contract: names *are* embedded in plan
+  documents (MetaOps reference their task for display and correlation), so a
+  cache hit under a naming-insensitive fingerprint returns a plan carrying the
+  names of whichever structurally-equal request was planned first.  Consumers
+  that correlate plan entries with their own task names must map by structure,
+  not by name — which is how the dynamic-workload runner consumes cached
+  plans.
+* The task documents of a request are sorted by their serialized form, making
+  the fingerprint order-insensitive.
+* A raw :class:`~repro.graph.graph.ComputationGraph` request is canonicalised
+  with its operator names intact (names are the graph's node identity; graph
+  callers manage their own naming), with nodes and edges sorted.
+* Cluster topology and planner configuration are serialized field by field, so
+  any change — device spec, interconnect bandwidth, timing constants, placement
+  strategy — changes the fingerprint.
+
+All documents are hashed as compact JSON with sorted keys via SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping, Sequence, Union
+
+from repro.cluster.topology import ClusterTopology, InterconnectSpec
+from repro.graph.graph import ComputationGraph
+from repro.graph.ops import Operator
+from repro.graph.task import SpindleTask
+
+FingerprintInput = Union[ComputationGraph, Sequence[SpindleTask]]
+
+
+def canonical_operator(op: Operator, include_name: bool = False) -> list[Any]:
+    """Structural descriptor of one operator, excluding its (task-derived) name."""
+    doc: list[Any] = [
+        op.op_type,
+        op.modality,
+        list(op.input_spec.as_tuple()),
+        op.flops,
+        op.param_bytes,
+        op.activation_bytes,
+        op.param_key,
+    ]
+    if include_name:
+        doc.insert(0, op.name)
+    return doc
+
+
+def canonical_task(task: SpindleTask) -> dict[str, Any]:
+    """Order- and name-insensitive structural document of one task."""
+    modules = {
+        name: [canonical_operator(op) for op in module.operators]
+        for name, module in sorted(task.modules.items())
+    }
+    flows = sorted(
+        [src, dst, volume if volume is not None else -1.0]
+        for src, dst, volume in task.flows
+    )
+    return {
+        "batch_size": task.batch_size,
+        "weight": task.weight,
+        "modules": modules,
+        "flows": flows,
+    }
+
+
+def canonical_tasks(tasks: Sequence[SpindleTask]) -> list[dict[str, Any]]:
+    """Task documents sorted by content, so task order does not matter."""
+    documents = [canonical_task(task) for task in tasks]
+    documents.sort(key=lambda doc: json.dumps(doc, sort_keys=True))
+    return documents
+
+
+def canonical_graph(graph: ComputationGraph) -> dict[str, Any]:
+    """Structural document of a raw computation graph (names kept)."""
+    operators = sorted(
+        canonical_operator(op, include_name=True)
+        for op in graph.operators.values()
+    )
+    edges = sorted([flow.src, flow.dst, flow.volume_bytes] for flow in graph.flows)
+    return {"operators": operators, "edges": edges}
+
+
+def canonical_cluster(cluster: ClusterTopology) -> dict[str, Any]:
+    """Full structural document of the cluster topology."""
+
+    def link(spec: InterconnectSpec) -> list[float]:
+        return [spec.bandwidth, spec.latency]
+
+    return {
+        "num_nodes": cluster.num_nodes,
+        "devices_per_node": cluster.devices_per_node,
+        "device": {
+            "name": cluster.device_spec.name,
+            "peak_flops": cluster.device_spec.peak_flops,
+            "memory_bytes": cluster.device_spec.memory_bytes,
+        },
+        "intra_island": link(cluster.intra_island),
+        "inter_island": link(cluster.inter_island),
+        "intra_device": link(cluster.intra_device),
+    }
+
+
+def canonical_workload(
+    workload: FingerprintInput,
+    cluster: ClusterTopology,
+    config: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The full document hashed by :func:`fingerprint_workload`."""
+    if isinstance(workload, ComputationGraph):
+        workload_doc: Any = {"graph": canonical_graph(workload)}
+    else:
+        workload_doc = {"tasks": canonical_tasks(list(workload))}
+    return {
+        "workload": workload_doc,
+        "cluster": canonical_cluster(cluster),
+        "config": dict(config) if config is not None else {},
+    }
+
+
+def hash_document(document: Any) -> str:
+    """SHA-256 hex digest of a JSON-serializable document."""
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def fingerprint_workload(
+    workload: FingerprintInput,
+    cluster: ClusterTopology,
+    config: Mapping[str, Any] | None = None,
+) -> str:
+    """Canonical content hash of (workload, cluster, planner configuration)."""
+    return hash_document(canonical_workload(workload, cluster, config))

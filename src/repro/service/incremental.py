@@ -1,0 +1,108 @@
+"""Incremental re-planning: reuse scalability curves across plan requests.
+
+Scalability estimation dominates the planner's cost (Fig. 12): every MetaOp is
+profiled at several allocation sizes before its piecewise alpha-beta curve is
+fitted.  A MetaOp's curve, however, depends only on its representative
+operator's workload (type, tensor shape, FLOPs, parameters, batch) and on the
+cluster — not on which other tasks happen to be in the request.  Dynamic
+workloads (Appendix D) therefore re-profile mostly unchanged MetaOps at every
+phase transition.
+
+:class:`IncrementalPlanner` exploits this purity: it keeps an LRU pool of
+fitted curves keyed by the MetaOp workload signature and hands them to the
+planner as precomputed curves, so a phase transition only profiles the MetaOps
+it has never seen.  The pool must not be shared across different clusters or
+planner configurations — curves embed both — which the class enforces by
+binding to one planner instance.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.estimator import ScalingCurve, metaop_curve_key
+from repro.core.plan import ExecutionPlan
+from repro.core.planner import ExecutionPlanner, PlannerInput
+
+
+@dataclass
+class IncrementalStats:
+    """Curve-reuse counters across all plans produced so far."""
+
+    plans: int = 0
+    curves_reused: int = 0
+    curves_estimated: int = 0
+    estimation_seconds_saved: float = 0.0
+
+    @property
+    def reuse_rate(self) -> float:
+        total = self.curves_reused + self.curves_estimated
+        if total == 0:
+            return 0.0
+        return self.curves_reused / total
+
+
+class IncrementalPlanner:
+    """Plans workloads while pooling per-MetaOp scalability curves.
+
+    Parameters
+    ----------
+    planner:
+        The underlying execution planner.  All plans produced through this
+        wrapper share its cluster and configuration, which is what makes the
+        pooled curves transferable between requests.
+    max_curves:
+        Capacity of the curve pool; least recently used curves are dropped.
+    """
+
+    def __init__(self, planner: ExecutionPlanner, max_curves: int = 4096) -> None:
+        if max_curves <= 0:
+            raise ValueError("max_curves must be positive")
+        self.planner = planner
+        self.max_curves = max_curves
+        self._curves: OrderedDict[tuple, ScalingCurve] = OrderedDict()
+        self.stats = IncrementalStats()
+        self._last_estimation_cost: float | None = None
+
+    # ------------------------------------------------------------- public API
+    def plan(self, workload: PlannerInput) -> ExecutionPlan:
+        """Plan ``workload``, reusing pooled curves for known MetaOps."""
+        plan = self.planner.plan(workload, precomputed_curves=self._curves)
+        reused = plan.report.reused_curves
+        estimated = plan.report.num_metaops - reused
+        self.stats.plans += 1
+        self.stats.curves_reused += reused
+        self.stats.curves_estimated += estimated
+        self._account_savings(plan, reused, estimated)
+        self._harvest(plan)
+        return plan
+
+    @property
+    def num_pooled_curves(self) -> int:
+        return len(self._curves)
+
+    def clear(self) -> None:
+        """Drop the pooled curves (e.g. after recalibrating the cost model)."""
+        self._curves.clear()
+
+    # -------------------------------------------------------------- internals
+    def _harvest(self, plan: ExecutionPlan) -> None:
+        for index, curve in plan.curves.items():
+            key = metaop_curve_key(plan.metagraph.metaop(index))
+            self._curves[key] = curve
+            self._curves.move_to_end(key)
+        while len(self._curves) > self.max_curves:
+            self._curves.popitem(last=False)
+
+    def _account_savings(
+        self, plan: ExecutionPlan, reused: int, estimated: int
+    ) -> None:
+        """Estimate the estimation-stage seconds avoided by curve reuse."""
+        stage = plan.report.stage_seconds.get("scalability_estimation", 0.0)
+        if estimated > 0:
+            per_curve = stage / estimated
+            self._last_estimation_cost = per_curve
+        else:
+            per_curve = self._last_estimation_cost or 0.0
+        self.stats.estimation_seconds_saved += per_curve * reused

@@ -1,0 +1,272 @@
+"""Concurrent plan service: worker pool, request batching and single-flight.
+
+:class:`PlanService` turns the execution planner into a servable component.
+Requests (task sets or raw computation graphs) are fingerprinted on arrival
+and resolved through three paths, cheapest first:
+
+1. **Cache hit** — the fingerprint is already in the :class:`PlanCache`; the
+   returned future is resolved immediately with the cached plan.
+2. **Single-flight coalescing** — an identical request is already being
+   planned; the caller receives the *same* future, so N concurrent identical
+   requests cost one planner run.
+3. **Fresh planning** — the request is queued for the bounded worker pool.
+   Workers drain the queue in batches (up to ``max_batch_size`` requests per
+   wake-up) and group batch items by fingerprint, so duplicates that reach the
+   queue are still planned only once.
+
+Every completed request records its outcome and end-to-end latency in a
+:class:`~repro.service.stats.ServiceStats` accumulator.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Callable, Union
+
+from repro.core.plan import ExecutionPlan
+from repro.core.planner import ExecutionPlanner, PlannerInput
+from repro.core.serialization import plan_to_json
+from repro.graph.graph import ComputationGraph
+from repro.service.cache import PlanCache
+from repro.service.fingerprint import fingerprint_workload
+from repro.service.stats import (
+    OUTCOME_COALESCED,
+    OUTCOME_HIT,
+    OUTCOME_MISS,
+    ServiceStats,
+)
+
+PlannerOrFactory = Union[ExecutionPlanner, Callable[[], ExecutionPlanner]]
+
+_SHUTDOWN = object()
+
+
+class ServiceError(Exception):
+    """Raised for invalid service configuration or use after shutdown."""
+
+
+class PlanService:
+    """A concurrent, deduplicating, caching front-end to the execution planner.
+
+    Parameters
+    ----------
+    planner:
+        Either a ready :class:`ExecutionPlanner` shared by all workers, or a
+        zero-argument factory; with a factory every worker thread builds its
+        own planner instance (useful when profiling noise is enabled, since
+        the synthetic profiler's RNG is per-planner).
+    cache:
+        Plan cache consulted before planning and populated after; a default
+        unbounded-TTL cache of 64 entries is created when omitted.  Pass a
+        shared cache to pool plans across services.
+    num_workers:
+        Size of the bounded worker pool.
+    max_batch_size:
+        Maximum number of queued requests one worker drains per wake-up.
+    """
+
+    def __init__(
+        self,
+        planner: PlannerOrFactory,
+        *,
+        cache: PlanCache | None = None,
+        stats: ServiceStats | None = None,
+        num_workers: int = 2,
+        max_batch_size: int = 8,
+    ) -> None:
+        if num_workers <= 0:
+            raise ServiceError("num_workers must be positive")
+        if max_batch_size <= 0:
+            raise ServiceError("max_batch_size must be positive")
+        if callable(planner) and not isinstance(planner, ExecutionPlanner):
+            self._planner_factory: Callable[[], ExecutionPlanner] = planner
+            self._prototype = planner()
+        else:
+            self._planner_factory = lambda: planner  # type: ignore[return-value]
+            self._prototype = planner
+        if not isinstance(self._prototype, ExecutionPlanner):
+            raise ServiceError("planner must be an ExecutionPlanner or a factory")
+        self.cache = cache if cache is not None else PlanCache(capacity=64)
+        self.stats = stats if stats is not None else ServiceStats()
+        self.max_batch_size = max_batch_size
+        self._queue: queue.Queue = queue.Queue()
+        self._inflight: dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        # Fingerprint memo keyed by the identity of the request's task objects.
+        # Resubmitting the same task objects (the common serving pattern) skips
+        # canonicalisation entirely; entries hold strong references to their
+        # workloads so CPython cannot recycle the memoized ids.  Workloads are
+        # treated as immutable once submitted.
+        self._fingerprint_memo: OrderedDict[tuple[int, ...], tuple[object, str]] = (
+            OrderedDict()
+        )
+        self._fingerprint_memo_capacity = 1024
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"plan-worker-{i}", daemon=True
+            )
+            for i in range(num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------- public API
+    def fingerprint(self, workload: PlannerInput) -> str:
+        """Fingerprint a request exactly as :meth:`submit` would."""
+        if isinstance(workload, ComputationGraph):
+            key = (id(workload),)
+        else:
+            key = tuple(id(task) for task in workload)
+        with self._lock:
+            memoized = self._fingerprint_memo.get(key)
+            if memoized is not None:
+                self._fingerprint_memo.move_to_end(key)
+                return memoized[1]
+        fp = fingerprint_workload(
+            workload, self._prototype.cluster, self._prototype.config_signature()
+        )
+        with self._lock:
+            self._fingerprint_memo[key] = (workload, fp)
+            self._fingerprint_memo.move_to_end(key)
+            while len(self._fingerprint_memo) > self._fingerprint_memo_capacity:
+                self._fingerprint_memo.popitem(last=False)
+        return fp
+
+    def submit(self, workload: PlannerInput) -> Future:
+        """Enqueue a planning request; returns a future yielding the plan.
+
+        Identical in-flight requests share one future (single-flight); cached
+        requests resolve immediately.
+        """
+        start = time.monotonic()
+        if not isinstance(workload, ComputationGraph):
+            workload = tuple(workload)  # snapshot mutable task sequences
+        fp = self.fingerprint(workload)
+
+        # The closed check, inflight registration and enqueue happen under one
+        # lock: close() flips _closed under the same lock before pushing the
+        # shutdown sentinels, so a request can never land behind them (which
+        # would leave its future unresolved forever).
+        with self._lock:
+            if self._closed:
+                raise ServiceError("PlanService is closed")
+            cached = self.cache.get(fp)
+            if cached is not None:
+                future: Future = Future()
+                future.set_result(cached)
+                self.stats.record(OUTCOME_HIT, time.monotonic() - start)
+                return future
+            inflight = self._inflight.get(fp)
+            if inflight is not None:
+                self._record_on_completion(inflight, OUTCOME_COALESCED, start)
+                return inflight
+            future = Future()
+            self._inflight[fp] = future
+            self._record_on_completion(future, OUTCOME_MISS, start)
+            self._queue.put((fp, workload))
+        return future
+
+    def plan(self, workload: PlannerInput, timeout: float | None = None) -> ExecutionPlan:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(workload).result(timeout=timeout)
+
+    def serialized_plan(
+        self, workload: PlannerInput, timeout: float | None = None
+    ) -> str:
+        """Return the serialized plan document, byte-identical across hits."""
+        fp = self.fingerprint(workload)
+        payload = self.cache.get_payload(fp)
+        if payload is not None:
+            return payload
+        plan = self.plan(workload, timeout=timeout)
+        return self.cache.get_payload(fp) or plan_to_json(plan)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    def pending_requests(self) -> int:
+        """Number of requests queued or being planned right now."""
+        with self._lock:
+            return len(self._inflight)
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests and shut the worker pool down.
+
+        Requests submitted before the close are still planned (they sit ahead
+        of the shutdown sentinels in the queue)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _ in self._workers:
+                self._queue.put(_SHUTDOWN)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "PlanService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- internals
+    def _record_on_completion(self, future: Future, outcome: str, start: float) -> None:
+        def _done(completed: Future) -> None:
+            # Failed requests are accounted as errors by the worker, not as
+            # outcomes — recording them here too would double-count them and
+            # pollute the latency percentiles.
+            if completed.cancelled() or completed.exception() is not None:
+                return
+            self.stats.record(outcome, time.monotonic() - start)
+
+        future.add_done_callback(_done)
+
+    def _worker_loop(self) -> None:
+        planner = self._planner_factory()
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch = [item]
+            while len(batch) < self.max_batch_size:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _SHUTDOWN:
+                    self._queue.put(_SHUTDOWN)  # leave the signal for a peer
+                    break
+                batch.append(extra)
+            # Group by fingerprint: duplicates that reached the queue (e.g.
+            # submitted between a cache eviction and re-planning) are planned
+            # once per batch.
+            grouped: dict[str, PlannerInput] = {}
+            for fp, workload in batch:
+                grouped.setdefault(fp, workload)
+            for fp, workload in grouped.items():
+                self._plan_one(planner, fp, workload)
+
+    def _plan_one(
+        self, planner: ExecutionPlanner, fp: str, workload: PlannerInput
+    ) -> None:
+        try:
+            plan = planner.plan(workload, fingerprint=fp)
+            self.cache.put(fp, plan)
+        except Exception as exc:  # noqa: BLE001 - surfaced through the future
+            with self._lock:
+                future = self._inflight.pop(fp, None)
+            self.stats.record_error()
+            if future is not None:
+                future.set_exception(exc)
+            return
+        with self._lock:
+            future = self._inflight.pop(fp, None)
+        if future is not None:
+            future.set_result(plan)

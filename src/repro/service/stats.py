@@ -1,0 +1,158 @@
+"""Service-level throughput, latency and hit-rate accounting.
+
+The plan service records one observation per completed request: how it was
+satisfied (cache hit, coalesced onto an in-flight computation, or a fresh
+planner run) and its end-to-end latency.  :class:`ServiceStats` aggregates the
+observations into the numbers an operator of a serving tier watches —
+throughput, latency percentiles and the hit/coalesce split — and renders them
+as a small report table.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+#: Request outcomes recorded by the plan service.
+OUTCOME_HIT = "hit"
+OUTCOME_MISS = "miss"
+OUTCOME_COALESCED = "coalesced"
+
+_OUTCOMES = (OUTCOME_HIT, OUTCOME_MISS, OUTCOME_COALESCED)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Latency distribution of one outcome class, in seconds."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    max: float
+
+    @staticmethod
+    def from_samples(samples: list[float]) -> "LatencySummary":
+        if not samples:
+            return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, max=0.0)
+        ordered = sorted(samples)
+
+        def percentile(fraction: float) -> float:
+            index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+            return ordered[index]
+
+        return LatencySummary(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(0.50),
+            p95=percentile(0.95),
+            max=ordered[-1],
+        )
+
+
+class ServiceStats:
+    """Thread-safe accumulator of per-request service observations."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started_at = clock()
+        self._latencies: dict[str, list[float]] = {o: [] for o in _OUTCOMES}
+        self._errors = 0
+
+    # -------------------------------------------------------------- recording
+    def record(self, outcome: str, latency_seconds: float) -> None:
+        if outcome not in _OUTCOMES:
+            raise ValueError(f"Unknown request outcome {outcome!r}")
+        with self._lock:
+            self._latencies[outcome].append(latency_seconds)
+
+    def record_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    # ------------------------------------------------------------- aggregates
+    @property
+    def total_requests(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._latencies.values())
+
+    @property
+    def errors(self) -> int:
+        with self._lock:
+            return self._errors
+
+    def count(self, outcome: str) -> int:
+        with self._lock:
+            return len(self._latencies[outcome])
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served without a fresh planner run."""
+        with self._lock:
+            total = sum(len(v) for v in self._latencies.values())
+            if total == 0:
+                return 0.0
+            served = len(self._latencies[OUTCOME_HIT]) + len(
+                self._latencies[OUTCOME_COALESCED]
+            )
+            return served / total
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self._clock() - self._started_at
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second since the stats object was created."""
+        elapsed = self.elapsed_seconds
+        if elapsed <= 0:
+            return 0.0
+        return self.total_requests / elapsed
+
+    def latency(self, outcome: str) -> LatencySummary:
+        with self._lock:
+            return LatencySummary.from_samples(list(self._latencies[outcome]))
+
+    def overall_latency(self) -> LatencySummary:
+        with self._lock:
+            merged = [s for samples in self._latencies.values() for s in samples]
+        return LatencySummary.from_samples(merged)
+
+    # -------------------------------------------------------------- reporting
+    def as_dict(self) -> dict[str, float]:
+        overall = self.overall_latency()
+        return {
+            "requests": self.total_requests,
+            "hits": self.count(OUTCOME_HIT),
+            "misses": self.count(OUTCOME_MISS),
+            "coalesced": self.count(OUTCOME_COALESCED),
+            "errors": self.errors,
+            "hit_rate": self.hit_rate,
+            "throughput_rps": self.throughput,
+            "latency_mean_s": overall.mean,
+            "latency_p50_s": overall.p50,
+            "latency_p95_s": overall.p95,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary of the service counters."""
+        lines = [
+            f"requests     : {self.total_requests} "
+            f"(hits {self.count(OUTCOME_HIT)}, "
+            f"coalesced {self.count(OUTCOME_COALESCED)}, "
+            f"misses {self.count(OUTCOME_MISS)}, errors {self.errors})",
+            f"hit rate     : {self.hit_rate * 100:.1f}%",
+            f"throughput   : {self.throughput:.1f} req/s",
+        ]
+        for outcome in _OUTCOMES:
+            summary = self.latency(outcome)
+            if summary.count == 0:
+                continue
+            lines.append(
+                f"latency {outcome:<9}: mean {summary.mean * 1e3:.2f} ms, "
+                f"p50 {summary.p50 * 1e3:.2f} ms, p95 {summary.p95 * 1e3:.2f} ms"
+            )
+        return "\n".join(lines)

@@ -75,6 +75,12 @@ def make_chain_task(
 
 
 @pytest.fixture
+def chain_task_factory():
+    """The :func:`make_chain_task` helper, as a fixture for service tests."""
+    return make_chain_task
+
+
+@pytest.fixture
 def tiny_device_spec() -> DeviceSpec:
     return DeviceSpec(name="tiny", peak_flops=50e12, memory_bytes=16 * 1024**3)
 

@@ -84,3 +84,32 @@ class TestScalingCommand:
         assert exit_code == 0
         assert "resource scalability" in output
         assert "sigma(8)" in output
+
+    def test_device_counts_derived_from_cluster_size(self, capsys):
+        exit_code = main(
+            ["scaling", "--model", "multitask-clip", "--tasks", "2", "--gpus", "16"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sigma(16)" in output
+        assert "sigma(32)" not in output
+
+
+class TestServeBenchCommand:
+    def test_reports_throughput_and_hit_rate(self, capsys):
+        exit_code = main(
+            [
+                "serve-bench",
+                "--model", "multitask-clip",
+                "--tasks", "2",
+                "--gpus", "8",
+                "--requests", "8",
+                "--unique", "2",
+                "--workers", "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "plan service throughput" in output
+        assert "cache hit rate" in output
+        assert "speedup" in output

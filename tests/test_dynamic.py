@@ -10,6 +10,7 @@ from repro.dynamic.workload import (
     DynamicWorkloadSchedule,
     WorkloadPhase,
 )
+from repro.service.cache import PlanCache
 
 
 @pytest.fixture
@@ -92,3 +93,74 @@ class TestRunner:
         assert first.phase_time == pytest.approx(
             first.replanning_seconds + 10 * first.iteration_time
         )
+
+    def test_unchanged_task_set_not_charged_replanning(
+        self, tiny_tasks, two_island_cluster
+    ):
+        schedule = DynamicWorkloadSchedule.from_tasks(
+            tiny_tasks,
+            phases=[
+                (["audio_task"], 10),
+                (["audio_task"], 5),  # same task set: keeps the current plan
+                (["audio_task", "vision_task"], 5),
+            ],
+        )
+        result = DynamicWorkloadRunner(schedule).run(
+            SpindleSystem(two_island_cluster)
+        )
+        charged = [p.replanning_seconds for p in result.phase_results]
+        assert charged[0] > 0
+        assert charged[1] == 0.0
+        assert charged[2] > 0
+
+
+class TestCachedPlanning:
+    @pytest.fixture
+    def recurring_schedule(self, tiny_tasks):
+        """A -> B -> A: the third phase repeats the first task set."""
+        return DynamicWorkloadSchedule.from_tasks(
+            tiny_tasks,
+            phases=[
+                (["audio_task"], 10),
+                (["audio_task", "vision_task"], 20),
+                (["audio_task"], 5),
+            ],
+        )
+
+    def test_cache_hit_phases_cost_zero_replanning(
+        self, recurring_schedule, two_island_cluster
+    ):
+        runner = DynamicWorkloadRunner(recurring_schedule, plan_cache=PlanCache())
+        result = runner.run(SpindleSystem(two_island_cluster))
+        charged = [p.replanning_seconds for p in result.phase_results]
+        assert charged[0] > 0  # first encounter plans
+        assert charged[1] > 0  # new task set plans
+        assert charged[2] == 0.0  # recurring task set served from the cache
+
+    def test_cached_run_matches_uncached_iteration_times(
+        self, recurring_schedule, two_island_cluster
+    ):
+        cached = DynamicWorkloadRunner(
+            recurring_schedule, plan_cache=PlanCache()
+        ).run(SpindleSystem(two_island_cluster))
+        uncached = DynamicWorkloadRunner(recurring_schedule).run(
+            SpindleSystem(two_island_cluster)
+        )
+        for cached_phase, uncached_phase in zip(
+            cached.phase_results, uncached.phase_results
+        ):
+            assert cached_phase.iteration_time == pytest.approx(
+                uncached_phase.iteration_time
+            )
+
+    def test_cache_detached_after_run(self, recurring_schedule, two_island_cluster):
+        system = SpindleSystem(two_island_cluster)
+        DynamicWorkloadRunner(recurring_schedule, plan_cache=PlanCache()).run(system)
+        assert system.plan_cache is None
+
+    def test_cache_ignored_for_unaware_systems(
+        self, recurring_schedule, two_island_cluster
+    ):
+        runner = DynamicWorkloadRunner(recurring_schedule, plan_cache=PlanCache())
+        result = runner.run(DeepSpeedSystem(two_island_cluster))
+        assert len(result.phase_results) == 3

@@ -13,6 +13,7 @@ from repro.experiments.workloads import (
     clip_workload,
     fig8_workloads,
     ofasys_workload,
+    planning_request_stream,
     qwen_val_workload,
 )
 
@@ -78,3 +79,20 @@ class TestPaperGrids:
         spec = ofasys_workload(7, 8)
         assert isinstance(spec, WorkloadSpec)
         assert len(spec.tasks()) == 7
+
+
+class TestPlanningRequestStream:
+    def test_stream_shape_and_determinism(self, tiny_tasks):
+        stream, unique = planning_request_stream(tiny_tasks, 10, 2, seed=7)
+        assert len(stream) == 10
+        assert unique == 2
+        assert len({id(req) for req in stream}) == unique  # interned task sets
+        again, _ = planning_request_stream(tiny_tasks, 10, 2, seed=7)
+        assert [len(req) for req in stream] == [len(req) for req in again]
+
+    def test_unique_count_clamped(self, tiny_tasks):
+        stream, unique = planning_request_stream(tiny_tasks, 4, 99, seed=0)
+        assert unique == len(tiny_tasks)
+        assert all(req for req in stream)
+        with pytest.raises(ValueError):
+            planning_request_stream(tiny_tasks, 0, 1)

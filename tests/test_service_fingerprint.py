@@ -1,0 +1,167 @@
+"""Tests for canonical workload fingerprints (plan-cache keys)."""
+
+import pytest
+
+from repro.cluster.device import DeviceSpec
+from repro.cluster.topology import ClusterTopology, make_cluster
+from repro.core.planner import ExecutionPlanner
+from repro.costmodel.flops import LayerConfig, make_transformer_layer_op
+from repro.costmodel.memory import MemoryModel, MemoryModelConfig
+from repro.costmodel.timing import TimingModelConfig
+from repro.graph.ops import TensorSpec
+from repro.graph.task import SpindleTask
+from repro.service.fingerprint import (
+    canonical_task,
+    fingerprint_workload,
+)
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster(4, devices_per_node=4)
+
+
+def _task(
+    name: str,
+    module_layers: dict[str, int] | None = None,
+    batch: int = 8,
+    hidden: int = 256,
+    shared_prefix: str | None = "shared",
+) -> SpindleTask:
+    """A chain task structurally identical across different ``name`` values."""
+    module_layers = module_layers or {"audio": 3, "lm": 2}
+    task = SpindleTask(name, batch_size=batch)
+    previous = None
+    for module_name, layers in module_layers.items():
+        ops = [
+            make_transformer_layer_op(
+                name=f"{name}.{module_name}.layer{i}",
+                op_type=f"{module_name}_layer",
+                task=name,
+                modality=module_name,
+                spec=TensorSpec(batch=batch, seq_len=64, hidden=hidden),
+                config=LayerConfig(hidden_size=hidden),
+                param_key=(
+                    f"{shared_prefix}.{module_name}.layer{i}" if shared_prefix else None
+                ),
+            )
+            for i in range(layers)
+        ]
+        task.add_module(module_name, ops)
+        if previous is not None:
+            task.add_flow(previous, module_name)
+        previous = module_name
+    return task
+
+
+class TestTaskCanonicalisation:
+    def test_task_name_excluded(self):
+        assert canonical_task(_task("alpha")) == canonical_task(_task("beta"))
+
+    def test_structure_included(self):
+        base = canonical_task(_task("t"))
+        assert canonical_task(_task("t", batch=16)) != base
+        assert canonical_task(_task("t", module_layers={"audio": 4, "lm": 2})) != base
+        assert canonical_task(_task("t", shared_prefix=None)) != base
+
+
+class TestFingerprintStability:
+    def test_deterministic(self, cluster):
+        tasks = [_task("a"), _task("b", module_layers={"vision": 2, "lm": 2})]
+        assert fingerprint_workload(tasks, cluster) == fingerprint_workload(
+            tasks, cluster
+        )
+
+    def test_task_order_invariant(self, cluster):
+        first = _task("a")
+        second = _task("b", module_layers={"vision": 2, "lm": 2})
+        assert fingerprint_workload([first, second], cluster) == fingerprint_workload(
+            [second, first], cluster
+        )
+
+    def test_task_naming_invariant(self, cluster):
+        original = [_task("a"), _task("b", module_layers={"vision": 2, "lm": 2})]
+        renamed = [_task("x"), _task("y", module_layers={"vision": 2, "lm": 2})]
+        assert fingerprint_workload(original, cluster) == fingerprint_workload(
+            renamed, cluster
+        )
+
+    def test_task_set_sensitive(self, cluster):
+        tasks = [_task("a"), _task("b", module_layers={"vision": 2, "lm": 2})]
+        assert fingerprint_workload(tasks, cluster) != fingerprint_workload(
+            tasks[:1], cluster
+        )
+
+    def test_cluster_sensitive(self):
+        tasks = [_task("a")]
+        small = make_cluster(4, devices_per_node=4)
+        large = make_cluster(8, devices_per_node=4)
+        assert fingerprint_workload(tasks, small) != fingerprint_workload(tasks, large)
+        one_island = make_cluster(8, devices_per_node=8)
+        assert fingerprint_workload(tasks, large) != fingerprint_workload(
+            tasks, one_island
+        )
+
+    def test_device_spec_sensitive(self):
+        tasks = [_task("a")]
+        a = make_cluster(4, devices_per_node=4)
+        b = ClusterTopology(
+            num_nodes=1,
+            devices_per_node=4,
+            device_spec=DeviceSpec(
+                name="other", peak_flops=100e12, memory_bytes=32 * 1024**3
+            ),
+        )
+        assert fingerprint_workload(tasks, a) != fingerprint_workload(tasks, b)
+
+    def test_config_sensitive(self, cluster):
+        tasks = [_task("a")]
+        base = fingerprint_workload(tasks, cluster, {"placement": "locality"})
+        assert base != fingerprint_workload(tasks, cluster, {"placement": "sequential"})
+        assert base != fingerprint_workload(tasks, cluster)
+
+
+class TestPlannerFingerprint:
+    def test_plan_carries_fingerprint(self, cluster, tiny_tasks):
+        plan = ExecutionPlanner(cluster).plan(tiny_tasks)
+        assert plan.fingerprint
+        again = ExecutionPlanner(cluster).plan(list(reversed(tiny_tasks)))
+        assert again.fingerprint == plan.fingerprint
+
+    def test_planner_config_changes_fingerprint(self, cluster, tiny_tasks):
+        locality = ExecutionPlanner(cluster).plan(tiny_tasks)
+        sequential = ExecutionPlanner(
+            cluster, placement_strategy="sequential"
+        ).plan(tiny_tasks)
+        assert locality.fingerprint != sequential.fingerprint
+        tweaked = ExecutionPlanner(
+            cluster, timing_config=TimingModelConfig(backward_multiplier=1.5)
+        ).plan(tiny_tasks)
+        assert tweaked.fingerprint != locality.fingerprint
+        small_memory = ExecutionPlanner(
+            cluster,
+            memory_model=MemoryModel(
+                MemoryModelConfig(framework_overhead_bytes=0.5 * 1024**3)
+            ),
+        ).plan(tiny_tasks)
+        assert small_memory.fingerprint != locality.fingerprint
+
+    def test_distinct_closures_never_share_a_signature(self, cluster):
+        def make_fn(cap):
+            def fn(metaop, max_devices):
+                return list(range(1, min(max_devices, cap) + 1))
+
+            return fn
+
+        capped2 = ExecutionPlanner(cluster, valid_allocation_fn=make_fn(2))
+        capped8 = ExecutionPlanner(cluster, valid_allocation_fn=make_fn(8))
+        assert capped2.config_signature() != capped8.config_signature()
+        # Module-level functions keep a stable, process-independent identity.
+        default_a = ExecutionPlanner(cluster).config_signature()
+        default_b = ExecutionPlanner(cluster).config_signature()
+        assert default_a == default_b
+
+    def test_graph_input_fingerprinted(self, cluster, tiny_graph):
+        plan = ExecutionPlanner(cluster).plan(tiny_graph)
+        assert plan.fingerprint
+        assert ExecutionPlanner(cluster).plan(tiny_graph).fingerprint == plan.fingerprint

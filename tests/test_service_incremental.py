@@ -1,0 +1,81 @@
+"""Tests for incremental re-planning (scalability-curve reuse)."""
+
+import pytest
+
+from repro.cluster.topology import make_cluster
+from repro.core.estimator import metaop_curve_key
+from repro.core.planner import ExecutionPlanner
+from repro.service.incremental import IncrementalPlanner
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster(4, devices_per_node=4)
+
+
+class TestCurveReuse:
+    def test_first_plan_estimates_everything(self, cluster, tiny_tasks):
+        inc = IncrementalPlanner(ExecutionPlanner(cluster))
+        plan = inc.plan(tiny_tasks)
+        assert plan.report.reused_curves == 0
+        assert inc.stats.curves_estimated == plan.report.num_metaops
+        assert inc.num_pooled_curves > 0
+
+    def test_identical_replan_reuses_all_curves(self, cluster, tiny_tasks):
+        inc = IncrementalPlanner(ExecutionPlanner(cluster))
+        first = inc.plan(tiny_tasks)
+        second = inc.plan(tiny_tasks)
+        assert second.report.reused_curves == second.report.num_metaops
+        assert second.schedule.makespan == pytest.approx(first.schedule.makespan)
+        assert inc.stats.reuse_rate == pytest.approx(0.5)
+        assert inc.stats.estimation_seconds_saved > 0
+
+    def test_overlapping_task_set_reuses_shared_curves(self, cluster, tiny_tasks):
+        inc = IncrementalPlanner(ExecutionPlanner(cluster))
+        inc.plan(tiny_tasks[:1])
+        grown = inc.plan(tiny_tasks)
+        assert 0 < grown.report.reused_curves < grown.report.num_metaops
+
+    def test_reused_plan_matches_fresh_plan(self, cluster, tiny_tasks):
+        fresh = ExecutionPlanner(cluster).plan(tiny_tasks)
+        inc = IncrementalPlanner(ExecutionPlanner(cluster))
+        inc.plan(tiny_tasks[:1])
+        reused = inc.plan(tiny_tasks)
+        # Profiles are deterministic, so reused curves change nothing.
+        assert reused.schedule.makespan == pytest.approx(fresh.schedule.makespan)
+        assert reused.theoretical_optimum == pytest.approx(fresh.theoretical_optimum)
+        assert reused.fingerprint == fresh.fingerprint
+
+    def test_clear_drops_pool(self, cluster, tiny_tasks):
+        inc = IncrementalPlanner(ExecutionPlanner(cluster))
+        inc.plan(tiny_tasks)
+        inc.clear()
+        assert inc.num_pooled_curves == 0
+        assert inc.plan(tiny_tasks).report.reused_curves == 0
+
+    def test_pool_capacity_bounded(self, cluster, tiny_tasks):
+        inc = IncrementalPlanner(ExecutionPlanner(cluster), max_curves=2)
+        inc.plan(tiny_tasks)
+        assert inc.num_pooled_curves == 2
+        with pytest.raises(ValueError):
+            IncrementalPlanner(ExecutionPlanner(cluster), max_curves=0)
+
+
+class TestCurveKeys:
+    def test_identical_workloads_share_keys(self, cluster, chain_task_factory):
+        # Two structurally identical tasks under different names: every MetaOp
+        # of one has a key-equal twin in the other, so a single profile per
+        # workload signature serves both.
+        twin_a = chain_task_factory("twin_a", {"audio": 3, "lm": 2}, batch=8)
+        twin_b = chain_task_factory("twin_b", {"audio": 3, "lm": 2}, batch=8)
+        plan = ExecutionPlanner(cluster).plan([twin_a, twin_b])
+        keys = [
+            metaop_curve_key(plan.metagraph.metaop(index)) for index in plan.curves
+        ]
+        assert len(set(keys)) == len(keys) / 2
+
+    def test_twin_tasks_need_half_the_estimates(self, cluster, chain_task_factory):
+        inc = IncrementalPlanner(ExecutionPlanner(cluster))
+        inc.plan([chain_task_factory("twin_a", {"audio": 3, "lm": 2}, batch=8)])
+        plan = inc.plan([chain_task_factory("twin_b", {"audio": 3, "lm": 2}, batch=8)])
+        assert plan.report.reused_curves == plan.report.num_metaops

@@ -1,0 +1,170 @@
+"""Tests for the concurrent plan service (single-flight, batching, caching)."""
+
+import threading
+
+import pytest
+
+from repro.cluster.topology import make_cluster
+from repro.core.plan import ExecutionPlan
+from repro.core.planner import ExecutionPlanner
+from repro.service import (
+    OUTCOME_COALESCED,
+    OUTCOME_HIT,
+    OUTCOME_MISS,
+    PlanCache,
+    PlanService,
+    ServiceError,
+)
+
+
+class GatedPlanner(ExecutionPlanner):
+    """Planner whose ``plan`` blocks on an event and counts invocations."""
+
+    def __init__(self, cluster, gate: threading.Event) -> None:
+        super().__init__(cluster)
+        self.gate = gate
+        self.calls = 0
+        self._count_lock = threading.Lock()
+
+    def plan(self, workload, **kwargs) -> ExecutionPlan:
+        with self._count_lock:
+            self.calls += 1
+        assert self.gate.wait(timeout=10.0), "test gate never opened"
+        return super().plan(workload, **kwargs)
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster(4, devices_per_node=4)
+
+
+class TestBasicServing:
+    def test_plan_matches_direct_planner(self, cluster, tiny_tasks):
+        direct = ExecutionPlanner(cluster).plan(tiny_tasks)
+        with PlanService(ExecutionPlanner(cluster), num_workers=1) as service:
+            served = service.plan(tiny_tasks, timeout=30.0)
+        assert served.fingerprint == direct.fingerprint
+        assert served.schedule.makespan == pytest.approx(direct.schedule.makespan)
+
+    def test_repeat_requests_hit_the_cache(self, cluster, tiny_tasks):
+        with PlanService(ExecutionPlanner(cluster), num_workers=1) as service:
+            first = service.plan(tiny_tasks, timeout=30.0)
+            second = service.plan(tiny_tasks, timeout=30.0)
+            third = service.plan(list(reversed(tiny_tasks)), timeout=30.0)
+        assert second is first  # served straight from the cache
+        assert third is first  # canonical fingerprint ignores task order
+        assert service.stats.count(OUTCOME_MISS) == 1
+        assert service.stats.count(OUTCOME_HIT) == 2
+        assert service.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_serialized_plan_byte_identical(self, cluster, tiny_tasks):
+        with PlanService(ExecutionPlanner(cluster), num_workers=1) as service:
+            first = service.serialized_plan(tiny_tasks, timeout=30.0)
+            second = service.serialized_plan(tiny_tasks, timeout=30.0)
+        assert first.encode("utf-8") == second.encode("utf-8")
+
+    def test_planner_factory_builds_per_worker_planners(self, cluster, tiny_tasks):
+        with PlanService(
+            lambda: ExecutionPlanner(cluster), num_workers=2
+        ) as service:
+            plan = service.plan(tiny_tasks, timeout=30.0)
+        assert plan.fingerprint is not None
+
+    def test_invalid_configuration_rejected(self, cluster):
+        with pytest.raises(ServiceError):
+            PlanService(ExecutionPlanner(cluster), num_workers=0)
+        with pytest.raises(ServiceError):
+            PlanService(ExecutionPlanner(cluster), max_batch_size=0)
+        with pytest.raises(ServiceError):
+            PlanService("not a planner")  # type: ignore[arg-type]
+
+
+class TestSingleFlight:
+    def test_identical_inflight_requests_share_one_future(self, cluster, tiny_tasks):
+        gate = threading.Event()
+        planner = GatedPlanner(cluster, gate)
+        service = PlanService(planner, num_workers=2)
+        try:
+            futures = [service.submit(tiny_tasks) for _ in range(5)]
+            assert all(f is futures[0] for f in futures[1:])
+            assert service.pending_requests() == 1
+            gate.set()
+            plan = futures[0].result(timeout=30.0)
+        finally:
+            gate.set()
+            service.close()
+        assert planner.calls == 1
+        assert isinstance(plan, ExecutionPlan)
+        assert service.stats.count(OUTCOME_MISS) == 1
+        assert service.stats.count(OUTCOME_COALESCED) == 4
+
+    def test_distinct_requests_get_distinct_futures(self, cluster, tiny_tasks):
+        gate = threading.Event()
+        planner = GatedPlanner(cluster, gate)
+        service = PlanService(planner, num_workers=2)
+        try:
+            one = service.submit(tiny_tasks)
+            other = service.submit(tiny_tasks[:1])
+            assert one is not other
+            gate.set()
+            assert one.result(timeout=30.0).fingerprint != other.result(
+                timeout=30.0
+            ).fingerprint
+        finally:
+            gate.set()
+            service.close()
+        assert planner.calls == 2
+
+    def test_concurrent_submitters_coalesce(self, cluster, tiny_tasks):
+        gate = threading.Event()
+        planner = GatedPlanner(cluster, gate)
+        service = PlanService(planner, num_workers=2)
+        results = []
+        errors = []
+
+        def client():
+            try:
+                results.append(service.plan(tiny_tasks, timeout=30.0))
+            except Exception as exc:  # pragma: no cover - surfaced via assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        try:
+            for thread in threads:
+                thread.start()
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+        finally:
+            gate.set()
+            service.close()
+        assert not errors
+        assert len(results) == 8
+        # Every client observed the same plan, computed at most twice (a client
+        # may race ahead of the inflight registration and trigger one rerun).
+        assert len({id(plan) for plan in results}) <= 2
+        assert planner.calls <= 2
+
+
+class TestErrorsAndShutdown:
+    def test_planning_error_propagates(self, cluster):
+        with PlanService(ExecutionPlanner(cluster), num_workers=1) as service:
+            future = service.submit([])  # planner rejects empty task lists
+            with pytest.raises(ValueError):
+                future.result(timeout=30.0)
+            assert service.stats.errors == 1
+        assert service.pending_requests() == 0
+
+    def test_submit_after_close_rejected(self, cluster, tiny_tasks):
+        service = PlanService(ExecutionPlanner(cluster), num_workers=1)
+        service.close()
+        with pytest.raises(ServiceError):
+            service.submit(tiny_tasks)
+
+    def test_shared_cache_across_services(self, cluster, tiny_tasks):
+        cache = PlanCache()
+        with PlanService(ExecutionPlanner(cluster), cache=cache, num_workers=1) as a:
+            plan = a.plan(tiny_tasks, timeout=30.0)
+        with PlanService(ExecutionPlanner(cluster), cache=cache, num_workers=1) as b:
+            assert b.plan(tiny_tasks, timeout=30.0) is plan
+        assert b.stats.count(OUTCOME_HIT) == 1
