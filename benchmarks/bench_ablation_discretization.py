@@ -14,7 +14,30 @@ from repro.core.planner import ExecutionPlanner
 from repro.experiments.reporting import format_table
 from repro.experiments.workloads import clip_workload, ofasys_workload
 
+from repro.bench import Metric, register_benchmark
+
 WORKLOADS = (clip_workload(7, 16), clip_workload(10, 32), ofasys_workload(7, 16))
+
+
+@register_benchmark(
+    "ablation_discretization",
+    figure="ablation",
+    stage="planning",
+    tags=("ablation", "allocator", "smoke"),
+    description="Bi-point discretization vs nearest-allocation rounding",
+)
+def bench_ablation_discretization(ctx):
+    ratios = []
+    for workload in WORKLOADS:
+        bipoint, _ = _makespan(workload, ResourceAllocator)
+        naive, _ = _makespan(workload, NearestRoundingAllocator)
+        ratios.append(naive / bipoint)
+    return {
+        "max_rounding_inflation": Metric(max(ratios), "x", higher_is_better=True),
+        "mean_rounding_inflation": Metric(
+            sum(ratios) / len(ratios), "x", higher_is_better=True
+        ),
+    }
 
 
 class NearestRoundingAllocator(ResourceAllocator):
@@ -55,7 +78,13 @@ def test_ablation_bipoint_discretization(benchmark):
     emit(
         "ablation_discretization",
         format_table(
-            ["workload", "C* (ms)", "bi-point (ms)", "nearest rounding (ms)", "rounding / bi-point"],
+            [
+                "workload",
+                "C* (ms)",
+                "bi-point (ms)",
+                "nearest rounding (ms)",
+                "rounding / bi-point",
+            ],
             rows,
             title="Ablation: bi-point discretization vs nearest-allocation rounding",
         ),

@@ -17,7 +17,29 @@ from repro.experiments.reporting import format_table
 from repro.graph.builder import build_unified_graph
 from repro.models.multitask_clip import multitask_clip_tasks
 
+from repro.bench import Metric, register_benchmark
+
 EVALUATION_POINTS = (2, 4, 8, 16, 24)
+
+
+@register_benchmark(
+    "ablation_estimator",
+    figure="ablation",
+    stage="costmodel",
+    tags=("ablation", "estimator", "smoke"),
+    description="Piecewise alpha-beta estimation vs a single-piece fit",
+)
+def bench_ablation_estimator(ctx):
+    piecewise_error, single_error = _estimation_errors()
+    return {
+        "piecewise_error": Metric(piecewise_error, "fraction"),
+        "single_piece_error": Metric(
+            single_error, "fraction", regression_threshold=None
+        ),
+        "error_inflation": Metric(
+            single_error / piecewise_error, "x", higher_is_better=True
+        ),
+    }
 
 
 def _estimation_errors():

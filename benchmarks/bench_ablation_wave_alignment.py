@@ -13,7 +13,30 @@ from repro.core.scheduler import WavefrontScheduler
 from repro.experiments.reporting import format_table
 from repro.experiments.workloads import clip_workload, ofasys_workload
 
+from repro.bench import Metric, register_benchmark
+
 WORKLOADS = (clip_workload(4, 16), clip_workload(10, 32), ofasys_workload(7, 16))
+
+
+@register_benchmark(
+    "ablation_wave_alignment",
+    figure="ablation",
+    stage="planning",
+    tags=("ablation", "scheduler", "smoke"),
+    description="Wave time-span alignment vs unsliced whole-tuple waves",
+)
+def bench_ablation_wave_alignment(ctx):
+    ratios = []
+    for workload in WORKLOADS:
+        aligned, _ = _makespan(workload, WavefrontScheduler)
+        unaligned, _ = _makespan(workload, UnalignedScheduler)
+        ratios.append(unaligned / aligned)
+    return {
+        "max_alignment_gain": Metric(max(ratios), "x", higher_is_better=True),
+        "mean_alignment_gain": Metric(
+            sum(ratios) / len(ratios), "x", higher_is_better=True
+        ),
+    }
 
 
 class UnalignedScheduler(WavefrontScheduler):

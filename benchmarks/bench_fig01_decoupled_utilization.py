@@ -8,11 +8,36 @@ uses to motivate Spindle.
 
 from bench_utils import emit
 
+from repro.bench import Metric, register_benchmark
 from repro.experiments.harness import run_single_system
 from repro.experiments.reporting import format_series, format_table
 from repro.experiments.workloads import clip_workload
 
 WORKLOAD = clip_workload(4, 16)
+
+
+@register_benchmark(
+    "fig01_decoupled_utilization",
+    figure="fig01",
+    stage="simulation",
+    tags=("figure", "utilization", "smoke"),
+    description="Utilization fluctuation of the decoupled (DeepSpeed) baseline",
+)
+def bench_fig01_decoupled_utilization(ctx):
+    _, result = run_single_system(
+        WORKLOAD, "deepspeed", tasks=ctx.tasks(WORKLOAD), cluster=ctx.cluster(WORKLOAD)
+    )
+    timeline = [value for _, value in result.trace.cluster_timeline(num_points=60)]
+    peak = ctx.cluster(WORKLOAD).total_peak_flops
+    return {
+        "cluster_avg_tflops": Metric(
+            result.trace.cluster_average_flops() / 1e12, "TFLOP/s"
+        ),
+        "peak_fraction": Metric(result.trace.cluster_average_flops() / peak, "fraction"),
+        "fluctuation_min_over_max": Metric(
+            min(timeline) / max(timeline), "fraction", regression_threshold=None
+        ),
+    }
 
 
 def test_fig01_decoupled_utilization_timeline(benchmark):

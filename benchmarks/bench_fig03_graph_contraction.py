@@ -5,13 +5,41 @@ size) for a 2-task example and benchmarks graph contraction on the full
 10-task Multitask-CLIP graph.
 """
 
+import time
+
 from bench_utils import emit
 
+from repro.bench import Metric, informational, invariant, register_benchmark
 from repro.core.contraction import contract_graph
 from repro.experiments.reporting import format_table
 from repro.graph.builder import build_unified_graph
 from repro.models.multitask_clip import multitask_clip_tasks
 from repro.models.qwen_val import qwen_val_tasks
+
+
+@register_benchmark(
+    "fig03_graph_contraction",
+    figure="fig03",
+    stage="planning",
+    tags=("figure", "contraction", "smoke"),
+    description="Computation graph -> MetaGraph contraction on 10-task CLIP",
+)
+def bench_fig03_graph_contraction(ctx):
+    graph = build_unified_graph(multitask_clip_tasks(10))
+    start = time.perf_counter()
+    metagraph = contract_graph(graph)
+    contraction_seconds = time.perf_counter() - start
+    return {
+        # Structural invariants: contraction must keep every operator and
+        # collapse the graph to exactly one MetaOp per (task, module) chain;
+        # drift in either direction fails the gate.
+        "num_metaops": invariant(metagraph.num_metaops),
+        "num_operators": invariant(metagraph.num_operators),
+        "contraction_ratio": Metric(
+            graph.num_operators / metagraph.num_metaops, "x", higher_is_better=True
+        ),
+        "contraction_seconds": informational(contraction_seconds, "s"),
+    }
 
 
 def test_fig03_metaop_table(benchmark):

@@ -15,7 +15,32 @@ from repro.experiments.reporting import format_table
 from repro.graph.builder import build_unified_graph
 from repro.models.multitask_clip import multitask_clip_tasks
 
+from repro.bench import Metric, register_benchmark
+
 DEVICE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+@register_benchmark(
+    "fig04_scaling_curves",
+    figure="fig04",
+    stage="costmodel",
+    tags=("figure", "scalability", "smoke"),
+    description="Heterogeneity of the per-MetaOp resource scaling curves",
+)
+def bench_fig04_scaling_curves(ctx):
+    metagraph, curves = _estimate()
+    final_speedups = [
+        curves[m.index].speedup(32)
+        for m in metagraph.metaops.values()
+        if m.num_operators > 1
+    ]
+    return {
+        "speedup32_max": Metric(max(final_speedups), "x", higher_is_better=True),
+        "speedup32_min": Metric(min(final_speedups), "x", higher_is_better=True),
+        "heterogeneity": Metric(
+            max(final_speedups) / min(final_speedups), "x", higher_is_better=True
+        ),
+    }
 
 
 def _estimate():

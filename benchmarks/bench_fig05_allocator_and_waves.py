@@ -5,8 +5,11 @@ Fig. 3/5) to show the continuous MPSP optimum, its bi-point discretization,
 and the resulting waves with per-wave MetaOp slices.
 """
 
+import time
+
 from bench_utils import emit
 
+from repro.bench import Metric, informational, register_benchmark
 from repro.cluster.topology import make_cluster
 from repro.core.planner import ExecutionPlanner
 from repro.experiments.reporting import format_table
@@ -17,6 +20,26 @@ def _plan():
     cluster = make_cluster(8)
     planner = ExecutionPlanner(cluster)
     return planner.plan(qwen_val_tasks(2))
+
+
+@register_benchmark(
+    "fig05_allocator_and_waves",
+    figure="fig05",
+    stage="planning",
+    tags=("figure", "allocator", "smoke"),
+    description="MPSP allocation and wavefront schedule of the 2-task example",
+)
+def bench_fig05_allocator_and_waves(ctx):
+    start = time.perf_counter()
+    plan = _plan()
+    planning_seconds = time.perf_counter() - start
+    c_star = max(a.c_star for a in plan.level_allocations.values())
+    return {
+        "num_waves": Metric(plan.schedule.num_waves, "waves"),
+        "max_level_c_star_ms": Metric(c_star * 1e3, "ms"),
+        "compute_makespan_ms": Metric(plan.estimated_compute_makespan * 1e3, "ms"),
+        "planning_seconds": informational(planning_seconds, "s"),
+    }
 
 
 def test_fig05a_allocation_plan(benchmark):

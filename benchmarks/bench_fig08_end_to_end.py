@@ -9,8 +9,15 @@ with task count and cluster size (the paper's headline result, up to 1.71x).
 
 import pytest
 
-from bench_utils import FIG8_SYSTEMS, comparison_table, emit
+from bench_utils import (
+    FIG8_SYSTEMS,
+    cached_comparison,
+    comparison_metrics,
+    comparison_table,
+    emit,
+)
 
+from repro.bench import Metric, register_benchmark
 from repro.experiments.harness import run_comparison
 from repro.experiments.workloads import (
     FIG8_CLIP_CLUSTERS,
@@ -19,6 +26,7 @@ from repro.experiments.workloads import (
     FIG8_OFASYS_TASK_COUNTS,
     FIG8_QWEN_CLUSTERS,
     clip_workload,
+    fig8_workloads,
     ofasys_workload,
     qwen_val_workload,
 )
@@ -35,10 +43,60 @@ OFASYS_GRID = [
 ]
 QWEN_GRID = [qwen_val_workload(gpus) for gpus in FIG8_QWEN_CLUSTERS]
 
+#: Representative corner of the grid for the CI smoke benchmark.
+SMOKE_WORKLOADS = (clip_workload(4, 8), clip_workload(10, 32), qwen_val_workload(32))
 
-def _run_and_report(workload, benchmark):
+
+@register_benchmark(
+    "fig08_end_to_end",
+    figure="fig08",
+    stage="simulation",
+    tags=("figure", "end-to-end", "smoke"),
+    description="Spindle vs baselines on representative Fig. 8 workloads",
+)
+def bench_fig08_end_to_end(ctx):
+    metrics = {}
+    for workload in SMOKE_WORKLOADS:
+        comparison = cached_comparison(ctx, workload)
+        metrics.update(
+            comparison_metrics(
+                comparison,
+                prefix=f"{workload.name}/",
+                systems=("spindle", "deepspeed"),
+            )
+        )
+    return metrics
+
+
+@register_benchmark(
+    "fig08_end_to_end_full",
+    figure="fig08",
+    stage="simulation",
+    tags=("figure", "end-to-end", "full"),
+    description="Spindle speedup over the entire Fig. 8 grid (aggregates)",
+)
+def bench_fig08_end_to_end_full(ctx):
+    speedups = []
+    for workload in fig8_workloads():
+        comparison = cached_comparison(ctx, workload)
+        speedups.append(comparison.speedup("spindle"))
+    return {
+        "spindle_speedup_min": Metric(min(speedups), "x", higher_is_better=True),
+        "spindle_speedup_mean": Metric(
+            sum(speedups) / len(speedups), "x", higher_is_better=True
+        ),
+        "spindle_speedup_max": Metric(max(speedups), "x", higher_is_better=True),
+    }
+
+
+def _run_and_report(workload, benchmark, cache):
+    tasks, cluster = cache.tasks(workload), cache.cluster(workload)
     comparison = benchmark.pedantic(
-        lambda: run_comparison(workload, systems=FIG8_SYSTEMS), rounds=1, iterations=1
+        lambda: run_comparison(
+            workload, systems=FIG8_SYSTEMS, tasks=tasks, cluster=cluster
+        ),
+        rounds=1,
+        iterations=1,
     )
     emit(f"fig08_{workload.name}", comparison_table(comparison, f"Fig. 8: {workload.describe()}"))
     assert comparison.best_system == "spindle"
@@ -47,34 +105,46 @@ def _run_and_report(workload, benchmark):
 
 
 @pytest.mark.parametrize("workload", CLIP_GRID, ids=lambda w: w.name)
-def test_fig08_multitask_clip(benchmark, workload):
-    comparison = _run_and_report(workload, benchmark)
+def test_fig08_multitask_clip(benchmark, workload, once_per_session_cache):
+    comparison = _run_and_report(workload, benchmark, once_per_session_cache)
     # On the larger clusters Spindle's gain is substantial (paper: up to 71%).
     if workload.num_gpus >= 32:
         assert comparison.speedup("spindle") > 1.25
 
 
 @pytest.mark.parametrize("workload", OFASYS_GRID, ids=lambda w: w.name)
-def test_fig08_ofasys(benchmark, workload):
-    comparison = _run_and_report(workload, benchmark)
+def test_fig08_ofasys(benchmark, workload, once_per_session_cache):
+    comparison = _run_and_report(workload, benchmark, once_per_session_cache)
     if workload.num_gpus >= 32 and workload.num_tasks >= 7:
         assert comparison.speedup("spindle") > 1.3
 
 
 @pytest.mark.parametrize("workload", QWEN_GRID, ids=lambda w: w.name)
-def test_fig08_qwen_val(benchmark, workload):
-    comparison = _run_and_report(workload, benchmark)
+def test_fig08_qwen_val(benchmark, workload, once_per_session_cache):
+    comparison = _run_and_report(workload, benchmark, once_per_session_cache)
     assert comparison.speedup("spindle") > 1.1
 
 
-def test_fig08_scaling_trends(benchmark):
+def test_fig08_scaling_trends(benchmark, once_per_session_cache):
     """Spindle's advantage grows with task count and with cluster size."""
+    cache = once_per_session_cache
+    small_workload, large_workload = clip_workload(4, 8), clip_workload(10, 32)
     small = benchmark.pedantic(
-        lambda: run_comparison(clip_workload(4, 8), systems=("spindle", "deepspeed")),
+        lambda: run_comparison(
+            small_workload,
+            systems=("spindle", "deepspeed"),
+            tasks=cache.tasks(small_workload),
+            cluster=cache.cluster(small_workload),
+        ),
         rounds=1,
         iterations=1,
     )
-    large = run_comparison(clip_workload(10, 32), systems=("spindle", "deepspeed"))
+    large = run_comparison(
+        large_workload,
+        systems=("spindle", "deepspeed"),
+        tasks=cache.tasks(large_workload),
+        cluster=cache.cluster(large_workload),
+    )
     emit(
         "fig08_scaling_trend",
         "Spindle speedup over DeepSpeed\n"

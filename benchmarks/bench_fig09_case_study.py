@@ -8,13 +8,43 @@ and most even utilization.
 
 import pytest
 
-from bench_utils import emit
+from bench_utils import cached_comparison, emit
 
+from repro.bench import Metric, register_benchmark
 from repro.experiments.harness import run_comparison
 from repro.experiments.reporting import format_series, format_table
 from repro.experiments.workloads import CASE_STUDY_WORKLOAD
 
 SYSTEMS = ("spindle", "spindle-optimus", "distmm-mt", "deepspeed")
+
+
+@register_benchmark(
+    "fig09_case_study",
+    figure="fig09",
+    stage="simulation",
+    tags=("figure", "utilization", "smoke"),
+    description="Cluster/device utilization case study (CLIP, 4 tasks, 16 GPUs)",
+)
+def bench_fig09_case_study(ctx):
+    comparison = cached_comparison(ctx, CASE_STUDY_WORKLOAD, systems=SYSTEMS)
+
+    def mean_device_util(name):
+        values = comparison.results[name].trace.device_utilization().values()
+        return sum(values) / len(values)
+
+    return {
+        "spindle_mean_device_util": Metric(
+            mean_device_util("spindle"), "fraction", higher_is_better=True
+        ),
+        "deepspeed_mean_device_util": Metric(
+            mean_device_util("deepspeed"), "fraction", regression_threshold=None
+        ),
+        "spindle_avg_tflops": Metric(
+            comparison.results["spindle"].trace.cluster_average_flops() / 1e12,
+            "TFLOP/s",
+            higher_is_better=True,
+        ),
+    }
 
 
 @pytest.fixture(scope="module")

@@ -12,9 +12,52 @@ import pytest
 
 from bench_utils import emit
 
+from repro.bench import Metric, register_benchmark
 from repro.experiments.harness import run_single_system
 from repro.experiments.reporting import format_table
 from repro.experiments.workloads import clip_workload, ofasys_workload, qwen_val_workload
+
+BREAKDOWN_WORKLOAD = clip_workload(10, 16)
+
+
+@register_benchmark(
+    "fig10_time_breakdown",
+    figure="fig10",
+    stage="simulation",
+    tags=("figure", "breakdown", "smoke"),
+    description="Iteration time decomposition and the placement ablation",
+)
+def bench_fig10_time_breakdown(ctx):
+    workload = BREAKDOWN_WORKLOAD
+    tasks, cluster = ctx.tasks(workload), ctx.cluster(workload)
+    _, spindle = run_single_system(workload, "spindle", tasks=tasks, cluster=cluster)
+    _, ablation = run_single_system(
+        workload,
+        "spindle",
+        tasks=tasks,
+        cluster=cluster,
+        placement_strategy="sequential",
+    )
+    inflation = (
+        ablation.breakdown.send_recv / spindle.breakdown.send_recv
+        if spindle.breakdown.send_recv > 0
+        else 1.0
+    )
+    return {
+        "iteration_ms": Metric(spindle.iteration_time * 1e3, "ms"),
+        "forward_backward_fraction": Metric(
+            spindle.breakdown.fraction("forward_backward"),
+            "fraction",
+            higher_is_better=True,
+        ),
+        "send_recv_fraction": Metric(
+            spindle.breakdown.fraction("send_recv"), "fraction"
+        ),
+        "placement_send_recv_inflation": Metric(
+            inflation, "x", higher_is_better=True
+        ),
+    }
+
 
 WORKLOADS = (
     clip_workload(10, 8),

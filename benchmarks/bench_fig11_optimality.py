@@ -11,15 +11,53 @@ import pytest
 
 from bench_utils import emit
 
+from repro.bench import Metric, register_benchmark
 from repro.experiments.harness import run_single_system
 from repro.experiments.reporting import format_table
 from repro.experiments.workloads import FIG11_WORKLOADS
 
 
+def _optimality_gap(workload, tasks=None, cluster=None):
+    system, result = run_single_system(
+        workload, "spindle", tasks=tasks, cluster=cluster
+    )
+    optimum = system.last_plan.theoretical_optimum
+    achieved = result.breakdown.forward_backward
+    return optimum, achieved, achieved / optimum - 1.0
+
+
+@register_benchmark(
+    "fig11_optimality",
+    figure="fig11",
+    stage="planning",
+    tags=("figure", "optimality", "smoke"),
+    description="Deviation of the discrete plan from the continuous optimum C*",
+)
+def bench_fig11_optimality(ctx):
+    gaps = []
+    for workload in FIG11_WORKLOADS:
+        _, _, gap = _optimality_gap(
+            workload, tasks=ctx.tasks(workload), cluster=ctx.cluster(workload)
+        )
+        gaps.append(gap)
+    return {
+        "mean_gap": Metric(sum(gaps) / len(gaps), "fraction"),
+        "max_gap": Metric(max(gaps), "fraction"),
+    }
+
+
 @pytest.mark.parametrize("workload", FIG11_WORKLOADS, ids=lambda w: w.name)
-def test_fig11_optimality_gap(benchmark, workload):
+def test_fig11_optimality_gap(benchmark, workload, once_per_session_cache):
+    cache = once_per_session_cache
     system, result = benchmark.pedantic(
-        lambda: run_single_system(workload, "spindle"), rounds=1, iterations=1
+        lambda: run_single_system(
+            workload,
+            "spindle",
+            tasks=cache.tasks(workload),
+            cluster=cache.cluster(workload),
+        ),
+        rounds=1,
+        iterations=1,
     )
     optimum = system.last_plan.theoretical_optimum
     achieved = result.breakdown.forward_backward
@@ -40,15 +78,22 @@ def test_fig11_optimality_gap(benchmark, workload):
     assert gap <= 0.35
 
 
-def test_fig11_aggregate_table(benchmark):
-    benchmark.pedantic(lambda: run_single_system(FIG11_WORKLOADS[0], "spindle"), rounds=1, iterations=1)
+def test_fig11_aggregate_table(benchmark, once_per_session_cache):
+    cache = once_per_session_cache
+    first = FIG11_WORKLOADS[0]
+    benchmark.pedantic(
+        lambda: run_single_system(
+            first, "spindle", tasks=cache.tasks(first), cluster=cache.cluster(first)
+        ),
+        rounds=1,
+        iterations=1,
+    )
     rows = []
     gaps = []
     for workload in FIG11_WORKLOADS:
-        system, result = run_single_system(workload, "spindle")
-        optimum = system.last_plan.theoretical_optimum
-        achieved = result.breakdown.forward_backward
-        gap = achieved / optimum - 1.0
+        optimum, achieved, gap = _optimality_gap(
+            workload, tasks=cache.tasks(workload), cluster=cache.cluster(workload)
+        )
         gaps.append(gap)
         rows.append(
             [

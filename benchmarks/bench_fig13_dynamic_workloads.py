@@ -11,6 +11,7 @@ import pytest
 from bench_utils import emit
 
 from repro.baselines import make_system
+from repro.bench import Metric, informational, register_benchmark
 from repro.dynamic.workload import DynamicWorkloadRunner, DynamicWorkloadSchedule
 from repro.experiments.reporting import format_table
 from repro.experiments.workloads import clip_workload, ofasys_workload
@@ -20,7 +21,15 @@ SYSTEMS = ("spindle", "spindle-optimus", "distmm-mt", "megatron-lm", "deepspeed"
 #: Iteration counts per phase (scaled down from the paper's 10^3 iterations so
 #: the benchmark stays fast; the relative ordering is unaffected).
 CLIP_PHASES = [
-    (["task01_text_audio", "task02_vision_depth", "task03_audio_thermal", "task04_motion_thermal"], 50),
+    (
+        [
+            "task01_text_audio",
+            "task02_vision_depth",
+            "task03_audio_thermal",
+            "task04_motion_thermal",
+        ],
+        50,
+    ),
     (["task01_text_audio", "task02_vision_depth", "task03_audio_thermal"], 60),
     (["task01_text_audio", "task02_vision_depth", "task05_vision_text", "task06_audio_vision"], 50),
     (["task05_vision_text", "task06_audio_vision"], 40),
@@ -30,6 +39,34 @@ OFASYS_PHASES = [
     (["image_captioning", "speech_recognition"], 40),
     (["image_captioning", "speech_recognition", "text_to_sql", "sound_event_detection"], 40),
 ]
+
+
+@register_benchmark(
+    "fig13_dynamic_workloads",
+    figure="fig13",
+    stage="dynamic",
+    tags=("figure", "dynamic", "smoke"),
+    description="Dynamic task arrival/exit: Spindle vs baselines (CLIP phases)",
+)
+def bench_fig13_dynamic_workloads(ctx):
+    workload = clip_workload(6, 16)
+    cluster = ctx.cluster(workload)
+    schedule = DynamicWorkloadSchedule.from_tasks(ctx.tasks(workload), CLIP_PHASES)
+    runner = DynamicWorkloadRunner(schedule)
+    results = runner.run_all(
+        [make_system(name, cluster) for name in ("spindle", "deepspeed")]
+    )
+    spindle, deepspeed = results["spindle"], results["deepspeed"]
+    replanning = sum(p.replanning_seconds for p in spindle.phase_results)
+    return {
+        "spindle_total_s": Metric(spindle.total_time, "s"),
+        "speedup_vs_deepspeed": Metric(
+            deepspeed.total_time / spindle.total_time, "x", higher_is_better=True
+        ),
+        "replanning_fraction": informational(
+            replanning / spindle.total_time, "fraction"
+        ),
+    }
 
 
 def _run_dynamic(workload, phases, benchmark=None):

@@ -8,10 +8,31 @@ to Spindle.
 
 import pytest
 
-from bench_utils import FIG8_SYSTEMS, comparison_table, emit
+from bench_utils import (
+    FIG8_SYSTEMS,
+    cached_comparison,
+    comparison_metrics,
+    comparison_table,
+    emit,
+)
 
+from repro.bench import register_benchmark
 from repro.experiments.harness import run_comparison
 from repro.experiments.workloads import FIG14_WORKLOADS
+
+
+@register_benchmark(
+    "fig14_single_task",
+    figure="fig14",
+    stage="simulation",
+    tags=("figure", "single-task", "smoke"),
+    description="Single-task multi-modal comparison (CLIP, 1 task, 16 GPUs)",
+)
+def bench_fig14_single_task(ctx):
+    comparison = cached_comparison(ctx, FIG14_WORKLOADS[1])
+    return comparison_metrics(
+        comparison, systems=("spindle", "distmm-mt", "deepspeed")
+    )
 
 
 @pytest.mark.parametrize("workload", FIG14_WORKLOADS, ids=lambda w: w.name)

@@ -8,13 +8,40 @@ well balanced across devices.
 
 import pytest
 
-from bench_utils import emit
+from bench_utils import cached_comparison, emit
 
+from repro.bench import Metric, register_benchmark
 from repro.experiments.harness import run_comparison
 from repro.experiments.reporting import format_table
 from repro.experiments.workloads import CASE_STUDY_WORKLOAD
 
 SYSTEMS = ("spindle", "spindle-optimus", "distmm-mt", "megatron-lm", "deepspeed")
+
+
+@register_benchmark(
+    "fig15_memory",
+    figure="fig15",
+    stage="simulation",
+    tags=("figure", "memory", "smoke"),
+    description="Per-device memory footprint and balance of the case study",
+)
+def bench_fig15_memory(ctx):
+    comparison = cached_comparison(ctx, CASE_STUDY_WORKLOAD, systems=SYSTEMS)
+    peaks = {
+        name: comparison.results[name].peak_device_memory_bytes for name in SYSTEMS
+    }
+
+    def imbalance(name):
+        values = list(comparison.results[name].device_memory_bytes.values())
+        return max(values) / (sum(values) / len(values))
+
+    return {
+        "spindle_peak_gib": Metric(peaks["spindle"] / 1024**3, "GiB"),
+        "spindle_vs_deepspeed_peak": Metric(
+            peaks["spindle"] / peaks["deepspeed"], "x"
+        ),
+        "spindle_imbalance": Metric(imbalance("spindle"), "x"),
+    }
 
 
 @pytest.fixture(scope="module")
@@ -57,7 +84,11 @@ def test_fig15_memory_consumption(benchmark, case_study):
 
 def test_fig15_spindle_memory_is_balanced(benchmark, case_study):
     """Spindle balances memory across devices better than task-level allocation."""
-    benchmark.pedantic(lambda: case_study.results["spindle"].peak_device_memory_bytes, rounds=1, iterations=1)
+    benchmark.pedantic(
+        lambda: case_study.results["spindle"].peak_device_memory_bytes,
+        rounds=1,
+        iterations=1,
+    )
 
     def imbalance(name):
         values = list(case_study.results[name].device_memory_bytes.values())

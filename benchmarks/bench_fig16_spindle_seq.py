@@ -8,8 +8,9 @@ from planning, not from implementation differences.
 
 import pytest
 
-from bench_utils import emit
+from bench_utils import cached_comparison, emit
 
+from repro.bench import Metric, register_benchmark
 from repro.experiments.harness import run_comparison
 from repro.experiments.reporting import format_table
 from repro.experiments.workloads import clip_workload, ofasys_workload, qwen_val_workload
@@ -25,10 +26,40 @@ WORKLOADS = (
 SYSTEMS = ("spindle-seq", "megatron-lm", "deepspeed")
 
 
+@register_benchmark(
+    "fig16_spindle_seq",
+    figure="fig16",
+    stage="simulation",
+    tags=("figure", "parity", "smoke"),
+    description="Spindle-Seq implementation parity with the SOTA baselines",
+)
+def bench_fig16_spindle_seq(ctx):
+    # Parity quality: how far Spindle-Seq drifts from DeepSpeed (1.0 = exact).
+    deviations = []
+    metrics = {}
+    for workload in (clip_workload(4, 8), ofasys_workload(4, 8)):
+        comparison = cached_comparison(ctx, workload, systems=SYSTEMS)
+        speedup = comparison.speedup("spindle-seq")
+        deviations.append(abs(speedup - 1.0))
+        metrics[f"{workload.name}/spindle_seq_speedup"] = Metric(
+            speedup, "x", regression_threshold=None
+        )
+    metrics["max_parity_deviation"] = Metric(max(deviations), "fraction")
+    return metrics
+
+
 @pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
-def test_fig16_spindle_seq_parity(benchmark, workload):
+def test_fig16_spindle_seq_parity(benchmark, workload, once_per_session_cache):
+    cache = once_per_session_cache
     comparison = benchmark.pedantic(
-        lambda: run_comparison(workload, systems=SYSTEMS), rounds=1, iterations=1
+        lambda: run_comparison(
+            workload,
+            systems=SYSTEMS,
+            tasks=cache.tasks(workload),
+            cluster=cache.cluster(workload),
+        ),
+        rounds=1,
+        iterations=1,
     )
     rows = [
         [name, f"{result.iteration_time * 1e3:.1f} ms", f"{comparison.speedup(name):.2f}x"]

@@ -14,9 +14,38 @@ import pytest
 
 from bench_utils import emit
 
+from repro.bench import Metric, informational, register_benchmark
 from repro.experiments.harness import run_service_benchmark
 from repro.experiments.reporting import format_table
 from repro.experiments.workloads import clip_workload, ofasys_workload
+
+
+@register_benchmark(
+    "service_throughput",
+    figure=None,
+    stage="service",
+    tags=("service", "throughput", "smoke"),
+    description="Caching plan service vs the uncached planner on a request stream",
+)
+def bench_service_throughput(ctx):
+    workload = clip_workload(10, 16)
+    ctx.tasks(workload)  # record the workload fingerprint for the result
+    result = run_service_benchmark(
+        workload, num_requests=40, num_unique=4, num_workers=4
+    )
+    metrics = {
+        "failed_requests": Metric(
+            float(result.failed_requests), "req", regression_threshold=0.0
+        ),
+        "repeated_fraction": Metric(
+            result.repeated_fraction, "fraction", higher_is_better=True
+        ),
+        # The speedup over the uncached planner is wall-clock and varies with
+        # the machine and thread scheduling, so it is informational.
+        "service_speedup": informational(result.speedup, "x"),
+    }
+    metrics.update(result.stats.to_metrics())
+    return metrics
 
 
 @pytest.mark.parametrize(

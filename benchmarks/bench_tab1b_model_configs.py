@@ -2,6 +2,7 @@
 
 from bench_utils import emit
 
+from repro.bench import invariant, register_benchmark
 from repro.experiments.reporting import format_table
 from repro.models.registry import MODEL_REGISTRY, get_model_info
 
@@ -11,6 +12,24 @@ PAPER_PARAMS = {
     "ofasys": 0.66e9,
     "qwen-val": 9.25e9,
 }
+
+
+@register_benchmark(
+    "tab1b_model_configs",
+    figure="tab1b",
+    stage="models",
+    tags=("table", "models", "smoke"),
+    description="Parameter counts of the model zoo vs the paper's Tab. 1b",
+)
+def bench_tab1b_model_configs(ctx):
+    # The zoo's parameter counts are part of the reproduction's contract with
+    # the paper: drift past 1% in either direction is a regression.
+    return {
+        f"{key}_params_b": invariant(
+            get_model_info(key).parameter_count() / 1e9, "B", threshold=0.01
+        )
+        for key in sorted(MODEL_REGISTRY)
+    }
 
 
 def test_tab1b_model_configurations(benchmark):

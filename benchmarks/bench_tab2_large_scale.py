@@ -7,13 +7,37 @@ speedup over DeepSpeed while the other competitors stay close to 1x.
 
 import pytest
 
-from bench_utils import emit
+from bench_utils import cached_comparison, emit
 
+from repro.bench import Metric, register_benchmark
 from repro.experiments.harness import run_comparison
 from repro.experiments.reporting import format_table
 from repro.experiments.workloads import TAB2_WORKLOADS
 
 SYSTEMS = ("spindle", "spindle-optimus", "distmm-mt", "deepspeed")
+
+
+@register_benchmark(
+    "tab2_large_scale",
+    figure="tab2",
+    stage="simulation",
+    tags=("table", "large-scale", "smoke"),
+    description="256-GPU simulated speedups for QWen-VAL 30B/70B",
+)
+def bench_tab2_large_scale(ctx):
+    metrics = {}
+    for workload in TAB2_WORKLOADS:
+        comparison = cached_comparison(
+            ctx, workload, systems=("spindle", "deepspeed")
+        )
+        size = workload.model_kwargs["size"]
+        metrics[f"qwen_{size}_spindle_speedup"] = Metric(
+            comparison.speedup("spindle"), "x", higher_is_better=True
+        )
+        metrics[f"qwen_{size}_spindle_iteration_ms"] = Metric(
+            comparison.iteration_time("spindle") * 1e3, "ms"
+        )
+    return metrics
 
 
 @pytest.mark.parametrize("workload", TAB2_WORKLOADS, ids=lambda w: w.name)

@@ -5,12 +5,19 @@ evaluation: it runs the relevant systems on the relevant workloads, prints the
 same rows/series the paper reports, writes them under ``reports/`` (so they
 survive pytest's output capturing), and registers one pytest-benchmark timing
 for the piece of the pipeline the figure is about.
+
+Each module additionally registers a machine-readable benchmark into the
+:mod:`repro.bench` registry via :func:`repro.bench.register_benchmark`: a
+function ``(ctx) -> dict[str, Metric]`` the ``repro bench run`` CLI executes
+to emit structured ``BENCH_<name>.json`` results CI gates on.  The helpers
+here translate the harness's comparison objects into that metric schema.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.bench import Metric
 from repro.experiments.harness import ComparisonResult, run_comparison
 from repro.experiments.reporting import format_table, write_report
 from repro.experiments.workloads import WorkloadSpec
@@ -41,10 +48,47 @@ def comparison_table(comparison: ComparisonResult, title: str) -> str:
     )
 
 
+def comparison_metrics(
+    comparison: ComparisonResult,
+    prefix: str = "",
+    systems: Sequence[str] | None = None,
+) -> dict[str, Metric]:
+    """Iteration time and speedup of each system as gated benchmark metrics.
+
+    All values come from the deterministic simulated substrate, so the default
+    regression threshold applies: a PR that slows a system's simulated
+    iteration (or erodes Spindle's speedup) past the threshold fails the gate.
+    """
+    metrics: dict[str, Metric] = {}
+    for name in systems if systems is not None else comparison.results:
+        result = comparison.results[name]
+        metrics[f"{prefix}{name}_iteration_ms"] = Metric(
+            result.iteration_time * 1e3, "ms"
+        )
+        metrics[f"{prefix}{name}_speedup"] = Metric(
+            comparison.speedup(name), "x", higher_is_better=True
+        )
+    return metrics
+
+
 def emit(report_name: str, text: str) -> None:
     """Print a paper-style table and persist it under ``reports/``."""
     print("\n" + text)
     write_report(report_name, text)
+
+
+def cached_comparison(
+    ctx,
+    workload: WorkloadSpec,
+    systems: Sequence[str] = FIG8_SYSTEMS,
+) -> ComparisonResult:
+    """Run a comparison through a bench context's shared workload cache."""
+    return run_comparison(
+        workload,
+        systems=systems,
+        tasks=ctx.tasks(workload),
+        cluster=ctx.cluster(workload),
+    )
 
 
 def run_grid(

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.bench.runner import WorkloadCache
+
 
 def pytest_collection_modifyitems(items):
     """Keep the benchmark suite ordered by figure number for readable output."""
@@ -10,5 +12,11 @@ def pytest_collection_modifyitems(items):
 
 @pytest.fixture(scope="session")
 def once_per_session_cache():
-    """A session-wide dict benchmarks can use to avoid recomputing workloads."""
-    return {}
+    """Session-wide workload cache: repeated workloads are built once.
+
+    The heavy Fig. 8/11/16 grids revisit the same (model, tasks, GPUs)
+    combinations; this shares the built task lists and cluster topologies —
+    the same :class:`~repro.bench.runner.WorkloadCache` the ``repro bench``
+    runner uses — so each workload is constructed once per pytest session.
+    """
+    return WorkloadCache()

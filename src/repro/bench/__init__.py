@@ -1,0 +1,84 @@
+"""Benchmark subsystem: registry, structured results and regression gating.
+
+Turns the ad-hoc ``benchmarks/bench_fig*.py`` scripts into a first-class,
+machine-driven suite:
+
+* :mod:`repro.bench.registry` — :class:`BenchmarkSpec` registry enumerating
+  every figure/table/ablation benchmark with tags,
+* :mod:`repro.bench.result` — the structured :class:`BenchResult` schema
+  serialized to ``BENCH_<name>.json``,
+* :mod:`repro.bench.baseline` — baseline store and per-metric regression
+  comparison with configurable thresholds,
+* :mod:`repro.bench.runner` — shared workload cache and a parallel runner,
+* :mod:`repro.bench.cli` — the ``repro bench list|run|compare`` subcommands.
+"""
+
+from repro.bench.baseline import (
+    FAILING_STATUSES,
+    STATUS_IMPROVED,
+    STATUS_INFO,
+    STATUS_MISSING,
+    STATUS_NEW,
+    STATUS_OK,
+    STATUS_REGRESSED,
+    BenchComparison,
+    MetricDelta,
+    compare_metric,
+    compare_results,
+)
+from repro.bench.registry import (
+    REGISTRY,
+    BenchmarkRegistry,
+    BenchmarkSpec,
+    benchmark_modules,
+    discover,
+    register_benchmark,
+)
+from repro.bench.result import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    SCHEMA_VERSION,
+    BenchResult,
+    Metric,
+    SchemaError,
+    informational,
+    invariant,
+    load_results,
+)
+from repro.bench.runner import (
+    BenchContext,
+    WorkloadCache,
+    run_benchmark,
+    run_benchmarks,
+)
+
+__all__ = [
+    "BenchComparison",
+    "BenchContext",
+    "BenchResult",
+    "BenchmarkRegistry",
+    "BenchmarkSpec",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "FAILING_STATUSES",
+    "Metric",
+    "MetricDelta",
+    "REGISTRY",
+    "SCHEMA_VERSION",
+    "STATUS_IMPROVED",
+    "STATUS_INFO",
+    "STATUS_MISSING",
+    "STATUS_NEW",
+    "STATUS_OK",
+    "STATUS_REGRESSED",
+    "SchemaError",
+    "WorkloadCache",
+    "benchmark_modules",
+    "compare_metric",
+    "compare_results",
+    "discover",
+    "informational",
+    "invariant",
+    "load_results",
+    "register_benchmark",
+    "run_benchmark",
+    "run_benchmarks",
+]

@@ -1,0 +1,269 @@
+"""Baseline store and regression comparison for benchmark results.
+
+A *baseline* is a directory of committed ``BENCH_*.json`` files (the repo
+ships one under ``benchmarks/baselines/``).  :func:`compare_results` diffs a
+current result set against it metric by metric and classifies every pair:
+
+``ok``
+    within the metric's regression threshold (or moved in the good direction
+    by less than the threshold),
+``improved``
+    moved in the good direction past the threshold,
+``regressed``
+    moved in the bad direction past the threshold — fails the gate,
+``missing``
+    a metric present in the baseline but absent from the current result of a
+    benchmark that did run (the metric silently disappeared) — fails the
+    gate.  A baseline *benchmark* entirely absent from the current set is
+    skipped instead: partial runs (``--tag`` filters) must not fail baselines
+    they never executed; the tier-1 suite separately pins the committed
+    baseline to the smoke set so whole benchmarks cannot vanish unnoticed,
+``new``
+    present only in the current results — recorded, never fails,
+``info``
+    a non-gated metric (``regression_threshold`` null); diffed, never fails.
+
+The threshold and direction (``higher_is_better``) come from the *baseline*
+metric: the committed baseline defines the contract a PR is gated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.bench.result import BenchResult, Metric
+
+STATUS_OK = "ok"
+STATUS_IMPROVED = "improved"
+STATUS_REGRESSED = "regressed"
+STATUS_MISSING = "missing"
+STATUS_NEW = "new"
+STATUS_INFO = "info"
+
+#: Statuses that fail the gate under ``--fail-on-regress``.
+FAILING_STATUSES = (STATUS_REGRESSED, STATUS_MISSING)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's change between baseline and current results."""
+
+    benchmark: str
+    metric: str
+    status: str
+    baseline_value: float | None
+    current_value: float | None
+    unit: str = ""
+    delta_fraction: float | None = None
+    threshold: float | None = None
+    higher_is_better: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAILING_STATUSES
+
+    def describe(self) -> str:
+        def fmt(value: float | None) -> str:
+            return "-" if value is None else f"{value:.4g}{self.unit and ' ' + self.unit}"
+
+        delta = (
+            "-"
+            if self.delta_fraction is None
+            else f"{self.delta_fraction * 100:+.1f}%"
+        )
+        return (
+            f"{self.benchmark}/{self.metric}: {fmt(self.baseline_value)} -> "
+            f"{fmt(self.current_value)} ({delta}, {self.status})"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "metric": self.metric,
+            "status": self.status,
+            "baseline_value": self.baseline_value,
+            "current_value": self.current_value,
+            "unit": self.unit,
+            "delta_fraction": self.delta_fraction,
+            "threshold": self.threshold,
+            "higher_is_better": self.higher_is_better,
+        }
+
+
+@dataclass
+class BenchComparison:
+    """Full diff of a current result set against a baseline."""
+
+    deltas: list[MetricDelta]
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.status == STATUS_REGRESSED]
+
+    @property
+    def missing(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.status == STATUS_MISSING]
+
+    @property
+    def improvements(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.status == STATUS_IMPROVED]
+
+    @property
+    def failures(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.failed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for delta in self.deltas:
+            counts[delta.status] = counts.get(delta.status, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "counts": self.counts(),
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+    def as_rows(self) -> list[list[str]]:
+        """``(benchmark, metric, baseline, current, delta, status)`` table rows."""
+        rows = []
+        for d in self.deltas:
+            rows.append(
+                [
+                    d.benchmark,
+                    d.metric,
+                    "-" if d.baseline_value is None else f"{d.baseline_value:.4g}",
+                    "-" if d.current_value is None else f"{d.current_value:.4g}",
+                    "-"
+                    if d.delta_fraction is None
+                    else f"{d.delta_fraction * 100:+.1f}%",
+                    d.unit,
+                    d.status,
+                ]
+            )
+        return rows
+
+
+def _delta_fraction(baseline: float, current: float) -> float | None:
+    if baseline == 0:
+        return None if current == 0 else float("inf") if current > 0 else float("-inf")
+    return (current - baseline) / abs(baseline)
+
+
+def compare_metric(
+    benchmark: str,
+    name: str,
+    baseline: Metric,
+    current: Metric,
+    threshold_override: float | None = None,
+) -> MetricDelta:
+    """Classify one metric's movement between baseline and current."""
+    threshold = baseline.regression_threshold
+    if threshold_override is not None and baseline.gated:
+        threshold = threshold_override
+    higher_is_better = baseline.higher_is_better
+    delta = _delta_fraction(baseline.value, current.value)
+
+    if threshold is None:
+        status = STATUS_INFO
+    elif delta is None:
+        status = STATUS_OK
+    elif baseline.two_sided:
+        status = STATUS_REGRESSED if abs(delta) > threshold else STATUS_OK
+    else:
+        bad = -delta if higher_is_better else delta
+        if bad > threshold:
+            status = STATUS_REGRESSED
+        elif bad < -threshold:
+            status = STATUS_IMPROVED
+        else:
+            status = STATUS_OK
+    return MetricDelta(
+        benchmark=benchmark,
+        metric=name,
+        status=status,
+        baseline_value=baseline.value,
+        current_value=current.value,
+        unit=baseline.unit or current.unit,
+        delta_fraction=delta,
+        threshold=threshold,
+        higher_is_better=higher_is_better,
+    )
+
+
+def compare_results(
+    baseline: Mapping[str, BenchResult],
+    current: Mapping[str, BenchResult],
+    threshold_override: float | None = None,
+) -> BenchComparison:
+    """Diff two result sets (as returned by :func:`repro.bench.load_results`).
+
+    Only benchmarks present in the *current* set are gated for per-metric
+    regressions; a baseline benchmark entirely absent from the current set is
+    reported as ``missing`` only when the current set is a full run (i.e. the
+    caller passes current results for it) — partial runs (``--tag`` filters)
+    simply skip baselines they did not execute.
+    """
+    deltas: list[MetricDelta] = []
+    for name in sorted(current):
+        current_result = current[name]
+        baseline_result = baseline.get(name)
+        if baseline_result is None:
+            for metric_name in sorted(current_result.metrics):
+                metric = current_result.metrics[metric_name]
+                deltas.append(
+                    MetricDelta(
+                        benchmark=name,
+                        metric=metric_name,
+                        status=STATUS_NEW,
+                        baseline_value=None,
+                        current_value=metric.value,
+                        unit=metric.unit,
+                        higher_is_better=metric.higher_is_better,
+                    )
+                )
+            continue
+        metric_names = sorted(
+            set(baseline_result.metrics) | set(current_result.metrics)
+        )
+        for metric_name in metric_names:
+            base_metric = baseline_result.metrics.get(metric_name)
+            cur_metric = current_result.metrics.get(metric_name)
+            if base_metric is None and cur_metric is not None:
+                deltas.append(
+                    MetricDelta(
+                        benchmark=name,
+                        metric=metric_name,
+                        status=STATUS_NEW,
+                        baseline_value=None,
+                        current_value=cur_metric.value,
+                        unit=cur_metric.unit,
+                        higher_is_better=cur_metric.higher_is_better,
+                    )
+                )
+            elif base_metric is not None and cur_metric is None:
+                deltas.append(
+                    MetricDelta(
+                        benchmark=name,
+                        metric=metric_name,
+                        status=STATUS_MISSING if base_metric.gated else STATUS_INFO,
+                        baseline_value=base_metric.value,
+                        current_value=None,
+                        unit=base_metric.unit,
+                        threshold=base_metric.regression_threshold,
+                        higher_is_better=base_metric.higher_is_better,
+                    )
+                )
+            elif base_metric is not None and cur_metric is not None:
+                deltas.append(
+                    compare_metric(
+                        name, metric_name, base_metric, cur_metric, threshold_override
+                    )
+                )
+    return BenchComparison(deltas=deltas)

@@ -1,0 +1,302 @@
+"""``repro bench`` subcommands: list, run and compare registered benchmarks.
+
+The suite directory (``benchmarks/`` with the ``bench_*.py`` modules) is
+discovered from ``--suite``, the ``REPRO_BENCH_DIR`` environment variable, a
+``benchmarks/`` directory under the working directory, or the repository
+checkout the package was imported from, in that order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.bench.baseline import BenchComparison, compare_results
+from repro.bench.registry import REGISTRY, discover
+from repro.bench.result import BenchResult, load_results
+from repro.bench.runner import WorkloadCache, run_benchmarks
+from repro.experiments.reporting import format_table, render_bench_result, write_report
+
+#: Default directory ``repro bench run`` writes ``BENCH_*.json`` files into.
+DEFAULT_OUTPUT_DIR = "bench_results"
+
+
+def default_suite_dir() -> Path | None:
+    """Locate the on-disk benchmark suite (see module docstring for the order)."""
+    env = os.environ.get("REPRO_BENCH_DIR")
+    if env:
+        return Path(env)
+    cwd_suite = Path.cwd() / "benchmarks"
+    if cwd_suite.is_dir():
+        return cwd_suite
+    # src/repro/bench/cli.py -> src/repro -> src -> checkout root.
+    checkout = Path(__file__).resolve().parents[3] / "benchmarks"
+    if checkout.is_dir():
+        return checkout
+    return None
+
+
+def _load_suite(args: argparse.Namespace) -> int:
+    suite = Path(args.suite) if args.suite else default_suite_dir()
+    if suite is None:
+        print(
+            "error: cannot locate the benchmark suite; pass --suite or set "
+            "REPRO_BENCH_DIR",
+            file=sys.stderr,
+        )
+        return 1
+    discover(suite)
+    return 0
+
+
+def _selected_specs(args: argparse.Namespace):
+    try:
+        return REGISTRY.select(names=args.names or None, tags=args.tags or None)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return None
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    if _load_suite(args):
+        return 1
+    specs = _selected_specs(args)
+    if specs is None:
+        return 1
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": spec.name,
+                        "figure": spec.figure,
+                        "stage": spec.stage,
+                        "tags": sorted(spec.tags),
+                        "module": spec.module,
+                        "description": spec.description,
+                    }
+                    for spec in specs
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    rows = [
+        [
+            spec.name,
+            spec.figure or "-",
+            spec.stage,
+            ",".join(sorted(spec.tags)),
+            spec.description,
+        ]
+        for spec in specs
+    ]
+    print(
+        format_table(
+            ["benchmark", "figure", "stage", "tags", "description"],
+            rows,
+            title=f"{len(specs)} registered benchmarks",
+        )
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if _load_suite(args):
+        return 1
+    specs = _selected_specs(args)
+    if specs is None:
+        return 1
+    if not specs:
+        print("error: no benchmarks match the requested names/tags", file=sys.stderr)
+        return 1
+
+    def announce(result: BenchResult) -> None:
+        duration = result.metadata.get("duration_seconds", 0.0)
+        print(
+            f"  {result.name}: {len(result.metrics)} metrics "
+            f"in {duration:.2f}s",
+            file=sys.stderr,
+        )
+
+    print(f"running {len(specs)} benchmarks ...", file=sys.stderr)
+    results = run_benchmarks(
+        specs, cache=WorkloadCache(), jobs=args.jobs, on_result=announce
+    )
+
+    output_dir = Path(args.output)
+    for result in results:
+        result.save(output_dir)
+        write_report(f"BENCH_{result.name}", render_bench_result(result))
+    print(
+        f"wrote {len(results)} BENCH_*.json files to {output_dir}", file=sys.stderr
+    )
+
+    comparison = None
+    if args.baseline:
+        try:
+            baseline = load_results(args.baseline)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        current = {result.name: result for result in results}
+        comparison = compare_results(
+            baseline, current, threshold_override=args.threshold
+        )
+
+    if args.json:
+        # One parseable document even when a comparison rides along.
+        documents = [result.to_dict() for result in results]
+        if comparison is None:
+            print(json.dumps(documents, indent=2))
+        else:
+            print(
+                json.dumps(
+                    {"results": documents, "comparison": comparison.to_dict()},
+                    indent=2,
+                )
+            )
+    else:
+        for result in results:
+            print(render_bench_result(result))
+            print()
+        if comparison is not None:
+            _print_comparison(comparison, as_json=False)
+
+    if comparison is not None:
+        return _gate(comparison, args.fail_on_regress)
+    return 0
+
+
+def _gate(comparison: BenchComparison, fail_on_regress: bool) -> int:
+    for delta in comparison.failures:
+        print(f"regression: {delta.describe()}", file=sys.stderr)
+    if fail_on_regress and not comparison.passed:
+        print(
+            f"FAIL: {len(comparison.failures)} gated metric(s) regressed or "
+            "went missing",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _print_comparison(comparison: BenchComparison, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(comparison.to_dict(), indent=2))
+        return
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(comparison.counts().items()))
+    print(
+        format_table(
+            ["benchmark", "metric", "baseline", "current", "delta", "unit", "status"],
+            comparison.as_rows(),
+            title=f"benchmark comparison ({counts or 'no metrics'})",
+        )
+    )
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        baseline = load_results(args.baseline)
+        current = load_results(args.current)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    comparison = compare_results(baseline, current, threshold_override=args.threshold)
+    _print_comparison(comparison, as_json=args.json)
+    return _gate(comparison, args.fail_on_regress)
+
+
+def add_bench_subparsers(subparsers) -> None:
+    """Attach ``bench list|run|compare`` under the top-level ``repro`` parser."""
+    bench = subparsers.add_parser(
+        "bench", help="registered benchmark suite: list, run, compare"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    def add_selection(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--suite", default=None, help="benchmark suite directory (bench_*.py)"
+        )
+        parser.add_argument(
+            "--tag",
+            dest="tags",
+            action="append",
+            default=[],
+            help="only benchmarks carrying this tag (repeatable, ANDed)",
+        )
+        parser.add_argument(
+            "--name",
+            dest="names",
+            action="append",
+            default=[],
+            help="benchmark name to include (repeatable)",
+        )
+
+    list_parser = bench_sub.add_parser("list", help="enumerate registered benchmarks")
+    add_selection(list_parser)
+    list_parser.add_argument(
+        "--json", action="store_true", help="machine-readable listing"
+    )
+    list_parser.set_defaults(func=cmd_list)
+
+    run_parser = bench_sub.add_parser(
+        "run", help="run benchmarks and write BENCH_*.json results"
+    )
+    add_selection(run_parser)
+    run_parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT_DIR,
+        help=f"directory for BENCH_*.json files (default: {DEFAULT_OUTPUT_DIR})",
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, help="parallel benchmark workers"
+    )
+    run_parser.add_argument(
+        "--json", action="store_true", help="print the full results as JSON"
+    )
+    run_parser.add_argument(
+        "--baseline", default=None, help="baseline directory to compare against"
+    )
+    run_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="override every gated metric's regression threshold (fraction)",
+    )
+    run_parser.add_argument(
+        "--fail-on-regress",
+        action="store_true",
+        help="exit non-zero when a gated metric regresses vs the baseline",
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = bench_sub.add_parser(
+        "compare", help="diff two BENCH_*.json result directories"
+    )
+    compare_parser.add_argument(
+        "--baseline", required=True, help="baseline results directory"
+    )
+    compare_parser.add_argument(
+        "--current",
+        default=DEFAULT_OUTPUT_DIR,
+        help=f"current results directory (default: {DEFAULT_OUTPUT_DIR})",
+    )
+    compare_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="override every gated metric's regression threshold (fraction)",
+    )
+    compare_parser.add_argument(
+        "--fail-on-regress",
+        action="store_true",
+        help="exit non-zero when a gated metric regresses past its threshold",
+    )
+    compare_parser.add_argument(
+        "--json", action="store_true", help="machine-readable comparison"
+    )
+    compare_parser.set_defaults(func=cmd_compare)

@@ -1,0 +1,183 @@
+"""Benchmark registry: every figure/table/ablation benchmark, enumerable.
+
+The ``benchmarks/bench_*.py`` modules register one benchmark each (a few
+register two — a smoke subset and the full grid) via the
+:func:`register_benchmark` decorator.  A registered benchmark is a callable
+``func(ctx) -> dict[str, Metric]`` taking a
+:class:`~repro.bench.runner.BenchContext`; the runner wraps the returned
+metrics into a :class:`~repro.bench.result.BenchResult`.
+
+The registry is what makes the suite machine-driven: ``repro bench list``
+enumerates it, ``repro bench run --tag smoke`` filters it, and CI gates on the
+results of the selected subset.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+#: Module filename pattern of the on-disk benchmark suite.
+BENCH_MODULE_GLOB = "bench_*.py"
+
+#: Modules of the suite directory that hold helpers, not benchmarks.
+NON_BENCHMARK_MODULES = frozenset({"bench_utils", "conftest"})
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One registered benchmark: identity, classification and its runner."""
+
+    name: str
+    func: Callable = field(compare=False)
+    figure: str | None = None
+    stage: str = "simulation"
+    tags: frozenset[str] = frozenset()
+    description: str = ""
+    module: str = ""
+
+    def matches(self, tags: Iterable[str]) -> bool:
+        """True when the spec carries every requested tag."""
+        return set(tags) <= self.tags
+
+
+class BenchmarkRegistry:
+    """Name-keyed store of :class:`BenchmarkSpec`, with tag-based selection."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, BenchmarkSpec] = {}
+
+    def register(
+        self,
+        name: str,
+        *,
+        figure: str | None = None,
+        stage: str = "simulation",
+        tags: Sequence[str] = (),
+        description: str = "",
+    ) -> Callable[[Callable], Callable]:
+        """Decorator registering ``func`` as benchmark ``name``.
+
+        Re-registering the same name from the same module replaces the entry
+        (modules may be imported both by pytest and by CLI discovery);
+        registering it from a *different* module is a collision and raises.
+        """
+
+        def decorate(func: Callable) -> Callable:
+            module = getattr(func, "__module__", "") or ""
+            existing = self._specs.get(name)
+            if existing is not None and existing.module != module:
+                raise ValueError(
+                    f"benchmark {name!r} already registered by module "
+                    f"{existing.module!r} (re-registration from {module!r})"
+                )
+            self._specs[name] = BenchmarkSpec(
+                name=name,
+                func=func,
+                figure=figure,
+                stage=stage,
+                tags=frozenset(tags),
+                description=description,
+                module=module,
+            )
+            return func
+
+        return decorate
+
+    # --------------------------------------------------------------- querying
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def get(self, name: str) -> BenchmarkSpec:
+        if name not in self._specs:
+            raise KeyError(
+                f"unknown benchmark {name!r}; registered: {self.names()}"
+            )
+        return self._specs[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def specs(self) -> list[BenchmarkSpec]:
+        return [self._specs[name] for name in self.names()]
+
+    def tags(self) -> list[str]:
+        return sorted({tag for spec in self._specs.values() for tag in spec.tags})
+
+    def select(
+        self,
+        names: Sequence[str] | None = None,
+        tags: Sequence[str] | None = None,
+    ) -> list[BenchmarkSpec]:
+        """Specs matching the requested names and carrying all requested tags."""
+        if names:
+            selected = [self.get(name) for name in names]
+        else:
+            selected = self.specs()
+        if tags:
+            selected = [spec for spec in selected if spec.matches(tags)]
+        return selected
+
+
+#: The process-global registry the benchmark modules register into.
+REGISTRY = BenchmarkRegistry()
+
+
+def register_benchmark(
+    name: str,
+    *,
+    figure: str | None = None,
+    stage: str = "simulation",
+    tags: Sequence[str] = (),
+    description: str = "",
+) -> Callable[[Callable], Callable]:
+    """Register a benchmark into the global :data:`REGISTRY`."""
+    return REGISTRY.register(
+        name, figure=figure, stage=stage, tags=tags, description=description
+    )
+
+
+def benchmark_modules(directory: str | Path) -> list[Path]:
+    """The ``bench_*.py`` benchmark modules on disk, helper modules excluded."""
+    base = Path(directory)
+    return sorted(
+        path
+        for path in base.glob(BENCH_MODULE_GLOB)
+        if path.stem not in NON_BENCHMARK_MODULES
+    )
+
+
+def discover(directory: str | Path) -> list[str]:
+    """Import every benchmark module under ``directory``, populating the registry.
+
+    Returns the imported module names.  The suite directory is added to
+    ``sys.path`` so sibling helper imports (``from bench_utils import ...``)
+    resolve exactly as they do under pytest.
+    """
+    base = Path(directory).resolve()
+    if not base.is_dir():
+        raise FileNotFoundError(f"no such benchmark suite directory: {base}")
+    if str(base) not in sys.path:
+        sys.path.insert(0, str(base))
+    imported = []
+    for path in benchmark_modules(base):
+        module_name = path.stem
+        if module_name not in sys.modules:
+            spec = importlib.util.spec_from_file_location(module_name, path)
+            if spec is None or spec.loader is None:  # pragma: no cover - defensive
+                raise ImportError(f"cannot load benchmark module {path}")
+            module = importlib.util.module_from_spec(spec)
+            sys.modules[module_name] = module
+            try:
+                spec.loader.exec_module(module)
+            except BaseException:
+                sys.modules.pop(module_name, None)
+                raise
+        imported.append(module_name)
+    return imported

@@ -1,0 +1,225 @@
+"""Structured benchmark results: the ``BENCH_<name>.json`` schema.
+
+Every registered benchmark emits one :class:`BenchResult` — a named bag of
+:class:`Metric` values plus enough provenance (workload fingerprint, git
+commit, planner/config metadata) to make two results comparable.  The JSON
+serialization is the machine-readable record CI gates on; the paper-style
+tables under ``reports/`` are a rendering of the same data.
+
+Schema (version 1), as written to ``BENCH_<name>.json``::
+
+    {
+      "schema_version": 1,
+      "name": "fig08_end_to_end",
+      "figure": "fig08",
+      "stage": "simulation",
+      "tags": ["end-to-end", "figure", "smoke"],
+      "metrics": {
+        "<metric>": {
+          "value": 1.42,
+          "unit": "x",
+          "higher_is_better": true,
+          "regression_threshold": 0.2,  // fraction; null => informational
+          "two_sided": true             // optional: gate drift both ways
+        },
+        ...
+      },
+      "workloads": ["multitask-clip-4tasks-8gpus", ...],
+      "workload_fingerprint": "sha256 over the canonical workload documents",
+      "metadata": {"git_commit": ..., "git_dirty": ..., "python": ...,
+                    "created_at": ..., "duration_seconds": ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Version of the ``BENCH_*.json`` schema written by :meth:`BenchResult.to_dict`.
+SCHEMA_VERSION = 1
+
+#: Default allowed fractional regression before a metric fails the gate (20%).
+DEFAULT_REGRESSION_THRESHOLD = 0.2
+
+#: Filename prefix of serialized results; ``BENCH_<name>.json``.
+RESULT_FILE_PREFIX = "BENCH_"
+
+
+class SchemaError(ValueError):
+    """A document does not conform to the ``BENCH_*.json`` schema."""
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One measured quantity of a benchmark run.
+
+    ``regression_threshold`` is the fractional change past which the metric is
+    considered regressed when compared against a baseline: ``0.2`` allows a
+    20% slowdown (or, for ``higher_is_better`` metrics, a 20% drop).  ``None``
+    marks the metric informational — recorded and diffed but never gated,
+    which is how wall-clock timings (machine-dependent) are treated.
+
+    ``two_sided`` gates movement in *either* direction past the threshold —
+    for invariant-style metrics (operator counts, parameter counts) where a
+    drop is just as much a bug as a rise and must never pass as "improved".
+    """
+
+    value: float
+    unit: str = ""
+    higher_is_better: bool = False
+    regression_threshold: float | None = DEFAULT_REGRESSION_THRESHOLD
+    two_sided: bool = False
+
+    @property
+    def gated(self) -> bool:
+        return self.regression_threshold is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        document = {
+            "value": self.value,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+            "regression_threshold": self.regression_threshold,
+        }
+        if self.two_sided:
+            document["two_sided"] = True
+        return document
+
+    @staticmethod
+    def from_dict(document: Mapping[str, Any]) -> "Metric":
+        if "value" not in document:
+            raise SchemaError("metric document is missing 'value'")
+        threshold = document.get("regression_threshold", DEFAULT_REGRESSION_THRESHOLD)
+        if threshold is not None:
+            threshold = float(threshold)
+        return Metric(
+            value=float(document["value"]),
+            unit=str(document.get("unit", "")),
+            higher_is_better=bool(document.get("higher_is_better", False)),
+            regression_threshold=threshold,
+            two_sided=bool(document.get("two_sided", False)),
+        )
+
+
+def informational(value: float, unit: str = "") -> Metric:
+    """A non-gated metric (wall-clock timings and other machine noise)."""
+    return Metric(value=value, unit=unit, regression_threshold=None)
+
+
+def invariant(value: float, unit: str = "", threshold: float = 0.0) -> Metric:
+    """A two-sided gated metric: any drift past ``threshold`` is a regression.
+
+    For contract quantities (operator counts, parameter counts) where a drop
+    is just as much a bug as a rise.
+    """
+    return Metric(
+        value=value, unit=unit, regression_threshold=threshold, two_sided=True
+    )
+
+
+@dataclass
+class BenchResult:
+    """Structured result of one benchmark run."""
+
+    name: str
+    metrics: dict[str, Metric]
+    figure: str | None = None
+    stage: str = ""
+    tags: tuple[str, ...] = ()
+    workloads: tuple[str, ...] = ()
+    workload_fingerprint: str = ""
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def metric(self, name: str) -> Metric:
+        return self.metrics[name]
+
+    def value(self, name: str) -> float:
+        return self.metrics[name].value
+
+    @property
+    def filename(self) -> str:
+        return f"{RESULT_FILE_PREFIX}{self.name}.json"
+
+    def with_metadata(self, **entries: Any) -> "BenchResult":
+        merged = dict(self.metadata)
+        merged.update(entries)
+        return replace(self, metadata=merged)
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "figure": self.figure,
+            "stage": self.stage,
+            "tags": sorted(self.tags),
+            "metrics": {name: m.to_dict() for name, m in sorted(self.metrics.items())},
+            "workloads": sorted(self.workloads),
+            "workload_fingerprint": self.workload_fingerprint,
+            "metadata": dict(self.metadata),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+    @staticmethod
+    def from_dict(document: Mapping[str, Any]) -> "BenchResult":
+        version = document.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"unsupported BENCH schema version {version!r} (expected {SCHEMA_VERSION})"
+            )
+        for key in ("name", "metrics"):
+            if key not in document:
+                raise SchemaError(f"BENCH document is missing {key!r}")
+        metrics_doc = document["metrics"]
+        if not isinstance(metrics_doc, Mapping):
+            raise SchemaError("'metrics' must be an object of metric documents")
+        return BenchResult(
+            name=str(document["name"]),
+            metrics={name: Metric.from_dict(m) for name, m in metrics_doc.items()},
+            figure=document.get("figure"),
+            stage=str(document.get("stage", "")),
+            tags=tuple(document.get("tags", ())),
+            workloads=tuple(document.get("workloads", ())),
+            workload_fingerprint=str(document.get("workload_fingerprint", "")),
+            metadata=dict(document.get("metadata", {})),
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "BenchResult":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"invalid BENCH JSON: {exc}") from exc
+        if not isinstance(document, dict):
+            raise SchemaError("BENCH document must be a JSON object")
+        return BenchResult.from_dict(document)
+
+    def save(self, directory: str | os.PathLike) -> Path:
+        """Write ``BENCH_<name>.json`` under ``directory`` and return its path."""
+        base = Path(directory)
+        base.mkdir(parents=True, exist_ok=True)
+        path = base / self.filename
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @staticmethod
+    def load(path: str | os.PathLike) -> "BenchResult":
+        return BenchResult.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def load_results(directory: str | os.PathLike) -> dict[str, BenchResult]:
+    """Load every ``BENCH_*.json`` under ``directory``, keyed by benchmark name."""
+    base = Path(directory)
+    if not base.is_dir():
+        raise FileNotFoundError(f"no such results directory: {base}")
+    results: dict[str, BenchResult] = {}
+    for path in sorted(base.glob(f"{RESULT_FILE_PREFIX}*.json")):
+        result = BenchResult.load(path)
+        results[result.name] = result
+    return results

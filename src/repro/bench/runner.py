@@ -1,0 +1,225 @@
+"""Benchmark runner: shared workload cache, context, and parallel execution.
+
+The runner executes registered :class:`~repro.bench.registry.BenchmarkSpec`
+entries and wraps their metric dicts into
+:class:`~repro.bench.result.BenchResult` records stamped with git/config
+provenance and the canonical fingerprint of every workload the benchmark
+touched.
+
+Workload construction (task lists and cluster topologies) is memoized in a
+thread-safe :class:`WorkloadCache` shared across all benchmarks of a run —
+the same cache object the pytest suite exposes as the
+``once_per_session_cache`` fixture, so the Fig. 8/11/16 grids build each
+workload once per session.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from datetime import datetime, timezone
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.bench.registry import BenchmarkSpec
+from repro.bench.result import BenchResult, Metric
+from repro.service.fingerprint import canonical_cluster, canonical_tasks, hash_document
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.topology import ClusterTopology
+    from repro.experiments.workloads import WorkloadSpec
+    from repro.graph.task import SpindleTask
+
+
+class WorkloadCache:
+    """Thread-safe, session-wide memoization of built workloads.
+
+    Keyed by ``WorkloadSpec.name``; ``tasks``/``cluster`` build on first use
+    and return the same objects afterwards (task lists and topologies are not
+    consumed by the systems, so sharing them across benchmarks is safe).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tasks: dict[str, list] = {}
+        self._clusters: dict[str, Any] = {}
+        self._fingerprints: dict[str, str] = {}
+        self._extras: dict[str, Any] = {}
+
+    def _memoize(self, store: dict, key: str, build: Callable[[], Any]) -> Any:
+        """Check-build-insert without holding the lock across ``build()``.
+
+        Building outside the lock keeps parallel runners from serializing on
+        workload construction (and keeps a ``build`` that itself consults the
+        cache from deadlocking); concurrent duplicate builds are possible but
+        harmless — construction is pure and the first insert wins.
+        """
+        with self._lock:
+            if key in store:
+                return store[key]
+        built = build()
+        with self._lock:
+            return store.setdefault(key, built)
+
+    def tasks(self, spec: "WorkloadSpec") -> "list[SpindleTask]":
+        return self._memoize(self._tasks, spec.name, spec.tasks)
+
+    def cluster(self, spec: "WorkloadSpec") -> "ClusterTopology":
+        return self._memoize(self._clusters, spec.name, spec.cluster)
+
+    def fingerprint(self, spec: "WorkloadSpec") -> str:
+        """Canonical content hash of the workload's tasks + cluster."""
+        tasks = self.tasks(spec)
+        cluster = self.cluster(spec)
+        return self._memoize(
+            self._fingerprints,
+            spec.name,
+            lambda: hash_document(
+                {
+                    "tasks": canonical_tasks(tasks),
+                    "cluster": canonical_cluster(cluster),
+                }
+            ),
+        )
+
+    def cached_names(self) -> list[str]:
+        with self._lock:
+            return sorted(set(self._tasks) | set(self._clusters))
+
+    def get_or_build(self, key: str, build: Callable[[], Any]) -> Any:
+        """Generic memoization slot for non-workload shared state."""
+        return self._memoize(self._extras, key, build)
+
+
+class BenchContext:
+    """Per-benchmark view handed to registered benchmark functions.
+
+    Provides memoized workload construction through the run's shared
+    :class:`WorkloadCache` and records which workloads the benchmark used, so
+    the runner can stamp the result with their canonical fingerprint.
+    """
+
+    def __init__(self, cache: WorkloadCache) -> None:
+        self.cache = cache
+        self._used: dict[str, "WorkloadSpec"] = {}
+
+    def tasks(self, spec: "WorkloadSpec") -> "list[SpindleTask]":
+        self._used[spec.name] = spec
+        return self.cache.tasks(spec)
+
+    def cluster(self, spec: "WorkloadSpec") -> "ClusterTopology":
+        self._used[spec.name] = spec
+        return self.cache.cluster(spec)
+
+    def workload(self, spec: "WorkloadSpec") -> "tuple[list[SpindleTask], ClusterTopology]":
+        return self.tasks(spec), self.cluster(spec)
+
+    @property
+    def used_workloads(self) -> list[str]:
+        return sorted(self._used)
+
+    def fingerprint(self) -> str:
+        """Combined canonical fingerprint of every workload used."""
+        if not self._used:
+            return ""
+        parts = {
+            name: self.cache.fingerprint(spec)
+            for name, spec in sorted(self._used.items())
+        }
+        if len(parts) == 1:
+            return next(iter(parts.values()))
+        return hash_document(parts)
+
+
+def git_metadata() -> dict[str, Any]:
+    """Best-effort git provenance of the working tree (empty off-repo)."""
+
+    def run(*argv: str) -> str | None:
+        try:
+            proc = subprocess.run(
+                ["git", *argv], capture_output=True, text=True, timeout=10
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        return proc.stdout.strip()
+
+    commit = run("rev-parse", "HEAD")
+    if commit is None:
+        return {}
+    status = run("status", "--porcelain")
+    return {"git_commit": commit, "git_dirty": bool(status)}
+
+
+def run_metadata() -> dict[str, Any]:
+    """Provenance shared by every result of one runner invocation."""
+    metadata: dict[str, Any] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    metadata.update(git_metadata())
+    return metadata
+
+
+def run_benchmark(
+    spec: BenchmarkSpec,
+    cache: WorkloadCache,
+    metadata: dict[str, Any] | None = None,
+) -> BenchResult:
+    """Execute one benchmark and wrap its metrics into a :class:`BenchResult`."""
+    context = BenchContext(cache)
+    start = time.perf_counter()
+    metrics = spec.func(context)
+    duration = time.perf_counter() - start
+    if not isinstance(metrics, dict) or not all(
+        isinstance(m, Metric) for m in metrics.values()
+    ):
+        raise TypeError(
+            f"benchmark {spec.name!r} must return a dict of Metric, "
+            f"got {type(metrics).__name__}"
+        )
+    result = BenchResult(
+        name=spec.name,
+        metrics=dict(metrics),
+        figure=spec.figure,
+        stage=spec.stage,
+        tags=tuple(sorted(spec.tags)),
+        workloads=tuple(context.used_workloads),
+        workload_fingerprint=context.fingerprint(),
+        metadata=dict(metadata or {}),
+    )
+    return result.with_metadata(duration_seconds=round(duration, 4))
+
+
+def run_benchmarks(
+    specs: Sequence[BenchmarkSpec],
+    *,
+    cache: WorkloadCache | None = None,
+    jobs: int = 1,
+    on_result: Callable[[BenchResult], None] | None = None,
+) -> list[BenchResult]:
+    """Run ``specs`` (in parallel when ``jobs > 1``) and collect their results.
+
+    Results are returned in spec order regardless of completion order.  The
+    shared metadata (git commit, platform, timestamp) is captured once per
+    invocation so every result of a run carries identical provenance.
+    """
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    cache = cache if cache is not None else WorkloadCache()
+    metadata = run_metadata()
+
+    def execute(spec: BenchmarkSpec) -> BenchResult:
+        result = run_benchmark(spec, cache, metadata)
+        if on_result is not None:
+            on_result(result)
+        return result
+
+    if jobs == 1 or len(specs) <= 1:
+        return [execute(spec) for spec in specs]
+    with ThreadPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        return list(pool.map(execute, specs))

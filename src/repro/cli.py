@@ -1,6 +1,6 @@
 """Command-line interface for the Spindle reproduction.
 
-Four subcommands cover the common workflows:
+Five subcommand families cover the common workflows:
 
 ``repro plan``
     Run the execution planner on a registered workload and print (or save) the
@@ -17,6 +17,11 @@ Four subcommands cover the common workflows:
     Replay a synthetic planning-request stream against the caching plan
     service and report its throughput against the uncached planner.
 
+``repro bench list|run|compare``
+    Enumerate the registered benchmark suite, run a (tag-filtered) subset
+    emitting machine-readable ``BENCH_*.json`` results, and diff result sets
+    against a committed baseline with per-metric regression gating.
+
 Examples
 --------
 ::
@@ -25,6 +30,8 @@ Examples
     repro plan --model qwen-val --tasks 3 --gpus 32 --output plan.json
     repro scaling --model ofasys --tasks 7 --gpus 32
     repro serve-bench --model multitask-clip --gpus 8 --requests 48
+    repro bench run --tag smoke --json
+    repro bench compare --baseline benchmarks/baselines --fail-on-regress
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ import sys
 from typing import Sequence
 
 from repro.baselines import SYSTEM_CLASSES
+from repro.bench.cli import add_bench_subparsers
 from repro.core.serialization import plan_to_json, save_plan
 from repro.costmodel.profiler import default_profile_points
 from repro.experiments.harness import (
@@ -254,6 +262,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="seed of the request stream shuffle"
     )
     serve_parser.set_defaults(func=_cmd_serve_bench)
+
+    add_bench_subparsers(subparsers)
     return parser
 
 

@@ -24,7 +24,7 @@ from typing import Sequence
 from repro.core.allocator import ValidAllocationFn, default_valid_allocations
 from repro.core.estimator import ScalingCurve
 from repro.core.metagraph import MetaOp
-from repro.core.plan import ASLTuple, LevelAllocation, Wave, WaveEntry, WavefrontSchedule
+from repro.core.plan import LevelAllocation, Wave, WaveEntry, WavefrontSchedule
 
 
 class SchedulerError(Exception):

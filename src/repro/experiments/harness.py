@@ -67,11 +67,18 @@ def run_comparison(
     workload: WorkloadSpec,
     systems: Sequence[str] = DEFAULT_SYSTEMS,
     system_kwargs: dict[str, dict] | None = None,
+    tasks=None,
+    cluster=None,
 ) -> ComparisonResult:
-    """Run every requested system on the workload and collect the results."""
+    """Run every requested system on the workload and collect the results.
+
+    ``tasks``/``cluster`` accept prebuilt workload pieces (e.g. from the
+    benchmark suite's session-wide :class:`~repro.bench.runner.WorkloadCache`)
+    so repeated workloads are constructed once instead of per call.
+    """
     system_kwargs = system_kwargs or {}
-    cluster = workload.cluster()
-    tasks = workload.tasks()
+    cluster = cluster if cluster is not None else workload.cluster()
+    tasks = tasks if tasks is not None else workload.tasks()
     comparison = ComparisonResult(workload=workload)
     for name in systems:
         if name not in SYSTEM_CLASSES:
@@ -84,12 +91,17 @@ def run_comparison(
 
 
 def run_single_system(
-    workload: WorkloadSpec, system: str, **kwargs
+    workload: WorkloadSpec, system: str, tasks=None, cluster=None, **kwargs
 ) -> tuple[TrainingSystem, IterationResult]:
-    """Run one system on one workload; returns the system (with its last plan)."""
-    cluster = workload.cluster()
+    """Run one system on one workload; returns the system (with its last plan).
+
+    ``tasks``/``cluster`` accept prebuilt workload pieces, as in
+    :func:`run_comparison`.
+    """
+    cluster = cluster if cluster is not None else workload.cluster()
+    tasks = tasks if tasks is not None else workload.tasks()
     instance = make_system(system, cluster, **kwargs)
-    result = instance.run_iteration(workload.tasks())
+    result = instance.run_iteration(tasks)
     return instance, result
 
 

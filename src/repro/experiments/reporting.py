@@ -8,7 +8,10 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bench.result import BenchResult
 
 #: Directory (relative to the working directory) where benchmark modules drop
 #: their paper-style tables; override with the ``REPRO_REPORT_DIR`` variable.
@@ -76,6 +79,37 @@ def write_report(name: str, text: str, directory: str | os.PathLike | None = Non
     path = base / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     return path
+
+
+def render_bench_result(result: "BenchResult") -> str:
+    """Render a structured :class:`~repro.bench.result.BenchResult` as a table.
+
+    This is the human-readable view of the same data serialized to
+    ``BENCH_<name>.json`` — the benchmark runner writes both, so the tables
+    under ``reports/`` and the machine-readable results can never diverge.
+    """
+    rows = []
+    for name in sorted(result.metrics):
+        metric = result.metrics[name]
+        if metric.regression_threshold is None:
+            gate = "info"
+        else:
+            gate = f"±{metric.regression_threshold * 100:.0f}%"
+        rows.append(
+            [
+                name,
+                f"{metric.value:.4g}",
+                metric.unit,
+                "higher" if metric.higher_is_better else "lower",
+                gate,
+            ]
+        )
+    title = f"BENCH {result.name}"
+    if result.stage:
+        title += f" [{result.stage}]"
+    if result.workloads:
+        title += f" ({', '.join(result.workloads)})"
+    return format_table(["metric", "value", "unit", "better", "gate"], rows, title=title)
 
 
 def format_series(

@@ -122,6 +122,25 @@ class ServiceStats:
         return LatencySummary.from_samples(merged)
 
     # -------------------------------------------------------------- reporting
+    def to_metrics(self, prefix: str = "") -> "dict[str, object]":
+        """The counters as benchmark :class:`~repro.bench.result.Metric` values.
+
+        Count- and rate-style counters are gated (they are deterministic for a
+        replayed request stream); wall-clock latency/throughput numbers are
+        informational, since they vary with the machine running the suite.
+        """
+        from repro.bench.result import Metric, informational
+
+        overall = self.overall_latency()
+        return {
+            f"{prefix}requests": Metric(float(self.total_requests), "req"),
+            f"{prefix}hit_rate": Metric(self.hit_rate, "", higher_is_better=True),
+            f"{prefix}errors": Metric(float(self.errors), "", regression_threshold=0.0),
+            f"{prefix}throughput": informational(self.throughput, "req/s"),
+            f"{prefix}latency_p50": informational(overall.p50 * 1e3, "ms"),
+            f"{prefix}latency_p95": informational(overall.p95 * 1e3, "ms"),
+        }
+
     def as_dict(self) -> dict[str, float]:
         overall = self.overall_latency()
         return {

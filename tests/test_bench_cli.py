@@ -1,0 +1,236 @@
+"""``repro bench list|run|compare`` CLI paths, including regression gating."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.result import BenchResult
+from repro.cli import main
+
+SUITE_DIR = str(Path(__file__).resolve().parents[1] / "benchmarks")
+
+#: Cheapest registered benchmark — the CLI tests run this one for speed.
+FAST_BENCH = "tab1b_model_configs"
+
+
+@pytest.fixture(autouse=True)
+def isolated_reports(tmp_path, monkeypatch):
+    """Keep report side effects of CLI runs out of the checkout."""
+    monkeypatch.setenv("REPRO_REPORT_DIR", str(tmp_path / "reports"))
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestBenchList:
+    def test_list_table(self, capsys):
+        assert run_cli("bench", "list", "--suite", SUITE_DIR) == 0
+        out = capsys.readouterr().out
+        assert FAST_BENCH in out
+        assert "fig08_end_to_end" in out
+
+    def test_list_json_and_tag_filter(self, capsys):
+        assert (
+            run_cli("bench", "list", "--suite", SUITE_DIR, "--tag", "smoke", "--json")
+            == 0
+        )
+        listing = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in listing}
+        assert FAST_BENCH in names
+        assert all("smoke" in entry["tags"] for entry in listing)
+
+    def test_list_unknown_name_fails(self, capsys):
+        assert run_cli("bench", "list", "--suite", SUITE_DIR, "--name", "ghost") == 1
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestBenchRun:
+    def test_run_writes_schema_conformant_json(self, tmp_path, capsys):
+        output = tmp_path / "results"
+        code = run_cli(
+            "bench", "run", "--suite", SUITE_DIR,
+            "--name", FAST_BENCH, "--output", str(output), "--json",
+        )
+        assert code == 0
+        path = output / f"BENCH_{FAST_BENCH}.json"
+        assert path.is_file()
+        result = BenchResult.load(path)  # validates the schema
+        assert result.name == FAST_BENCH
+        assert result.metrics
+        # --json prints the same documents to stdout.
+        printed = json.loads(capsys.readouterr().out)
+        assert printed[0]["name"] == FAST_BENCH
+        assert printed[0]["metrics"] == {
+            name: metric.to_dict() for name, metric in result.metrics.items()
+        }
+
+    def test_run_writes_report_rendering(self, tmp_path, monkeypatch):
+        report_dir = tmp_path / "reports"
+        monkeypatch.setenv("REPRO_REPORT_DIR", str(report_dir))
+        assert run_cli(
+            "bench", "run", "--suite", SUITE_DIR,
+            "--name", FAST_BENCH, "--output", str(tmp_path / "out"),
+        ) == 0
+        report = report_dir / f"BENCH_{FAST_BENCH}.txt"
+        assert report.is_file()
+        assert f"BENCH {FAST_BENCH}" in report.read_text()
+
+    def test_run_tag_filter(self, tmp_path, capsys):
+        """--tag selects by registry tag; 'models' matches only tab1b."""
+        output = tmp_path / "results"
+        code = run_cli(
+            "bench", "run", "--suite", SUITE_DIR,
+            "--tag", "models", "--output", str(output), "--json",
+        )
+        assert code == 0
+        written = sorted(p.name for p in output.glob("BENCH_*.json"))
+        assert written == [f"BENCH_{FAST_BENCH}.json"]
+        printed = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in printed} == {FAST_BENCH}
+        assert all("smoke" in entry["tags"] for entry in printed)
+
+    def test_run_json_with_baseline_is_one_document(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline"
+        assert run_cli(
+            "bench", "run", "--suite", SUITE_DIR,
+            "--name", FAST_BENCH, "--output", str(baseline),
+        ) == 0
+        capsys.readouterr()
+        code = run_cli(
+            "bench", "run", "--suite", SUITE_DIR,
+            "--name", FAST_BENCH, "--output", str(tmp_path / "out"),
+            "--json", "--baseline", str(baseline), "--fail-on-regress",
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)  # whole stdout parses
+        assert document["results"][0]["name"] == FAST_BENCH
+        assert document["comparison"]["passed"] is True
+
+    def test_run_no_match_fails(self, capsys):
+        assert (
+            run_cli("bench", "run", "--suite", SUITE_DIR, "--tag", "no-such-tag") == 1
+        )
+        assert "no benchmarks match" in capsys.readouterr().err
+
+    def test_run_gates_against_baseline(self, tmp_path, capsys):
+        current = tmp_path / "current"
+        assert run_cli(
+            "bench", "run", "--suite", SUITE_DIR,
+            "--name", FAST_BENCH, "--output", str(current),
+        ) == 0
+        # A baseline claiming fewer parameters makes the current run regress.
+        baseline_dir = tmp_path / "baseline"
+        result = BenchResult.load(current / f"BENCH_{FAST_BENCH}.json")
+        shrunk = {
+            name: type(metric)(
+                value=metric.value * 0.5,
+                unit=metric.unit,
+                higher_is_better=metric.higher_is_better,
+                regression_threshold=metric.regression_threshold,
+            )
+            for name, metric in result.metrics.items()
+        }
+        BenchResult(name=result.name, metrics=shrunk).save(baseline_dir)
+        capsys.readouterr()
+        code = run_cli(
+            "bench", "run", "--suite", SUITE_DIR,
+            "--name", FAST_BENCH, "--output", str(tmp_path / "again"),
+            "--baseline", str(baseline_dir), "--fail-on-regress",
+        )
+        assert code == 2
+        assert "FAIL" in capsys.readouterr().err
+
+
+class TestBenchCompare:
+    def make_dirs(self, tmp_path, baseline_value, current_value):
+        from repro.bench.result import Metric
+
+        baseline_dir, current_dir = tmp_path / "base", tmp_path / "cur"
+        BenchResult(
+            name="demo", metrics={"time_ms": Metric(baseline_value, "ms")}
+        ).save(baseline_dir)
+        BenchResult(
+            name="demo", metrics={"time_ms": Metric(current_value, "ms")}
+        ).save(current_dir)
+        return str(baseline_dir), str(current_dir)
+
+    def test_compare_pass(self, tmp_path, capsys):
+        baseline_dir, current_dir = self.make_dirs(tmp_path, 100.0, 105.0)
+        code = run_cli(
+            "bench", "compare", "--baseline", baseline_dir,
+            "--current", current_dir, "--fail-on-regress",
+        )
+        assert code == 0
+        assert "ok=1" in capsys.readouterr().out
+
+    def test_compare_regression_exits_nonzero(self, tmp_path, capsys):
+        baseline_dir, current_dir = self.make_dirs(tmp_path, 100.0, 150.0)
+        code = run_cli(
+            "bench", "compare", "--baseline", baseline_dir,
+            "--current", current_dir, "--fail-on-regress",
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "regressed" in captured.out
+        assert "FAIL" in captured.err
+
+    def test_compare_without_gate_reports_only(self, tmp_path):
+        baseline_dir, current_dir = self.make_dirs(tmp_path, 100.0, 150.0)
+        assert run_cli(
+            "bench", "compare", "--baseline", baseline_dir, "--current", current_dir
+        ) == 0
+
+    def test_compare_threshold_override(self, tmp_path):
+        baseline_dir, current_dir = self.make_dirs(tmp_path, 100.0, 110.0)
+        assert run_cli(
+            "bench", "compare", "--baseline", baseline_dir,
+            "--current", current_dir, "--fail-on-regress",
+        ) == 0
+        assert run_cli(
+            "bench", "compare", "--baseline", baseline_dir,
+            "--current", current_dir, "--fail-on-regress", "--threshold", "0.05",
+        ) == 2
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        baseline_dir, current_dir = self.make_dirs(tmp_path, 100.0, 150.0)
+        run_cli(
+            "bench", "compare", "--baseline", baseline_dir,
+            "--current", current_dir, "--json",
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["passed"] is False
+        assert document["counts"] == {"regressed": 1}
+
+    def test_compare_missing_directories(self, tmp_path, capsys):
+        baseline_dir, current_dir = self.make_dirs(tmp_path, 100.0, 100.0)
+        assert run_cli(
+            "bench", "compare", "--baseline", str(tmp_path / "nope"),
+            "--current", current_dir,
+        ) == 1
+        assert run_cli(
+            "bench", "compare", "--baseline", baseline_dir,
+            "--current", str(tmp_path / "nope"),
+        ) == 1
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_matches_smoke_set(self):
+        """The committed baseline and the smoke tag must stay in lockstep.
+
+        compare_results deliberately skips baseline benchmarks absent from a
+        (partial) current run, so a benchmark silently dropped from the smoke
+        set would otherwise vanish from the CI gate without failing it; this
+        test is the backstop that forces a baseline refresh instead.
+        """
+        from repro.bench import REGISTRY, discover, load_results
+
+        baseline = load_results(Path(SUITE_DIR) / "baselines")
+        assert baseline, "committed baseline is empty"
+        discover(SUITE_DIR)
+        smoke = {spec.name for spec in REGISTRY.select(tags=["smoke"])}
+        missing = smoke - set(baseline)
+        assert not missing, f"smoke benchmarks missing from the baseline: {missing}"
+        stale = set(baseline) - smoke
+        assert not stale, f"baseline entries no longer in the smoke set: {stale}"

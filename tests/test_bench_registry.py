@@ -1,0 +1,183 @@
+"""Benchmark registry: enumeration, selection and on-disk discovery."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    REGISTRY,
+    BenchmarkRegistry,
+    Metric,
+    benchmark_modules,
+    discover,
+    run_benchmark,
+    run_benchmarks,
+)
+from repro.bench.runner import BenchContext, WorkloadCache
+from repro.experiments.workloads import clip_workload
+
+SUITE_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def discovered():
+    discover(SUITE_DIR)
+    return REGISTRY
+
+
+class TestDiscovery:
+    def test_every_bench_module_registers_a_benchmark(self, discovered):
+        """Registry enumeration matches the bench_* modules on disk."""
+        modules_on_disk = {path.stem for path in benchmark_modules(SUITE_DIR)}
+        assert modules_on_disk, "no benchmark modules found on disk"
+        registered_modules = {spec.module for spec in discovered.specs()}
+        missing = modules_on_disk - registered_modules
+        assert not missing, f"bench modules without a registered benchmark: {missing}"
+
+    def test_registered_benchmarks_come_from_disk_modules(self, discovered):
+        modules_on_disk = {path.stem for path in benchmark_modules(SUITE_DIR)}
+        for spec in discovered.specs():
+            assert spec.module in modules_on_disk
+
+    def test_discover_is_idempotent(self, discovered):
+        before = discovered.names()
+        discover(SUITE_DIR)
+        assert discovered.names() == before
+
+    def test_specs_are_classified(self, discovered):
+        for spec in discovered.specs():
+            assert spec.name
+            assert spec.stage
+            assert spec.tags, f"{spec.name} has no tags"
+            assert spec.description
+
+    def test_smoke_subset_is_substantial(self, discovered):
+        smoke = discovered.select(tags=["smoke"])
+        assert len(smoke) >= 10
+
+    def test_discover_missing_directory(self):
+        with pytest.raises(FileNotFoundError):
+            discover(SUITE_DIR / "does-not-exist")
+
+
+class TestRegistry:
+    def test_register_and_select(self):
+        registry = BenchmarkRegistry()
+
+        @registry.register("a", tags=("x", "smoke"), stage="planning")
+        def bench_a(ctx):
+            return {}
+
+        @registry.register("b", tags=("y",), figure="fig99")
+        def bench_b(ctx):
+            return {}
+
+        assert registry.names() == ["a", "b"]
+        assert "a" in registry and "nope" not in registry
+        assert [s.name for s in registry.select(tags=["x"])] == ["a"]
+        assert [s.name for s in registry.select(names=["b"])] == ["b"]
+        assert registry.select(tags=["x", "y"]) == []
+        assert registry.get("b").figure == "fig99"
+        assert sorted(registry.tags()) == ["smoke", "x", "y"]
+
+    def test_unknown_name_raises(self):
+        registry = BenchmarkRegistry()
+        with pytest.raises(KeyError):
+            registry.get("ghost")
+        with pytest.raises(KeyError):
+            registry.select(names=["ghost"])
+
+    def test_same_module_reregistration_replaces(self):
+        registry = BenchmarkRegistry()
+
+        @registry.register("a")
+        def bench_one(ctx):
+            return {}
+
+        @registry.register("a")
+        def bench_two(ctx):
+            return {}
+
+        assert len(registry) == 1
+        assert registry.get("a").func is bench_two
+
+    def test_cross_module_collision_raises(self):
+        registry = BenchmarkRegistry()
+
+        @registry.register("a")
+        def bench_one(ctx):
+            return {}
+
+        other = lambda ctx: {}  # noqa: E731 - stand-in for a foreign module
+        other.__module__ = "somewhere_else"
+        with pytest.raises(ValueError):
+            registry.register("a")(other)
+
+
+class TestRunner:
+    def test_run_benchmark_wraps_metrics(self):
+        registry = BenchmarkRegistry()
+        workload = clip_workload(4, 8)
+
+        @registry.register(
+            "wrapped", figure="fig00", stage="planning", tags=("t",)
+        )
+        def bench(ctx):
+            tasks = ctx.tasks(workload)
+            return {"num_tasks": Metric(float(len(tasks)), "tasks")}
+
+        result = run_benchmark(registry.get("wrapped"), WorkloadCache())
+        assert result.name == "wrapped"
+        assert result.figure == "fig00"
+        assert result.stage == "planning"
+        assert result.value("num_tasks") == 4.0
+        assert result.workloads == (workload.name,)
+        assert len(result.workload_fingerprint) == 64  # sha256 hex
+        assert result.metadata["duration_seconds"] >= 0
+
+    def test_run_benchmark_rejects_non_metrics(self):
+        registry = BenchmarkRegistry()
+
+        @registry.register("broken")
+        def bench(ctx):
+            return {"oops": 1.0}
+
+        with pytest.raises(TypeError):
+            run_benchmark(registry.get("broken"), WorkloadCache())
+
+    def test_run_benchmarks_parallel_preserves_order(self):
+        registry = BenchmarkRegistry()
+        for index in range(4):
+            @registry.register(f"bench{index}")
+            def bench(ctx, index=index):
+                return {"index": Metric(float(index))}
+
+        results = run_benchmarks(registry.specs(), jobs=4)
+        assert [r.value("index") for r in results] == [0.0, 1.0, 2.0, 3.0]
+        shared = {r.metadata["created_at"] for r in results}
+        assert len(shared) == 1
+
+    def test_workload_cache_builds_once(self):
+        cache = WorkloadCache()
+        workload = clip_workload(4, 8)
+        assert cache.tasks(workload) is cache.tasks(workload)
+        assert cache.cluster(workload) is cache.cluster(workload)
+        assert cache.fingerprint(workload) == cache.fingerprint(workload)
+        assert cache.cached_names() == [workload.name]
+        built = []
+        assert cache.get_or_build("k", lambda: built.append(1) or "v") == "v"
+        assert cache.get_or_build("k", lambda: built.append(1) or "v") == "v"
+        assert built == [1]
+
+    def test_context_combines_fingerprints(self):
+        cache = WorkloadCache()
+        ctx = BenchContext(cache)
+        assert ctx.fingerprint() == ""
+        first, second = clip_workload(4, 8), clip_workload(7, 16)
+        ctx.tasks(first)
+        single = ctx.fingerprint()
+        assert single == cache.fingerprint(first)
+        ctx.cluster(second)
+        combined = ctx.fingerprint()
+        assert combined != single and len(combined) == 64
+        assert ctx.used_workloads == sorted([first.name, second.name])

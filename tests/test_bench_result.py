@@ -1,0 +1,245 @@
+"""BenchResult schema: JSON round-trip and threshold comparison."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    SCHEMA_VERSION,
+    BenchResult,
+    Metric,
+    SchemaError,
+    compare_results,
+    informational,
+    load_results,
+)
+from repro.bench.baseline import (
+    STATUS_IMPROVED,
+    STATUS_INFO,
+    STATUS_MISSING,
+    STATUS_NEW,
+    STATUS_OK,
+    STATUS_REGRESSED,
+)
+
+
+def make_result(name="demo", **metrics):
+    metrics = metrics or {
+        "iteration_ms": Metric(120.0, "ms"),
+        "speedup": Metric(1.4, "x", higher_is_better=True),
+        "wall_seconds": informational(0.8, "s"),
+    }
+    return BenchResult(
+        name=name,
+        metrics=metrics,
+        figure="fig08",
+        stage="simulation",
+        tags=("figure", "smoke"),
+        workloads=("multitask-clip-4tasks-8gpus",),
+        workload_fingerprint="abc123",
+        metadata={"git_commit": "deadbeef", "duration_seconds": 0.5},
+    )
+
+
+class TestMetric:
+    def test_defaults(self):
+        metric = Metric(3.0)
+        assert not metric.higher_is_better
+        assert metric.regression_threshold == DEFAULT_REGRESSION_THRESHOLD
+        assert metric.gated
+
+    def test_informational_is_not_gated(self):
+        assert not informational(1.0, "s").gated
+
+    def test_round_trip(self):
+        metric = Metric(2.5, "x", higher_is_better=True, regression_threshold=0.1)
+        assert Metric.from_dict(metric.to_dict()) == metric
+
+    def test_from_dict_requires_value(self):
+        with pytest.raises(SchemaError):
+            Metric.from_dict({"unit": "ms"})
+
+
+class TestBenchResultSerialization:
+    def test_json_round_trip(self):
+        result = make_result()
+        restored = BenchResult.from_json(result.to_json())
+        assert restored.name == result.name
+        assert restored.metrics == result.metrics
+        assert restored.figure == "fig08"
+        assert restored.stage == "simulation"
+        assert set(restored.tags) == set(result.tags)
+        assert restored.workloads == result.workloads
+        assert restored.workload_fingerprint == "abc123"
+        assert restored.metadata["git_commit"] == "deadbeef"
+
+    def test_document_schema_fields(self):
+        document = make_result().to_dict()
+        assert document["schema_version"] == SCHEMA_VERSION
+        for key in ("name", "figure", "stage", "tags", "metrics", "workloads",
+                    "workload_fingerprint", "metadata"):
+            assert key in document
+        metric_doc = document["metrics"]["iteration_ms"]
+        assert set(metric_doc) == {
+            "value", "unit", "higher_is_better", "regression_threshold"
+        }
+
+    def test_save_and_load(self, tmp_path):
+        result = make_result()
+        path = result.save(tmp_path)
+        assert path.name == "BENCH_demo.json"
+        assert BenchResult.load(path).metrics == result.metrics
+
+    def test_load_results_directory(self, tmp_path):
+        make_result("one").save(tmp_path)
+        make_result("two").save(tmp_path)
+        results = load_results(tmp_path)
+        assert sorted(results) == ["one", "two"]
+
+    def test_load_results_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_results(tmp_path / "nope")
+
+    def test_rejects_wrong_schema_version(self):
+        document = make_result().to_dict()
+        document["schema_version"] = 999
+        with pytest.raises(SchemaError):
+            BenchResult.from_dict(document)
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(SchemaError):
+            BenchResult.from_json("not json")
+        with pytest.raises(SchemaError):
+            BenchResult.from_json(json.dumps(["a", "list"]))
+
+
+def one_metric_sets(baseline_value, current_value, **kwargs):
+    baseline = {"bench": make_result("bench", m=Metric(baseline_value, **kwargs))}
+    current = {"bench": make_result("bench", m=Metric(current_value, **kwargs))}
+    return baseline, current
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        comparison = compare_results(*one_metric_sets(100.0, 110.0))
+        assert comparison.passed
+        assert comparison.deltas[0].status == STATUS_OK
+
+    def test_regression_past_threshold_fails(self):
+        comparison = compare_results(*one_metric_sets(100.0, 130.0))
+        assert not comparison.passed
+        [delta] = comparison.regressions
+        assert delta.metric == "m"
+        assert delta.delta_fraction == pytest.approx(0.3)
+
+    def test_improvement_is_not_a_failure(self):
+        comparison = compare_results(*one_metric_sets(100.0, 60.0))
+        assert comparison.passed
+        assert comparison.deltas[0].status == STATUS_IMPROVED
+
+    def test_higher_is_better_direction(self):
+        comparison = compare_results(
+            *one_metric_sets(2.0, 1.4, higher_is_better=True)
+        )
+        assert not comparison.passed
+        comparison = compare_results(
+            *one_metric_sets(2.0, 2.6, higher_is_better=True)
+        )
+        assert comparison.passed
+        assert comparison.deltas[0].status == STATUS_IMPROVED
+
+    def test_two_sided_invariant_fails_in_both_directions(self):
+        from repro.bench import invariant
+
+        def sets(baseline_value, current_value, threshold=0.0):
+            return (
+                {"b": make_result("b", m=invariant(baseline_value, threshold=threshold))},
+                {"b": make_result("b", m=invariant(current_value, threshold=threshold))},
+            )
+
+        assert compare_results(*sets(50.0, 50.0)).passed
+        assert not compare_results(*sets(50.0, 51.0)).passed
+        # A drop is a regression too — never classified as an improvement.
+        comparison = compare_results(*sets(50.0, 49.0))
+        assert not comparison.passed
+        assert comparison.deltas[0].status == STATUS_REGRESSED
+        assert compare_results(*sets(100.0, 100.5, threshold=0.01)).passed
+        assert not compare_results(*sets(100.0, 98.0, threshold=0.01)).passed
+
+    def test_two_sided_round_trips(self):
+        from repro.bench import invariant
+
+        metric = invariant(5.0, "B", threshold=0.01)
+        assert metric.two_sided
+        assert Metric.from_dict(metric.to_dict()) == metric
+        # Plain metrics stay two_sided-free on disk and default to False.
+        assert "two_sided" not in Metric(1.0).to_dict()
+        assert not Metric.from_dict({"value": 1.0}).two_sided
+
+    def test_informational_metric_never_fails(self):
+        comparison = compare_results(
+            *one_metric_sets(1.0, 100.0, regression_threshold=None)
+        )
+        assert comparison.passed
+        assert comparison.deltas[0].status == STATUS_INFO
+
+    def test_missing_metric_fails_the_gate(self):
+        baseline = {
+            "bench": make_result("bench", kept=Metric(1.0), dropped=Metric(2.0))
+        }
+        current = {"bench": make_result("bench", kept=Metric(1.0))}
+        comparison = compare_results(baseline, current)
+        assert not comparison.passed
+        [delta] = comparison.missing
+        assert delta.metric == "dropped"
+        assert delta.status == STATUS_MISSING
+
+    def test_new_metric_and_new_benchmark_pass(self):
+        baseline = {"bench": make_result("bench", m=Metric(1.0))}
+        current = {
+            "bench": make_result("bench", m=Metric(1.0), extra=Metric(9.0)),
+            "novel": make_result("novel", m=Metric(1.0)),
+        }
+        comparison = compare_results(baseline, current)
+        assert comparison.passed
+        statuses = {(d.benchmark, d.metric): d.status for d in comparison.deltas}
+        assert statuses[("bench", "extra")] == STATUS_NEW
+        assert statuses[("novel", "m")] == STATUS_NEW
+
+    def test_baseline_only_benchmark_is_skipped(self):
+        """Partial runs (--tag filters) do not fail baselines they skipped."""
+        baseline = {
+            "bench": make_result("bench", m=Metric(1.0)),
+            "skipped": make_result("skipped", m=Metric(1.0)),
+        }
+        current = {"bench": make_result("bench", m=Metric(1.0))}
+        assert compare_results(baseline, current).passed
+
+    def test_threshold_override(self):
+        baseline, current = one_metric_sets(100.0, 110.0)
+        assert compare_results(baseline, current).passed
+        comparison = compare_results(baseline, current, threshold_override=0.05)
+        assert not comparison.passed
+        assert comparison.deltas[0].threshold == 0.05
+
+    def test_exact_gate_with_zero_threshold(self):
+        comparison = compare_results(
+            *one_metric_sets(50.0, 51.0, regression_threshold=0.0)
+        )
+        assert comparison.deltas[0].status == STATUS_REGRESSED
+        comparison = compare_results(
+            *one_metric_sets(50.0, 50.0, regression_threshold=0.0)
+        )
+        assert comparison.deltas[0].status == STATUS_OK
+
+    def test_comparison_report_shapes(self):
+        baseline, current = one_metric_sets(100.0, 130.0)
+        comparison = compare_results(baseline, current)
+        assert comparison.counts() == {STATUS_REGRESSED: 1}
+        document = comparison.to_dict()
+        assert document["passed"] is False
+        assert document["deltas"][0]["status"] == STATUS_REGRESSED
+        [row] = comparison.as_rows()
+        assert row[0] == "bench" and row[-1] == STATUS_REGRESSED
+        assert "bench/m" in comparison.deltas[0].describe()

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.contraction import can_contract, contract_graph
 from repro.graph.graph import ComputationGraph
-from repro.graph.ops import TensorSpec
 from tests.conftest import make_layer_op
 
 

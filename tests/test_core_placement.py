@@ -10,7 +10,6 @@ from repro.core.scheduler import WavefrontScheduler
 from repro.costmodel.memory import MemoryModel, MemoryModelConfig
 from repro.costmodel.profiler import SyntheticProfiler
 from repro.graph.builder import build_unified_graph
-from tests.conftest import make_chain_task
 
 
 def build_schedule(cluster, tasks):

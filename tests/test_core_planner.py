@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.plan import PlanError
 from repro.core.planner import ExecutionPlanner
-from repro.graph.builder import build_unified_graph
 from tests.conftest import make_chain_task
 
 

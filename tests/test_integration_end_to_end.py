@@ -7,7 +7,6 @@ runtime engine + baselines) on small-but-realistic clusters and check the
 
 import pytest
 
-from repro.baselines import make_system
 from repro.experiments.harness import run_comparison, run_single_system
 from repro.experiments.workloads import clip_workload, ofasys_workload, qwen_val_workload
 from repro.runtime.param_groups import ParameterDeviceGroupPool

@@ -12,7 +12,6 @@ from repro.core.allocator import ResourceAllocator, default_valid_allocations
 from repro.core.contraction import contract_graph
 from repro.core.estimator import ScalingCurve
 from repro.core.metagraph import MetaOp
-from repro.core.plan import ASLTuple, LevelAllocation
 from repro.core.scheduler import WavefrontScheduler
 from repro.costmodel.comm import ring_allreduce_time
 from repro.costmodel.profiler import ProfileSample
