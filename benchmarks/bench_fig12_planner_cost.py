@@ -11,7 +11,7 @@ import pytest
 from bench_utils import emit
 
 from repro.baselines.spindle_system import SpindleSystem
-from repro.bench import informational, register_benchmark
+from repro.bench import Metric, register_benchmark
 from repro.experiments.reporting import format_table
 from repro.experiments.workloads import clip_workload, ofasys_workload, qwen_val_workload
 
@@ -20,6 +20,13 @@ SWEEP = (
     + [ofasys_workload(t, g) for t in (4, 7) for g in (8, 16, 32, 64)]
     + [qwen_val_workload(g) for g in (8, 16, 32, 64)]
 )
+
+#: Planner wall-clock is the quantity this benchmark reproduces, so —
+#: unlike the simulated-substrate metrics elsewhere — its timings are gated.
+#: The threshold is deliberately loose (a 50% slowdown fails, a 2x speedup
+#: classifies as improved) to ride out machine noise while still catching a
+#: planner-hot-path regression and crediting deliberate optimizations.
+PLANNER_TIME_THRESHOLD = 0.5
 
 
 @register_benchmark(
@@ -30,16 +37,20 @@ SWEEP = (
     description="Wall-clock cost of the execution planner across the sweep",
 )
 def bench_fig12_planner_cost(ctx):
-    # Wall-clock timings are machine-dependent, so every metric here is
-    # informational: recorded and diffed, never gated.
     seconds = []
     for workload in SWEEP:
         system = SpindleSystem(ctx.cluster(workload))
         system.plan(ctx.tasks(workload))
         seconds.append(system.last_planning_seconds)
     return {
-        "max_planning_seconds": informational(max(seconds), "s"),
-        "mean_planning_seconds": informational(sum(seconds) / len(seconds), "s"),
+        "max_planning_seconds": Metric(
+            max(seconds), "s", regression_threshold=PLANNER_TIME_THRESHOLD
+        ),
+        "mean_planning_seconds": Metric(
+            sum(seconds) / len(seconds),
+            "s",
+            regression_threshold=PLANNER_TIME_THRESHOLD,
+        ),
     }
 
 

@@ -9,7 +9,7 @@ import pytest
 
 from bench_utils import cached_comparison, emit
 
-from repro.bench import Metric, register_benchmark
+from repro.bench import Metric, informational, register_benchmark
 from repro.experiments.harness import run_comparison
 from repro.experiments.reporting import format_table
 from repro.experiments.workloads import TAB2_WORKLOADS
@@ -36,6 +36,11 @@ def bench_tab2_large_scale(ctx):
         )
         metrics[f"qwen_{size}_spindle_iteration_ms"] = Metric(
             comparison.iteration_time("spindle") * 1e3, "ms"
+        )
+        # Planner wall-clock at 256 GPUs: informational (machine-dependent),
+        # recorded so planner-hot-path changes show their large-scale effect.
+        metrics[f"qwen_{size}_planning_seconds"] = informational(
+            comparison.results["spindle"].metadata["planning_seconds"], "s"
         )
     return metrics
 

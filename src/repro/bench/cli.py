@@ -18,7 +18,12 @@ from repro.bench.baseline import BenchComparison, compare_results
 from repro.bench.registry import REGISTRY, discover
 from repro.bench.result import BenchResult, load_results
 from repro.bench.runner import WorkloadCache, run_benchmarks
-from repro.experiments.reporting import format_table, render_bench_result, write_report
+from repro.experiments.reporting import (
+    format_markdown_table,
+    format_table,
+    render_bench_result,
+    write_report,
+)
 
 #: Default directory ``repro bench run`` writes ``BENCH_*.json`` files into.
 DEFAULT_OUTPUT_DIR = "bench_results"
@@ -167,7 +172,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             _print_comparison(comparison, as_json=False)
 
     if comparison is not None:
+        if args.summary_file:
+            _write_summary(comparison, args.summary_file)
         return _gate(comparison, args.fail_on_regress)
+    if args.summary_file:
+        print(
+            "warning: --summary-file has no comparison to write "
+            "(pass --baseline)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -198,6 +211,37 @@ def _print_comparison(comparison: BenchComparison, as_json: bool) -> None:
     )
 
 
+def comparison_markdown(comparison: BenchComparison) -> str:
+    """The comparison delta table as GitHub-flavoured markdown.
+
+    This is what CI appends to ``$GITHUB_STEP_SUMMARY`` so regressions and
+    improvements are visible on the workflow run page without downloading
+    result artifacts.
+    """
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(comparison.counts().items()))
+    verdict = "✅ passed" if comparison.passed else "❌ failed"
+    lines = [
+        f"### Benchmark comparison — {verdict}",
+        "",
+        f"_{counts or 'no metrics'}_",
+        "",
+        format_markdown_table(
+            ["benchmark", "metric", "baseline", "current", "delta", "unit", "status"],
+            comparison.as_rows(),
+        ),
+    ]
+    if comparison.failures:
+        lines += ["", "**Failures**", ""]
+        lines += [f"- {delta.describe()}" for delta in comparison.failures]
+    return "\n".join(lines) + "\n"
+
+
+def _write_summary(comparison: BenchComparison, path: str) -> None:
+    """Append the markdown delta table to ``path`` (step-summary semantics)."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(comparison_markdown(comparison) + "\n")
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     try:
         baseline = load_results(args.baseline)
@@ -207,6 +251,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         return 1
     comparison = compare_results(baseline, current, threshold_override=args.threshold)
     _print_comparison(comparison, as_json=args.json)
+    if args.summary_file:
+        _write_summary(comparison, args.summary_file)
     return _gate(comparison, args.fail_on_regress)
 
 
@@ -272,6 +318,12 @@ def add_bench_subparsers(subparsers) -> None:
         action="store_true",
         help="exit non-zero when a gated metric regresses vs the baseline",
     )
+    run_parser.add_argument(
+        "--summary-file",
+        default=None,
+        help="append the comparison as a markdown table to this file "
+        '(e.g. "$GITHUB_STEP_SUMMARY"); needs --baseline',
+    )
     run_parser.set_defaults(func=cmd_run)
 
     compare_parser = bench_sub.add_parser(
@@ -298,5 +350,11 @@ def add_bench_subparsers(subparsers) -> None:
     )
     compare_parser.add_argument(
         "--json", action="store_true", help="machine-readable comparison"
+    )
+    compare_parser.add_argument(
+        "--summary-file",
+        default=None,
+        help="append the comparison as a markdown table to this file "
+        '(e.g. "$GITHUB_STEP_SUMMARY")',
     )
     compare_parser.set_defaults(func=cmd_compare)

@@ -71,6 +71,8 @@ class ClusterTopology:
     inter_island: InterconnectSpec = DEFAULT_INTER_ISLAND
     intra_device: InterconnectSpec = DEFAULT_INTRA_DEVICE
     devices: list[Device] = field(init=False)
+    _island_groups: list[list[int]] = field(init=False, repr=False)
+    _node_ids: list[int] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -87,6 +89,14 @@ class ClusterTopology:
             for node in range(self.num_nodes)
             for local in range(self.devices_per_node)
         ]
+        # The device list is immutable after construction, so the island
+        # grouping is built exactly once: the placement pass queries it per
+        # (entry, island) and must not pay an O(num_devices) rebuild per call.
+        groups: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for dev in self.devices:
+            groups[dev.node_id].append(dev.device_id)
+        self._island_groups = groups
+        self._node_ids = [dev.node_id for dev in self.devices]
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -111,19 +121,32 @@ class ClusterTopology:
 
     def island_of(self, device_id: int) -> int:
         """Return the island (node) index that hosts ``device_id``."""
-        return self.device(device_id).node_id
+        # Flat lookup table instead of a Device attribute chase: link
+        # classification and placement scoring call this per device per
+        # candidate, making it the hottest topology query.
+        if device_id < 0:
+            raise TopologyError(
+                f"Device id {device_id} out of range [0, {self.num_devices})"
+            )
+        try:
+            return self._node_ids[device_id]
+        except IndexError:
+            raise TopologyError(
+                f"Device id {device_id} out of range [0, {self.num_devices})"
+            ) from None
 
     def islands(self) -> list[list[int]]:
-        """Device ids grouped by island, in island order."""
-        groups: list[list[int]] = [[] for _ in range(self.num_nodes)]
-        for dev in self.devices:
-            groups[dev.node_id].append(dev.device_id)
-        return groups
+        """Device ids grouped by island, in island order (copy, safe to edit)."""
+        return [list(group) for group in self._island_groups]
 
     def island_devices(self, island: int) -> list[int]:
+        """Device ids of one island (copy of the precomputed group)."""
         if not 0 <= island < self.num_nodes:
             raise TopologyError(f"Island {island} out of range [0, {self.num_nodes})")
-        return self.islands()[island]
+        # Copying one island (devices_per_node entries) keeps callers free to
+        # mutate the result without corrupting the cached grouping, while
+        # avoiding the old per-call rebuild of every island.
+        return list(self._island_groups[island])
 
     def same_island(self, a: int, b: int) -> bool:
         return self.island_of(a) == self.island_of(b)

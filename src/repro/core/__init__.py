@@ -4,7 +4,9 @@ wavefront scheduling and device placement."""
 from repro.core.allocator import (
     AllocationError,
     ContinuousAllocation,
+    InverseTable,
     ResourceAllocator,
+    ValidAllocationGrid,
     default_valid_allocations,
     find_inverse_value,
 )
@@ -49,6 +51,7 @@ __all__ = [
     "AllocationError",
     "AlphaBetaPiece",
     "ContinuousAllocation",
+    "InverseTable",
     "EstimatorError",
     "ExecutionPlan",
     "ExecutionPlanner",
@@ -62,6 +65,7 @@ __all__ = [
     "PlanError",
     "PlanningReport",
     "ResourceAllocator",
+    "ValidAllocationGrid",
     "ScalabilityEstimator",
     "ScalingCurve",
     "SchedulerError",

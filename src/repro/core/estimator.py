@@ -11,16 +11,24 @@ alpha-beta fit (as used by homogeneous-model planners) misestimates lightweight
 operators.  The resulting :class:`ScalingCurve` exposes:
 
 * ``time(n)`` — estimated per-operator execution time on ``n`` devices,
+* ``time_many(ns)`` — the same evaluation vectorized over an allocation grid,
 * ``inverse(t)`` — the (possibly fractional) allocation needed to reach time
   ``t`` (the ``Find_Inverse_Value`` routine of Appendix B),
 * ``speedup(n)`` — the resource scalability ``sigma(n) = T(1)/T(n)`` of Fig. 4.
+
+``time``/``inverse`` locate their piece with ``bisect`` over precomputed
+breakpoint arrays, so a single evaluation costs O(log k) in the number of
+pieces and the allocator's bisection loop never scans pieces linearly.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.core.metagraph import MetaGraph, MetaOp
 from repro.costmodel.profiler import ProfileSample, SyntheticProfiler
@@ -40,15 +48,7 @@ CurveKey = tuple
 
 def metaop_curve_key(metaop: MetaOp) -> CurveKey:
     """Reuse key of a MetaOp's scaling curve (workload signature of its rep)."""
-    op = metaop.representative
-    return (
-        op.op_type,
-        op.modality,
-        op.input_spec.as_tuple(),
-        op.flops,
-        op.param_bytes,
-        op.activation_bytes,
-    )
+    return metaop.curve_key
 
 
 @dataclass(frozen=True)
@@ -92,6 +92,24 @@ class ScalingCurve:
             monotone.append(ProfileSample(sample.n_devices, max(time, 1e-12)))
         self.samples = monotone
         self.pieces = self._fit_pieces(monotone)
+        # Piece-lookup tables: upper breakpoints (strictly increasing) for the
+        # bisect in time()/time_many(), boundary times for inverse(), and the
+        # fitted coefficients as arrays for the vectorized evaluator.
+        self._piece_n_his = [p.n_hi for p in self.pieces]
+        self._piece_t_los = [p.time(p.n_lo) for p in self.pieces]
+        self._piece_t_his = [p.time(p.n_hi) for p in self.pieces]
+        # Boundary times are non-increasing; negated they are bisect-able.
+        self._neg_t_his = [-t for t in self._piece_t_his]
+        # Recomputed boundary times can deviate from exact monotonicity by
+        # rounding ulps; bisect is only exact over a sorted column, so such
+        # curves use the reference piece scan in inverse() instead.
+        self._t_his_monotone = all(
+            self._piece_t_his[i] >= self._piece_t_his[i + 1]
+            for i in range(len(self._piece_t_his) - 1)
+        )
+        self._n_his_array = np.array(self._piece_n_his, dtype=float)
+        self._alphas = np.array([p.alpha for p in self.pieces], dtype=float)
+        self._betas = np.array([p.beta for p in self.pieces], dtype=float)
 
     @staticmethod
     def _fit_pieces(samples: list[ProfileSample]) -> list[AlphaBetaPiece]:
@@ -132,8 +150,42 @@ class ScalingCurve:
     def max_devices(self) -> int:
         return self.samples[-1].n_devices
 
+    def _piece_index(self, n: float) -> int:
+        """Index of the piece evaluating ``n``: the first piece whose upper
+        breakpoint is >= ``n``, clamped to the last piece for extrapolation.
+
+        Matches the reference linear scan (:meth:`_time_scan`): pieces tile
+        ``[n_0, n_k]`` contiguously, so the first piece with ``n <= n_hi`` is
+        the first piece covering ``n`` (and piece 0 also handles ``n`` below
+        the profiled range).
+        """
+        index = bisect_left(self._piece_n_his, n)
+        if index == len(self.pieces):
+            return index - 1
+        return index
+
     def time(self, n: float) -> float:
         """Estimated per-operator execution time for a (fractional) allocation."""
+        if n <= 0:
+            raise EstimatorError("Allocation must be positive")
+        return self.pieces[self._piece_index(n)].time(n)
+
+    def time_many(self, ns: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`time` over an allocation grid.
+
+        Element-for-element identical to calling :meth:`time` (same piece
+        selection, same IEEE-754 arithmetic), evaluated with one
+        ``searchsorted`` instead of one bisect per allocation.
+        """
+        grid = np.asarray(ns, dtype=float)
+        if grid.size and float(grid.min()) <= 0:
+            raise EstimatorError("Allocation must be positive")
+        index = np.searchsorted(self._n_his_array, grid, side="left")
+        index = np.minimum(index, len(self.pieces) - 1)
+        return self._alphas[index] + self._betas[index] / grid
+
+    def _time_scan(self, n: float) -> float:
+        """Reference linear-scan evaluation (kept for equivalence tests)."""
         if n <= 0:
             raise EstimatorError("Allocation must be positive")
         if n <= self.pieces[0].n_lo:
@@ -161,9 +213,26 @@ class ScalingCurve:
             if target_time <= piece.alpha:
                 return float(self.min_devices)
             return max(1e-6, piece.beta / (target_time - piece.alpha))
-        for piece in self.pieces:
-            t_lo = piece.time(piece.n_lo)
-            t_hi = piece.time(piece.n_hi)
+        # Bisect for the first piece whose boundary times bracket the target
+        # (exact while the boundary-time column is monotone: every earlier
+        # piece has t_hi > target and therefore cannot bracket).  The
+        # (equivalent) linear scan handles ulp-non-monotone curves and the
+        # candidate failing its t_lo bound.
+        if self._t_his_monotone:
+            index = bisect_left(self._neg_t_his, -target_time)
+            if (
+                index < len(self.pieces)
+                and self._piece_t_his[index]
+                <= target_time
+                <= self._piece_t_los[index]
+            ):
+                piece = self.pieces[index]
+                t_lo = self._piece_t_los[index]
+                t_hi = self._piece_t_his[index]
+                if piece.beta <= 0 or math.isclose(t_lo, t_hi):
+                    return float(piece.n_hi)
+                return piece.beta / (target_time - piece.alpha)
+        for piece, t_lo, t_hi in zip(self.pieces, self._piece_t_los, self._piece_t_his):
             if t_hi <= target_time <= t_lo:
                 if piece.beta <= 0 or math.isclose(t_lo, t_hi):
                     return float(piece.n_hi)
@@ -193,28 +262,66 @@ class ScalingCurve:
 
 
 class ScalabilityEstimator:
-    """Profiles MetaOps and fits their scaling curves."""
+    """Profiles MetaOps and fits their scaling curves.
+
+    With a noise-free profiler (the default), fitted curves are memoized per
+    estimator instance under :attr:`MetaOp.curve_key`, so one planner never
+    profiles the same workload signature twice — neither across the MetaOps of
+    one plan (multi-task models repeat identical layer stacks per task) nor
+    across successive plans through the same planner.  With measurement noise
+    the cache is bypassed: each MetaOp must draw its own noisy samples to
+    reproduce the reference estimator's RNG stream exactly.
+    """
 
     def __init__(
         self,
         profiler: SyntheticProfiler,
         profile_points: Sequence[int] | None = None,
         include_backward: bool = True,
+        enable_curve_cache: bool = True,
+        max_cached_curves: int = 4096,
     ) -> None:
+        if max_cached_curves <= 0:
+            raise ValueError("max_cached_curves must be positive")
         self.profiler = profiler
         self.profile_points = (
             list(profile_points) if profile_points is not None else None
         )
         self.include_backward = include_backward
+        self.enable_curve_cache = enable_curve_cache
+        self.max_cached_curves = max_cached_curves
+        self._curve_cache: dict[CurveKey, ScalingCurve] = {}
+
+    @property
+    def _cache_active(self) -> bool:
+        return self.enable_curve_cache and self.profiler.noise_std == 0
+
+    def clear_cache(self) -> None:
+        """Drop the memoized curves (e.g. after recalibrating the cost model)."""
+        self._curve_cache.clear()
+
+    def _cache_store(self, key: CurveKey, curve: ScalingCurve) -> None:
+        """Insert with a FIFO bound so long-lived planners cannot grow the
+        cache without limit across an unbounded stream of distinct workloads."""
+        if len(self._curve_cache) >= self.max_cached_curves:
+            self._curve_cache.pop(next(iter(self._curve_cache)))
+        self._curve_cache[key] = curve
 
     def estimate_metaop(self, metaop: MetaOp) -> ScalingCurve:
         """Fit the per-operator scaling curve of one MetaOp."""
+        if self._cache_active:
+            cached = self._curve_cache.get(metaop.curve_key)
+            if cached is not None:
+                return cached
         samples = self.profiler.profile_operator(
             metaop.representative,
             points=self.profile_points,
             include_backward=self.include_backward,
         )
-        return ScalingCurve(samples)
+        curve = ScalingCurve(samples)
+        if self._cache_active:
+            self._cache_store(metaop.curve_key, curve)
+        return curve
 
     def estimate(
         self,
@@ -234,18 +341,72 @@ class ScalabilityEstimator:
         metagraph: MetaGraph,
         precomputed: Mapping[CurveKey, ScalingCurve] | None = None,
     ) -> tuple[dict[int, ScalingCurve], int]:
-        """Like :meth:`estimate`, also returning how many curves were reused."""
+        """Like :meth:`estimate`, also returning how many curves were reused.
+
+        ``reused`` counts only *precomputed* curves (caller-supplied reuse, as
+        reported in the planning report); hits in the estimator's own
+        deterministic cache are not counted, so reports and incremental-planner
+        statistics are unchanged by the memoization.
+        """
         curves: dict[int, ScalingCurve] = {}
         reused = 0
+        pending: list[tuple[int, MetaOp]] = []
         for index, metaop in metagraph.metaops.items():
             curve = (
-                precomputed.get(metaop_curve_key(metaop))
+                precomputed.get(metaop.curve_key)
                 if precomputed is not None
                 else None
             )
             if curve is not None:
                 reused += 1
+                curves[index] = curve
+            elif self._cache_active and metaop.curve_key in self._curve_cache:
+                curves[index] = self._curve_cache[metaop.curve_key]
             else:
-                curve = self.estimate_metaop(metaop)
-            curves[index] = curve
-        return curves, reused
+                pending.append((index, metaop))
+        if pending:
+            self._profile_pending(pending, curves)
+        # Restore MetaGraph iteration order (pending curves were appended last).
+        return {index: curves[index] for index in metagraph.metaops}, reused
+
+    # -------------------------------------------------------------- internals
+    def _profile_pending(
+        self,
+        pending: list[tuple[int, MetaOp]],
+        curves: dict[int, ScalingCurve],
+    ) -> None:
+        """Profile the MetaOps without a reusable curve, batched.
+
+        Deterministic profiles are deduplicated by curve key before the
+        batched profiler call; noisy profiles keep one profile per MetaOp in
+        MetaGraph order so the noise RNG stream matches sequential profiling.
+        """
+        if self._cache_active:
+            seen: set[CurveKey] = set()
+            unique: list[tuple[CurveKey, MetaOp]] = []
+            for _, metaop in pending:
+                key = metaop.curve_key
+                if key not in seen:
+                    seen.add(key)
+                    unique.append((key, metaop))
+            sample_lists = self.profiler.profile_operators(
+                [metaop.representative for _, metaop in unique],
+                points=self.profile_points,
+                include_backward=self.include_backward,
+            )
+            fitted = {
+                key: ScalingCurve(samples)
+                for (key, _), samples in zip(unique, sample_lists)
+            }
+            for key, curve in fitted.items():
+                self._cache_store(key, curve)
+            for index, metaop in pending:
+                curves[index] = fitted[metaop.curve_key]
+        else:
+            sample_lists = self.profiler.profile_operators(
+                [metaop.representative for _, metaop in pending],
+                points=self.profile_points,
+                include_backward=self.include_backward,
+            )
+            for (index, _), samples in zip(pending, sample_lists):
+                curves[index] = ScalingCurve(samples)

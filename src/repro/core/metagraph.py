@@ -10,6 +10,7 @@ by level.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.graph.ops import Operator, TensorSpec
 
@@ -62,6 +63,28 @@ class MetaOp:
     @property
     def batch_size(self) -> int:
         return self.representative.batch_size
+
+    @cached_property
+    def curve_key(self) -> tuple:
+        """Reuse key of this MetaOp's scaling curve (workload signature of its
+        representative operator).
+
+        Two MetaOps with equal keys profile identically on the same cluster
+        and planner configuration, so fitted curves can be shared between them
+        (intra-plan) and transferred between plans (incremental re-planning).
+        Cached because estimate/reuse lookups and incremental-planner passes
+        recompute it per MetaOp many times; the operator list is treated as
+        immutable once the MetaGraph is built.
+        """
+        op = self.representative
+        return (
+            op.op_type,
+            op.modality,
+            op.input_spec.as_tuple(),
+            op.flops,
+            op.param_bytes,
+            op.activation_bytes,
+        )
 
     # ------------------------------------------------------------ aggregates
     @property

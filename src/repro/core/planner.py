@@ -19,7 +19,11 @@ import time
 from typing import Any, Callable, Mapping, Sequence, Union
 
 from repro.cluster.topology import ClusterTopology
-from repro.core.allocator import ResourceAllocator, ValidAllocationFn
+from repro.core.allocator import (
+    ResourceAllocator,
+    ValidAllocationFn,
+    ValidAllocationGrid,
+)
 from repro.core.contraction import contract_graph
 from repro.core.estimator import CurveKey, ScalabilityEstimator, ScalingCurve
 from repro.core.placement import LocalityAwarePlacer, SequentialPlacer
@@ -70,7 +74,15 @@ class ExecutionPlanner:
         valid_allocation_fn: ValidAllocationFn | None = None,
         placement_strategy: str = "locality",
         profile_noise_std: float = 0.0,
+        optimized: bool = True,
     ) -> None:
+        """``optimized`` selects the vectorized hot path (cached allocation
+        grids, estimator curve memoization, table-driven bisection); the
+        ``False`` setting runs the reference implementations instead and
+        exists so plan-equivalence tests can prove both paths emit identical
+        plans.  The flag never affects plan contents and is therefore not part
+        of :meth:`config_signature`.
+        """
         if placement_strategy not in ("locality", "sequential"):
             raise ValueError(
                 f"Unknown placement strategy {placement_strategy!r}; "
@@ -82,14 +94,24 @@ class ExecutionPlanner:
             cluster, self.timing_model, noise_std=profile_noise_std
         )
         self.memory_model = memory_model or MemoryModel()
-        self.estimator = ScalabilityEstimator(self.profiler)
+        self.optimized = optimized
+        self.estimator = ScalabilityEstimator(
+            self.profiler, enable_curve_cache=optimized
+        )
+        # One memoized valid-allocation grid store shared by the allocator
+        # (bisection + discretization) and the scheduler (wave extension).
+        self.allocation_grid = ValidAllocationGrid(valid_allocation_fn)
         self.allocator = ResourceAllocator(
-            cluster.num_devices, valid_allocation_fn=valid_allocation_fn
+            cluster.num_devices,
+            valid_allocation_fn=valid_allocation_fn,
+            allocation_grid=self.allocation_grid,
+            optimized=optimized,
         )
         self.scheduler = WavefrontScheduler(
             cluster.num_devices,
             valid_allocation_fn=valid_allocation_fn
             or self.allocator.valid_allocation_fn,
+            allocation_grid=self.allocation_grid,
         )
         if placement_strategy == "locality":
             self.placer = LocalityAwarePlacer(cluster, self.memory_model)

@@ -21,7 +21,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.allocator import ValidAllocationFn, default_valid_allocations
+from repro.core.allocator import (
+    ValidAllocationFn,
+    ValidAllocationGrid,
+    default_valid_allocations,
+)
 from repro.core.estimator import ScalingCurve
 from repro.core.metagraph import MetaOp
 from repro.core.plan import LevelAllocation, Wave, WaveEntry, WavefrontSchedule
@@ -98,10 +102,22 @@ class WavefrontScheduler:
 
     num_devices: int
     valid_allocation_fn: ValidAllocationFn = field(default=default_valid_allocations)
+    #: Shared memoized valid-allocation grids; created (bound to
+    #: ``valid_allocation_fn``) when not supplied by the planner.  The resource
+    #: extension step queries valid allocations per candidate per wave, which
+    #: without memoization re-enumerates ``range(1, N+1)`` each time.
+    allocation_grid: ValidAllocationGrid | None = None
 
     def __post_init__(self) -> None:
         if self.num_devices <= 0:
             raise SchedulerError("num_devices must be positive")
+        if self.allocation_grid is None:
+            self.allocation_grid = ValidAllocationGrid(self.valid_allocation_fn)
+        elif self.allocation_grid.fn is not self.valid_allocation_fn:
+            raise SchedulerError(
+                "allocation_grid must be bound to the scheduler's "
+                "valid_allocation_fn"
+            )
 
     # ------------------------------------------------------------- public API
     def schedule_level(
@@ -260,7 +276,7 @@ class WavefrontScheduler:
         while idle > 0 and progress:
             progress = False
             for candidate in by_remaining:
-                valid = self.valid_allocation_fn(
+                valid = self.allocation_grid.grid(
                     candidate.pending.metaop, self.num_devices
                 )
                 larger = [

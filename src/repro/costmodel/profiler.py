@@ -88,8 +88,36 @@ class SyntheticProfiler:
         include_backward: bool = True,
     ) -> list[ProfileSample]:
         """Measure ``op`` at each candidate allocation size."""
+        return self._profile_resolved(
+            op, self._resolve_points(points), include_backward
+        )
+
+    def profile_operators(
+        self,
+        ops: Sequence[Operator],
+        points: Sequence[int] | None = None,
+        include_backward: bool = True,
+    ) -> list[list[ProfileSample]]:
+        """Batched :meth:`profile_operator` over several operators.
+
+        The candidate allocation sizes are resolved once for the whole batch,
+        and measurement noise (when enabled) is drawn in the same
+        operator-major, point-minor order as sequential ``profile_operator``
+        calls, so batching never changes the profiled values.
+        """
+        resolved = self._resolve_points(points)
+        return [
+            self._profile_resolved(op, resolved, include_backward) for op in ops
+        ]
+
+    def _resolve_points(self, points: Sequence[int] | None) -> list[int]:
         if points is None:
-            points = default_profile_points(self.cluster.num_devices)
+            return default_profile_points(self.cluster.num_devices)
+        return list(points)
+
+    def _profile_resolved(
+        self, op: Operator, points: Sequence[int], include_backward: bool
+    ) -> list[ProfileSample]:
         samples: list[ProfileSample] = []
         for n in points:
             if n <= 0 or n > self.cluster.num_devices:

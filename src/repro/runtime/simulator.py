@@ -48,6 +48,18 @@ class WaveExecutionSimulator:
         self.timing_model = timing_model
         self.transmissions = transmissions
         self.param_pool = param_pool
+        # The transmission list is immutable per plan, so the per-boundary
+        # grouping and each boundary's critical-path duration are computed
+        # once here instead of on every simulated iteration.
+        self._boundary_transmissions: dict[int, list[TransmissionOp]] = {}
+        for t in transmissions:
+            self._boundary_transmissions.setdefault(
+                t.boundary_after_wave, []
+            ).append(t)
+        self._boundary_durations = {
+            boundary: self._boundary_duration(grouped)
+            for boundary, grouped in self._boundary_transmissions.items()
+        }
 
     def run_iteration(self) -> IterationResult:
         cluster = self.plan.cluster
@@ -55,7 +67,6 @@ class WaveExecutionSimulator:
             num_devices=cluster.num_devices,
             peak_flops_per_device=cluster.device_spec.peak_flops,
         )
-        boundary_transmissions = self._transmissions_by_boundary()
 
         current_time = 0.0
         compute_total = 0.0
@@ -88,9 +99,7 @@ class WaveExecutionSimulator:
                         metaop_index=entry.metaop_index,
                         label=f"wave{wave.index}",
                     )
-            boundary_duration = self._boundary_duration(
-                boundary_transmissions.get(wave.index, [])
-            )
+            boundary_duration = self._boundary_durations.get(wave.index, 0.0)
             wave_timings.append(
                 WaveSimulation(
                     wave_index=wave.index,
@@ -126,10 +135,8 @@ class WaveExecutionSimulator:
 
     # ----------------------------------------------------------------- helpers
     def _transmissions_by_boundary(self) -> dict[int, list[TransmissionOp]]:
-        grouped: dict[int, list[TransmissionOp]] = {}
-        for t in self.transmissions:
-            grouped.setdefault(t.boundary_after_wave, []).append(t)
-        return grouped
+        """Transmissions grouped by boundary (precomputed at construction)."""
+        return self._boundary_transmissions
 
     @staticmethod
     def _boundary_duration(transmissions: list[TransmissionOp]) -> float:
@@ -141,7 +148,7 @@ class WaveExecutionSimulator:
         """
         per_device: dict[int, float] = {}
         for t in transmissions:
-            for device in set(t.src_devices) | set(t.dst_devices):
+            for device in t.touched_devices:
                 per_device[device] = per_device.get(device, 0.0) + t.time_seconds
         if not per_device:
             return 0.0

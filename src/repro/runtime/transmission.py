@@ -10,6 +10,7 @@ exists precisely to keep the high-volume flows on the fast links (Fig. 6).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.cluster.topology import ClusterTopology
 from repro.core.plan import ExecutionPlan
@@ -32,6 +33,15 @@ class TransmissionOp:
     @property
     def is_local(self) -> bool:
         return self.link is LinkClass.INTRA_DEVICE
+
+    @cached_property
+    def touched_devices(self) -> frozenset[int]:
+        """Every device this transfer occupies (senders and receivers).
+
+        Cached: the op is immutable, and boundary critical-path accounting
+        touches this set for every transmission of every simulated boundary.
+        """
+        return frozenset(self.src_devices) | frozenset(self.dst_devices)
 
 
 def build_transmissions(

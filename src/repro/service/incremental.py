@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.core.estimator import ScalingCurve, metaop_curve_key
+from repro.core.estimator import ScalingCurve
 from repro.core.plan import ExecutionPlan
 from repro.core.planner import ExecutionPlanner, PlannerInput
 
@@ -83,13 +83,22 @@ class IncrementalPlanner:
         return len(self._curves)
 
     def clear(self) -> None:
-        """Drop the pooled curves (e.g. after recalibrating the cost model)."""
+        """Drop the pooled curves (e.g. after recalibrating the cost model).
+
+        The bound planner's estimator keeps its own deterministic curve
+        memoization (keyed identically), which must be flushed with the pool —
+        otherwise the next plan would be served stale pre-recalibration curves
+        from there instead.
+        """
         self._curves.clear()
+        self.planner.estimator.clear_cache()
 
     # -------------------------------------------------------------- internals
     def _harvest(self, plan: ExecutionPlan) -> None:
         for index, curve in plan.curves.items():
-            key = metaop_curve_key(plan.metagraph.metaop(index))
+            # MetaOp.curve_key is cached on the MetaOp, so harvesting after
+            # planning reuses the keys the estimator already computed.
+            key = plan.metagraph.metaop(index).curve_key
             self._curves[key] = curve
             self._curves.move_to_end(key)
         while len(self._curves) > self.max_curves:

@@ -203,6 +203,59 @@ class TestBenchCompare:
         assert document["passed"] is False
         assert document["counts"] == {"regressed": 1}
 
+    def test_compare_writes_markdown_summary(self, tmp_path):
+        baseline_dir, current_dir = self.make_dirs(tmp_path, 100.0, 150.0)
+        summary = tmp_path / "step_summary.md"
+        run_cli(
+            "bench", "compare", "--baseline", baseline_dir,
+            "--current", current_dir, "--summary-file", str(summary),
+        )
+        text = summary.read_text()
+        assert "### Benchmark comparison — ❌ failed" in text
+        assert "| demo | time_ms |" in text
+        assert "regressed" in text
+        # Step-summary semantics: repeated invocations append.
+        run_cli(
+            "bench", "compare", "--baseline", baseline_dir,
+            "--current", current_dir, "--summary-file", str(summary),
+        )
+        assert summary.read_text().count("### Benchmark comparison") == 2
+
+    def test_compare_summary_reports_pass(self, tmp_path):
+        baseline_dir, current_dir = self.make_dirs(tmp_path, 100.0, 101.0)
+        summary = tmp_path / "summary.md"
+        run_cli(
+            "bench", "compare", "--baseline", baseline_dir,
+            "--current", current_dir, "--summary-file", str(summary),
+        )
+        text = summary.read_text()
+        assert "✅ passed" in text
+        assert "**Failures**" not in text
+
+    def test_run_with_baseline_writes_summary(self, tmp_path):
+        current = tmp_path / "current"
+        assert run_cli(
+            "bench", "run", "--suite", SUITE_DIR,
+            "--name", FAST_BENCH, "--output", str(current),
+        ) == 0
+        summary = tmp_path / "summary.md"
+        assert run_cli(
+            "bench", "run", "--suite", SUITE_DIR,
+            "--name", FAST_BENCH, "--output", str(tmp_path / "again"),
+            "--baseline", str(current), "--summary-file", str(summary),
+        ) == 0
+        assert f"| {FAST_BENCH} |" in summary.read_text()
+
+    def test_run_summary_without_baseline_warns(self, tmp_path, capsys):
+        summary = tmp_path / "summary.md"
+        assert run_cli(
+            "bench", "run", "--suite", SUITE_DIR,
+            "--name", FAST_BENCH, "--output", str(tmp_path / "out"),
+            "--summary-file", str(summary),
+        ) == 0
+        assert "--summary-file has no comparison" in capsys.readouterr().err
+        assert not summary.exists()
+
     def test_compare_missing_directories(self, tmp_path, capsys):
         baseline_dir, current_dir = self.make_dirs(tmp_path, 100.0, 100.0)
         assert run_cli(

@@ -1,0 +1,321 @@
+"""Equivalence of the vectorized planner hot path and the reference path.
+
+The optimized planner (cached allocation grids, estimator curve memoization,
+bisect-based curve evaluation, table-driven ``Find_Inverse_Value``) must be a
+pure performance change: across the Fig. 8 workload grid it has to emit plans
+that are *identical* — same fingerprints, same serialized documents — to the
+reference implementations retained behind ``optimized=False``.  These tests
+pin that contract at every layer: curve evaluation, grid memoization, the
+inverse lookup, and the end-to-end plans.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.allocator import (
+    InverseTable,
+    ValidAllocationGrid,
+    _find_inverse_value_scan,
+    default_valid_allocations,
+    find_inverse_value,
+)
+from repro.core.contraction import contract_graph
+from repro.core.estimator import ScalabilityEstimator, ScalingCurve
+from repro.core.metagraph import MetaOp
+from repro.core.planner import ExecutionPlanner
+from repro.core.serialization import plan_to_dict
+from repro.costmodel.profiler import ProfileSample, SyntheticProfiler
+from repro.experiments.workloads import fig8_workloads
+from repro.graph.builder import build_unified_graph
+from tests.conftest import make_chain_task, make_layer_op
+
+
+def make_metaop(index=0, num_ops=4, batch=8):
+    ops = [make_layer_op(f"m{index}.{i}", batch=batch) for i in range(num_ops)]
+    return MetaOp(index=index, operators=ops)
+
+
+def real_curves(num_devices=16):
+    """Scaling curves fitted from a real (profiled) multi-task workload."""
+    tasks = [
+        make_chain_task(
+            f"task{i}", {"text": 3, "vision": 2}, batch=4 * (i + 1)
+        )
+        for i in range(3)
+    ]
+    graph = build_unified_graph(tasks)
+    metagraph = contract_graph(graph)
+    from repro.cluster.topology import make_cluster
+
+    profiler = SyntheticProfiler(make_cluster(num_devices))
+    curves = ScalabilityEstimator(profiler).estimate(metagraph)
+    return list(curves.values())
+
+
+def synthetic_curves():
+    """Hand-built curves covering plateaus and single-sample degeneracy."""
+    ideal = ScalingCurve([ProfileSample(n, 8.0 / n) for n in (1, 2, 4, 8, 16)])
+    plateau = ScalingCurve(
+        [
+            ProfileSample(1, 4.0),
+            ProfileSample(2, 2.0),
+            ProfileSample(4, 2.0),
+            ProfileSample(8, 1.5),
+        ]
+    )
+    single = ScalingCurve([ProfileSample(2, 3.0)])
+    return [ideal, plateau, single]
+
+
+class TestScalingCurveEquivalence:
+    """Bisect-based evaluation must match the linear reference scan exactly."""
+
+    @pytest.mark.parametrize("curve_index", range(3))
+    def test_time_matches_scan_on_synthetic_curves(self, curve_index):
+        curve = synthetic_curves()[curve_index]
+        lo, hi = curve.min_devices, curve.max_devices
+        points = [0.25, 0.5, lo, float(lo), hi, float(hi), hi + 3.5]
+        points += [lo + (hi - lo) * f for f in (0.1, 0.33, 0.5, 0.77, 0.99)]
+        points += [float(s.n_devices) for s in curve.samples]  # breakpoints
+        for n in points:
+            assert curve.time(n) == curve._time_scan(n)
+
+    def test_time_matches_scan_on_real_curves(self):
+        rng = random.Random(7)
+        for curve in real_curves():
+            for _ in range(50):
+                n = rng.uniform(0.1, curve.max_devices + 4)
+                assert curve.time(n) == curve._time_scan(n)
+
+    def test_time_many_matches_time_elementwise(self):
+        for curve in real_curves() + synthetic_curves():
+            grid = [0.5, 1, 2, 3, 5, 7, 8, 11, 16]
+            batched = curve.time_many(grid)
+            for n, value in zip(grid, batched):
+                assert float(value) == curve.time(n)
+
+    def test_inverse_round_trips_through_time(self):
+        for curve in real_curves():
+            for n in range(curve.min_devices, curve.max_devices + 1):
+                target = curve.time(n)
+                recovered = curve.inverse(target)
+                assert curve.time(recovered) == pytest.approx(target, rel=1e-9)
+
+
+class TestFindInverseValueEquivalence:
+    """Table-driven Find_Inverse_Value == the reference linear scan."""
+
+    def test_matches_scan_on_real_curves(self):
+        rng = random.Random(13)
+        grid = default_valid_allocations(make_metaop(batch=8), 16)
+        for curve in real_curves():
+            t_fast, t_slow = curve.time(grid[-1]), curve.time(grid[0])
+            targets = [t_slow * 4, t_slow, t_fast, t_fast / 4]
+            targets += [rng.uniform(t_fast, t_slow) for _ in range(60)]
+            for target in targets:
+                assert find_inverse_value(curve, target, grid) == (
+                    _find_inverse_value_scan(curve, target, grid)
+                )
+
+    def test_matches_scan_on_plateau_curves(self):
+        curve = synthetic_curves()[1]
+        grid = [1, 2, 4, 8]
+        for target in [5.0, 4.0, 3.0, 2.5, 2.0, 1.75, 1.5, 1.0]:
+            assert find_inverse_value(curve, target, grid) == (
+                _find_inverse_value_scan(curve, target, grid)
+            )
+
+    def test_ulp_nonmonotone_times_fall_back_to_the_scan(self):
+        """Grid times straddling a piece breakpoint can break monotonicity by
+        rounding ulps; bisect is only exact over a sorted column, so such
+        tables must take the reference pair scan (first-match semantics)
+        rather than interpolate whatever bracket the bisect lands on."""
+        import numpy as np
+
+        # 1-ulp upward excursion at index 2: targets like 4.0 are bracketed
+        # by BOTH pairs (1, 2) and (2, 3); the reference scan picks the first.
+        times = [8.0, 4.0, 4.0 + 5e-16, 1.0]
+
+        class StubCurve:
+            def time_many(self, grid):
+                return np.array(times)
+
+        table = InverseTable(StubCurve(), [1, 2, 4, 8])
+        assert table.times == times
+
+        def reference(target):
+            if target >= times[0]:
+                return table.grid[0] * times[0] / target
+            if target <= times[-1]:
+                return float(table.grid[-1])
+            for (n_lo, t_lo), (n_hi, t_hi) in zip(
+                zip(table.grid, times), zip(table.grid[1:], times[1:])
+            ):
+                if t_hi <= target <= t_lo:
+                    if abs(t_lo - t_hi) < 1e-15:
+                        return float(n_hi)
+                    return (
+                        (target - t_hi) * n_lo + (t_lo - target) * n_hi
+                    ) / (t_lo - t_hi)
+            return float(table.grid[-1])
+
+        for target in [10.0, 8.0, 6.0, 4.0, 4.0 + 5e-16, 2.0, 1.0, 0.5]:
+            assert table.inverse(target) == reference(target)
+
+    def test_unsorted_duplicate_grids_are_normalized(self):
+        curve = synthetic_curves()[0]
+        messy = [8, 2, 2, 1, 4, 4]
+        for target in [10.0, 3.0, 1.1]:
+            assert find_inverse_value(curve, target, messy) == (
+                find_inverse_value(curve, target, [1, 2, 4, 8])
+            )
+
+
+class TestValidAllocationGridEquivalence:
+    def test_cached_grid_matches_direct_enumeration(self):
+        grid_store = ValidAllocationGrid()
+        for batch in (1, 2, 6, 8, 24):
+            for max_devices in (4, 16, 64, 256):
+                metaop = make_metaop(batch=batch)
+                expected = tuple(
+                    sorted(set(default_valid_allocations(metaop, max_devices)))
+                )
+                assert grid_store.grid(metaop, max_devices) == expected
+                # Second lookup returns the memoized grid.
+                assert grid_store.grid(metaop, max_devices) == expected
+
+    def test_default_grids_memoized_by_batch_and_cluster(self):
+        grid_store = ValidAllocationGrid()
+        a = grid_store.grid(make_metaop(index=0, batch=8), 32)
+        b = grid_store.grid(make_metaop(index=1, batch=8), 32)
+        assert a is b  # one enumeration per (batch, max_devices)
+        assert len(grid_store) == 1
+
+    def test_custom_fns_are_called_through_uncached(self):
+        calls = []
+
+        def custom(metaop, max_devices):
+            calls.append(metaop.index)
+            return [1, min(2, max_devices)]
+
+        grid_store = ValidAllocationGrid(custom)
+        metaop = make_metaop(index=5)
+        assert grid_store.grid(metaop, 8) == (1, 2)
+        assert grid_store.grid(metaop, 8) == (1, 2)
+        assert calls == [5, 5]
+        assert len(grid_store) == 0
+
+
+class TestEstimatorCurveCache:
+    def test_identical_metaops_share_one_profile(self, cluster16):
+        profiler = SyntheticProfiler(cluster16)
+        estimator = ScalabilityEstimator(profiler)
+        a = estimator.estimate_metaop(make_metaop(index=0))
+        b = estimator.estimate_metaop(make_metaop(index=1))
+        assert a is b
+
+    def test_noisy_profiles_bypass_the_cache(self, cluster16):
+        estimator = ScalabilityEstimator(SyntheticProfiler(cluster16, noise_std=0.1))
+        a = estimator.estimate_metaop(make_metaop(index=0))
+        b = estimator.estimate_metaop(make_metaop(index=1))
+        assert a is not b
+        # Distinct noise draws: the samples differ between the two profiles.
+        assert any(
+            not math.isclose(sa.time_seconds, sb.time_seconds)
+            for sa, sb in zip(a.samples, b.samples)
+        )
+
+    def test_cache_is_bounded_fifo(self, cluster16):
+        estimator = ScalabilityEstimator(
+            SyntheticProfiler(cluster16), max_cached_curves=2
+        )
+        for batch in (2, 4, 8):
+            estimator.estimate_metaop(make_metaop(index=batch, batch=batch))
+        assert len(estimator._curve_cache) == 2
+
+    def test_clear_cache_forces_reprofiling(self, cluster16):
+        estimator = ScalabilityEstimator(SyntheticProfiler(cluster16))
+        first = estimator.estimate_metaop(make_metaop(index=0))
+        estimator.clear_cache()
+        again = estimator.estimate_metaop(make_metaop(index=0))
+        assert first is not again  # re-profiled, not served from the cache
+
+    def test_incremental_planner_clear_flushes_estimator_cache(self, cluster16):
+        from repro.service.incremental import IncrementalPlanner
+
+        planner = ExecutionPlanner(cluster16)
+        incremental = IncrementalPlanner(planner)
+        tasks = [make_chain_task("t0", {"text": 2})]
+        incremental.plan(tasks)
+        assert planner.estimator._curve_cache
+        incremental.clear()
+        assert not planner.estimator._curve_cache
+
+    def test_cached_curves_equal_uncached_curves(self, cluster16):
+        profiler = SyntheticProfiler(cluster16)
+        cached = ScalabilityEstimator(profiler)
+        uncached = ScalabilityEstimator(profiler, enable_curve_cache=False)
+        metaop = make_metaop(index=0)
+        warm = cached.estimate_metaop(make_metaop(index=1))
+        assert [s.time_seconds for s in cached.estimate_metaop(metaop).samples] == [
+            s.time_seconds for s in uncached.estimate_metaop(metaop).samples
+        ]
+        assert warm is cached.estimate_metaop(metaop)
+
+
+def comparable_plan_document(plan) -> dict:
+    """The serialized plan minus wall-clock planning timings."""
+    document = plan_to_dict(plan)
+    document.pop("planning_report")
+    return document
+
+
+class TestPlanEquivalence:
+    """Optimized and reference planners emit identical plans (Fig. 8 grid)."""
+
+    @pytest.mark.parametrize(
+        "workload", fig8_workloads(), ids=lambda w: w.name
+    )
+    def test_fig8_plans_identical(self, workload):
+        cluster = workload.cluster()
+        tasks = workload.tasks()
+        optimized = ExecutionPlanner(cluster).plan(tasks)
+        reference = ExecutionPlanner(cluster, optimized=False).plan(tasks)
+        assert optimized.fingerprint == reference.fingerprint
+        assert comparable_plan_document(optimized) == comparable_plan_document(
+            reference
+        )
+
+    def test_noisy_profiling_plans_identical(self, cluster16, tiny_tasks):
+        """Batched profiling preserves the noise RNG stream exactly."""
+        optimized = ExecutionPlanner(cluster16, profile_noise_std=0.05).plan(
+            tiny_tasks
+        )
+        reference = ExecutionPlanner(
+            cluster16, profile_noise_std=0.05, optimized=False
+        ).plan(tiny_tasks)
+        assert optimized.fingerprint == reference.fingerprint
+        assert comparable_plan_document(optimized) == comparable_plan_document(
+            reference
+        )
+
+    def test_planner_shares_one_grid_store(self, cluster16):
+        """Allocator and scheduler must use the planner's grid, not copies
+        (a fresh grid is empty and therefore falsy — `or`-fallbacks regress)."""
+        planner = ExecutionPlanner(cluster16)
+        assert planner.allocator.allocation_grid is planner.allocation_grid
+        assert planner.scheduler.allocation_grid is planner.allocation_grid
+
+    def test_optimized_flag_not_part_of_the_fingerprint(self, cluster16):
+        fast = ExecutionPlanner(cluster16)
+        slow = ExecutionPlanner(cluster16, optimized=False)
+        assert fast.config_signature() == slow.config_signature()
+
+    def test_repeat_planning_through_one_planner_is_stable(self, cluster16, tiny_tasks):
+        """A warm curve cache yields the same plan as a cold one."""
+        planner = ExecutionPlanner(cluster16)
+        first = planner.plan(tiny_tasks)
+        second = planner.plan(tiny_tasks)
+        assert comparable_plan_document(first) == comparable_plan_document(second)
