@@ -74,7 +74,7 @@ class TrainingSystem(ABC):
     def _new_trace(self) -> UtilizationTrace:
         return UtilizationTrace(
             num_devices=self.cluster.num_devices,
-            peak_flops_per_device=self.cluster.device_spec.peak_flops,
+            peak_flops_per_device=self.cluster.max_peak_flops,
         )
 
     def _record_operator(

@@ -1,6 +1,6 @@
 """Command-line interface for the Spindle reproduction.
 
-Five subcommand families cover the common workflows:
+Six subcommand families cover the common workflows:
 
 ``repro plan``
     Run the execution planner on a registered workload and print (or save) the
@@ -17,6 +17,13 @@ Five subcommand families cover the common workflows:
     Replay a synthetic planning-request stream against the caching plan
     service and report its throughput against the uncached planner.
 
+``repro elastic``
+    Replay a seeded elastic-cluster scenario (random failures, island outage,
+    flash-crowd expansion, rolling stragglers) against a workload, replanning
+    per policy, and report per-event replan/migration overheads plus the
+    cumulative slowdown versus the no-failure run.  Identical seeds produce
+    byte-identical reports.
+
 ``repro bench list|run|compare``
     Enumerate the registered benchmark suite, run a (tag-filtered) subset
     emitting machine-readable ``BENCH_*.json`` results, and diff result sets
@@ -30,6 +37,7 @@ Examples
     repro plan --model qwen-val --tasks 3 --gpus 32 --output plan.json
     repro scaling --model ofasys --tasks 7 --gpus 32
     repro serve-bench --model multitask-clip --gpus 8 --requests 48
+    repro elastic --model multitask-clip --tasks 4 --gpus 16 --scenario random-failures
     repro bench run --tag smoke --json
     repro bench compare --baseline benchmarks/baselines --fail-on-regress
 """
@@ -174,6 +182,131 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Scenario families replayable through ``repro elastic``.
+ELASTIC_SCENARIOS = (
+    "random-failures",
+    "island-outage",
+    "flash-crowd",
+    "hetero-expand",
+    "rolling-stragglers",
+)
+
+
+def _elastic_timeline(args: argparse.Namespace, num_nodes: int, per_node: int):
+    """Build the seeded event timeline of the requested scenario family."""
+    from repro.cluster.device import A800_SPEC, TEST_GPU_SPEC
+    from repro.elastic import (
+        flash_crowd_timeline,
+        island_outage_timeline,
+        random_failure_timeline,
+        rolling_straggler_timeline,
+    )
+
+    iterations = args.iterations
+    if args.scenario == "random-failures":
+        return random_failure_timeline(
+            num_nodes=num_nodes,
+            devices_per_node=per_node,
+            total_iterations=iterations,
+            num_failures=args.events,
+            seed=args.seed,
+        )
+    if args.scenario == "island-outage":
+        return island_outage_timeline(
+            node=num_nodes - 1,
+            devices_per_node=per_node,
+            at_iteration=max(1, iterations // 3),
+            recovery_at=max(2, 2 * iterations // 3),
+        )
+    if args.scenario in ("flash-crowd", "hetero-expand"):
+        spec = A800_SPEC if args.scenario == "flash-crowd" else TEST_GPU_SPEC
+        return flash_crowd_timeline(
+            at_iteration=max(1, iterations // 3),
+            num_new_nodes=max(1, args.events),
+            devices_per_node=per_node,
+            spec=spec,
+        )
+    return rolling_straggler_timeline(
+        num_nodes=num_nodes,
+        total_iterations=iterations,
+        num_episodes=args.events,
+        seed=args.seed,
+        severity=args.severity,
+    )
+
+
+def _cmd_elastic(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.cluster.device import A800_SPEC
+    from repro.elastic import (
+        ElasticScenario,
+        ElasticTrainingRunner,
+        make_policy,
+    )
+    from repro.experiments.reporting import render_elastic_result
+
+    if args.iterations <= 1:
+        return _fail("--iterations must exceed 1")
+    if args.events <= 0:
+        return _fail("--events must be positive")
+    if not 0.0 < args.severity < 1.0:
+        return _fail("--severity must be in (0, 1): the remaining throughput fraction")
+    if args.debounce <= 0:
+        return _fail("--debounce must be positive")
+    if args.threshold < 0:
+        return _fail("--threshold must be non-negative")
+    per_node = min(8, args.gpus)
+    if args.gpus % per_node != 0:
+        return _fail(f"--gpus {args.gpus} is not a multiple of {per_node}")
+    num_nodes = args.gpus // per_node
+    if args.scenario == "island-outage":
+        if num_nodes < 2:
+            return _fail(
+                "--scenario island-outage needs at least two nodes (--gpus 16+)"
+            )
+        if args.iterations < 3:
+            return _fail("--scenario island-outage needs --iterations of at least 3")
+
+    workload = _workload_from_args(args)
+    tasks = workload.tasks()
+    timeline = _elastic_timeline(args, num_nodes, per_node)
+    scenario = ElasticScenario(
+        num_nodes=num_nodes,
+        devices_per_node=per_node,
+        device_spec=A800_SPEC,
+        timeline=timeline,
+        total_iterations=args.iterations,
+        name=f"{args.scenario}-seed{args.seed}",
+    )
+    policy = make_policy(
+        args.policy, min_groups=args.debounce, threshold=args.threshold
+    )
+    runner = ElasticTrainingRunner(scenario, policy=policy)
+    result = runner.run(tasks)
+
+    document = result.to_document()
+    document["workload"] = workload.describe()
+    if args.json:
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(f"workload : {workload.describe()}")
+        print(f"scenario : {scenario.name} ({len(timeline)} events)")
+        print()
+        print(render_elastic_result(result))
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            _json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nreport written to {path}")
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.requests <= 0:
         return _fail("--requests must be positive")
@@ -262,6 +395,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="seed of the request stream shuffle"
     )
     serve_parser.set_defaults(func=_cmd_serve_bench)
+
+    elastic_parser = subparsers.add_parser(
+        "elastic",
+        help="replay a seeded elastic-cluster scenario with event-driven replanning",
+    )
+    _add_workload_arguments(elastic_parser)
+    elastic_parser.add_argument(
+        "--scenario",
+        choices=ELASTIC_SCENARIOS,
+        default="random-failures",
+        help="scenario family to replay",
+    )
+    elastic_parser.add_argument(
+        "--iterations", type=int, default=200, help="total training iterations"
+    )
+    elastic_parser.add_argument(
+        "--events",
+        type=int,
+        default=4,
+        help="failures / joining nodes / straggler episodes, per scenario",
+    )
+    elastic_parser.add_argument(
+        "--seed", type=int, default=0, help="seed of the event generator"
+    )
+    elastic_parser.add_argument(
+        "--policy",
+        choices=("immediate", "debounced", "threshold"),
+        default="threshold",
+        help="replan policy for non-forced events",
+    )
+    elastic_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.1,
+        help="slowdown threshold of the 'threshold' policy",
+    )
+    elastic_parser.add_argument(
+        "--debounce",
+        type=int,
+        default=2,
+        help="event groups absorbed per replan by the 'debounced' policy",
+    )
+    elastic_parser.add_argument(
+        "--severity",
+        type=float,
+        default=0.5,
+        help="remaining throughput fraction of straggler episodes",
+    )
+    elastic_parser.add_argument(
+        "--json", action="store_true", help="print the canonical report as JSON"
+    )
+    elastic_parser.add_argument(
+        "--output", default=None, help="write the canonical JSON report to a file"
+    )
+    elastic_parser.set_defaults(func=_cmd_elastic)
 
     add_bench_subparsers(subparsers)
     return parser

@@ -9,6 +9,7 @@ from repro.cluster.topology import (
     InterconnectSpec,
     TopologyError,
     make_cluster,
+    make_heterogeneous_cluster,
 )
 
 __all__ = [
@@ -23,4 +24,5 @@ __all__ = [
     "InterconnectSpec",
     "TopologyError",
     "make_cluster",
+    "make_heterogeneous_cluster",
 ]

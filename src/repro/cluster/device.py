@@ -41,6 +41,26 @@ class DeviceSpec:
         """Sustained FLOP/s ceiling for large, well-shaped kernels."""
         return self.peak_flops * self.achievable_fraction
 
+    def degraded(self, factor: float) -> "DeviceSpec":
+        """This spec with its ``achievable_fraction`` scaled by ``factor``.
+
+        Models a straggler: the silicon is unchanged (``peak_flops`` and
+        ``memory_bytes`` stay), but thermal throttling, a failing NVLink lane
+        or a noisy neighbour caps the sustained throughput.  ``factor`` is the
+        remaining fraction of healthy throughput, in ``(0, 1]``; a factor of
+        1.0 returns ``self`` unchanged.
+        """
+        if not (0.0 < factor <= 1.0):
+            raise ValueError("degradation factor must be in (0, 1]")
+        if factor == 1.0:
+            return self
+        return DeviceSpec(
+            name=f"{self.name}~{factor:g}",
+            peak_flops=self.peak_flops,
+            memory_bytes=self.memory_bytes,
+            achievable_fraction=self.achievable_fraction * factor,
+        )
+
 
 #: NVIDIA A800 80 GB — the accelerator used in the paper's testbed (§5.1).
 A800_SPEC = DeviceSpec(

@@ -5,12 +5,21 @@ connected A800 GPUs and nodes are interconnected with 400 Gbps InfiniBand
 (§5.1).  A *device island* (§3.5) is a set of devices connected by the
 high-bandwidth intra-node interconnect; the device placement pass prefers
 placing MetaOps and high-volume data flows within one island.
+
+Beyond the paper's homogeneous testbed, the topology also models the
+substrates elastic scenarios produce (:mod:`repro.elastic`): islands may carry
+*different* device specs (``node_specs``, e.g. a heterogeneous capacity
+expansion or a throttled straggler node) and *different* device counts
+(``island_sizes``, e.g. a node that lost one GPU).  Homogeneous, rectangular
+clusters — the default — behave exactly as before.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.cluster.device import A800_SPEC, Device, DeviceSpec
 
@@ -47,21 +56,43 @@ DEFAULT_INTER_ISLAND = InterconnectSpec(bandwidth=45e9, latency=12e-6)
 DEFAULT_INTRA_DEVICE = InterconnectSpec(bandwidth=1200e9, latency=1e-6)
 
 
+def _spec_document(spec: DeviceSpec) -> dict[str, Any]:
+    """Canonical JSON document of one device spec."""
+    return {
+        "name": spec.name,
+        "peak_flops": spec.peak_flops,
+        "memory_bytes": spec.memory_bytes,
+        "achievable_fraction": spec.achievable_fraction,
+    }
+
+
 @dataclass
 class ClusterTopology:
-    """A homogeneous GPU cluster organised into device islands (nodes).
+    """A GPU cluster organised into device islands (nodes).
 
     Parameters
     ----------
     num_nodes:
         Number of nodes (device islands).
     devices_per_node:
-        Number of GPUs per node.
+        Number of GPUs per node (nominal; per-island counts may deviate via
+        ``island_sizes``).
     device_spec:
-        Accelerator specification shared by all devices.
+        Accelerator specification shared by all devices unless ``node_specs``
+        overrides it per island.
     intra_island / inter_island / intra_device:
         Interconnect specifications of the three link classes used by the
         placement pass and the runtime engine.
+    island_sizes:
+        Optional per-island device counts for irregular clusters (an island
+        that lost devices).  Length must equal ``num_nodes``.
+    node_specs:
+        Optional per-island device specs for heterogeneous clusters.  Length
+        must equal ``num_nodes``.
+
+    Topologies are treated as immutable after construction (the planner,
+    placement pass and caches all rely on it); elastic scenarios derive a
+    *fresh* topology per substrate change instead of mutating one.
     """
 
     num_nodes: int
@@ -70,25 +101,47 @@ class ClusterTopology:
     intra_island: InterconnectSpec = DEFAULT_INTRA_ISLAND
     inter_island: InterconnectSpec = DEFAULT_INTER_ISLAND
     intra_device: InterconnectSpec = DEFAULT_INTRA_DEVICE
+    island_sizes: tuple[int, ...] | None = None
+    node_specs: tuple[DeviceSpec, ...] | None = None
     devices: list[Device] = field(init=False)
     _island_groups: list[list[int]] = field(init=False, repr=False)
     _node_ids: list[int] = field(init=False, repr=False)
+    _signature: str | None = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
             raise TopologyError("num_nodes must be positive")
         if self.devices_per_node <= 0:
             raise TopologyError("devices_per_node must be positive")
-        self.devices = [
-            Device(
-                device_id=node * self.devices_per_node + local,
-                node_id=node,
-                local_rank=local,
-                spec=self.device_spec,
-            )
-            for node in range(self.num_nodes)
-            for local in range(self.devices_per_node)
-        ]
+        if self.island_sizes is not None:
+            self.island_sizes = tuple(self.island_sizes)
+            if len(self.island_sizes) != self.num_nodes:
+                raise TopologyError(
+                    f"island_sizes has {len(self.island_sizes)} entries, "
+                    f"cluster has {self.num_nodes} nodes"
+                )
+            if any(size <= 0 for size in self.island_sizes):
+                raise TopologyError("island_sizes entries must be positive")
+        if self.node_specs is not None:
+            self.node_specs = tuple(self.node_specs)
+            if len(self.node_specs) != self.num_nodes:
+                raise TopologyError(
+                    f"node_specs has {len(self.node_specs)} entries, "
+                    f"cluster has {self.num_nodes} nodes"
+                )
+        sizes = self.island_sizes or (self.devices_per_node,) * self.num_nodes
+        self.devices = []
+        for node, size in enumerate(sizes):
+            spec = self.node_specs[node] if self.node_specs else self.device_spec
+            for local in range(size):
+                self.devices.append(
+                    Device(
+                        device_id=len(self.devices),
+                        node_id=node,
+                        local_rank=local,
+                        spec=spec,
+                    )
+                )
         # The device list is immutable after construction, so the island
         # grouping is built exactly once: the placement pass queries it per
         # (entry, island) and must not pay an O(num_devices) rebuild per call.
@@ -101,15 +154,58 @@ class ClusterTopology:
     # ------------------------------------------------------------------ sizes
     @property
     def num_devices(self) -> int:
-        return self.num_nodes * self.devices_per_node
+        return len(self.devices)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when every device carries the same spec."""
+        if self.node_specs is None:
+            return True
+        return all(spec == self.device_spec for spec in self.node_specs)
 
     @property
     def total_peak_flops(self) -> float:
-        return self.num_devices * self.device_spec.peak_flops
+        if self.node_specs is None:
+            return self.num_devices * self.device_spec.peak_flops
+        return sum(dev.spec.peak_flops for dev in self.devices)
 
     @property
     def total_memory_bytes(self) -> float:
-        return self.num_devices * self.device_spec.memory_bytes
+        if self.node_specs is None:
+            return self.num_devices * self.device_spec.memory_bytes
+        return sum(dev.spec.memory_bytes for dev in self.devices)
+
+    @property
+    def total_achievable_flops(self) -> float:
+        if self.node_specs is None:
+            return self.num_devices * self.device_spec.achievable_flops
+        return sum(dev.spec.achievable_flops for dev in self.devices)
+
+    @property
+    def min_achievable_flops(self) -> float:
+        """Sustained FLOP/s of the slowest device.
+
+        Wave entries execute in lockstep across their device group, so a
+        conservative planner paces every group on its slowest member; on a
+        homogeneous cluster this equals ``device_spec.achievable_flops``.
+        """
+        if self.node_specs is None:
+            return self.device_spec.achievable_flops
+        return min(spec.achievable_flops for spec in self.node_specs)
+
+    @property
+    def min_memory_bytes(self) -> float:
+        """HBM capacity of the smallest device."""
+        if self.node_specs is None:
+            return self.device_spec.memory_bytes
+        return min(spec.memory_bytes for spec in self.node_specs)
+
+    @property
+    def max_peak_flops(self) -> float:
+        """Peak FLOP/s of the fastest device (utilization-trace normalizer)."""
+        if self.node_specs is None:
+            return self.device_spec.peak_flops
+        return max(spec.peak_flops for spec in self.node_specs)
 
     # ---------------------------------------------------------------- lookups
     def device(self, device_id: int) -> Device:
@@ -118,6 +214,10 @@ class ClusterTopology:
                 f"Device id {device_id} out of range [0, {self.num_devices})"
             )
         return self.devices[device_id]
+
+    def spec_of(self, device_id: int) -> DeviceSpec:
+        """Device spec of one device (per-island on heterogeneous clusters)."""
+        return self.device(device_id).spec
 
     def island_of(self, device_id: int) -> int:
         """Return the island (node) index that hosts ``device_id``."""
@@ -190,6 +290,51 @@ class ClusterTopology:
             bandwidth=effective, latency=self.inter_island.latency
         )
 
+    # -------------------------------------------------------------- identity
+    def canonical_dict(self) -> dict[str, Any]:
+        """Canonical JSON document fully describing this topology.
+
+        The planning-service fingerprint embeds it verbatim, and
+        :meth:`signature` hashes it: any structural change — island count or
+        sizes, a device spec (including its ``achievable_fraction``, which
+        straggler events degrade), an interconnect constant — produces a
+        different document.
+        """
+
+        def link(spec: InterconnectSpec) -> list[float]:
+            return [spec.bandwidth, spec.latency]
+
+        sizes = self.island_sizes or (self.devices_per_node,) * self.num_nodes
+        # Per-island specs are always materialized so that a uniform cluster
+        # described via node_specs and one described via device_spec alone
+        # produce identical documents (and therefore identical signatures).
+        specs = self.node_specs or (self.device_spec,) * self.num_nodes
+        return {
+            "num_nodes": self.num_nodes,
+            "devices_per_node": self.devices_per_node,
+            "island_sizes": list(sizes),
+            "device": _spec_document(self.device_spec),
+            "node_specs": [_spec_document(spec) for spec in specs],
+            "intra_island": link(self.intra_island),
+            "inter_island": link(self.inter_island),
+            "intra_device": link(self.intra_device),
+        }
+
+    def signature(self) -> str:
+        """Content hash of :meth:`canonical_dict` (cached; topology is immutable).
+
+        Keys everything that must never survive a substrate change: the
+        estimator's fitted-curve cache, curve pools, and the per-topology
+        planner map of the elastic runner.  Two independently constructed but
+        structurally identical topologies share one signature.
+        """
+        if self._signature is None:
+            payload = json.dumps(
+                self.canonical_dict(), sort_keys=True, separators=(",", ":")
+            )
+            self._signature = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return self._signature
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ClusterTopology(nodes={self.num_nodes}, gpus_per_node="
@@ -218,4 +363,27 @@ def make_cluster(
         num_nodes=num_devices // per_node,
         devices_per_node=per_node,
         device_spec=device_spec,
+    )
+
+
+def make_heterogeneous_cluster(
+    node_specs: Sequence[DeviceSpec],
+    devices_per_node: int = 8,
+    island_sizes: Sequence[int] | None = None,
+) -> ClusterTopology:
+    """Build a cluster with one island per entry of ``node_specs``.
+
+    ``island_sizes`` optionally gives each island its own device count
+    (default: ``devices_per_node`` everywhere).  The first spec doubles as the
+    cluster's nominal ``device_spec``.
+    """
+    specs = tuple(node_specs)
+    if not specs:
+        raise TopologyError("node_specs must not be empty")
+    return ClusterTopology(
+        num_nodes=len(specs),
+        devices_per_node=devices_per_node,
+        device_spec=specs[0],
+        island_sizes=tuple(island_sizes) if island_sizes is not None else None,
+        node_specs=specs,
     )

@@ -271,6 +271,12 @@ class ScalabilityEstimator:
     across successive plans through the same planner.  With measurement noise
     the cache is bypassed: each MetaOp must draw its own noisy samples to
     reproduce the reference estimator's RNG stream exactly.
+
+    ``MetaOp.curve_key`` describes only the *workload*; a curve's values also
+    embed the *cluster* the profiler measured it on.  Cache entries are
+    therefore keyed by ``(topology signature, curve_key)``: if the profiler's
+    cluster is ever swapped (elastic replanning after a failure/join event),
+    curves fitted for the old topology can never be served for the new one.
     """
 
     def __init__(
@@ -291,10 +297,22 @@ class ScalabilityEstimator:
         self.enable_curve_cache = enable_curve_cache
         self.max_cached_curves = max_cached_curves
         self._curve_cache: dict[CurveKey, ScalingCurve] = {}
+        self._keyed_cluster = None
+        self._cluster_signature: str | None = None
 
     @property
     def _cache_active(self) -> bool:
         return self.enable_curve_cache and self.profiler.noise_std == 0
+
+    def _cache_key(self, curve_key: CurveKey) -> CurveKey:
+        """Cache key of one MetaOp: its workload signature prefixed with the
+        profiled topology's signature, so a swapped cluster never serves
+        curves fitted for the old substrate."""
+        cluster = self.profiler.cluster
+        if cluster is not self._keyed_cluster:
+            self._keyed_cluster = cluster
+            self._cluster_signature = cluster.signature()
+        return (self._cluster_signature, curve_key)
 
     def clear_cache(self) -> None:
         """Drop the memoized curves (e.g. after recalibrating the cost model)."""
@@ -310,7 +328,7 @@ class ScalabilityEstimator:
     def estimate_metaop(self, metaop: MetaOp) -> ScalingCurve:
         """Fit the per-operator scaling curve of one MetaOp."""
         if self._cache_active:
-            cached = self._curve_cache.get(metaop.curve_key)
+            cached = self._curve_cache.get(self._cache_key(metaop.curve_key))
             if cached is not None:
                 return cached
         samples = self.profiler.profile_operator(
@@ -320,7 +338,7 @@ class ScalabilityEstimator:
         )
         curve = ScalingCurve(samples)
         if self._cache_active:
-            self._cache_store(metaop.curve_key, curve)
+            self._cache_store(self._cache_key(metaop.curve_key), curve)
         return curve
 
     def estimate(
@@ -360,8 +378,11 @@ class ScalabilityEstimator:
             if curve is not None:
                 reused += 1
                 curves[index] = curve
-            elif self._cache_active and metaop.curve_key in self._curve_cache:
-                curves[index] = self._curve_cache[metaop.curve_key]
+            elif (
+                self._cache_active
+                and self._cache_key(metaop.curve_key) in self._curve_cache
+            ):
+                curves[index] = self._curve_cache[self._cache_key(metaop.curve_key)]
             else:
                 pending.append((index, metaop))
         if pending:
@@ -399,7 +420,7 @@ class ScalabilityEstimator:
                 for (key, _), samples in zip(unique, sample_lists)
             }
             for key, curve in fitted.items():
-                self._cache_store(key, curve)
+                self._cache_store(self._cache_key(key), curve)
             for index, metaop in pending:
                 curves[index] = fitted[metaop.curve_key]
         else:

@@ -54,6 +54,9 @@ class LocalityAwarePlacer:
         self.memory_model = memory_model or MemoryModel()
         self.memory_weight = memory_weight
         self.max_backtracks = max_backtracks
+        # Per-device capacity checks are only needed on mixed-HBM clusters;
+        # the homogeneous fast path keeps the scoring loop a single compare.
+        self._homogeneous = cluster.is_homogeneous
 
     # ------------------------------------------------------------- public API
     def place(self, waves: Sequence[Wave], metagraph: MetaGraph) -> PlacementResult:
@@ -175,11 +178,22 @@ class LocalityAwarePlacer:
 
         scored: list[tuple[float, bool, tuple[int, ...]]] = []
         per_device_bytes = self._entry_device_bytes(entry, metaop)
-        capacity = self.cluster.device_spec.memory_bytes
+        # The smallest device normalises the balance score; fit checks run
+        # against each device's own capacity on mixed-HBM clusters.  On a
+        # homogeneous cluster both reduce to device_spec.memory_bytes and the
+        # fit check is the single peak compare this hot loop always had.
+        capacity = self.cluster.min_memory_bytes
         for devices in candidates:
             comm = self._transfer_cost(entry, metaop, metagraph, devices, last_devices)
-            peak = max(states[d].memory_bytes + per_device_bytes for d in devices)
-            fits = peak <= capacity
+            projected = [states[d].memory_bytes + per_device_bytes for d in devices]
+            peak = max(projected)
+            if self._homogeneous:
+                fits = peak <= capacity
+            else:
+                fits = all(
+                    used <= self.cluster.spec_of(d).memory_bytes
+                    for used, d in zip(projected, devices)
+                )
             score = comm + self.memory_weight * (peak / capacity) * max(comm, 1e-6)
             scored.append((score, fits, devices))
 

@@ -80,6 +80,7 @@ def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
         "cluster": {
             "num_nodes": plan.cluster.num_nodes,
             "devices_per_node": plan.cluster.devices_per_node,
+            "num_devices": plan.cluster.num_devices,
             "device": plan.cluster.device_spec.name,
         },
         "metaops": metaops,
@@ -135,8 +136,11 @@ def validate_plan_document(document: dict[str, Any]) -> None:
         if key not in document:
             raise SerializationError(f"Plan document is missing the {key!r} field")
     metaop_indices = {m["index"] for m in document["metaops"]}
-    num_devices = (
-        document["cluster"]["num_nodes"] * document["cluster"]["devices_per_node"]
+    # Irregular (elastic) clusters carry an explicit device count; rectangular
+    # documents from older writers fall back to nodes x devices-per-node.
+    num_devices = document["cluster"].get(
+        "num_devices",
+        document["cluster"]["num_nodes"] * document["cluster"]["devices_per_node"],
     )
     for wave in document["waves"]:
         used = 0

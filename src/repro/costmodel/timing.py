@@ -144,7 +144,10 @@ class ExecutionTimeModel:
         imbalance = data_parallel_imbalance(op.batch_size, split.data_parallel)
         per_device_flops = op.flops / split.world_size * imbalance
         efficiency = self._efficiency(op, split, per_device_flops)
-        sustained = self.cluster.device_spec.achievable_flops * efficiency
+        # Wave entries execute in lockstep across their device group, so a
+        # heterogeneous cluster is paced by its slowest device; on the
+        # homogeneous clusters of the paper this is device_spec.achievable_flops.
+        sustained = self.cluster.min_achievable_flops * efficiency
         return per_device_flops / sustained
 
     def _efficiency(

@@ -1,0 +1,111 @@
+"""Elastic cluster subsystem: failure injection and event-driven replanning.
+
+Production multi-task training lives with device failures, stragglers and
+elastic capacity changes; this package adds the machinery to express and
+evaluate such scenarios on the simulated substrate:
+
+* :mod:`repro.elastic.events` — cluster events (failure/recovery, node
+  join/leave, straggler onset/clear), iteration-ordered timelines and seeded
+  scenario generators,
+* :mod:`repro.elastic.view` — a mutable cluster view deriving a fresh, valid
+  :class:`~repro.cluster.topology.ClusterTopology` after each event,
+* :mod:`repro.elastic.policy` — replan policies (immediate, debounced,
+  slowdown-threshold),
+* :mod:`repro.elastic.migration` — the plan-migration cost model (parameter
+  re-shard transfers + checkpoint restores),
+* :mod:`repro.elastic.runner` — the elastic training runner producing
+  cumulative-training-time curves with per-event replan/migration overhead
+  breakdowns, reproducibly (identical seeds, byte-identical reports).
+"""
+
+from repro.elastic.events import (
+    CAPACITY_LOSS_KINDS,
+    DEVICE_FAILURE,
+    DEVICE_RECOVERY,
+    EVENT_KINDS,
+    NODE_JOIN,
+    NODE_LEAVE,
+    STRAGGLER_CLEAR,
+    STRAGGLER_ONSET,
+    ClusterEvent,
+    ElasticEventError,
+    EventTimeline,
+    flash_crowd_timeline,
+    island_outage_timeline,
+    merge_timelines,
+    random_failure_timeline,
+    rolling_straggler_timeline,
+)
+from repro.elastic.migration import (
+    MigrationCostModel,
+    MigrationGroup,
+    MigrationReport,
+)
+from repro.elastic.policy import (
+    POLICY_NAMES,
+    DebouncedReplanPolicy,
+    ImmediateReplanPolicy,
+    ReplanContext,
+    ReplanPolicy,
+    SlowdownThresholdPolicy,
+    forgone_capacity_gain,
+    make_policy,
+)
+from repro.elastic.runner import (
+    ElasticRunError,
+    ElasticRunResult,
+    ElasticScenario,
+    ElasticSegment,
+    ElasticTrainingRunner,
+    EventOutcome,
+    ReplanCostModel,
+    ReplanRecord,
+)
+from repro.elastic.view import (
+    ElasticClusterView,
+    ElasticSnapshot,
+    ElasticViewError,
+    device_key,
+)
+
+__all__ = [
+    "CAPACITY_LOSS_KINDS",
+    "ClusterEvent",
+    "DEVICE_FAILURE",
+    "DEVICE_RECOVERY",
+    "DebouncedReplanPolicy",
+    "ElasticClusterView",
+    "ElasticEventError",
+    "ElasticRunError",
+    "ElasticRunResult",
+    "ElasticScenario",
+    "ElasticSegment",
+    "ElasticSnapshot",
+    "ElasticTrainingRunner",
+    "ElasticViewError",
+    "EVENT_KINDS",
+    "EventOutcome",
+    "EventTimeline",
+    "ImmediateReplanPolicy",
+    "MigrationCostModel",
+    "MigrationGroup",
+    "MigrationReport",
+    "NODE_JOIN",
+    "NODE_LEAVE",
+    "POLICY_NAMES",
+    "ReplanContext",
+    "ReplanCostModel",
+    "ReplanPolicy",
+    "ReplanRecord",
+    "STRAGGLER_CLEAR",
+    "STRAGGLER_ONSET",
+    "SlowdownThresholdPolicy",
+    "device_key",
+    "flash_crowd_timeline",
+    "forgone_capacity_gain",
+    "island_outage_timeline",
+    "make_policy",
+    "merge_timelines",
+    "random_failure_timeline",
+    "rolling_straggler_timeline",
+]

@@ -1,0 +1,244 @@
+"""Plan-migration cost model: what switching execution plans physically costs.
+
+A replan after an elastic event produces a new
+:class:`~repro.core.plan.ExecutionPlan` whose device placement differs from
+the old one's.  Before training can resume, every parameter group must live
+where the new plan expects it:
+
+* **re-shard transfer** — parameter + optimizer state whose old device group
+  survived the event but differs from the new group is moved over the derived
+  topology's links (:func:`~repro.costmodel.comm.group_transfer_time`, which
+  parallelises across shard pairs and charges the slowest link class crossed);
+* **checkpoint restore** — state whose holders were *all* lost (an island
+  outage taking every replica) cannot be transferred and is re-read from the
+  checkpoint store, charged at ``checkpoint_read_bandwidth`` shared across the
+  restoring devices plus a fixed restore latency.
+
+Old and new plans use different contiguous device ids (ids are remapped per
+snapshot), so placements are diffed through the *stable device keys* of the
+two :class:`~repro.elastic.view.ElasticSnapshot` mappings.
+
+The total is a serialized upper bound (groups migrate one after another);
+real systems overlap transfers, but a deterministic, conservative figure is
+what the recovery benchmarks gate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.plan import ExecutionPlan
+from repro.costmodel.comm import group_transfer_time
+from repro.costmodel.memory import MemoryModel
+from repro.elastic.view import ElasticSnapshot
+
+
+@dataclass(frozen=True)
+class MigrationGroup:
+    """Migration of one parameter group (one MetaOp, or one shared key)."""
+
+    label: str
+    param_bytes: float
+    source_devices: tuple[int, ...]
+    target_devices: tuple[int, ...]
+    restored: bool
+    seconds: float
+
+    def to_document(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "param_bytes": self.param_bytes,
+            "sources": list(self.source_devices),
+            "targets": list(self.target_devices),
+            "restored": self.restored,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class MigrationReport:
+    """Aggregate migration cost of one plan switch."""
+
+    groups: list[MigrationGroup] = field(default_factory=list)
+
+    @property
+    def moved_bytes(self) -> float:
+        return sum(g.param_bytes for g in self.groups if not g.restored)
+
+    @property
+    def restored_bytes(self) -> float:
+        return sum(g.param_bytes for g in self.groups if g.restored)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(g.param_bytes for g in self.groups)
+
+    @property
+    def transfer_seconds(self) -> float:
+        return sum(g.seconds for g in self.groups if not g.restored)
+
+    @property
+    def restore_seconds(self) -> float:
+        return sum(g.seconds for g in self.groups if g.restored)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(g.seconds for g in self.groups)
+
+    @property
+    def num_restored_groups(self) -> int:
+        return sum(1 for g in self.groups if g.restored)
+
+    def to_document(self) -> dict[str, Any]:
+        return {
+            "moved_bytes": self.moved_bytes,
+            "restored_bytes": self.restored_bytes,
+            "transfer_seconds": self.transfer_seconds,
+            "restore_seconds": self.restore_seconds,
+            "total_seconds": self.total_seconds,
+            "num_groups": len(self.groups),
+            "num_restored_groups": self.num_restored_groups,
+        }
+
+
+class MigrationCostModel:
+    """Diffs two plans' placements and prices the parameter movement.
+
+    Parameters
+    ----------
+    memory_model:
+        Supplies the parameter + optimizer state footprint per group (the
+        bytes that must physically move; activations are recomputed, not
+        migrated).
+    checkpoint_read_bandwidth:
+        Aggregate bytes/s the checkpoint store sustains for a restore
+        (default 5 GB/s — a parallel file system, not local NVMe).
+    checkpoint_latency:
+        Fixed seconds per restored group (metadata lookup, file open, process
+        re-initialisation share).
+    """
+
+    def __init__(
+        self,
+        memory_model: MemoryModel | None = None,
+        checkpoint_read_bandwidth: float = 5e9,
+        checkpoint_latency: float = 2.0,
+    ) -> None:
+        if checkpoint_read_bandwidth <= 0:
+            raise ValueError("checkpoint_read_bandwidth must be positive")
+        if checkpoint_latency < 0:
+            raise ValueError("checkpoint_latency must be non-negative")
+        self.memory_model = memory_model or MemoryModel()
+        self.checkpoint_read_bandwidth = checkpoint_read_bandwidth
+        self.checkpoint_latency = checkpoint_latency
+
+    # ------------------------------------------------------------- public API
+    def assess(
+        self,
+        old_plan: ExecutionPlan,
+        old_snapshot: ElasticSnapshot,
+        new_plan: ExecutionPlan,
+        new_snapshot: ElasticSnapshot,
+    ) -> MigrationReport:
+        """Price the migration from ``old_plan`` to ``new_plan``.
+
+        Parameter state is grouped by shared parameter key where one exists
+        (cross-task shared modules move once, not once per task) and by MetaOp
+        otherwise.  Device groups are compared in the *new* snapshot's id
+        space: old ids map through stable keys, devices lost with the event
+        drop out of the source set.
+        """
+        report = MigrationReport()
+        old_groups = self._parameter_groups(old_plan)
+        new_groups = self._parameter_groups(new_plan)
+        topology = new_snapshot.topology
+        for label in sorted(new_groups):
+            param_bytes, new_devices = new_groups[label]
+            targets = tuple(sorted(new_devices))
+            old_entry = old_groups.get(label)
+            sources: tuple[int, ...] = ()
+            if old_entry is not None:
+                mapped = {
+                    mapped_id
+                    for old_id in old_entry[1]
+                    if (
+                        mapped_id := new_snapshot.id_of(
+                            old_snapshot.device_keys[old_id]
+                        )
+                    )
+                    is not None
+                }
+                sources = tuple(sorted(mapped))
+            if not sources:
+                # Every old holder vanished (or the group is new): restore
+                # from the checkpoint store, shared-bandwidth across targets.
+                seconds = (
+                    self.checkpoint_latency
+                    + param_bytes / self.checkpoint_read_bandwidth
+                )
+                report.groups.append(
+                    MigrationGroup(
+                        label=label,
+                        param_bytes=param_bytes,
+                        source_devices=(),
+                        target_devices=targets,
+                        restored=True,
+                        seconds=seconds,
+                    )
+                )
+            elif set(sources) != set(targets):
+                seconds = group_transfer_time(topology, sources, targets, param_bytes)
+                report.groups.append(
+                    MigrationGroup(
+                        label=label,
+                        param_bytes=param_bytes,
+                        source_devices=sources,
+                        target_devices=targets,
+                        restored=False,
+                        seconds=seconds,
+                    )
+                )
+            # Identical device groups: the shards are already in place.
+        return report
+
+    # -------------------------------------------------------------- internals
+    def _parameter_groups(
+        self, plan: ExecutionPlan
+    ) -> dict[str, tuple[float, set[int]]]:
+        """``label -> (state bytes, devices holding the state)`` for one plan.
+
+        The label is the shared parameter key when the representative operator
+        has one (those weights exist once across tasks) and the MetaOp's
+        stable ``task/op_type`` identity otherwise.  Bytes follow the memory
+        model's full parameter + optimizer state accounting at data-parallel
+        degree 1 — the migration moves the *whole* group once, however it is
+        sharded afterwards.
+        """
+        groups: dict[str, tuple[float, set[int]]] = {}
+        for metaop in plan.metagraph.metaops.values():
+            op = metaop.representative
+            if op.param_bytes == 0:
+                continue
+            devices: set[int] = set()
+            for wave in plan.waves:
+                entry = wave.entry_for(metaop.index)
+                if entry is not None:
+                    devices.update(
+                        plan.placement.devices_for(wave.index, metaop.index)
+                    )
+            if not devices:
+                continue
+            state_bytes = (
+                self.memory_model.parameter_state_bytes(op, 1) * metaop.num_operators
+            )
+            label = op.param_key or f"{metaop.task}/{metaop.op_type}#{metaop.index}"
+            if label in groups:
+                existing_bytes, existing_devices = groups[label]
+                groups[label] = (
+                    max(existing_bytes, state_bytes),
+                    existing_devices | devices,
+                )
+            else:
+                groups[label] = (state_bytes, devices)
+        return groups

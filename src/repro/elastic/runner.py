@@ -1,0 +1,560 @@
+"""Elastic training runs: failure injection, replanning, migration accounting.
+
+:class:`ElasticTrainingRunner` mirrors the dynamic-workload runner
+(:mod:`repro.dynamic.workload`) but varies the *substrate* instead of the task
+set: a fixed multi-task workload trains for ``total_iterations`` while an
+:class:`~repro.elastic.events.EventTimeline` fails, recovers, adds, removes
+and throttles devices underneath it.  Per event group the runner
+
+1. applies the events to the :class:`~repro.elastic.view.ElasticClusterView`
+   and derives a fresh topology snapshot,
+2. asks the :class:`~repro.elastic.policy.ReplanPolicy` whether to replan
+   (capacity-loss events bypass the policy — the old plan references devices
+   that no longer exist),
+3. on replan, routes the request through a per-topology
+   :class:`~repro.service.incremental.IncrementalPlanner` and a shared
+   fingerprint-keyed :class:`~repro.service.cache.PlanCache`, so curve pools
+   warm per substrate and *recurring* substrates (a failure that heals) are
+   served from cache without planning at all,
+4. charges the switch with the :class:`~repro.elastic.migration.MigrationCostModel`
+   and a deterministic :class:`ReplanCostModel` (wall-clock planner time is
+   recorded separately and never enters the canonical report, which must be
+   byte-identical for identical seeds).
+
+Without a replan, training continues on the old plan: a degraded substrate
+multiplies the iteration time by the pacing ratio of the devices the plan
+runs on (a straggler throttling its node to 50% doubles it), while added
+capacity simply idles.
+
+The result is a cumulative-training-time curve with per-event replan and
+migration overhead breakdowns, compared against the same workload's
+no-failure run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.cluster.device import DeviceSpec
+from repro.cluster.topology import ClusterTopology
+from repro.core.plan import ExecutionPlan
+from repro.core.planner import ExecutionPlanner
+from repro.elastic.events import CAPACITY_LOSS_KINDS, ClusterEvent, EventTimeline
+from repro.elastic.migration import MigrationCostModel, MigrationReport
+from repro.elastic.policy import ReplanContext, ReplanPolicy, SlowdownThresholdPolicy
+from repro.elastic.view import ElasticClusterView, ElasticSnapshot
+from repro.graph.task import SpindleTask
+from repro.runtime.engine import RuntimeEngine
+from repro.service.cache import PlanCache
+from repro.service.fingerprint import fingerprint_workload
+from repro.service.incremental import IncrementalPlanner
+
+
+class ElasticRunError(Exception):
+    """Raised for malformed elastic scenarios."""
+
+
+@dataclass(frozen=True)
+class ReplanCostModel:
+    """Deterministic model of planner wall-clock, charged to the timeline.
+
+    Measured planner time is machine- and run-dependent; charging it would
+    make elastic reports non-reproducible.  This model charges a calibrated
+    figure instead — loosely fitted to the Fig. 12 planner-cost measurements
+    after the PR-3 optimisations (dominated by profiling MetaOps the curve
+    pool has not seen) — and the measured time is reported out-of-band.
+    """
+
+    #: Fixed planning overhead per replan (contraction, allocation, placement).
+    base_seconds: float = 0.05
+    #: Profiling + fitting one scaling curve the pool could not supply.
+    seconds_per_profiled_curve: float = 0.02
+    #: Allocation/scheduling/placement share per MetaOp.
+    seconds_per_metaop: float = 0.002
+    #: Serving a recurring topology straight from the plan cache.
+    cached_plan_seconds: float = 0.005
+
+    def charge(
+        self, num_metaops: int, curves_estimated: int, cache_hit: bool
+    ) -> float:
+        if cache_hit:
+            return self.cached_plan_seconds
+        return (
+            self.base_seconds
+            + self.seconds_per_profiled_curve * curves_estimated
+            + self.seconds_per_metaop * num_metaops
+        )
+
+
+@dataclass
+class ElasticScenario:
+    """A seeded elastic training scenario: initial cluster + event timeline."""
+
+    num_nodes: int
+    devices_per_node: int
+    device_spec: DeviceSpec
+    timeline: EventTimeline
+    total_iterations: int
+    name: str = "elastic"
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0 or self.devices_per_node <= 0:
+            raise ElasticRunError("cluster dimensions must be positive")
+        if self.total_iterations <= 0:
+            raise ElasticRunError("total_iterations must be positive")
+        beyond = [
+            e for e in self.timeline if e.at_iteration >= self.total_iterations
+        ]
+        if beyond:
+            raise ElasticRunError(
+                f"{len(beyond)} events land at/after iteration "
+                f"{self.total_iterations}; the run never reaches them"
+            )
+
+    def build_view(self) -> ElasticClusterView:
+        return ElasticClusterView(
+            num_nodes=self.num_nodes,
+            devices_per_node=self.devices_per_node,
+            device_spec=self.device_spec,
+        )
+
+
+@dataclass
+class ReplanRecord:
+    """Bookkeeping of one planner invocation (initial plan or event replan)."""
+
+    charged_seconds: float
+    measured_seconds: float
+    cache_hit: bool
+    num_metaops: int
+    curves_reused: int
+    curves_estimated: int
+    #: Measured per-stage planner seconds (display only; never serialized).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    def to_document(self) -> dict[str, Any]:
+        return {
+            "charged_seconds": self.charged_seconds,
+            "cache_hit": self.cache_hit,
+            "num_metaops": self.num_metaops,
+            "curves_reused": self.curves_reused,
+            "curves_estimated": self.curves_estimated,
+        }
+
+
+@dataclass
+class EventOutcome:
+    """What happened at one event group of the timeline."""
+
+    iteration: int
+    events: tuple[ClusterEvent, ...]
+    forced: bool
+    replanned: bool
+    estimated_slowdown: float
+    stay_slowdown: float
+    num_devices: int
+    topology_signature: str
+    replan: ReplanRecord | None = None
+    migration: MigrationReport | None = None
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Replan + migration seconds charged at this event group."""
+        seconds = 0.0
+        if self.replan is not None:
+            seconds += self.replan.charged_seconds
+        if self.migration is not None:
+            seconds += self.migration.total_seconds
+        return seconds
+
+    def to_document(self) -> dict[str, Any]:
+        return {
+            "iteration": self.iteration,
+            "events": [event.to_document() for event in self.events],
+            "forced": self.forced,
+            "replanned": self.replanned,
+            "estimated_slowdown": self.estimated_slowdown,
+            "stay_slowdown": self.stay_slowdown,
+            "num_devices": self.num_devices,
+            "topology_signature": self.topology_signature[:12],
+            "replan": self.replan.to_document() if self.replan else None,
+            "migration": self.migration.to_document() if self.migration else None,
+        }
+
+
+@dataclass
+class ElasticSegment:
+    """A contiguous stretch of iterations executed under one plan/substrate."""
+
+    start_iteration: int
+    num_iterations: int
+    iteration_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return self.iteration_seconds * self.num_iterations
+
+    def to_document(self) -> dict[str, Any]:
+        return {
+            "start_iteration": self.start_iteration,
+            "num_iterations": self.num_iterations,
+            "iteration_seconds": self.iteration_seconds,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class ElasticRunResult:
+    """Cumulative-training-time record of one elastic run."""
+
+    scenario_name: str
+    policy: str
+    total_iterations: int
+    baseline_iteration_seconds: float
+    segments: list[ElasticSegment] = field(default_factory=list)
+    outcomes: list[EventOutcome] = field(default_factory=list)
+    initial_plan: ReplanRecord | None = None
+
+    # -------------------------------------------------------------- totals
+    @property
+    def baseline_seconds(self) -> float:
+        """Total time of the no-failure run (same plan for every iteration)."""
+        return self.baseline_iteration_seconds * self.total_iterations
+
+    @property
+    def training_seconds(self) -> float:
+        return sum(segment.seconds for segment in self.segments)
+
+    @property
+    def overhead_seconds(self) -> float:
+        return sum(outcome.overhead_seconds for outcome in self.outcomes)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.training_seconds + self.overhead_seconds
+
+    @property
+    def cumulative_slowdown(self) -> float:
+        """Total elastic time over the no-failure run's total time."""
+        return self.total_seconds / self.baseline_seconds
+
+    @property
+    def replan_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.replanned)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(
+            1
+            for outcome in self.outcomes
+            if outcome.replan is not None and outcome.replan.cache_hit
+        )
+
+    @property
+    def migration_bytes(self) -> float:
+        return sum(
+            outcome.migration.total_bytes
+            for outcome in self.outcomes
+            if outcome.migration is not None
+        )
+
+    @property
+    def migration_seconds(self) -> float:
+        return sum(
+            outcome.migration.total_seconds
+            for outcome in self.outcomes
+            if outcome.migration is not None
+        )
+
+    @property
+    def replan_charged_seconds(self) -> float:
+        return sum(
+            outcome.replan.charged_seconds
+            for outcome in self.outcomes
+            if outcome.replan is not None
+        )
+
+    @property
+    def replan_measured_seconds(self) -> float:
+        """Measured planner wall-clock (out-of-band; machine-dependent)."""
+        return sum(
+            outcome.replan.measured_seconds
+            for outcome in self.outcomes
+            if outcome.replan is not None
+        )
+
+    @property
+    def curve_reuse_rate(self) -> float:
+        reused = estimated = 0
+        for outcome in self.outcomes:
+            if outcome.replan is not None and not outcome.replan.cache_hit:
+                reused += outcome.replan.curves_reused
+                estimated += outcome.replan.curves_estimated
+        total = reused + estimated
+        return reused / total if total else 0.0
+
+    def cumulative_curve(self) -> list[tuple[int, float]]:
+        """``(iterations, cumulative seconds)`` points, one per segment end."""
+        curve: list[tuple[int, float]] = []
+        iterations = 0
+        elapsed = 0.0
+        outcome_index = 0
+        for segment in self.segments:
+            iterations = segment.start_iteration + segment.num_iterations
+            elapsed += segment.seconds
+            while (
+                outcome_index < len(self.outcomes)
+                and self.outcomes[outcome_index].iteration <= iterations
+            ):
+                elapsed += self.outcomes[outcome_index].overhead_seconds
+                outcome_index += 1
+            curve.append((iterations, elapsed))
+        return curve
+
+    def to_document(self) -> dict[str, Any]:
+        """Canonical, deterministic report: byte-identical for equal seeds.
+
+        Measured wall-clock (``replan_measured_seconds``, per-stage planner
+        timings) is deliberately absent — it varies per machine and run.
+        """
+        return {
+            "scenario": self.scenario_name,
+            "policy": self.policy,
+            "total_iterations": self.total_iterations,
+            "baseline_seconds": self.baseline_seconds,
+            "training_seconds": self.training_seconds,
+            "overhead_seconds": self.overhead_seconds,
+            "total_seconds": self.total_seconds,
+            "cumulative_slowdown": self.cumulative_slowdown,
+            "replan_count": self.replan_count,
+            "cache_hits": self.cache_hits,
+            "migration_bytes": self.migration_bytes,
+            "migration_seconds": self.migration_seconds,
+            "replan_charged_seconds": self.replan_charged_seconds,
+            "curve_reuse_rate": self.curve_reuse_rate,
+            "initial_plan": (
+                self.initial_plan.to_document() if self.initial_plan else None
+            ),
+            "segments": [segment.to_document() for segment in self.segments],
+            "events": [outcome.to_document() for outcome in self.outcomes],
+        }
+
+
+PlannerFactory = Callable[[ClusterTopology], ExecutionPlanner]
+
+
+class ElasticTrainingRunner:
+    """Runs a fixed task set through an elastic scenario, replanning per policy.
+
+    Parameters
+    ----------
+    scenario:
+        Initial cluster shape plus the event timeline.
+    policy:
+        Replan policy for non-forced events (default: 10% slowdown threshold).
+    migration_model / replan_cost_model:
+        Cost models for plan switches; defaults are shared across benchmarks.
+    planner_factory:
+        Builds the :class:`ExecutionPlanner` for a derived topology.  One
+        :class:`IncrementalPlanner` wraps each distinct topology signature, so
+        curve pools and the estimator cache never leak across substrates
+        (they are keyed per topology) yet warm up across *recurring* ones.
+    plan_cache:
+        Fingerprint-keyed cache shared across all topologies of the run; a
+        substrate that heals back to a previously planned topology re-serves
+        its plan with near-zero charged cost.
+    """
+
+    def __init__(
+        self,
+        scenario: ElasticScenario,
+        policy: ReplanPolicy | None = None,
+        migration_model: MigrationCostModel | None = None,
+        replan_cost_model: ReplanCostModel | None = None,
+        planner_factory: PlannerFactory | None = None,
+        plan_cache: PlanCache | None = None,
+    ) -> None:
+        self.scenario = scenario
+        self.policy = policy or SlowdownThresholdPolicy()
+        self.migration_model = migration_model or MigrationCostModel()
+        self.replan_cost_model = replan_cost_model or ReplanCostModel()
+        self.planner_factory = planner_factory or (
+            lambda cluster: ExecutionPlanner(cluster)
+        )
+        self.plan_cache = plan_cache or PlanCache(capacity=64)
+        self._planners: dict[str, IncrementalPlanner] = {}
+
+    # ------------------------------------------------------------- public API
+    def run(self, tasks: Sequence[SpindleTask]) -> ElasticRunResult:
+        tasks = tuple(tasks)
+        if not tasks:
+            raise ElasticRunError("elastic run needs at least one task")
+        view = self.scenario.build_view()
+        snapshot = view.snapshot()
+        plan, initial_record = self._plan(tasks, snapshot)
+        iteration_seconds = self._iteration_seconds(plan)
+
+        result = ElasticRunResult(
+            scenario_name=self.scenario.name,
+            policy=self.policy.describe(),
+            total_iterations=self.scenario.total_iterations,
+            baseline_iteration_seconds=iteration_seconds,
+            initial_plan=initial_record,
+        )
+
+        cursor = 0
+        stay_slowdown = 1.0
+        pending_groups = 0
+        last_replan_iteration = 0
+        plan_snapshot = snapshot
+
+        for at_iteration, events in self.scenario.timeline.grouped_by_iteration():
+            self._append_segment(
+                result, cursor, at_iteration, iteration_seconds * stay_slowdown
+            )
+            cursor = max(cursor, at_iteration)
+
+            view.apply_all(events)
+            new_snapshot = view.snapshot()
+            pending_groups += 1
+            forced = any(event.kind in CAPACITY_LOSS_KINDS for event in events)
+            stay = self._stay_slowdown(plan_snapshot, new_snapshot)
+            context = ReplanContext(
+                events=tuple(events),
+                old_topology=plan_snapshot.topology,
+                new_topology=new_snapshot.topology,
+                pending_groups=pending_groups,
+                iterations_since_replan=cursor - last_replan_iteration,
+                stay_slowdown=stay,
+            )
+            replanned = forced or self.policy.should_replan(context)
+            outcome = EventOutcome(
+                iteration=at_iteration,
+                events=tuple(events),
+                forced=forced,
+                replanned=replanned,
+                estimated_slowdown=context.estimated_slowdown,
+                stay_slowdown=1.0,
+                num_devices=new_snapshot.topology.num_devices,
+                topology_signature=new_snapshot.signature,
+            )
+            if replanned:
+                new_plan, record = self._plan(tasks, new_snapshot)
+                outcome.replan = record
+                outcome.migration = self.migration_model.assess(
+                    plan, plan_snapshot, new_plan, new_snapshot
+                )
+                plan = new_plan
+                plan_snapshot = new_snapshot
+                iteration_seconds = self._iteration_seconds(plan)
+                stay_slowdown = 1.0
+                pending_groups = 0
+                last_replan_iteration = cursor
+            else:
+                stay_slowdown = stay
+                outcome.stay_slowdown = stay_slowdown
+            result.outcomes.append(outcome)
+
+        self._append_segment(
+            result,
+            cursor,
+            self.scenario.total_iterations,
+            iteration_seconds * stay_slowdown,
+        )
+        return result
+
+    # -------------------------------------------------------------- internals
+    def _planner_for(self, topology: ClusterTopology) -> IncrementalPlanner:
+        signature = topology.signature()
+        incremental = self._planners.get(signature)
+        if incremental is None:
+            incremental = IncrementalPlanner(self.planner_factory(topology))
+            self._planners[signature] = incremental
+        return incremental
+
+    def _plan(
+        self, tasks: tuple[SpindleTask, ...], snapshot: ElasticSnapshot
+    ) -> tuple[ExecutionPlan, ReplanRecord]:
+        incremental = self._planner_for(snapshot.topology)
+        fingerprint = fingerprint_workload(
+            tasks, incremental.planner.cluster, incremental.planner.config_signature()
+        )
+        cached = self.plan_cache.get(fingerprint)
+        if cached is not None:
+            record = ReplanRecord(
+                charged_seconds=self.replan_cost_model.charge(
+                    cached.report.num_metaops, 0, cache_hit=True
+                ),
+                measured_seconds=0.0,
+                cache_hit=True,
+                num_metaops=cached.report.num_metaops,
+                curves_reused=cached.report.num_metaops,
+                curves_estimated=0,
+            )
+            return cached, record
+        stage_seconds: dict[str, float] = {}
+        start = time.perf_counter()
+        plan = incremental.plan(
+            tasks, stage_hook=lambda name, seconds: stage_seconds.update({name: seconds})
+        )
+        measured = time.perf_counter() - start
+        self.plan_cache.put(fingerprint, plan)
+        reused = plan.report.reused_curves
+        estimated = plan.report.num_metaops - reused
+        record = ReplanRecord(
+            charged_seconds=self.replan_cost_model.charge(
+                plan.report.num_metaops, estimated, cache_hit=False
+            ),
+            measured_seconds=measured,
+            cache_hit=False,
+            num_metaops=plan.report.num_metaops,
+            curves_reused=reused,
+            curves_estimated=estimated,
+            stage_seconds=stage_seconds,
+        )
+        return plan, record
+
+    @staticmethod
+    def _iteration_seconds(plan: ExecutionPlan) -> float:
+        return RuntimeEngine(plan).run_iteration().iteration_time
+
+    @staticmethod
+    def _append_segment(
+        result: ElasticRunResult,
+        start: int,
+        end: int,
+        iteration_seconds: float,
+    ) -> None:
+        if end > start:
+            result.segments.append(
+                ElasticSegment(
+                    start_iteration=start,
+                    num_iterations=end - start,
+                    iteration_seconds=iteration_seconds,
+                )
+            )
+
+    @staticmethod
+    def _stay_slowdown(
+        plan_snapshot: ElasticSnapshot, current: ElasticSnapshot
+    ) -> float:
+        """Pacing penalty of keeping the old plan on the current substrate.
+
+        The old plan runs on the devices it was placed on; wave entries pace
+        on the slowest of them, so the penalty is the ratio of the planned
+        per-device floor to the current floor *over the surviving planned
+        nodes only* — capacity added elsewhere neither helps nor hurts until
+        a replan adopts it.
+        """
+        surviving = [
+            current.spec_of_node(node_id)
+            for node_id in plan_snapshot.node_ids
+            if current.spec_of_node(node_id) is not None
+        ]
+        if not surviving:
+            return 1.0
+        current_floor = min(spec.achievable_flops for spec in surviving)
+        planned_floor = plan_snapshot.topology.min_achievable_flops
+        return max(1.0, planned_floor / current_floor)

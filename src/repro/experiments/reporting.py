@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bench.result import BenchResult
+    from repro.elastic.runner import ElasticRunResult
 
 #: Directory (relative to the working directory) where benchmark modules drop
 #: their paper-style tables; override with the ``REPRO_REPORT_DIR`` variable.
@@ -110,6 +111,73 @@ def render_bench_result(result: "BenchResult") -> str:
     if result.workloads:
         title += f" ({', '.join(result.workloads)})"
     return format_table(["metric", "value", "unit", "better", "gate"], rows, title=title)
+
+
+def render_elastic_result(result: "ElasticRunResult") -> str:
+    """Render an elastic run as paper-style tables (events, then totals).
+
+    Deliberately built only from the run's *deterministic* quantities (the
+    charged replan model, the migration cost model, simulated iteration
+    times), so identical seeds render byte-identical text — the reproduction
+    contract of ``repro elastic``.
+    """
+    event_rows = []
+    for outcome in result.outcomes:
+        labels = ", ".join(event.describe() for event in outcome.events)
+        if outcome.replanned:
+            action = "replan (forced)" if outcome.forced else "replan"
+            if outcome.replan is not None and outcome.replan.cache_hit:
+                action += " [cache hit]"
+        else:
+            action = "keep plan"
+        replan_s = outcome.replan.charged_seconds if outcome.replan else 0.0
+        migration = outcome.migration
+        event_rows.append(
+            [
+                outcome.iteration,
+                labels,
+                outcome.num_devices,
+                action,
+                f"{replan_s * 1e3:.1f} ms",
+                format_gib(migration.total_bytes) if migration else "-",
+                f"{migration.total_seconds * 1e3:.1f} ms" if migration else "-",
+                f"{outcome.stay_slowdown:.2f}x"
+                if not outcome.replanned
+                else "-",
+            ]
+        )
+    events_table = format_table(
+        [
+            "iter",
+            "events",
+            "#GPUs",
+            "action",
+            "replan",
+            "migrated",
+            "migration",
+            "degraded",
+        ],
+        event_rows,
+        title=f"elastic events ({result.scenario_name}, policy={result.policy})",
+    )
+    totals = format_table(
+        ["metric", "value"],
+        [
+            ["iterations", result.total_iterations],
+            ["no-failure run", f"{result.baseline_seconds:.2f} s"],
+            ["elastic training time", f"{result.training_seconds:.2f} s"],
+            ["replan + migration overhead", f"{result.overhead_seconds:.3f} s"],
+            ["elastic total", f"{result.total_seconds:.2f} s"],
+            ["cumulative slowdown", f"{result.cumulative_slowdown:.3f}x"],
+            ["replans", result.replan_count],
+            ["plan-cache hits", result.cache_hits],
+            ["migrated state", format_gib(result.migration_bytes)],
+            ["migration time", f"{result.migration_seconds:.3f} s"],
+            ["curve reuse rate", f"{result.curve_reuse_rate:.2f}"],
+        ],
+        title="elastic run summary",
+    )
+    return events_table + "\n\n" + totals
 
 
 def format_series(

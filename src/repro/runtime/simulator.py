@@ -65,7 +65,9 @@ class WaveExecutionSimulator:
         cluster = self.plan.cluster
         trace = UtilizationTrace(
             num_devices=cluster.num_devices,
-            peak_flops_per_device=cluster.device_spec.peak_flops,
+            # The fastest device normalises utilization, so heterogeneous
+            # traces stay within [0, 1]; uniform clusters are unaffected.
+            peak_flops_per_device=cluster.max_peak_flops,
         )
 
         current_time = 0.0

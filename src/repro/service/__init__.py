@@ -26,7 +26,11 @@ from repro.service.fingerprint import (
     fingerprint_workload,
     hash_document,
 )
-from repro.service.incremental import IncrementalPlanner, IncrementalStats
+from repro.service.incremental import (
+    IncrementalPlanner,
+    IncrementalStats,
+    StaleTopologyError,
+)
 from repro.service.server import PlanService, ServiceError
 from repro.service.stats import (
     OUTCOME_COALESCED,
@@ -49,6 +53,7 @@ __all__ = [
     "PlanService",
     "ServiceError",
     "ServiceStats",
+    "StaleTopologyError",
     "canonical_cluster",
     "canonical_graph",
     "canonical_task",

@@ -40,7 +40,7 @@ import hashlib
 import json
 from typing import Any, Mapping, Sequence, Union
 
-from repro.cluster.topology import ClusterTopology, InterconnectSpec
+from repro.cluster.topology import ClusterTopology
 from repro.graph.graph import ComputationGraph
 from repro.graph.ops import Operator
 from repro.graph.task import SpindleTask
@@ -100,23 +100,15 @@ def canonical_graph(graph: ComputationGraph) -> dict[str, Any]:
 
 
 def canonical_cluster(cluster: ClusterTopology) -> dict[str, Any]:
-    """Full structural document of the cluster topology."""
+    """Full structural document of the cluster topology.
 
-    def link(spec: InterconnectSpec) -> list[float]:
-        return [spec.bandwidth, spec.latency]
-
-    return {
-        "num_nodes": cluster.num_nodes,
-        "devices_per_node": cluster.devices_per_node,
-        "device": {
-            "name": cluster.device_spec.name,
-            "peak_flops": cluster.device_spec.peak_flops,
-            "memory_bytes": cluster.device_spec.memory_bytes,
-        },
-        "intra_island": link(cluster.intra_island),
-        "inter_island": link(cluster.inter_island),
-        "intra_device": link(cluster.intra_device),
-    }
+    Delegates to :meth:`ClusterTopology.canonical_dict`, which also covers
+    heterogeneous clusters (per-island specs, irregular island sizes) and the
+    devices' ``achievable_fraction`` — straggler events degrade only that
+    field, and degraded substrates must never share a fingerprint with
+    healthy ones.
+    """
+    return cluster.canonical_dict()
 
 
 def canonical_workload(

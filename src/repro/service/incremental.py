@@ -23,7 +23,18 @@ from dataclasses import dataclass
 
 from repro.core.estimator import ScalingCurve
 from repro.core.plan import ExecutionPlan
-from repro.core.planner import ExecutionPlanner, PlannerInput
+from repro.core.planner import ExecutionPlanner, PlannerInput, StageHook
+
+
+class StaleTopologyError(RuntimeError):
+    """The bound planner's cluster changed under an incremental planner.
+
+    Pooled curves embed the topology they were profiled on; transferring them
+    onto a different cluster silently misestimates every MetaOp.  Elastic
+    replanning must build one :class:`IncrementalPlanner` per topology (see
+    :class:`repro.elastic.runner.ElasticTrainingRunner`) instead of rebinding
+    this one.
+    """
 
 
 @dataclass
@@ -64,11 +75,26 @@ class IncrementalPlanner:
         self._curves: OrderedDict[tuple, ScalingCurve] = OrderedDict()
         self.stats = IncrementalStats()
         self._last_estimation_cost: float | None = None
+        self._topology_signature = planner.cluster.signature()
 
     # ------------------------------------------------------------- public API
-    def plan(self, workload: PlannerInput) -> ExecutionPlan:
-        """Plan ``workload``, reusing pooled curves for known MetaOps."""
-        plan = self.planner.plan(workload, precomputed_curves=self._curves)
+    def plan(
+        self, workload: PlannerInput, *, stage_hook: StageHook | None = None
+    ) -> ExecutionPlan:
+        """Plan ``workload``, reusing pooled curves for known MetaOps.
+
+        ``stage_hook`` is forwarded to the underlying planner so callers (the
+        elastic runner's replan bookkeeping) can observe per-stage progress.
+        """
+        if self.planner.cluster.signature() != self._topology_signature:
+            raise StaleTopologyError(
+                "the bound planner's cluster changed; pooled curves are only "
+                "valid for the topology they were profiled on — create a new "
+                "IncrementalPlanner for the new topology"
+            )
+        plan = self.planner.plan(
+            workload, precomputed_curves=self._curves, stage_hook=stage_hook
+        )
         reused = plan.report.reused_curves
         estimated = plan.report.num_metaops - reused
         self.stats.plans += 1

@@ -113,3 +113,61 @@ class TestServeBenchCommand:
         assert "plan service throughput" in output
         assert "cache hit rate" in output
         assert "speedup" in output
+
+
+class TestElasticCommand:
+    ARGS = [
+        "elastic",
+        "--model", "multitask-clip",
+        "--tasks", "2",
+        "--gpus", "8",
+        "--iterations", "60",
+        "--events", "2",
+        "--seed", "4",
+    ]
+
+    def test_prints_events_and_summary(self, capsys):
+        exit_code = main(self.ARGS)
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "elastic events" in output
+        assert "cumulative slowdown" in output
+        assert "device_failure" in output
+
+    def test_json_report_is_seed_deterministic(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        document = json.loads(first)
+        assert document["replan_count"] >= 1
+        assert document["total_iterations"] == 60
+        assert "replan_measured" not in first  # wall-clock stays out-of-band
+
+    def test_scenarios_and_policies_run(self, capsys):
+        for scenario in ("flash-crowd", "hetero-expand", "rolling-stragglers"):
+            exit_code = main(
+                self.ARGS + ["--scenario", scenario, "--policy", "debounced"]
+            )
+            assert exit_code == 0, scenario
+        outage = [arg if arg != "8" else "16" for arg in self.ARGS]
+        assert main(outage + ["--scenario", "island-outage"]) == 0
+        capsys.readouterr()
+
+    def test_island_outage_needs_two_nodes(self, capsys):
+        assert main(self.ARGS + ["--scenario", "island-outage"]) == 1
+        capsys.readouterr()
+
+    def test_writes_report_file(self, tmp_path, capsys):
+        path = tmp_path / "elastic.json"
+        exit_code = main(self.ARGS + ["--output", str(path)])
+        capsys.readouterr()
+        assert exit_code == 0
+        document = json.loads(path.read_text())
+        assert document["scenario"] == "random-failures-seed4"
+
+    def test_invalid_arguments_fail_cleanly(self, capsys):
+        assert main(self.ARGS[:-2] + ["--iterations", "1"]) == 1
+        assert main(self.ARGS + ["--events", "0"]) == 1
+        capsys.readouterr()

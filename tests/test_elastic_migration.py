@@ -1,0 +1,157 @@
+"""Plan-migration cost model: placement diffs, transfers and restores."""
+
+import pytest
+
+from repro.cluster.device import A800_SPEC
+from repro.core.planner import ExecutionPlanner
+from repro.elastic.events import (
+    DEVICE_FAILURE,
+    NODE_JOIN,
+    ClusterEvent,
+)
+from repro.elastic.migration import MigrationCostModel
+from repro.elastic.view import ElasticClusterView
+from tests.conftest import make_chain_task
+
+
+@pytest.fixture
+def tasks():
+    return [
+        make_chain_task("audio_task", {"audio": 3, "lm": 3}, batch=8,
+                        shared_prefix="shared"),
+        make_chain_task("vision_task", {"vision": 2, "lm": 3}, batch=4,
+                        shared_prefix="shared"),
+    ]
+
+
+def plan_on(snapshot, tasks):
+    return ExecutionPlanner(snapshot.topology).plan(tasks)
+
+
+def make_view():
+    return ElasticClusterView(num_nodes=2, devices_per_node=4, device_spec=A800_SPEC)
+
+
+class TestMigrationCostModel:
+    def test_identical_plans_cost_nothing(self, tasks):
+        view = make_view()
+        snapshot = view.snapshot()
+        plan = plan_on(snapshot, tasks)
+        report = MigrationCostModel().assess(plan, snapshot, plan, snapshot)
+        assert report.total_bytes == 0.0
+        assert report.total_seconds == 0.0
+        assert report.groups == []
+
+    def test_failure_migration_moves_or_restores_state(self, tasks):
+        view = make_view()
+        old_snapshot = view.snapshot()
+        old_plan = plan_on(old_snapshot, tasks)
+        view.apply(ClusterEvent(DEVICE_FAILURE, at_iteration=1, node=0, device=0))
+        new_snapshot = view.snapshot()
+        new_plan = plan_on(new_snapshot, tasks)
+        report = MigrationCostModel().assess(
+            old_plan, old_snapshot, new_plan, new_snapshot
+        )
+        assert report.total_bytes > 0
+        assert report.total_seconds > 0
+        # Device groups in the report live in the NEW topology's id space.
+        for group in report.groups:
+            for device in group.source_devices + group.target_devices:
+                assert 0 <= device < new_snapshot.topology.num_devices
+
+    def test_total_state_loss_restores_from_checkpoint(self, tasks):
+        view = make_view()
+        old_snapshot = view.snapshot()
+        old_plan = plan_on(old_snapshot, tasks)
+        # Fail every device the old plan ran on except a fresh joined node:
+        # all original holders vanish, so state must come from the checkpoint.
+        view.apply(
+            ClusterEvent(NODE_JOIN, at_iteration=1, spec=A800_SPEC, num_devices=8)
+        )
+        for node in (0, 1):
+            for device in range(4):
+                view.apply(
+                    ClusterEvent(
+                        DEVICE_FAILURE, at_iteration=2, node=node, device=device
+                    )
+                )
+        new_snapshot = view.snapshot()
+        new_plan = plan_on(new_snapshot, tasks)
+        model = MigrationCostModel(checkpoint_latency=1.0)
+        report = model.assess(old_plan, old_snapshot, new_plan, new_snapshot)
+        assert report.groups  # parameters exist
+        assert all(group.restored for group in report.groups)
+        assert report.restored_bytes == report.total_bytes
+        # Each restored group pays at least the fixed restore latency.
+        assert report.restore_seconds >= len(report.groups) * 1.0
+        assert report.num_restored_groups == len(report.groups)
+
+    def test_restore_slower_than_resharding(self, tasks):
+        """Losing every holder costs more than re-sharding over NVLink."""
+        reshard_view = make_view()
+        old_snapshot = reshard_view.snapshot()
+        old_plan = plan_on(old_snapshot, tasks)
+        reshard_view.apply(
+            ClusterEvent(DEVICE_FAILURE, at_iteration=1, node=0, device=0)
+        )
+        reshard_snapshot = reshard_view.snapshot()
+        reshard_report = MigrationCostModel().assess(
+            old_plan, old_snapshot, plan_on(reshard_snapshot, tasks), reshard_snapshot
+        )
+
+        lost_view = make_view()
+        lost_snapshot = lost_view.snapshot()
+        lost_plan = plan_on(lost_snapshot, tasks)
+        lost_view.apply(
+            ClusterEvent(NODE_JOIN, at_iteration=1, spec=A800_SPEC, num_devices=8)
+        )
+        for node in (0, 1):
+            for device in range(4):
+                lost_view.apply(
+                    ClusterEvent(
+                        DEVICE_FAILURE, at_iteration=2, node=node, device=device
+                    )
+                )
+        lost_after = lost_view.snapshot()
+        lost_report = MigrationCostModel().assess(
+            lost_plan, lost_snapshot, plan_on(lost_after, tasks), lost_after
+        )
+        assert lost_report.total_seconds > reshard_report.total_seconds
+
+    def test_shared_parameter_keys_migrate_once(self, tasks):
+        """The cross-task 'lm' stack (shared param keys) forms one group, not
+        one per task, and its device set spans both tasks' placements."""
+        view = make_view()
+        snapshot = view.snapshot()
+        plan = plan_on(snapshot, tasks)
+        groups = MigrationCostModel()._parameter_groups(plan)
+        shared = [label for label in groups if label.startswith("shared.lm")]
+        assert len(shared) == 1
+        _, devices = groups[shared[0]]
+        lm_metaops = [
+            m for m in plan.metagraph.metaops.values()
+            if m.representative.param_key and "lm" in m.representative.param_key
+        ]
+        assert len(lm_metaops) == 2  # one lm MetaOp per task, merged above
+        assert devices  # placed somewhere
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationCostModel(checkpoint_read_bandwidth=0)
+        with pytest.raises(ValueError):
+            MigrationCostModel(checkpoint_latency=-1)
+
+    def test_report_document_is_deterministic(self, tasks):
+        def build():
+            view = make_view()
+            old_snapshot = view.snapshot()
+            old_plan = plan_on(old_snapshot, tasks)
+            view.apply(
+                ClusterEvent(DEVICE_FAILURE, at_iteration=1, node=1, device=2)
+            )
+            new_snapshot = view.snapshot()
+            return MigrationCostModel().assess(
+                old_plan, old_snapshot, plan_on(new_snapshot, tasks), new_snapshot
+            )
+
+        assert build().to_document() == build().to_document()

@@ -1,0 +1,105 @@
+"""Replan policies and the first-order slowdown estimate."""
+
+import pytest
+
+from repro.cluster.device import A800_SPEC, DeviceSpec
+from repro.cluster.topology import make_cluster, make_heterogeneous_cluster
+from repro.elastic.events import STRAGGLER_ONSET, ClusterEvent
+from repro.elastic.policy import (
+    DebouncedReplanPolicy,
+    ImmediateReplanPolicy,
+    ReplanContext,
+    SlowdownThresholdPolicy,
+    forgone_capacity_gain,
+    make_policy,
+)
+
+FAST = A800_SPEC
+SLOW = DeviceSpec(
+    name="slow", peak_flops=A800_SPEC.peak_flops, memory_bytes=A800_SPEC.memory_bytes,
+    achievable_fraction=A800_SPEC.achievable_fraction / 2,
+)
+
+
+def context(old, new, pending_groups=1, iterations=10, stay_slowdown=1.0):
+    events = (
+        ClusterEvent(STRAGGLER_ONSET, at_iteration=1, node=0, severity=0.5),
+    )
+    return ReplanContext(
+        events=events,
+        old_topology=old,
+        new_topology=new,
+        pending_groups=pending_groups,
+        iterations_since_replan=iterations,
+        stay_slowdown=stay_slowdown,
+    )
+
+
+class TestEstimatedSlowdown:
+    def test_unchanged_topology_estimates_one(self):
+        cluster = make_cluster(8)
+        assert context(cluster, cluster).estimated_slowdown == 1.0
+
+    def test_straggler_degradation_dominates(self):
+        # The runner derives the degradation over the plan's own nodes and
+        # passes it in; the context surfaces it as the estimate.
+        old = make_cluster(16)
+        new = make_heterogeneous_cluster([FAST, SLOW], devices_per_node=8)
+        assert context(old, new, stay_slowdown=2.0).estimated_slowdown == (
+            pytest.approx(2.0)
+        )
+
+    def test_expansion_counts_forgone_capacity(self):
+        old = make_cluster(8)
+        new = make_cluster(16)
+        assert forgone_capacity_gain(old, new) == pytest.approx(2.0)
+        assert context(old, new).estimated_slowdown == pytest.approx(2.0)
+
+    def test_slow_node_joining_is_not_degradation(self):
+        """A slow node merely joining must not read as a slowdown of staying:
+        the old plan never touches it, and its capacity contribution is tiny."""
+        old = make_cluster(16)
+        joined = make_heterogeneous_cluster(
+            [FAST, FAST, SLOW], devices_per_node=8
+        )
+        estimate = context(old, joined).estimated_slowdown
+        assert estimate == pytest.approx(forgone_capacity_gain(old, joined))
+        assert estimate < 1.3  # far from the 2x the old global-min bug gave
+
+    def test_shrink_never_estimates_below_one(self):
+        # Capacity loss forces a replan anyway; the estimate stays clamped.
+        assert forgone_capacity_gain(make_cluster(16), make_cluster(8)) == 1.0
+        assert context(make_cluster(16), make_cluster(8)).estimated_slowdown == 1.0
+
+
+class TestPolicies:
+    def test_immediate_always_replans(self):
+        ctx = context(make_cluster(8), make_cluster(8))
+        assert ImmediateReplanPolicy().should_replan(ctx)
+
+    def test_debounced_waits_for_enough_groups(self):
+        policy = DebouncedReplanPolicy(min_groups=3)
+        old = new = make_cluster(8)
+        assert not policy.should_replan(context(old, new, pending_groups=2))
+        assert policy.should_replan(context(old, new, pending_groups=3))
+        with pytest.raises(ValueError):
+            DebouncedReplanPolicy(min_groups=0)
+
+    def test_threshold_compares_estimated_slowdown(self):
+        policy = SlowdownThresholdPolicy(threshold=0.5)
+        old = new = make_cluster(16)
+        assert policy.should_replan(context(old, new, stay_slowdown=2.0))
+        assert not policy.should_replan(context(old, new, stay_slowdown=1.11))
+        with pytest.raises(ValueError):
+            SlowdownThresholdPolicy(threshold=-0.1)
+
+    def test_factory_round_trips(self):
+        assert make_policy("immediate").name == "immediate"
+        assert make_policy("debounced", min_groups=5).describe() == (
+            "debounced(min_groups=5)"
+        )
+        assert make_policy("threshold", threshold=0.25).describe() == (
+            "threshold(0.25)"
+        )
+        with pytest.raises(ValueError):
+            make_policy("psychic")

@@ -1,0 +1,221 @@
+"""End-to-end elastic training runs: replanning, caching, determinism."""
+
+import json
+
+import pytest
+
+from repro.cluster.device import A800_SPEC, TEST_GPU_SPEC
+from repro.elastic import (
+    ClusterEvent,
+    ElasticRunError,
+    ElasticScenario,
+    ElasticTrainingRunner,
+    EventTimeline,
+    ImmediateReplanPolicy,
+    ReplanCostModel,
+    SlowdownThresholdPolicy,
+    flash_crowd_timeline,
+    island_outage_timeline,
+    random_failure_timeline,
+)
+from repro.elastic.events import (
+    DEVICE_FAILURE,
+    DEVICE_RECOVERY,
+    STRAGGLER_CLEAR,
+    STRAGGLER_ONSET,
+)
+from tests.conftest import make_chain_task
+
+
+@pytest.fixture
+def tasks():
+    return [
+        make_chain_task("audio_task", {"audio": 2, "lm": 2}, batch=8),
+        make_chain_task("vision_task", {"vision": 2, "lm": 2}, batch=4),
+    ]
+
+
+def scenario_with(timeline, iterations=60, nodes=2, per_node=4):
+    return ElasticScenario(
+        num_nodes=nodes,
+        devices_per_node=per_node,
+        device_spec=A800_SPEC,
+        timeline=timeline,
+        total_iterations=iterations,
+        name="test",
+    )
+
+
+def fail(node, device, at):
+    return ClusterEvent(DEVICE_FAILURE, at_iteration=at, node=node, device=device)
+
+
+def recover(node, device, at):
+    return ClusterEvent(DEVICE_RECOVERY, at_iteration=at, node=node, device=device)
+
+
+class TestScenarioValidation:
+    def test_events_beyond_horizon_rejected(self):
+        timeline = EventTimeline([fail(0, 0, 60)])
+        with pytest.raises(ElasticRunError):
+            scenario_with(timeline, iterations=60)
+
+    def test_empty_task_set_rejected(self, tasks):
+        runner = ElasticTrainingRunner(scenario_with(EventTimeline()))
+        with pytest.raises(ElasticRunError):
+            runner.run([])
+
+
+class TestElasticRun:
+    def test_eventless_run_matches_baseline_exactly(self, tasks):
+        result = ElasticTrainingRunner(scenario_with(EventTimeline())).run(tasks)
+        assert result.total_seconds == pytest.approx(result.baseline_seconds)
+        assert result.cumulative_slowdown == pytest.approx(1.0)
+        assert result.replan_count == 0
+        assert len(result.segments) == 1
+        assert result.segments[0].num_iterations == 60
+
+    def test_capacity_loss_forces_replan_and_charges_migration(self, tasks):
+        timeline = EventTimeline([fail(0, 1, 20)])
+        result = ElasticTrainingRunner(
+            scenario_with(timeline), policy=SlowdownThresholdPolicy(10.0)
+        ).run(tasks)
+        assert result.replan_count == 1
+        outcome = result.outcomes[0]
+        assert outcome.forced and outcome.replanned
+        assert outcome.migration is not None
+        assert outcome.migration.total_seconds > 0
+        assert outcome.num_devices == 7
+        # The degraded plan runs slower: total exceeds the no-failure run.
+        assert result.cumulative_slowdown > 1.0
+
+    def test_recovery_to_known_topology_hits_the_plan_cache(self, tasks):
+        timeline = EventTimeline([fail(0, 1, 20), recover(0, 1, 40)])
+        result = ElasticTrainingRunner(
+            scenario_with(timeline), policy=ImmediateReplanPolicy()
+        ).run(tasks)
+        assert result.replan_count == 2
+        recovery = result.outcomes[1]
+        assert recovery.replan is not None and recovery.replan.cache_hit
+        # Cached replans charge the (much cheaper) cache-hit cost.
+        model = ReplanCostModel()
+        assert recovery.replan.charged_seconds == model.cached_plan_seconds
+
+    def test_threshold_policy_rides_through_small_changes(self, tasks):
+        onset = ClusterEvent(
+            STRAGGLER_ONSET, at_iteration=20, node=0, severity=0.9
+        )
+        result = ElasticTrainingRunner(
+            scenario_with(EventTimeline([onset])),
+            policy=SlowdownThresholdPolicy(threshold=0.5),
+        ).run(tasks)
+        assert result.replan_count == 0
+        outcome = result.outcomes[0]
+        assert not outcome.forced and not outcome.replanned
+        # Training continues on the old plan, paced by the straggler.
+        assert outcome.stay_slowdown == pytest.approx(1.0 / 0.9)
+        assert result.segments[-1].iteration_seconds > (
+            result.segments[0].iteration_seconds
+        )
+
+    def test_severe_straggler_triggers_threshold_replan(self, tasks):
+        onset = ClusterEvent(
+            STRAGGLER_ONSET, at_iteration=20, node=0, severity=0.4
+        )
+        clear = ClusterEvent(STRAGGLER_CLEAR, at_iteration=40, node=0)
+        result = ElasticTrainingRunner(
+            scenario_with(EventTimeline([onset, clear])),
+            policy=SlowdownThresholdPolicy(threshold=0.5),
+        ).run(tasks)
+        assert result.outcomes[0].replanned  # 2.5x estimated > 1.5x
+        assert not result.outcomes[0].forced
+        assert result.outcomes[0].migration is not None
+
+    def test_flash_crowd_expansion_replans_and_adopts_capacity(self, tasks):
+        timeline = flash_crowd_timeline(20, 2, 4, A800_SPEC)
+        result = ElasticTrainingRunner(
+            scenario_with(timeline), policy=SlowdownThresholdPolicy(threshold=0.1)
+        ).run(tasks)
+        outcome = result.outcomes[0]
+        assert outcome.replanned and not outcome.forced  # 2x forgone > 1.1x
+        assert outcome.estimated_slowdown == pytest.approx(2.0)
+        assert outcome.num_devices == 16
+        # Adopting the new capacity re-shards parameters onto it.
+        assert outcome.migration is not None
+        assert outcome.migration.total_bytes > 0
+        # These toy tasks are sync-dominated, so the expansion must not make
+        # iterations dramatically slower — but it need not speed them up.
+        # (Total slowdown is dominated by the fixed replan/migration charges
+        # against this tiny baseline, so compare pure training time.)
+        assert result.training_seconds / result.baseline_seconds < 1.25
+
+    def test_heterogeneous_expansion_plans_on_mixed_specs(self, tasks):
+        timeline = flash_crowd_timeline(20, 1, 4, TEST_GPU_SPEC)
+        runner = ElasticTrainingRunner(
+            scenario_with(timeline), policy=ImmediateReplanPolicy()
+        )
+        result = runner.run(tasks)
+        assert result.outcomes[0].replanned
+        assert result.outcomes[0].num_devices == 12
+        assert len(runner._planners) == 2  # one planner per topology signature
+
+    def test_island_outage_and_return(self, tasks):
+        timeline = island_outage_timeline(1, 4, at_iteration=20, recovery_at=40)
+        result = ElasticTrainingRunner(
+            scenario_with(timeline), policy=ImmediateReplanPolicy()
+        ).run(tasks)
+        # One replan for the outage (4 same-iteration failures), one for the
+        # recovery group.
+        assert result.replan_count == 2
+        assert result.outcomes[0].num_devices == 4
+        assert result.outcomes[1].num_devices == 8
+        assert result.outcomes[1].replan.cache_hit
+
+    def test_debounce_counts_event_groups(self, tasks):
+        events = EventTimeline(
+            [
+                ClusterEvent(
+                    STRAGGLER_ONSET, at_iteration=10, node=0, severity=0.8
+                ),
+                ClusterEvent(STRAGGLER_CLEAR, at_iteration=20, node=0),
+            ]
+        )
+        from repro.elastic import DebouncedReplanPolicy
+
+        result = ElasticTrainingRunner(
+            scenario_with(events), policy=DebouncedReplanPolicy(min_groups=2)
+        ).run(tasks)
+        assert [outcome.replanned for outcome in result.outcomes] == [False, True]
+
+
+class TestReportDeterminism:
+    def test_identical_seeds_byte_identical_reports(self, tasks):
+        def run():
+            timeline = random_failure_timeline(2, 4, 60, 2, seed=5)
+            runner = ElasticTrainingRunner(
+                scenario_with(timeline), policy=SlowdownThresholdPolicy(0.1)
+            )
+            return runner.run(tasks)
+
+        first = json.dumps(run().to_document(), sort_keys=True, indent=2)
+        second = json.dumps(run().to_document(), sort_keys=True, indent=2)
+        assert first == second
+
+    def test_document_excludes_measured_wall_clock(self, tasks):
+        timeline = EventTimeline([fail(0, 0, 20)])
+        result = ElasticTrainingRunner(scenario_with(timeline)).run(tasks)
+        document = json.dumps(result.to_document())
+        assert "measured" not in document
+        assert result.replan_measured_seconds > 0  # still tracked out-of-band
+
+    def test_cumulative_curve_is_monotone_and_complete(self, tasks):
+        timeline = EventTimeline([fail(0, 0, 20), recover(0, 0, 40)])
+        result = ElasticTrainingRunner(
+            scenario_with(timeline), policy=ImmediateReplanPolicy()
+        ).run(tasks)
+        curve = result.cumulative_curve()
+        assert curve[-1][0] == 60
+        assert curve[-1][1] == pytest.approx(result.total_seconds)
+        iterations, times = zip(*curve)
+        assert list(iterations) == sorted(iterations)
+        assert list(times) == sorted(times)

@@ -1,0 +1,166 @@
+"""The mutable cluster view: applying events, deriving fresh topologies."""
+
+import pytest
+
+from repro.cluster.device import A800_SPEC, TEST_GPU_SPEC
+from repro.cluster.topology import make_cluster
+from repro.elastic.events import (
+    DEVICE_FAILURE,
+    DEVICE_RECOVERY,
+    NODE_JOIN,
+    NODE_LEAVE,
+    STRAGGLER_CLEAR,
+    STRAGGLER_ONSET,
+    ClusterEvent,
+)
+from repro.elastic.view import ElasticClusterView, ElasticViewError, device_key
+
+
+def make_view(num_nodes=2, per_node=4, spec=A800_SPEC):
+    return ElasticClusterView(
+        num_nodes=num_nodes, devices_per_node=per_node, device_spec=spec
+    )
+
+
+def fail(node, device, at=1):
+    return ClusterEvent(DEVICE_FAILURE, at_iteration=at, node=node, device=device)
+
+
+def recover(node, device, at=1):
+    return ClusterEvent(DEVICE_RECOVERY, at_iteration=at, node=node, device=device)
+
+
+class TestSnapshotDerivation:
+    def test_healthy_view_matches_make_cluster_signature(self):
+        snapshot = make_view().snapshot()
+        reference = make_cluster(8, devices_per_node=4)
+        assert snapshot.topology.signature() == reference.signature()
+        assert snapshot.device_keys == tuple(
+            device_key(n, d) for n in range(2) for d in range(4)
+        )
+
+    def test_device_failure_shrinks_island_and_remaps_ids(self):
+        view = make_view()
+        view.apply(fail(0, 1))
+        snapshot = view.snapshot()
+        assert snapshot.topology.num_devices == 7
+        assert snapshot.topology.island_sizes == (3, 4)
+        # Contiguous ids; the dead device's key is gone from the mapping.
+        assert snapshot.id_of(device_key(0, 0)) == 0
+        assert snapshot.id_of(device_key(0, 1)) is None
+        assert snapshot.id_of(device_key(0, 2)) == 1
+        assert snapshot.id_of(device_key(1, 0)) == 3
+
+    def test_island_drops_entirely_when_all_devices_fail(self):
+        view = make_view()
+        for device in range(4):
+            view.apply(fail(0, device))
+        snapshot = view.snapshot()
+        assert snapshot.topology.num_nodes == 1
+        assert snapshot.node_ids == (1,)
+        assert snapshot.topology.num_devices == 4
+
+    def test_recovery_restores_the_original_signature(self):
+        view = make_view()
+        healthy = view.snapshot().signature
+        view.apply(fail(1, 2))
+        assert view.snapshot().signature != healthy
+        view.apply(recover(1, 2))
+        assert view.snapshot().signature == healthy
+
+    def test_node_join_with_different_spec_is_heterogeneous(self):
+        view = make_view()
+        view.apply(
+            ClusterEvent(NODE_JOIN, at_iteration=1, spec=TEST_GPU_SPEC, num_devices=4)
+        )
+        snapshot = view.snapshot()
+        assert snapshot.topology.num_nodes == 3
+        assert not snapshot.topology.is_homogeneous
+        assert snapshot.topology.node_specs[2] == TEST_GPU_SPEC
+        assert snapshot.node_ids == (0, 1, 2)
+        # Joined node's devices get fresh stable keys under the new node id.
+        assert snapshot.id_of(device_key(2, 0)) == 8
+
+    def test_node_leave_never_recycles_ids(self):
+        view = make_view()
+        view.apply(ClusterEvent(NODE_LEAVE, at_iteration=1, node=0))
+        view.apply(
+            ClusterEvent(NODE_JOIN, at_iteration=2, spec=A800_SPEC, num_devices=4)
+        )
+        snapshot = view.snapshot()
+        assert snapshot.node_ids == (1, 2)  # node 0's id is retired
+
+    def test_straggler_degrades_and_clears(self):
+        view = make_view()
+        view.apply(
+            ClusterEvent(STRAGGLER_ONSET, at_iteration=1, node=0, severity=0.5)
+        )
+        degraded = view.snapshot()
+        assert view.straggling_nodes() == [0]
+        spec = degraded.topology.node_specs[0]
+        assert spec.achievable_fraction == pytest.approx(
+            A800_SPEC.achievable_fraction * 0.5
+        )
+        assert degraded.topology.min_achievable_flops < A800_SPEC.achievable_flops
+        view.apply(ClusterEvent(STRAGGLER_CLEAR, at_iteration=2, node=0))
+        assert view.straggling_nodes() == []
+        assert view.snapshot().signature == make_view().snapshot().signature
+
+    def test_spec_of_node_maps_stable_ids(self):
+        view = make_view()
+        view.apply(
+            ClusterEvent(STRAGGLER_ONSET, at_iteration=1, node=1, severity=0.5)
+        )
+        snapshot = view.snapshot()
+        assert snapshot.spec_of_node(0) == A800_SPEC
+        assert snapshot.spec_of_node(1).achievable_fraction < (
+            A800_SPEC.achievable_fraction
+        )
+        assert snapshot.spec_of_node(7) is None
+
+
+class TestEventStrictness:
+    def test_double_failure_rejected(self):
+        view = make_view()
+        view.apply(fail(0, 0))
+        with pytest.raises(ElasticViewError):
+            view.apply(fail(0, 0))
+
+    def test_recovering_an_alive_device_rejected(self):
+        with pytest.raises(ElasticViewError):
+            make_view().apply(recover(0, 0))
+
+    def test_unknown_node_or_slot_rejected(self):
+        view = make_view()
+        with pytest.raises(ElasticViewError):
+            view.apply(fail(9, 0))
+        with pytest.raises(ElasticViewError):
+            view.apply(fail(0, 9))
+        view.apply(ClusterEvent(NODE_LEAVE, at_iteration=1, node=1))
+        with pytest.raises(ElasticViewError):
+            view.apply(fail(1, 0))
+
+    def test_straggler_events_are_idempotent(self):
+        view = make_view()
+        view.apply(ClusterEvent(STRAGGLER_CLEAR, at_iteration=1, node=0))  # no-op
+        view.apply(
+            ClusterEvent(STRAGGLER_ONSET, at_iteration=2, node=0, severity=0.5)
+        )
+        view.apply(
+            ClusterEvent(STRAGGLER_ONSET, at_iteration=3, node=0, severity=0.8)
+        )
+        spec = view.snapshot().topology.node_specs[0]
+        assert spec.achievable_fraction == pytest.approx(
+            A800_SPEC.achievable_fraction * 0.8
+        )
+
+    def test_last_device_cannot_vanish(self):
+        view = make_view(num_nodes=1, per_node=1)
+        view.apply(fail(0, 0))
+        with pytest.raises(ElasticViewError):
+            view.snapshot()
+
+    def test_from_cluster_round_trip(self):
+        cluster = make_cluster(16, devices_per_node=8)
+        snapshot = ElasticClusterView.from_cluster(cluster).snapshot()
+        assert snapshot.topology.signature() == cluster.signature()

@@ -264,6 +264,62 @@ class TestEstimatorCurveCache:
         ]
         assert warm is cached.estimate_metaop(metaop)
 
+    def test_topology_change_invalidates_cached_curves(self, cluster16):
+        """Regression: MetaOp.curve_key does not encode the cluster, so the
+        cache must key on the topology signature — replanning after an
+        elastic event must never reuse curves fitted for the old topology."""
+        from repro.cluster.topology import make_cluster
+        from repro.costmodel.timing import ExecutionTimeModel
+
+        profiler = SyntheticProfiler(cluster16)
+        estimator = ScalabilityEstimator(profiler)
+        old_curve = estimator.estimate_metaop(make_metaop(index=0))
+        # The substrate changes under the estimator (one island lost).
+        shrunk = make_cluster(8, devices_per_node=8)
+        profiler.cluster = shrunk
+        profiler.timing_model = ExecutionTimeModel(shrunk)
+        new_curve = estimator.estimate_metaop(make_metaop(index=0))
+        assert new_curve is not old_curve
+        assert new_curve.max_devices == 8  # profiled on the new topology
+        # Flipping back restores the original entry (the signature matches).
+        profiler.cluster = cluster16
+        profiler.timing_model = ExecutionTimeModel(cluster16)
+        assert estimator.estimate_metaop(make_metaop(index=0)) is old_curve
+
+    def test_degraded_spec_invalidates_cached_curves(self):
+        """A straggler-degraded topology (same shape, lower achievable
+        fraction) must not share cache entries with the healthy one."""
+        from repro.cluster.device import A800_SPEC
+        from repro.cluster.topology import make_heterogeneous_cluster
+        from repro.costmodel.timing import ExecutionTimeModel
+
+        healthy = make_heterogeneous_cluster(
+            [A800_SPEC, A800_SPEC], devices_per_node=4
+        )
+        degraded = make_heterogeneous_cluster(
+            [A800_SPEC, A800_SPEC.degraded(0.5)], devices_per_node=4
+        )
+        profiler = SyntheticProfiler(healthy)
+        estimator = ScalabilityEstimator(profiler)
+        healthy_curve = estimator.estimate_metaop(make_metaop(index=0))
+        profiler.cluster = degraded
+        profiler.timing_model = ExecutionTimeModel(degraded)
+        degraded_curve = estimator.estimate_metaop(make_metaop(index=0))
+        assert degraded_curve is not healthy_curve
+        assert degraded_curve.time(1.0) > healthy_curve.time(1.0)
+
+    def test_incremental_planner_rejects_swapped_cluster(self, cluster16):
+        from repro.service.incremental import IncrementalPlanner, StaleTopologyError
+
+        planner = ExecutionPlanner(cluster16)
+        incremental = IncrementalPlanner(planner)
+        incremental.plan([make_chain_task("t0", {"text": 2})])
+        from repro.cluster.topology import make_cluster
+
+        planner.cluster = make_cluster(8, devices_per_node=8)
+        with pytest.raises(StaleTopologyError):
+            incremental.plan([make_chain_task("t0", {"text": 2})])
+
 
 def comparable_plan_document(plan) -> dict:
     """The serialized plan minus wall-clock planning timings."""
@@ -319,3 +375,34 @@ class TestPlanEquivalence:
         first = planner.plan(tiny_tasks)
         second = planner.plan(tiny_tasks)
         assert comparable_plan_document(first) == comparable_plan_document(second)
+
+    def test_post_event_topologies_plan_identically(self, tiny_tasks):
+        """Optimized and reference planners must agree on the irregular,
+        heterogeneous topologies elastic events produce — not just on the
+        rectangular Fig. 8 grid."""
+        from repro.cluster.device import TEST_GPU_SPEC
+        from repro.elastic.events import (
+            DEVICE_FAILURE,
+            NODE_JOIN,
+            ClusterEvent,
+        )
+        from repro.elastic.view import ElasticClusterView
+
+        view = ElasticClusterView(num_nodes=2, devices_per_node=8,
+                                  device_spec=TEST_GPU_SPEC)
+        view.apply(
+            ClusterEvent(DEVICE_FAILURE, at_iteration=1, node=0, device=3)
+        )
+        view.apply(
+            ClusterEvent(
+                NODE_JOIN, at_iteration=2, spec=TEST_GPU_SPEC, num_devices=4
+            )
+        )
+        cluster = view.snapshot().topology
+        assert cluster.island_sizes == (7, 8, 4)
+        optimized = ExecutionPlanner(cluster).plan(tiny_tasks)
+        reference = ExecutionPlanner(cluster, optimized=False).plan(tiny_tasks)
+        assert optimized.fingerprint == reference.fingerprint
+        assert comparable_plan_document(optimized) == comparable_plan_document(
+            reference
+        )

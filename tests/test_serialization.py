@@ -94,6 +94,15 @@ class TestValidation:
 
     def test_capacity_violation_rejected(self, plan):
         document = plan_to_dict(plan)
+        document["cluster"]["num_devices"] = 1
+        with pytest.raises(SerializationError):
+            validate_plan_document(document)
+
+    def test_legacy_documents_without_num_devices_validate(self, plan):
+        """Rectangular documents from older writers derive the device count."""
+        document = plan_to_dict(plan)
+        del document["cluster"]["num_devices"]
+        validate_plan_document(document)
         document["cluster"]["num_nodes"] = 1
         document["cluster"]["devices_per_node"] = 1
         with pytest.raises(SerializationError):
