@@ -189,6 +189,7 @@ ELASTIC_SCENARIOS = (
     "flash-crowd",
     "hetero-expand",
     "rolling-stragglers",
+    "gpu-stragglers",
 )
 
 
@@ -197,6 +198,7 @@ def _elastic_timeline(args: argparse.Namespace, num_nodes: int, per_node: int):
     from repro.cluster.device import A800_SPEC, TEST_GPU_SPEC
     from repro.elastic import (
         flash_crowd_timeline,
+        gpu_straggler_timeline,
         island_outage_timeline,
         random_failure_timeline,
         rolling_straggler_timeline,
@@ -225,6 +227,15 @@ def _elastic_timeline(args: argparse.Namespace, num_nodes: int, per_node: int):
             num_new_nodes=max(1, args.events),
             devices_per_node=per_node,
             spec=spec,
+        )
+    if args.scenario == "gpu-stragglers":
+        return gpu_straggler_timeline(
+            num_nodes=num_nodes,
+            devices_per_node=per_node,
+            total_iterations=iterations,
+            num_episodes=args.events,
+            seed=args.seed,
+            severity=args.severity,
         )
     return rolling_straggler_timeline(
         num_nodes=num_nodes,
@@ -256,6 +267,8 @@ def _cmd_elastic(args: argparse.Namespace) -> int:
         return _fail("--debounce must be positive")
     if args.threshold < 0:
         return _fail("--threshold must be non-negative")
+    if args.checkpoint_interval is not None and args.checkpoint_interval <= 0:
+        return _fail("--checkpoint-interval must be positive")
     per_node = min(8, args.gpus)
     if args.gpus % per_node != 0:
         return _fail(f"--gpus {args.gpus} is not a multiple of {per_node}")
@@ -282,7 +295,14 @@ def _cmd_elastic(args: argparse.Namespace) -> int:
     policy = make_policy(
         args.policy, min_groups=args.debounce, threshold=args.threshold
     )
-    runner = ElasticTrainingRunner(scenario, policy=policy)
+    from repro.elastic import MigrationCostModel
+
+    migration_model = MigrationCostModel(
+        checkpoint_interval=args.checkpoint_interval
+    )
+    runner = ElasticTrainingRunner(
+        scenario, policy=policy, migration_model=migration_model
+    )
     result = runner.run(tasks)
 
     document = result.to_document()
@@ -442,6 +462,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.5,
         help="remaining throughput fraction of straggler episodes",
+    )
+    elastic_parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        help="iterations between checkpoints; restores re-execute the "
+        "iterations since the last checkpoint (default: no lost-progress term)",
     )
     elastic_parser.add_argument(
         "--json", action="store_true", help="print the canonical report as JSON"

@@ -7,6 +7,7 @@ from repro.cluster.topology import (
     DEFAULT_INTRA_ISLAND,
     ClusterTopology,
     InterconnectSpec,
+    SpecClass,
     TopologyError,
     make_cluster,
     make_heterogeneous_cluster,
@@ -22,6 +23,7 @@ __all__ = [
     "Device",
     "DeviceSpec",
     "InterconnectSpec",
+    "SpecClass",
     "TopologyError",
     "make_cluster",
     "make_heterogeneous_cluster",

@@ -66,6 +66,44 @@ def _spec_document(spec: DeviceSpec) -> dict[str, Any]:
     }
 
 
+@dataclass(frozen=True)
+class SpecClass:
+    """One equivalence class of a cluster's devices under ``DeviceSpec``.
+
+    Devices sharing a spec form a *spec class* (§3.5's device islands
+    generalised to mixed hardware): device specs are assigned per island, so a
+    class is always a union of whole islands.  The heterogeneity-aware planner
+    fits one scaling curve per (MetaOp, spec class), allocates each MetaOp
+    devices from a single class, and paces every wave entry on its class's
+    sustained throughput instead of the cluster-wide floor.
+    """
+
+    index: int
+    spec: DeviceSpec
+    islands: tuple[int, ...]
+    device_ids: tuple[int, ...]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.device_ids)
+
+    @property
+    def achievable_flops(self) -> float:
+        """Sustained FLOP/s of each device in this class (the pacing rate)."""
+        return self.spec.achievable_flops
+
+    @property
+    def capacity_flops(self) -> float:
+        """Aggregate sustained FLOP/s of the whole class."""
+        return self.num_devices * self.spec.achievable_flops
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpecClass({self.index}: {self.spec.name!r} x{self.num_devices}, "
+            f"islands={list(self.islands)})"
+        )
+
+
 @dataclass
 class ClusterTopology:
     """A GPU cluster organised into device islands (nodes).
@@ -107,6 +145,9 @@ class ClusterTopology:
     _island_groups: list[list[int]] = field(init=False, repr=False)
     _node_ids: list[int] = field(init=False, repr=False)
     _signature: str | None = field(init=False, repr=False, default=None)
+    _spec_classes: tuple[SpecClass, ...] | None = field(
+        init=False, repr=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -250,6 +291,80 @@ class ClusterTopology:
 
     def same_island(self, a: int, b: int) -> bool:
         return self.island_of(a) == self.island_of(b)
+
+    # ----------------------------------------------------------- spec classes
+    def spec_classes(self) -> tuple[SpecClass, ...]:
+        """Devices partitioned by :class:`~repro.cluster.device.DeviceSpec`.
+
+        Specs are per-island, so every class is a union of whole islands.  The
+        ordering is *stable*: classes are sorted fastest first (descending
+        sustained FLOP/s, then descending peak FLOP/s and memory, then spec
+        name, then first island index), so the heterogeneity-aware planner's
+        "heavy MetaOps onto fast islands" preference is deterministic.  A
+        homogeneous cluster collapses to a single class covering everything.
+
+        The partition is a pure function of ``node_specs``/``island_sizes``,
+        both of which :meth:`canonical_dict` embeds — so :meth:`signature`
+        covers the spec-class structure by construction, and any change to the
+        grouping changes the signature.
+        """
+        if self._spec_classes is None:
+            grouped: dict[tuple, tuple[DeviceSpec, list[int]]] = {}
+            specs = self.node_specs or (self.device_spec,) * self.num_nodes
+            for island, spec in enumerate(specs):
+                key = (
+                    spec.name,
+                    spec.peak_flops,
+                    spec.memory_bytes,
+                    spec.achievable_fraction,
+                )
+                if key in grouped:
+                    grouped[key][1].append(island)
+                else:
+                    grouped[key] = (spec, [island])
+            ordered = sorted(
+                grouped.values(),
+                key=lambda entry: (
+                    -entry[0].achievable_flops,
+                    -entry[0].peak_flops,
+                    -entry[0].memory_bytes,
+                    entry[0].name,
+                    entry[1][0],
+                ),
+            )
+            self._spec_classes = tuple(
+                SpecClass(
+                    index=index,
+                    spec=spec,
+                    islands=tuple(islands),
+                    device_ids=tuple(
+                        device_id
+                        for island in islands
+                        for device_id in self._island_groups[island]
+                    ),
+                )
+                for index, (spec, islands) in enumerate(ordered)
+            )
+        return self._spec_classes
+
+    @property
+    def num_spec_classes(self) -> int:
+        return len(self.spec_classes())
+
+    def spec_class_of_island(self, island: int) -> int:
+        """Spec-class index of one island."""
+        if not 0 <= island < self.num_nodes:
+            raise TopologyError(f"Island {island} out of range [0, {self.num_nodes})")
+        for cls in self.spec_classes():
+            if island in cls.islands:
+                return cls.index
+        raise TopologyError(  # pragma: no cover - partition covers all islands
+            f"Island {island} belongs to no spec class"
+        )
+
+    def spec_class_of(self, device_id: int) -> int:
+        """Spec-class index of the island hosting ``device_id``."""
+        return self.spec_class_of_island(self.island_of(device_id))
 
     # ------------------------------------------------------------------ links
     def link_between(self, src: int, dst: int) -> InterconnectSpec:

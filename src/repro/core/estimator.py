@@ -30,8 +30,13 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.cluster.topology import SpecClass
 from repro.core.metagraph import MetaGraph, MetaOp
-from repro.costmodel.profiler import ProfileSample, SyntheticProfiler
+from repro.costmodel.profiler import (
+    ProfileSample,
+    SyntheticProfiler,
+    default_profile_points,
+)
 
 
 class EstimatorError(Exception):
@@ -277,6 +282,14 @@ class ScalabilityEstimator:
     therefore keyed by ``(topology signature, curve_key)``: if the profiler's
     cluster is ever swapped (elastic replanning after a failure/join event),
     curves fitted for the old topology can never be served for the new one.
+
+    On heterogeneous clusters the same MetaOp additionally has one curve *per
+    spec class* (profiled at the class's own pacing rate over the class's
+    device range); those entries carry the class index as an extra key
+    component — ``(topology signature, class index, curve_key)`` — so a fast
+    island's curve is never served for a slow one.  Homogeneous clusters
+    collapse to a single spec class and keep using the plain two-component
+    key, i.e. the pre-existing cache path.
     """
 
     def __init__(
@@ -340,6 +353,95 @@ class ScalabilityEstimator:
         if self._cache_active:
             self._cache_store(self._cache_key(metaop.curve_key), curve)
         return curve
+
+    def class_profile_points(self, spec_class: SpecClass) -> list[int]:
+        """Allocation sizes profiled for one spec class.
+
+        The configured profile points are clamped to the class's device count
+        (a class is the largest group a class-assigned MetaOp can occupy);
+        without configured points the power-of-two default over the class
+        range is used.
+        """
+        if self.profile_points is None:
+            return default_profile_points(spec_class.num_devices)
+        clamped = sorted({min(p, spec_class.num_devices) for p in self.profile_points})
+        return [p for p in clamped if p > 0] or [spec_class.num_devices]
+
+    def estimate_metaops_for_class(
+        self,
+        metaops: Sequence[tuple[int, MetaOp]],
+        spec_class: SpecClass,
+    ) -> dict[int, ScalingCurve]:
+        """Fit curves for ``(index, metaop)`` pairs paced on one spec class.
+
+        Curves are profiled at the class's sustained rate over the class's
+        device range and cached under ``(topology signature, class index,
+        curve_key)``.  Under measurement noise the cache is bypassed and each
+        MetaOp draws its own samples in the order given, exactly like the base
+        estimation path, so optimized and reference planners consume the same
+        RNG stream.
+        """
+        points = self.class_profile_points(spec_class)
+        pacing = spec_class.achievable_flops
+        curves: dict[int, ScalingCurve] = {}
+        pending: list[tuple[int, MetaOp]] = []
+        for index, metaop in metaops:
+            if self._cache_active:
+                key = self._class_cache_key(spec_class, metaop.curve_key)
+                cached = self._curve_cache.get(key)
+                if cached is not None:
+                    curves[index] = cached
+                    continue
+            pending.append((index, metaop))
+        if not pending:
+            return curves
+        if self._cache_active:
+            seen: set[CurveKey] = set()
+            unique: list[tuple[CurveKey, MetaOp]] = []
+            for _, metaop in pending:
+                if metaop.curve_key not in seen:
+                    seen.add(metaop.curve_key)
+                    unique.append((metaop.curve_key, metaop))
+            sample_lists = self.profiler.profile_operators(
+                [metaop.representative for _, metaop in unique],
+                points=points,
+                include_backward=self.include_backward,
+                pacing_flops=pacing,
+            )
+            fitted = {
+                key: ScalingCurve(samples)
+                for (key, _), samples in zip(unique, sample_lists)
+            }
+            for key, curve in fitted.items():
+                self._cache_store(self._class_cache_key(spec_class, key), curve)
+            for index, metaop in pending:
+                curves[index] = fitted[metaop.curve_key]
+        else:
+            sample_lists = self.profiler.profile_operators(
+                [metaop.representative for _, metaop in pending],
+                points=points,
+                include_backward=self.include_backward,
+                pacing_flops=pacing,
+            )
+            for (index, _), samples in zip(pending, sample_lists):
+                curves[index] = ScalingCurve(samples)
+        return curves
+
+    def _class_cache_key(
+        self, spec_class: SpecClass, curve_key: CurveKey
+    ) -> CurveKey:
+        """Cache key of one (spec class, workload) pair.
+
+        The topology signature pins the substrate (and thereby the class
+        partition, which the signature covers by construction), so the class
+        *index* is a stable discriminator within it.  Three components never
+        collide with the two-component base keys.
+        """
+        cluster = self.profiler.cluster
+        if cluster is not self._keyed_cluster:
+            self._keyed_cluster = cluster
+            self._cluster_signature = cluster.signature()
+        return (self._cluster_signature, spec_class.index, curve_key)
 
     def estimate(
         self,

@@ -57,6 +57,17 @@ class LocalityAwarePlacer:
         # Per-device capacity checks are only needed on mixed-HBM clusters;
         # the homogeneous fast path keeps the scoring loop a single compare.
         self._homogeneous = cluster.is_homogeneous
+        # Spec-class device pools: entries carrying a spec-class assignment
+        # must be placed inside their class's islands (the scheduler budgeted
+        # the class's devices for them, and their pacing assumes the class's
+        # sustained rate).  Homogeneous plans never set spec_class, so these
+        # pools go unused there.
+        self._class_devices = {
+            cls.index: frozenset(cls.device_ids) for cls in cluster.spec_classes()
+        }
+        self._class_islands = {
+            cls.index: cls.islands for cls in cluster.spec_classes()
+        }
 
     # ------------------------------------------------------------- public API
     def place(self, waves: Sequence[Wave], metagraph: MetaGraph) -> PlacementResult:
@@ -115,9 +126,21 @@ class LocalityAwarePlacer:
         free: set[int],
         preferred: list[int],
     ) -> list[tuple[int, ...]]:
-        """Enumerate candidate device groups for an entry, best-first."""
+        """Enumerate candidate device groups for an entry, best-first.
+
+        Entries bound to a spec class only see that class's islands and
+        devices; classic entries see the whole cluster.
+        """
         n = entry.n_devices
         candidates: list[tuple[int, ...]] = []
+
+        if entry.spec_class is not None:
+            allowed = self._class_devices[entry.spec_class]
+            free = {d for d in free if d in allowed}
+            preferred = [d for d in preferred if d in allowed]
+            island_pool: Sequence[int] = self._class_islands[entry.spec_class]
+        else:
+            island_pool = range(self.cluster.num_nodes)
 
         # Preferred devices may be suggested by several sources (previous slice
         # of the same MetaOp, several predecessors); keep first occurrences.
@@ -128,7 +151,7 @@ class LocalityAwarePlacer:
 
         preferred_islands = {self.cluster.island_of(d) for d in preferred}
         islands = sorted(
-            range(self.cluster.num_nodes),
+            island_pool,
             key=lambda i: (i not in preferred_islands, i),
         )
         for island in islands:

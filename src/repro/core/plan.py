@@ -55,7 +55,14 @@ class ASLTuple:
 
 @dataclass
 class WaveEntry:
-    """One sliced MetaOp scheduled inside a wave."""
+    """One sliced MetaOp scheduled inside a wave.
+
+    ``spec_class`` is the index of the cluster spec class this entry is
+    allocated from and paced on (heterogeneity-aware plans only).  ``None``
+    means the entry may span the whole cluster and paces on the cluster-wide
+    sustained-throughput floor — the only mode on homogeneous clusters, and
+    the conservative fallback on heterogeneous ones.
+    """
 
     metaop_index: int
     n_devices: int
@@ -63,6 +70,7 @@ class WaveEntry:
     duration: float
     operator_offset: int = 0
     devices: tuple[int, ...] = ()
+    spec_class: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_devices <= 0:
@@ -197,18 +205,33 @@ class PlacementResult:
 
 @dataclass
 class LevelAllocation:
-    """Allocation plan of one MetaLevel produced by the resource allocator."""
+    """Allocation plan of one MetaLevel produced by the resource allocator.
+
+    On heterogeneity-aware levels, ``spec_classes`` maps each MetaOp index to
+    the spec class it was assigned to (allocated from and paced on) and
+    ``class_sizes`` gives each assigned class's device count — the per-class
+    budgets the wavefront scheduler enforces.  Both are ``None`` on levels
+    allocated the classic way (homogeneous clusters, or heterogeneous levels
+    where cluster-spanning floor pacing won the comparison).
+    """
 
     level: int
     c_star: float
     continuous: dict[int, float]
     plan: dict[int, list[ASLTuple]]
+    spec_classes: Optional[dict[int, int]] = None
+    class_sizes: Optional[dict[int, int]] = None
 
     def tuples_for(self, metaop_index: int) -> list[ASLTuple]:
         return list(self.plan.get(metaop_index, []))
 
     def total_layers(self, metaop_index: int) -> int:
         return sum(t.layers for t in self.plan.get(metaop_index, []))
+
+    def spec_class_of(self, metaop_index: int) -> Optional[int]:
+        if self.spec_classes is None:
+            return None
+        return self.spec_classes.get(metaop_index)
 
 
 @dataclass
@@ -223,6 +246,9 @@ class PlanningReport:
     #: MetaOps whose scaling curve was supplied precomputed (incremental
     #: re-planning) instead of being profiled and fitted in this run.
     reused_curves: int = 0
+    #: MetaLevels that adopted a spec-class partition (heterogeneous clusters
+    #: only; zero on homogeneous clusters and classic plans).
+    partitioned_levels: int = 0
 
     @property
     def total_seconds(self) -> float:

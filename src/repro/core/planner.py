@@ -75,6 +75,7 @@ class ExecutionPlanner:
         placement_strategy: str = "locality",
         profile_noise_std: float = 0.0,
         optimized: bool = True,
+        spec_aware: bool = True,
     ) -> None:
         """``optimized`` selects the vectorized hot path (cached allocation
         grids, estimator curve memoization, table-driven bisection); the
@@ -82,6 +83,13 @@ class ExecutionPlanner:
         exists so plan-equivalence tests can prove both paths emit identical
         plans.  The flag never affects plan contents and is therefore not part
         of :meth:`config_signature`.
+
+        ``spec_aware`` enables heterogeneity-aware planning on clusters with
+        more than one spec class (per-class scaling curves, spec-class
+        partitioned levels, per-group pacing).  It has no effect whatsoever on
+        homogeneous clusters — those short-circuit to the classic pipeline —
+        and ``False`` forces the classic slowest-device-paced plan everywhere
+        (the baseline the heterogeneous benchmarks compare against).
         """
         if placement_strategy not in ("locality", "sequential"):
             raise ValueError(
@@ -95,6 +103,8 @@ class ExecutionPlanner:
         )
         self.memory_model = memory_model or MemoryModel()
         self.optimized = optimized
+        self.spec_aware = spec_aware
+        self._hetero_allocator: "HeterogeneousLevelAllocator | None" = None
         self.estimator = ScalabilityEstimator(
             self.profiler, enable_curve_cache=optimized
         )
@@ -170,7 +180,15 @@ class ExecutionPlanner:
         report.reused_curves = reused
 
         start = time.perf_counter()
-        level_allocations = self.allocator.allocate(metagraph, curves)
+        if self.spec_aware and self.cluster.num_spec_classes > 1:
+            hetero = self._hetero()
+            allocation = hetero.allocate(metagraph, curves)
+            level_allocations = allocation.level_allocations
+            scheduling_curves = allocation.curves
+            report.partitioned_levels = len(allocation.partitioned_levels)
+        else:
+            level_allocations = self.allocator.allocate(metagraph, curves)
+            scheduling_curves = curves
         finish_stage("resource_allocation", start)
         report.level_c_star = {
             level: alloc.c_star for level, alloc in level_allocations.items()
@@ -181,7 +199,9 @@ class ExecutionPlanner:
             level: metagraph.metaops_at_level(level)
             for level in level_allocations
         }
-        schedule = self.scheduler.schedule(level_allocations, metaops_by_level, curves)
+        schedule = self.scheduler.schedule(
+            level_allocations, metaops_by_level, scheduling_curves
+        )
         finish_stage("wavefront_scheduling", start)
         report.num_waves = schedule.num_waves
 
@@ -209,7 +229,7 @@ class ExecutionPlanner:
         produced plan; the planning service folds it into cache fingerprints
         so planners with different configurations never share cache entries.
         """
-        return {
+        signature = {
             "placement_strategy": self.placement_strategy,
             "profile_noise_std": self.profiler.noise_std,
             "timing": dataclasses.asdict(self.timing_model.config),
@@ -220,8 +240,25 @@ class ExecutionPlanner:
                 self.allocator.valid_allocation_fn
             ),
         }
+        # The default (spec-aware) configuration omits the key so that every
+        # fingerprint minted before spec-class planning existed stays valid;
+        # only the non-default slowest-device-paced configuration is marked,
+        # which is all the cache needs to keep the two apart.
+        if not self.spec_aware:
+            signature["spec_aware"] = False
+        return signature
 
     # -------------------------------------------------------------- internals
+    def _hetero(self) -> "HeterogeneousLevelAllocator":
+        """Lazily built heterogeneity-aware level allocator (hetero clusters)."""
+        if self._hetero_allocator is None:
+            from repro.core.hetero import HeterogeneousLevelAllocator
+
+            self._hetero_allocator = HeterogeneousLevelAllocator(
+                self.cluster, self.allocator, self.estimator
+            )
+        return self._hetero_allocator
+
     def _fingerprint(self, workload: PlannerInput) -> str:
         # Imported lazily: the service package depends on the core package.
         from repro.service.fingerprint import fingerprint_workload

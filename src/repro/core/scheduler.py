@@ -81,11 +81,17 @@ class _PendingMetaOp:
 
 @dataclass
 class _Candidate:
-    """One MetaOp slice proposed for the wave being crafted."""
+    """One MetaOp slice proposed for the wave being crafted.
+
+    ``spec_class`` is the budget pool the candidate draws devices from:
+    ``None`` for classic cluster-wide scheduling, a spec-class index on
+    heterogeneity-aware levels.
+    """
 
     pending: _PendingMetaOp
     source: _PendingTuple
     n_devices: int
+    spec_class: int | None = None
 
     @property
     def per_layer_time(self) -> float:
@@ -128,14 +134,31 @@ class WavefrontScheduler:
         start_time: float = 0.0,
         wave_index_offset: int = 0,
     ) -> tuple[list[Wave], float]:
-        """Craft the waves of one MetaLevel; returns (waves, end_time)."""
+        """Craft the waves of one MetaLevel; returns (waves, end_time).
+
+        On spec-class-partitioned levels (``allocation.spec_classes`` set),
+        every wave enforces one device budget per spec class: a MetaOp's
+        slices only ever occupy — and extend into — devices of the class it
+        was allocated on, so each entry is paced on its own group's sustained
+        rate.  Classic levels run with the single cluster-wide budget.
+        """
         pending = self._build_pending(allocation, metaops, curves)
+        class_of = allocation.spec_classes
+        if class_of is None:
+            budgets: dict[int | None, int] = {None: self.num_devices}
+        else:
+            budgets = dict(allocation.class_sizes or {})
+            if not budgets:
+                raise SchedulerError(
+                    "spec-class level allocation is missing its class sizes"
+                )
         waves: list[Wave] = []
         current_time = start_time
         wave_index = wave_index_offset
         while any(not p.exhausted for p in pending.values()):
             wave = self._craft_wave(
-                pending, wave_index, allocation.level, current_time
+                pending, wave_index, allocation.level, current_time,
+                class_of, budgets,
             )
             waves.append(wave)
             current_time = wave.end
@@ -201,11 +224,15 @@ class WavefrontScheduler:
         wave_index: int,
         level: int,
         start_time: float,
+        class_of: dict[int, int] | None = None,
+        budgets: dict[int | None, int] | None = None,
     ) -> Wave:
-        candidates = self._propose_candidates(pending)
+        if budgets is None:
+            budgets = {None: self.num_devices}
+        candidates = self._propose_candidates(pending, class_of, budgets)
         if not candidates:
             raise SchedulerError("No candidate ASL-tuples fit into the wave")
-        self._extend_resources(candidates, pending)
+        self._extend_resources(candidates, budgets)
         entries, duration = self._align_time_span(candidates)
         wave = Wave(
             index=wave_index,
@@ -218,9 +245,18 @@ class WavefrontScheduler:
         return wave
 
     def _propose_candidates(
-        self, pending: dict[int, _PendingMetaOp]
+        self,
+        pending: dict[int, _PendingMetaOp],
+        class_of: dict[int, int] | None,
+        budgets: dict[int | None, int],
     ) -> list[_Candidate]:
-        """Step 1: greedily occupy as many devices as possible."""
+        """Step 1: greedily occupy as many devices as possible.
+
+        Each candidate draws devices from its MetaOp's budget pool — the
+        whole cluster on classic levels, its assigned spec class on
+        partitioned ones — so a heavy MetaOp can never crowd a light one off
+        the light one's own islands.
+        """
         active = [p for p in pending.values() if not p.exhausted]
         # Prefer MetaOps whose next tuple uses many devices, breaking ties by
         # the amount of remaining work (balances workloads over waves).
@@ -230,17 +266,23 @@ class WavefrontScheduler:
                 -p.remaining_time(),
             )
         )
-        budget = self.num_devices
+        remaining = dict(budgets)
         candidates: list[_Candidate] = []
         for p in active:
-            source = p.largest_fitting_tuple(budget)
+            cls = class_of.get(p.metaop.index) if class_of is not None else None
+            source = p.largest_fitting_tuple(remaining.get(cls, 0))
             if source is None:
                 continue
             candidates.append(
-                _Candidate(pending=p, source=source, n_devices=source.n_devices)
+                _Candidate(
+                    pending=p,
+                    source=source,
+                    n_devices=source.n_devices,
+                    spec_class=cls,
+                )
             )
-            budget -= source.n_devices
-            if budget == 0:
+            remaining[cls] -= source.n_devices
+            if sum(remaining.values()) == 0:
                 break
         if not candidates and active:
             # Nothing fits (a single tuple larger than the cluster should have
@@ -248,49 +290,61 @@ class WavefrontScheduler:
             p = min(active, key=lambda p: p.next_tuple().n_devices)
             source = p.next_tuple()
             assert source is not None
+            cls = class_of.get(p.metaop.index) if class_of is not None else None
+            cap = budgets.get(cls, self.num_devices)
             candidates.append(
                 _Candidate(
                     pending=p,
                     source=source,
-                    n_devices=min(source.n_devices, self.num_devices),
+                    n_devices=min(source.n_devices, cap),
+                    spec_class=cls,
                 )
             )
         return candidates
 
     def _extend_resources(
-        self, candidates: list[_Candidate], pending: dict[int, _PendingMetaOp]
+        self,
+        candidates: list[_Candidate],
+        budgets: dict[int | None, int],
     ) -> None:
         """Step 2: extend allocations so no device sits idle.
 
         Extension is prioritised for the MetaOps with the largest remaining
-        execution time, balancing the residual workload across MetaOps.
+        execution time, balancing the residual workload across MetaOps.  Each
+        candidate only grows within its own budget pool: devices of a spec
+        class that scheduled no work this wave stay idle rather than hosting
+        a slice paced for a different class.
         """
-        used = sum(c.n_devices for c in candidates)
-        idle = self.num_devices - used
-        if idle <= 0:
+        idle = dict(budgets)
+        for c in candidates:
+            idle[c.spec_class] -= c.n_devices
+        if all(value <= 0 for value in idle.values()):
             return
         by_remaining = sorted(
             candidates, key=lambda c: c.pending.remaining_time(), reverse=True
         )
         progress = True
-        while idle > 0 and progress:
+        while any(value > 0 for value in idle.values()) and progress:
             progress = False
             for candidate in by_remaining:
+                pool = candidate.spec_class
+                if idle[pool] <= 0:
+                    continue
                 valid = self.allocation_grid.grid(
-                    candidate.pending.metaop, self.num_devices
+                    candidate.pending.metaop, budgets[pool]
                 )
                 larger = [
                     n
                     for n in valid
-                    if candidate.n_devices < n <= candidate.n_devices + idle
+                    if candidate.n_devices < n <= candidate.n_devices + idle[pool]
                 ]
                 if not larger:
                     continue
                 new_n = min(larger)
-                idle -= new_n - candidate.n_devices
+                idle[pool] -= new_n - candidate.n_devices
                 candidate.n_devices = new_n
                 progress = True
-                if idle <= 0:
+                if all(value <= 0 for value in idle.values()):
                     break
 
     def _align_time_span(
@@ -317,6 +371,7 @@ class WavefrontScheduler:
                     layers=layers,
                     duration=entry_duration,
                     operator_offset=candidate.pending.operator_cursor,
+                    spec_class=candidate.spec_class,
                 )
             )
             duration = max(duration, entry_duration)

@@ -42,29 +42,36 @@ def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
         }
         for metaop in plan.metagraph.metaops.values()
     ]
+    def entry_document(wave, entry) -> dict[str, Any]:
+        document: dict[str, Any] = {
+            "metaop": entry.metaop_index,
+            "n_devices": entry.n_devices,
+            "layers": entry.layers,
+            "operator_offset": entry.operator_offset,
+            "devices": list(
+                plan.placement.devices_for(wave.index, entry.metaop_index)
+            ),
+        }
+        # Spec-class pacing only exists on heterogeneity-aware plans; classic
+        # (and every homogeneous) plan document stays byte-identical to the
+        # pre-spec-class format.
+        if entry.spec_class is not None:
+            document["spec_class"] = entry.spec_class
+        return document
+
     waves = [
         {
             "index": wave.index,
             "level": wave.level,
             "start": wave.start,
             "duration": wave.duration,
-            "entries": [
-                {
-                    "metaop": entry.metaop_index,
-                    "n_devices": entry.n_devices,
-                    "layers": entry.layers,
-                    "operator_offset": entry.operator_offset,
-                    "devices": list(
-                        plan.placement.devices_for(wave.index, entry.metaop_index)
-                    ),
-                }
-                for entry in wave.entries
-            ],
+            "entries": [entry_document(wave, entry) for entry in wave.entries],
         }
         for wave in plan.waves
     ]
-    allocations = {
-        str(level): {
+
+    def allocation_document(allocation) -> dict[str, Any]:
+        document: dict[str, Any] = {
             "c_star": allocation.c_star,
             "continuous": {str(k): v for k, v in allocation.continuous.items()},
             "tuples": {
@@ -72,6 +79,17 @@ def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
                 for k, tuples in allocation.plan.items()
             },
         }
+        if allocation.spec_classes is not None:
+            document["spec_classes"] = {
+                str(k): v for k, v in sorted(allocation.spec_classes.items())
+            }
+            document["class_sizes"] = {
+                str(k): v for k, v in sorted((allocation.class_sizes or {}).items())
+            }
+        return document
+
+    allocations = {
+        str(level): allocation_document(allocation)
         for level, allocation in plan.level_allocations.items()
     }
     return {

@@ -86,10 +86,16 @@ class SyntheticProfiler:
         op: Operator,
         points: Sequence[int] | None = None,
         include_backward: bool = True,
+        pacing_flops: float | None = None,
     ) -> list[ProfileSample]:
-        """Measure ``op`` at each candidate allocation size."""
+        """Measure ``op`` at each candidate allocation size.
+
+        ``pacing_flops`` selects the sustained-throughput ceiling the
+        measurement is paced on (a spec class's own rate); ``None`` keeps the
+        conservative cluster-floor pacing.
+        """
         return self._profile_resolved(
-            op, self._resolve_points(points), include_backward
+            op, self._resolve_points(points), include_backward, pacing_flops
         )
 
     def profile_operators(
@@ -97,6 +103,7 @@ class SyntheticProfiler:
         ops: Sequence[Operator],
         points: Sequence[int] | None = None,
         include_backward: bool = True,
+        pacing_flops: float | None = None,
     ) -> list[list[ProfileSample]]:
         """Batched :meth:`profile_operator` over several operators.
 
@@ -107,7 +114,8 @@ class SyntheticProfiler:
         """
         resolved = self._resolve_points(points)
         return [
-            self._profile_resolved(op, resolved, include_backward) for op in ops
+            self._profile_resolved(op, resolved, include_backward, pacing_flops)
+            for op in ops
         ]
 
     def _resolve_points(self, points: Sequence[int] | None) -> list[int]:
@@ -116,7 +124,11 @@ class SyntheticProfiler:
         return list(points)
 
     def _profile_resolved(
-        self, op: Operator, points: Sequence[int], include_backward: bool
+        self,
+        op: Operator,
+        points: Sequence[int],
+        include_backward: bool,
+        pacing_flops: float | None = None,
     ) -> list[ProfileSample]:
         samples: list[ProfileSample] = []
         for n in points:
@@ -126,7 +138,7 @@ class SyntheticProfiler:
                     f"{self.cluster.num_devices}"
                 )
             time = self.timing_model.operator_time(
-                op, n, include_backward=include_backward
+                op, n, include_backward=include_backward, pacing_flops=pacing_flops
             )
             if self.noise_std > 0:
                 time *= float(

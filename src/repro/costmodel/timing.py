@@ -117,37 +117,63 @@ class ExecutionTimeModel:
         op: Operator,
         n_devices: int,
         include_backward: bool = True,
+        pacing_flops: float | None = None,
     ) -> float:
-        """Forward (+ backward) execution time of one operator on ``n`` devices."""
+        """Forward (+ backward) execution time of one operator on ``n`` devices.
+
+        ``pacing_flops`` is the sustained FLOP/s ceiling of the device group
+        executing the operator — the slowest member of the group, since wave
+        entries run in lockstep.  ``None`` (the default) paces on the cluster
+        floor, the conservative pre-spec-class behaviour; the
+        heterogeneity-aware planner passes each spec class's own ceiling.
+        """
         if n_devices <= 0:
             raise ValueError("n_devices must be positive")
+        if pacing_flops is not None and pacing_flops <= 0:
+            raise ValueError("pacing_flops must be positive")
         n_devices = min(n_devices, self.cluster.num_devices)
         split = split_allocation(op.batch_size, n_devices)
         passes = 1.0 + (self.config.backward_multiplier if include_backward else 0.0)
 
-        compute = passes * self._compute_time(op, split)
+        compute = passes * self._compute_time(op, split, pacing_flops)
         comm = passes * self._tensor_parallel_comm_time(op, split)
         launch = self.config.kernel_launch_overhead * (2.0 if include_backward else 1.0)
         return launch + compute + comm
 
     def operators_time(
-        self, ops: list[Operator], n_devices: int, include_backward: bool = True
+        self,
+        ops: list[Operator],
+        n_devices: int,
+        include_backward: bool = True,
+        pacing_flops: float | None = None,
     ) -> float:
         """Total sequential execution time of a chain of operators."""
         return sum(
-            self.operator_time(op, n_devices, include_backward=include_backward)
+            self.operator_time(
+                op,
+                n_devices,
+                include_backward=include_backward,
+                pacing_flops=pacing_flops,
+            )
             for op in ops
         )
 
     # -------------------------------------------------------------- internals
-    def _compute_time(self, op: Operator, split: ParallelSplit) -> float:
+    def _compute_time(
+        self, op: Operator, split: ParallelSplit, pacing_flops: float | None = None
+    ) -> float:
         imbalance = data_parallel_imbalance(op.batch_size, split.data_parallel)
         per_device_flops = op.flops / split.world_size * imbalance
         efficiency = self._efficiency(op, split, per_device_flops)
-        # Wave entries execute in lockstep across their device group, so a
-        # heterogeneous cluster is paced by its slowest device; on the
-        # homogeneous clusters of the paper this is device_spec.achievable_flops.
-        sustained = self.cluster.min_achievable_flops * efficiency
+        # Wave entries execute in lockstep across their device group, so the
+        # group is paced by its slowest device.  Without an explicit group
+        # ceiling the cluster-wide floor is charged; on the homogeneous
+        # clusters of the paper this is device_spec.achievable_flops.
+        ceiling = (
+            pacing_flops if pacing_flops is not None
+            else self.cluster.min_achievable_flops
+        )
+        sustained = ceiling * efficiency
         return per_device_flops / sustained
 
     def _efficiency(
@@ -188,10 +214,19 @@ class ExecutionTimeModel:
 
     # --------------------------------------------------------------- utility
     def achieved_flops_per_second(
-        self, op: Operator, n_devices: int, include_backward: bool = True
+        self,
+        op: Operator,
+        n_devices: int,
+        include_backward: bool = True,
+        pacing_flops: float | None = None,
     ) -> float:
         """Aggregate FLOP/s achieved by the allocation (used for Fig. 9 traces)."""
-        time = self.operator_time(op, n_devices, include_backward=include_backward)
+        time = self.operator_time(
+            op,
+            n_devices,
+            include_backward=include_backward,
+            pacing_flops=pacing_flops,
+        )
         multiplier = 1.0 + (self.config.backward_multiplier if include_backward else 0.0)
         if time <= 0:
             return 0.0

@@ -31,6 +31,7 @@ from repro.elastic.events import (
     ElasticEventError,
     EventTimeline,
     flash_crowd_timeline,
+    gpu_straggler_timeline,
     island_outage_timeline,
     merge_timelines,
     random_failure_timeline,
@@ -103,6 +104,7 @@ __all__ = [
     "device_key",
     "flash_crowd_timeline",
     "forgone_capacity_gain",
+    "gpu_straggler_timeline",
     "island_outage_timeline",
     "make_policy",
     "merge_timelines",

@@ -65,9 +65,13 @@ class ClusterEvent:
     * ``node_join`` — ``spec`` and ``num_devices`` of the joining node
       (``node`` must be omitted; the view assigns the next stable node id).
     * ``node_leave`` — ``node``.
-    * ``straggler_onset`` — ``node`` + ``severity``: the remaining fraction of
-      healthy throughput, in ``(0, 1)``.
-    * ``straggler_clear`` — ``node``.
+    * ``straggler_onset`` — ``node`` + ``severity`` (the remaining fraction of
+      healthy throughput, in ``(0, 1)``), plus an optional ``device``: with a
+      device slot the episode throttles that one GPU (demoting only its
+      island's spec class — lockstep groups pace on their slowest member);
+      without, the whole node degrades.
+    * ``straggler_clear`` — ``node``, plus an optional ``device`` mirroring
+      the onset granularity.
     """
 
     kind: str
@@ -116,7 +120,10 @@ class ClusterEvent:
         elif self.kind == NODE_JOIN:
             target = f"+{self.num_devices}x{self.spec.name}"
         elif self.kind == STRAGGLER_ONSET:
-            target = f"n{self.node}@{self.severity:g}"
+            slot = f":d{self.device}" if self.device is not None else ""
+            target = f"n{self.node}{slot}@{self.severity:g}"
+        elif self.kind == STRAGGLER_CLEAR and self.device is not None:
+            target = f"n{self.node}:d{self.device}"
         else:
             target = f"n{self.node}"
         return f"{self.kind}({target})"
@@ -304,7 +311,10 @@ def rolling_straggler_timeline(
     pair would let the earlier episode's clear prematurely heal the later one
     — so draws that collide with an existing episode on the drawn node are
     rejected and redrawn; an episode whose start cannot be placed after a
-    bounded number of attempts (a saturated timeline) is skipped.
+    bounded number of attempts (a saturated timeline) is skipped.  Zero-gap
+    adjacency is rejected too: one episode's clear landing on the same
+    iteration as another's onset would apply in *insertion* order (same-
+    iteration events sort stably), letting the clear silently wipe the onset.
     """
     if num_nodes <= 0:
         raise ElasticEventError("num_nodes must be positive")
@@ -326,7 +336,7 @@ def rolling_straggler_timeline(
         for _attempt in range(64):
             at = rng.randrange(1, total_iterations)
             end = min(at + length, total_iterations)
-            if all(at >= b_end or end <= b_at for b_at, b_end in busy.get(node, [])):
+            if all(at > b_end or end < b_at for b_at, b_end in busy.get(node, [])):
                 break
         else:
             continue  # node saturated with episodes; skip this one
@@ -340,6 +350,69 @@ def rolling_straggler_timeline(
         if clear_at < total_iterations:
             timeline.add(
                 ClusterEvent(STRAGGLER_CLEAR, at_iteration=clear_at, node=node)
+            )
+    return timeline
+
+
+def gpu_straggler_timeline(
+    num_nodes: int,
+    devices_per_node: int,
+    total_iterations: int,
+    num_episodes: int,
+    seed: int = 0,
+    severity: float = 0.5,
+    episode_iterations: int | None = None,
+) -> EventTimeline:
+    """Straggler episodes hitting single GPUs instead of whole nodes.
+
+    The per-device analogue of :func:`rolling_straggler_timeline`: each
+    episode throttles one device slot to ``severity`` of its healthy
+    throughput, then clears it.  One slow GPU demotes only its island's spec
+    class (the island paces on its slowest alive member), so the
+    heterogeneity-aware planner steers heavy MetaOps away from the afflicted
+    island while the rest of the cluster keeps its full rate.  Episodes on one
+    slot never overlap or touch (a zero-gap pair's same-iteration clear/onset
+    would apply in insertion order and wipe the later episode); colliding
+    draws are redrawn, saturated slots skipped.
+    """
+    if num_nodes <= 0 or devices_per_node <= 0:
+        raise ElasticEventError("cluster dimensions must be positive")
+    if total_iterations <= 1:
+        raise ElasticEventError("total_iterations must exceed 1")
+    length = (
+        episode_iterations if episode_iterations is not None else total_iterations // 5
+    )
+    length = max(1, length)
+    rng = random.Random(seed)
+    timeline = EventTimeline()
+    slots = [(n, d) for n in range(num_nodes) for d in range(devices_per_node)]
+    busy: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for _ in range(num_episodes):
+        slot = slots[rng.randrange(len(slots))]
+        for _attempt in range(64):
+            at = rng.randrange(1, total_iterations)
+            end = min(at + length, total_iterations)
+            if all(at > b_end or end < b_at for b_at, b_end in busy.get(slot, [])):
+                break
+        else:
+            continue  # slot saturated with episodes; skip this one
+        busy.setdefault(slot, []).append((at, end))
+        node, device = slot
+        timeline.add(
+            ClusterEvent(
+                STRAGGLER_ONSET,
+                at_iteration=at,
+                node=node,
+                device=device,
+                severity=severity,
+            )
+        )
+        clear_at = at + length
+        if clear_at < total_iterations:
+            timeline.add(
+                ClusterEvent(
+                    STRAGGLER_CLEAR, at_iteration=clear_at, node=node, device=device
+                )
             )
     return timeline
 

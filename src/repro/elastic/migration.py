@@ -58,9 +58,18 @@ class MigrationGroup:
 
 @dataclass
 class MigrationReport:
-    """Aggregate migration cost of one plan switch."""
+    """Aggregate migration cost of one plan switch.
+
+    ``lost_iterations``/``recompute_seconds`` charge the training progress
+    thrown away by a checkpoint restore: work done since the last checkpoint
+    exists only in the lost optimizer state and must be re-executed.  Both are
+    zero when nothing was restored or when checkpoint-interval modeling is
+    disabled.
+    """
 
     groups: list[MigrationGroup] = field(default_factory=list)
+    lost_iterations: int = 0
+    recompute_seconds: float = 0.0
 
     @property
     def moved_bytes(self) -> float:
@@ -84,7 +93,7 @@ class MigrationReport:
 
     @property
     def total_seconds(self) -> float:
-        return sum(g.seconds for g in self.groups)
+        return sum(g.seconds for g in self.groups) + self.recompute_seconds
 
     @property
     def num_restored_groups(self) -> int:
@@ -96,6 +105,8 @@ class MigrationReport:
             "restored_bytes": self.restored_bytes,
             "transfer_seconds": self.transfer_seconds,
             "restore_seconds": self.restore_seconds,
+            "lost_iterations": self.lost_iterations,
+            "recompute_seconds": self.recompute_seconds,
             "total_seconds": self.total_seconds,
             "num_groups": len(self.groups),
             "num_restored_groups": self.num_restored_groups,
@@ -117,6 +128,12 @@ class MigrationCostModel:
     checkpoint_latency:
         Fixed seconds per restored group (metadata lookup, file open, process
         re-initialisation share).
+    checkpoint_interval:
+        Iterations between checkpoints.  When set, a restore additionally
+        charges the *lost progress* — the iterations executed since the last
+        checkpoint must be re-executed, because the restored optimizer state
+        predates them.  ``None`` (the default) disables the term and keeps the
+        pre-existing bandwidth + latency accounting.
     """
 
     def __init__(
@@ -124,14 +141,18 @@ class MigrationCostModel:
         memory_model: MemoryModel | None = None,
         checkpoint_read_bandwidth: float = 5e9,
         checkpoint_latency: float = 2.0,
+        checkpoint_interval: int | None = None,
     ) -> None:
         if checkpoint_read_bandwidth <= 0:
             raise ValueError("checkpoint_read_bandwidth must be positive")
         if checkpoint_latency < 0:
             raise ValueError("checkpoint_latency must be non-negative")
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive (or None)")
         self.memory_model = memory_model or MemoryModel()
         self.checkpoint_read_bandwidth = checkpoint_read_bandwidth
         self.checkpoint_latency = checkpoint_latency
+        self.checkpoint_interval = checkpoint_interval
 
     # ------------------------------------------------------------- public API
     def assess(
@@ -140,6 +161,8 @@ class MigrationCostModel:
         old_snapshot: ElasticSnapshot,
         new_plan: ExecutionPlan,
         new_snapshot: ElasticSnapshot,
+        at_iteration: int = 0,
+        iteration_seconds: float = 0.0,
     ) -> MigrationReport:
         """Price the migration from ``old_plan`` to ``new_plan``.
 
@@ -148,6 +171,14 @@ class MigrationCostModel:
         otherwise.  Device groups are compared in the *new* snapshot's id
         space: old ids map through stable keys, devices lost with the event
         drop out of the source set.
+
+        ``at_iteration`` and ``iteration_seconds`` feed the checkpoint-interval
+        model: if any group has to be restored from the checkpoint store, the
+        ``at_iteration % checkpoint_interval`` iterations executed since the
+        last checkpoint are re-executed at ``iteration_seconds`` per iteration
+        (callers pass the *new* plan's rate — the re-execution happens after
+        the switch) and charged once per plan switch, however many groups
+        restore.
         """
         report = MigrationReport()
         old_groups = self._parameter_groups(old_plan)
@@ -200,6 +231,16 @@ class MigrationCostModel:
                     )
                 )
             # Identical device groups: the shards are already in place.
+        if (
+            self.checkpoint_interval is not None
+            and report.num_restored_groups > 0
+        ):
+            if at_iteration < 0:
+                raise ValueError("at_iteration must be non-negative")
+            if iteration_seconds < 0:
+                raise ValueError("iteration_seconds must be non-negative")
+            report.lost_iterations = at_iteration % self.checkpoint_interval
+            report.recompute_seconds = report.lost_iterations * iteration_seconds
         return report
 
     # -------------------------------------------------------------- internals

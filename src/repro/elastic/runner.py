@@ -50,6 +50,7 @@ from repro.runtime.engine import RuntimeEngine
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import fingerprint_workload
 from repro.service.incremental import IncrementalPlanner
+from repro.service.server import PlanServicePool
 
 
 class ElasticRunError(Exception):
@@ -365,6 +366,12 @@ class ElasticTrainingRunner:
         Fingerprint-keyed cache shared across all topologies of the run; a
         substrate that heals back to a previously planned topology re-serves
         its plan with near-zero charged cost.
+    planning_service:
+        Optional :class:`~repro.service.server.PlanServicePool` to route every
+        replan through.  Several concurrent elastic jobs sharing one pool
+        share its plan cache *and* coalesce simultaneous identical replans
+        onto one planner run (single-flight); the pool's per-topology
+        services replace this runner's own planner map and ``plan_cache``.
     """
 
     def __init__(
@@ -375,6 +382,7 @@ class ElasticTrainingRunner:
         replan_cost_model: ReplanCostModel | None = None,
         planner_factory: PlannerFactory | None = None,
         plan_cache: PlanCache | None = None,
+        planning_service: PlanServicePool | None = None,
     ) -> None:
         self.scenario = scenario
         self.policy = policy or SlowdownThresholdPolicy()
@@ -383,6 +391,7 @@ class ElasticTrainingRunner:
         self.planner_factory = planner_factory or (
             lambda cluster: ExecutionPlanner(cluster)
         )
+        self.planning_service = planning_service
         self.plan_cache = plan_cache or PlanCache(capacity=64)
         self._planners: dict[str, IncrementalPlanner] = {}
 
@@ -443,12 +452,20 @@ class ElasticTrainingRunner:
             if replanned:
                 new_plan, record = self._plan(tasks, new_snapshot)
                 outcome.replan = record
+                new_iteration_seconds = self._iteration_seconds(new_plan)
+                # Checkpoint-interval modeling: lost iterations re-execute
+                # under the new plan, so the recompute term uses its rate.
                 outcome.migration = self.migration_model.assess(
-                    plan, plan_snapshot, new_plan, new_snapshot
+                    plan,
+                    plan_snapshot,
+                    new_plan,
+                    new_snapshot,
+                    at_iteration=at_iteration,
+                    iteration_seconds=new_iteration_seconds,
                 )
                 plan = new_plan
                 plan_snapshot = new_snapshot
-                iteration_seconds = self._iteration_seconds(plan)
+                iteration_seconds = new_iteration_seconds
                 stay_slowdown = 1.0
                 pending_groups = 0
                 last_replan_iteration = cursor
@@ -477,23 +494,15 @@ class ElasticTrainingRunner:
     def _plan(
         self, tasks: tuple[SpindleTask, ...], snapshot: ElasticSnapshot
     ) -> tuple[ExecutionPlan, ReplanRecord]:
+        if self.planning_service is not None:
+            return self._plan_via_service(tasks, snapshot)
         incremental = self._planner_for(snapshot.topology)
         fingerprint = fingerprint_workload(
             tasks, incremental.planner.cluster, incremental.planner.config_signature()
         )
         cached = self.plan_cache.get(fingerprint)
         if cached is not None:
-            record = ReplanRecord(
-                charged_seconds=self.replan_cost_model.charge(
-                    cached.report.num_metaops, 0, cache_hit=True
-                ),
-                measured_seconds=0.0,
-                cache_hit=True,
-                num_metaops=cached.report.num_metaops,
-                curves_reused=cached.report.num_metaops,
-                curves_estimated=0,
-            )
-            return cached, record
+            return cached, self._cache_hit_record(cached)
         stage_seconds: dict[str, float] = {}
         start = time.perf_counter()
         plan = incremental.plan(
@@ -501,9 +510,49 @@ class ElasticTrainingRunner:
         )
         measured = time.perf_counter() - start
         self.plan_cache.put(fingerprint, plan)
+        return plan, self._planned_record(plan, measured, stage_seconds)
+
+    def _plan_via_service(
+        self, tasks: tuple[SpindleTask, ...], snapshot: ElasticSnapshot
+    ) -> tuple[ExecutionPlan, ReplanRecord]:
+        """Route one replan through the shared per-topology plan service.
+
+        The pool's cache is consulted first (hits charge the cache-hit cost,
+        exactly like the runner's own cache path); misses block on the
+        service, where identical concurrent requests from other elastic jobs
+        coalesce onto a single planner run.
+        """
+        service = self.planning_service.service_for(snapshot.topology)
+        fingerprint = service.fingerprint(tasks)
+        cached = service.cache.get(fingerprint)
+        if cached is not None:
+            return cached, self._cache_hit_record(cached)
+        start = time.perf_counter()
+        plan = service.plan(tasks)
+        measured = time.perf_counter() - start
+        return plan, self._planned_record(plan, measured, {})
+
+    def _cache_hit_record(self, plan: ExecutionPlan) -> ReplanRecord:
+        return ReplanRecord(
+            charged_seconds=self.replan_cost_model.charge(
+                plan.report.num_metaops, 0, cache_hit=True
+            ),
+            measured_seconds=0.0,
+            cache_hit=True,
+            num_metaops=plan.report.num_metaops,
+            curves_reused=plan.report.num_metaops,
+            curves_estimated=0,
+        )
+
+    def _planned_record(
+        self,
+        plan: ExecutionPlan,
+        measured: float,
+        stage_seconds: dict[str, float],
+    ) -> ReplanRecord:
         reused = plan.report.reused_curves
         estimated = plan.report.num_metaops - reused
-        record = ReplanRecord(
+        return ReplanRecord(
             charged_seconds=self.replan_cost_model.charge(
                 plan.report.num_metaops, estimated, cache_hit=False
             ),
@@ -514,7 +563,6 @@ class ElasticTrainingRunner:
             curves_estimated=estimated,
             stage_seconds=stage_seconds,
         )
-        return plan, record
 
     @staticmethod
     def _iteration_seconds(plan: ExecutionPlan) -> float:
@@ -542,19 +590,23 @@ class ElasticTrainingRunner:
     ) -> float:
         """Pacing penalty of keeping the old plan on the current substrate.
 
-        The old plan runs on the devices it was placed on; wave entries pace
-        on the slowest of them, so the penalty is the ratio of the planned
-        per-device floor to the current floor *over the surviving planned
-        nodes only* — capacity added elsewhere neither helps nor hurts until
-        a replan adopts it.
+        The old plan's wave entries pace on their own device group's spec
+        class, so a degradation slows the plan down by the worst *per-node*
+        ratio of planned to current sustained throughput over the surviving
+        planned nodes — a straggling device demotes only its own island's
+        group.  Capacity added elsewhere neither helps nor hurts until a
+        replan adopts it.  On homogeneous substrates this equals the old
+        floor-to-floor ratio.
         """
-        surviving = [
-            current.spec_of_node(node_id)
-            for node_id in plan_snapshot.node_ids
-            if current.spec_of_node(node_id) is not None
-        ]
-        if not surviving:
-            return 1.0
-        current_floor = min(spec.achievable_flops for spec in surviving)
-        planned_floor = plan_snapshot.topology.min_achievable_flops
-        return max(1.0, planned_floor / current_floor)
+        worst = 1.0
+        for node_id in plan_snapshot.node_ids:
+            current_spec = current.spec_of_node(node_id)
+            if current_spec is None:
+                continue
+            planned_spec = plan_snapshot.spec_of_node(node_id)
+            if planned_spec is None:  # pragma: no cover - planned nodes exist
+                continue
+            worst = max(
+                worst, planned_spec.achievable_flops / current_spec.achievable_flops
+            )
+        return worst

@@ -50,15 +50,31 @@ def device_key(node: int, device: int) -> str:
 
 @dataclass
 class _NodeState:
-    """Mutable state of one physical node under the view's stable node id."""
+    """Mutable state of one physical node under the view's stable node id.
+
+    Straggler throttling is tracked *per device slot* (``factors[slot]`` is
+    the remaining throughput fraction of that GPU).  A node-scoped straggler
+    event sets every slot; a device-scoped one sets only its slot.  The node's
+    effective spec paces on the slowest *alive* member — devices in one island
+    execute wave entries in lockstep, so one slow GPU demotes exactly its own
+    island's spec class and nothing else.
+    """
 
     spec: DeviceSpec
     alive: list[bool]
-    straggler_factor: float = 1.0
+    factors: list[float]
 
     @property
     def num_alive(self) -> int:
         return sum(self.alive)
+
+    @property
+    def straggler_factor(self) -> float:
+        """Throughput fraction of the slowest alive device (1.0 = healthy)."""
+        alive_factors = [f for f, up in zip(self.factors, self.alive) if up]
+        if not alive_factors:
+            return 1.0
+        return min(alive_factors)
 
     @property
     def effective_spec(self) -> DeviceSpec:
@@ -124,7 +140,11 @@ class ElasticClusterView:
         self.inter_island = inter_island
         self.intra_device = intra_device
         self._nodes: dict[int, _NodeState] = {
-            node: _NodeState(spec=device_spec, alive=[True] * devices_per_node)
+            node: _NodeState(
+                spec=device_spec,
+                alive=[True] * devices_per_node,
+                factors=[1.0] * devices_per_node,
+            )
             for node in range(num_nodes)
         }
         self._next_node_id = num_nodes
@@ -147,6 +167,7 @@ class ElasticClusterView:
         if cluster.island_sizes is not None:
             for node, size in enumerate(cluster.island_sizes):
                 view._nodes[node].alive = [True] * size
+                view._nodes[node].factors = [1.0] * size
         return view
 
     # ------------------------------------------------------------ inspection
@@ -180,7 +201,9 @@ class ElasticClusterView:
         kind = event.kind
         if kind == NODE_JOIN:
             self._nodes[self._next_node_id] = _NodeState(
-                spec=event.spec, alive=[True] * event.num_devices
+                spec=event.spec,
+                alive=[True] * event.num_devices,
+                factors=[1.0] * event.num_devices,
             )
             self._next_node_id += 1
         elif kind == NODE_LEAVE:
@@ -203,9 +226,19 @@ class ElasticClusterView:
                 )
             node.alive[event.device] = True
         elif kind == STRAGGLER_ONSET:
-            self._node(event).straggler_factor = event.severity
+            node = self._node(event)
+            if event.device is not None:
+                self._check_slot(event, node)
+                node.factors[event.device] = event.severity
+            else:
+                node.factors = [event.severity] * len(node.factors)
         elif kind == STRAGGLER_CLEAR:
-            self._node(event).straggler_factor = 1.0
+            node = self._node(event)
+            if event.device is not None:
+                self._check_slot(event, node)
+                node.factors[event.device] = 1.0
+            else:
+                node.factors = [1.0] * len(node.factors)
         else:  # pragma: no cover - ClusterEvent validates kinds
             raise ElasticEventError(f"Unknown event kind {kind!r}")
         self.events_applied += 1

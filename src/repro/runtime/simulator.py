@@ -48,6 +48,15 @@ class WaveExecutionSimulator:
         self.timing_model = timing_model
         self.transmissions = transmissions
         self.param_pool = param_pool
+        # Per-spec-class pacing rates: entries of a heterogeneity-aware plan
+        # carry the spec class they were allocated on and are charged at that
+        # class's sustained throughput.  Classic entries (spec_class None —
+        # every entry of a homogeneous plan) pace on the cluster floor exactly
+        # as before.
+        self._class_pacing = {
+            cls.index: cls.achievable_flops
+            for cls in plan.cluster.spec_classes()
+        }
         # The transmission list is immutable per plan, so the per-boundary
         # grouping and each boundary's critical-path duration are computed
         # once here instead of on every simulated iteration.
@@ -83,13 +92,18 @@ class WaveExecutionSimulator:
                 devices = self.plan.placement.devices_for(
                     wave.index, entry.metaop_index
                 )
+                pacing = (
+                    self._class_pacing[entry.spec_class]
+                    if entry.spec_class is not None
+                    else None
+                )
                 per_layer = self.timing_model.operator_time(
-                    metaop.representative, entry.n_devices
+                    metaop.representative, entry.n_devices, pacing_flops=pacing
                 )
                 entry_time = per_layer * entry.layers
                 compute_duration = max(compute_duration, entry_time)
                 achieved = self.timing_model.achieved_flops_per_second(
-                    metaop.representative, entry.n_devices
+                    metaop.representative, entry.n_devices, pacing_flops=pacing
                 )
                 per_device_flops = achieved / max(1, entry.n_devices)
                 for device in devices:

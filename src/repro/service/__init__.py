@@ -31,7 +31,7 @@ from repro.service.incremental import (
     IncrementalStats,
     StaleTopologyError,
 )
-from repro.service.server import PlanService, ServiceError
+from repro.service.server import PlanService, PlanServicePool, ServiceError
 from repro.service.stats import (
     OUTCOME_COALESCED,
     OUTCOME_HIT,
@@ -51,6 +51,7 @@ __all__ = [
     "OUTCOME_MISS",
     "PlanCache",
     "PlanService",
+    "PlanServicePool",
     "ServiceError",
     "ServiceStats",
     "StaleTopologyError",

@@ -78,13 +78,29 @@ class IncrementalPlanner:
         self._topology_signature = planner.cluster.signature()
 
     # ------------------------------------------------------------- public API
+    @property
+    def cluster(self):
+        """The bound planner's cluster (PlanService prototype interface)."""
+        return self.planner.cluster
+
+    def config_signature(self) -> dict:
+        """The bound planner's configuration (PlanService prototype interface)."""
+        return self.planner.config_signature()
+
     def plan(
-        self, workload: PlannerInput, *, stage_hook: StageHook | None = None
+        self,
+        workload: PlannerInput,
+        *,
+        stage_hook: StageHook | None = None,
+        fingerprint: str | None = None,
     ) -> ExecutionPlan:
         """Plan ``workload``, reusing pooled curves for known MetaOps.
 
         ``stage_hook`` is forwarded to the underlying planner so callers (the
-        elastic runner's replan bookkeeping) can observe per-stage progress.
+        elastic runner's replan bookkeeping) can observe per-stage progress;
+        ``fingerprint`` skips re-deriving an already-computed canonical
+        fingerprint (the :class:`~repro.service.server.PlanService` workers
+        pass the one they keyed the request on).
         """
         if self.planner.cluster.signature() != self._topology_signature:
             raise StaleTopologyError(
@@ -93,7 +109,10 @@ class IncrementalPlanner:
                 "IncrementalPlanner for the new topology"
             )
         plan = self.planner.plan(
-            workload, precomputed_curves=self._curves, stage_hook=stage_hook
+            workload,
+            precomputed_curves=self._curves,
+            stage_hook=stage_hook,
+            fingerprint=fingerprint,
         )
         reused = plan.report.reused_curves
         estimated = plan.report.num_metaops - reused

@@ -27,12 +27,14 @@ from collections import OrderedDict
 from concurrent.futures import Future
 from typing import Callable, Union
 
+from repro.cluster.topology import ClusterTopology
 from repro.core.plan import ExecutionPlan
 from repro.core.planner import ExecutionPlanner, PlannerInput
 from repro.core.serialization import plan_to_json
 from repro.graph.graph import ComputationGraph
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import fingerprint_workload
+from repro.service.incremental import IncrementalPlanner
 from repro.service.stats import (
     OUTCOME_COALESCED,
     OUTCOME_HIT,
@@ -40,7 +42,10 @@ from repro.service.stats import (
     ServiceStats,
 )
 
-PlannerOrFactory = Union[ExecutionPlanner, Callable[[], ExecutionPlanner]]
+#: Planner prototypes a service can serve: a plain planner, an incremental
+#: (curve-pooling) wrapper, or a zero-argument factory of either.
+ServablePlanner = Union[ExecutionPlanner, IncrementalPlanner]
+PlannerOrFactory = Union[ServablePlanner, Callable[[], ServablePlanner]]
 
 _SHUTDOWN = object()
 
@@ -55,10 +60,11 @@ class PlanService:
     Parameters
     ----------
     planner:
-        Either a ready :class:`ExecutionPlanner` shared by all workers, or a
-        zero-argument factory; with a factory every worker thread builds its
-        own planner instance (useful when profiling noise is enabled, since
-        the synthetic profiler's RNG is per-planner).
+        Either a ready :class:`ExecutionPlanner` (or curve-pooling
+        :class:`~repro.service.incremental.IncrementalPlanner`) shared by all
+        workers, or a zero-argument factory; with a factory every worker
+        thread builds its own planner instance (useful when profiling noise
+        is enabled, since the synthetic profiler's RNG is per-planner).
     cache:
         Plan cache consulted before planning and populated after; a default
         unbounded-TTL cache of 64 entries is created when omitted.  Pass a
@@ -82,14 +88,19 @@ class PlanService:
             raise ServiceError("num_workers must be positive")
         if max_batch_size <= 0:
             raise ServiceError("max_batch_size must be positive")
-        if callable(planner) and not isinstance(planner, ExecutionPlanner):
-            self._planner_factory: Callable[[], ExecutionPlanner] = planner
+        if callable(planner) and not isinstance(
+            planner, (ExecutionPlanner, IncrementalPlanner)
+        ):
+            self._planner_factory: Callable[[], ServablePlanner] = planner
             self._prototype = planner()
         else:
             self._planner_factory = lambda: planner  # type: ignore[return-value]
             self._prototype = planner
-        if not isinstance(self._prototype, ExecutionPlanner):
-            raise ServiceError("planner must be an ExecutionPlanner or a factory")
+        if not isinstance(self._prototype, (ExecutionPlanner, IncrementalPlanner)):
+            raise ServiceError(
+                "planner must be an ExecutionPlanner, an IncrementalPlanner "
+                "or a factory of either"
+            )
         self.cache = cache if cache is not None else PlanCache(capacity=64)
         self.stats = stats if stats is not None else ServiceStats()
         self.max_batch_size = max_batch_size
@@ -254,7 +265,7 @@ class PlanService:
                 self._plan_one(planner, fp, workload)
 
     def _plan_one(
-        self, planner: ExecutionPlanner, fp: str, workload: PlannerInput
+        self, planner: ServablePlanner, fp: str, workload: PlannerInput
     ) -> None:
         try:
             plan = planner.plan(workload, fingerprint=fp)
@@ -270,3 +281,92 @@ class PlanService:
             future = self._inflight.pop(fp, None)
         if future is not None:
             future.set_result(plan)
+
+
+class PlanServicePool:
+    """One :class:`PlanService` per topology signature, sharing cache + stats.
+
+    Elastic training runs replan whenever the substrate changes, and several
+    concurrent jobs on one cluster walk through the *same* derived topologies
+    (the same failure produces the same snapshot).  Routing every replan
+    through a pool keyed by topology signature gives those jobs:
+
+    * **shared plans** — one fingerprint-keyed :class:`PlanCache` across all
+      topologies of the pool, so a substrate one job already planned for is a
+      cache hit for every other job;
+    * **single-flight replanning** — jobs replanning the same workload on the
+      same topology at the same moment coalesce onto one planner run inside
+      the topology's service;
+    * **curve pooling per substrate** — each service wraps its planner in an
+      :class:`~repro.service.incremental.IncrementalPlanner`, so curves warm
+      up across successive replans on a recurring topology but never leak
+      across topologies.
+
+    Parameters
+    ----------
+    planner_factory:
+        Builds the :class:`ExecutionPlanner` for a derived topology (same
+        contract as the elastic runner's ``planner_factory``).
+    cache / stats:
+        Shared across every service of the pool; fresh ones are created when
+        omitted.
+    num_workers / max_batch_size:
+        Per-topology service worker-pool configuration.
+    """
+
+    def __init__(
+        self,
+        planner_factory: Callable[[ClusterTopology], ExecutionPlanner],
+        *,
+        cache: PlanCache | None = None,
+        stats: ServiceStats | None = None,
+        num_workers: int = 2,
+        max_batch_size: int = 8,
+    ) -> None:
+        self.planner_factory = planner_factory
+        self.cache = cache if cache is not None else PlanCache(capacity=64)
+        self.stats = stats if stats is not None else ServiceStats()
+        self.num_workers = num_workers
+        self.max_batch_size = max_batch_size
+        self._services: dict[str, PlanService] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def service_for(self, topology: ClusterTopology) -> PlanService:
+        """The (shared) service planning for ``topology``'s signature."""
+        signature = topology.signature()
+        with self._lock:
+            if self._closed:
+                raise ServiceError("PlanServicePool is closed")
+            service = self._services.get(signature)
+            if service is None:
+                service = PlanService(
+                    IncrementalPlanner(self.planner_factory(topology)),
+                    cache=self.cache,
+                    stats=self.stats,
+                    num_workers=self.num_workers,
+                    max_batch_size=self.max_batch_size,
+                )
+                self._services[signature] = service
+        return service
+
+    @property
+    def num_services(self) -> int:
+        with self._lock:
+            return len(self._services)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut every per-topology service down."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            services = list(self._services.values())
+        for service in services:
+            service.close(wait=wait)
+
+    def __enter__(self) -> "PlanServicePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

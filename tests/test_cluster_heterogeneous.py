@@ -186,13 +186,22 @@ class TestHeterogeneousPlanning:
         assert set(utilization) == set(range(mixed_cluster.num_devices))
         assert all(0.0 <= value <= 1.0 + 1e-9 for value in utilization.values())
 
-    def test_mixed_cluster_slower_than_uniform_fast_cluster(self, tasks):
+    def test_mixed_cluster_pacing_orderings(self, tasks):
+        """Slowest-device pacing (spec_aware=False) on a mixed cluster is
+        slower than a uniform fast cluster, and the heterogeneity-aware
+        planner recovers part of that gap (it may even beat the uniform
+        cluster on these sync-dominated toy tasks by concentrating work on
+        the fast islands — no ordering is asserted there)."""
         fast = make_cluster(8, devices_per_node=4)
         mixed = make_heterogeneous_cluster(
             [A800_SPEC, TEST_GPU_SPEC], devices_per_node=4
         )
         fast_result = RuntimeEngine(ExecutionPlanner(fast).plan(tasks)).run_iteration()
-        mixed_result = RuntimeEngine(
+        legacy_result = RuntimeEngine(
+            ExecutionPlanner(mixed, spec_aware=False).plan(tasks)
+        ).run_iteration()
+        aware_result = RuntimeEngine(
             ExecutionPlanner(mixed).plan(tasks)
         ).run_iteration()
-        assert mixed_result.iteration_time > fast_result.iteration_time
+        assert legacy_result.iteration_time > fast_result.iteration_time
+        assert aware_result.iteration_time <= legacy_result.iteration_time

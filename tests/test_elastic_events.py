@@ -17,6 +17,7 @@ from repro.elastic.events import (
     island_outage_timeline,
     merge_timelines,
     random_failure_timeline,
+    gpu_straggler_timeline,
     rolling_straggler_timeline,
 )
 
@@ -159,3 +160,73 @@ class TestGenerators:
             ]
         )
         assert [e.at_iteration for e in merged] == [5, 10, 10]
+
+
+class TestPerDeviceStragglerEvents:
+    def test_device_scoped_straggler_events_validate(self):
+        onset = ClusterEvent(
+            STRAGGLER_ONSET, at_iteration=1, node=0, device=3, severity=0.5
+        )
+        clear = ClusterEvent(STRAGGLER_CLEAR, at_iteration=2, node=0, device=3)
+        assert onset.describe() == "straggler_onset(n0:d3@0.5)"
+        assert clear.describe() == "straggler_clear(n0:d3)"
+        assert onset.to_document()["device"] == 3
+        assert clear.to_document()["device"] == 3
+
+    def test_gpu_straggler_timeline_is_deterministic(self):
+        a = gpu_straggler_timeline(2, 4, 100, 5, seed=3)
+        b = gpu_straggler_timeline(2, 4, 100, 5, seed=3)
+        assert a.to_document() == b.to_document()
+        assert any(e.device is not None for e in a if e.kind == STRAGGLER_ONSET)
+
+    def test_gpu_straggler_episodes_target_single_slots(self):
+        timeline = gpu_straggler_timeline(2, 4, 100, 8, seed=1, severity=0.4)
+        for event in timeline:
+            assert event.node is not None
+            assert event.device is not None
+            if event.kind == STRAGGLER_ONSET:
+                assert event.severity == 0.4
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_gpu_straggler_episodes_never_overlap_per_slot(self, seed):
+        timeline = gpu_straggler_timeline(
+            2, 2, 200, 12, seed=seed, episode_iterations=30
+        )
+        open_slots = set()
+        for event in timeline:
+            slot = (event.node, event.device)
+            if event.kind == STRAGGLER_ONSET:
+                assert slot not in open_slots
+                open_slots.add(slot)
+            else:
+                open_slots.discard(slot)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_gpu_straggler_episodes_strictly_separated(self, seed):
+        """No two events of one slot may share an iteration: same-iteration
+        events apply in insertion order, so a zero-gap pair's clear could
+        silently wipe the adjacent episode's onset (regression)."""
+        timeline = gpu_straggler_timeline(
+            2, 2, 60, 10, seed=seed, episode_iterations=10
+        )
+        per_slot: dict = {}
+        for event in timeline:
+            per_slot.setdefault((event.node, event.device), []).append(event)
+        for events in per_slot.values():
+            iterations = [event.at_iteration for event in events]
+            assert len(iterations) == len(set(iterations))
+            kinds = [event.kind for event in sorted(events, key=lambda e: e.at_iteration)]
+            for first, second in zip(kinds, kinds[1:]):
+                assert first != second  # strict onset/clear alternation
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_rolling_straggler_episodes_strictly_separated(self, seed):
+        timeline = rolling_straggler_timeline(
+            2, 60, 10, seed=seed, episode_iterations=10
+        )
+        per_node: dict = {}
+        for event in timeline:
+            per_node.setdefault(event.node, []).append(event)
+        for events in per_node.values():
+            iterations = [event.at_iteration for event in events]
+            assert len(iterations) == len(set(iterations))

@@ -155,3 +155,110 @@ class TestMigrationCostModel:
             )
 
         assert build().to_document() == build().to_document()
+
+
+def _total_loss_snapshots(tasks):
+    """Old/new snapshots where every original state holder vanishes."""
+    view = make_view()
+    old_snapshot = view.snapshot()
+    old_plan = plan_on(old_snapshot, tasks)
+    view.apply(
+        ClusterEvent(NODE_JOIN, at_iteration=1, spec=A800_SPEC, num_devices=8)
+    )
+    for node in (0, 1):
+        for device in range(4):
+            view.apply(
+                ClusterEvent(
+                    DEVICE_FAILURE, at_iteration=2, node=node, device=device
+                )
+            )
+    new_snapshot = view.snapshot()
+    new_plan = plan_on(new_snapshot, tasks)
+    return old_plan, old_snapshot, new_plan, new_snapshot
+
+
+class TestCheckpointInterval:
+    def test_restore_charges_lost_iterations(self, tasks):
+        old_plan, old_snapshot, new_plan, new_snapshot = _total_loss_snapshots(tasks)
+        model = MigrationCostModel(checkpoint_interval=50)
+        report = model.assess(
+            old_plan,
+            old_snapshot,
+            new_plan,
+            new_snapshot,
+            at_iteration=130,
+            iteration_seconds=0.25,
+        )
+        assert report.num_restored_groups > 0
+        assert report.lost_iterations == 130 % 50 == 30
+        assert report.recompute_seconds == pytest.approx(30 * 0.25)
+        assert report.total_seconds == pytest.approx(
+            report.transfer_seconds + report.restore_seconds + 30 * 0.25
+        )
+        document = report.to_document()
+        assert document["lost_iterations"] == 30
+        assert document["recompute_seconds"] == pytest.approx(7.5)
+
+    def test_restore_at_checkpoint_boundary_loses_nothing(self, tasks):
+        old_plan, old_snapshot, new_plan, new_snapshot = _total_loss_snapshots(tasks)
+        model = MigrationCostModel(checkpoint_interval=50)
+        report = model.assess(
+            old_plan,
+            old_snapshot,
+            new_plan,
+            new_snapshot,
+            at_iteration=100,
+            iteration_seconds=0.25,
+        )
+        assert report.lost_iterations == 0
+        assert report.recompute_seconds == 0.0
+
+    def test_disabled_by_default(self, tasks):
+        old_plan, old_snapshot, new_plan, new_snapshot = _total_loss_snapshots(tasks)
+        report = MigrationCostModel().assess(
+            old_plan,
+            old_snapshot,
+            new_plan,
+            new_snapshot,
+            at_iteration=130,
+            iteration_seconds=0.25,
+        )
+        assert report.num_restored_groups > 0
+        assert report.lost_iterations == 0
+        assert report.recompute_seconds == 0.0
+
+    def test_pure_reshard_never_charges_recompute(self, tasks):
+        """Lost progress is only charged when state actually restores from
+        the checkpoint store — a transfer-only migration keeps its optimizer
+        state and loses nothing."""
+        view = make_view()
+        old_snapshot = view.snapshot()
+        old_plan = plan_on(old_snapshot, tasks)
+        view.apply(ClusterEvent(DEVICE_FAILURE, at_iteration=1, node=0, device=0))
+        new_snapshot = view.snapshot()
+        new_plan = plan_on(new_snapshot, tasks)
+        report = MigrationCostModel(checkpoint_interval=10).assess(
+            old_plan,
+            old_snapshot,
+            new_plan,
+            new_snapshot,
+            at_iteration=7,
+            iteration_seconds=1.0,
+        )
+        assert report.num_restored_groups == 0
+        assert report.recompute_seconds == 0.0
+
+    def test_invalid_parameters_rejected(self, tasks):
+        with pytest.raises(ValueError):
+            MigrationCostModel(checkpoint_interval=0)
+        old_plan, old_snapshot, new_plan, new_snapshot = _total_loss_snapshots(tasks)
+        model = MigrationCostModel(checkpoint_interval=10)
+        with pytest.raises(ValueError):
+            model.assess(
+                old_plan,
+                old_snapshot,
+                new_plan,
+                new_snapshot,
+                at_iteration=-1,
+                iteration_seconds=1.0,
+            )

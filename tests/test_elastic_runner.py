@@ -219,3 +219,118 @@ class TestReportDeterminism:
         iterations, times = zip(*curve)
         assert list(iterations) == sorted(iterations)
         assert list(times) == sorted(times)
+
+
+class TestPerDeviceStragglerRuns:
+    def test_single_gpu_straggler_slows_only_its_group(self, tasks):
+        onset = ClusterEvent(
+            STRAGGLER_ONSET, at_iteration=20, node=0, device=1, severity=0.5
+        )
+        result = ElasticTrainingRunner(
+            scenario_with(EventTimeline([onset])),
+            policy=SlowdownThresholdPolicy(threshold=10.0),
+        ).run(tasks)
+        outcome = result.outcomes[0]
+        assert not outcome.replanned
+        # Staying on the old plan paces the afflicted island (and only it) at
+        # half rate; the worst per-group ratio is 2x.
+        assert outcome.stay_slowdown == pytest.approx(2.0)
+
+    def test_gpu_straggler_replan_plans_on_demoted_class(self, tasks):
+        onset = ClusterEvent(
+            STRAGGLER_ONSET, at_iteration=20, node=0, device=1, severity=0.4
+        )
+        clear = ClusterEvent(
+            STRAGGLER_CLEAR, at_iteration=40, node=0, device=1
+        )
+        result = ElasticTrainingRunner(
+            scenario_with(EventTimeline([onset, clear])),
+            policy=ImmediateReplanPolicy(),
+        ).run(tasks)
+        assert result.outcomes[0].replanned
+        # The demoted island forms its own spec class, so the replan lands on
+        # a different substrate; the heal returns to the original topology
+        # and is served from the plan cache.  (No iteration-time ordering is
+        # asserted: the heterogeneity-aware replan may well *beat* the
+        # baseline plan by concentrating these sync-dominated toy tasks on
+        # the healthy island.)
+        assert result.outcomes[0].topology_signature != (
+            result.outcomes[1].topology_signature
+        )
+        assert result.outcomes[1].replan.cache_hit
+
+
+class TestCheckpointIntervalRuns:
+    def test_island_outage_charges_lost_progress(self, tasks):
+        timeline = island_outage_timeline(1, 4, at_iteration=23, recovery_at=40)
+        plain = ElasticTrainingRunner(
+            scenario_with(timeline), policy=ImmediateReplanPolicy()
+        ).run(tasks)
+        from repro.elastic import MigrationCostModel
+
+        charged = ElasticTrainingRunner(
+            scenario_with(island_outage_timeline(1, 4, at_iteration=23, recovery_at=40)),
+            policy=ImmediateReplanPolicy(),
+            migration_model=MigrationCostModel(checkpoint_interval=10),
+        ).run(tasks)
+        outage = charged.outcomes[0].migration
+        if outage.num_restored_groups > 0:
+            assert outage.lost_iterations == 23 % 10
+            assert outage.recompute_seconds > 0
+            assert charged.overhead_seconds > plain.overhead_seconds
+        else:
+            # Survivors held every shard: nothing restored, nothing lost.
+            assert outage.recompute_seconds == 0.0
+
+
+class TestPlanServicePoolRuns:
+    def test_service_backed_run_matches_direct_run(self, tasks):
+        from repro.core.planner import ExecutionPlanner
+        from repro.service import PlanServicePool
+
+        timeline = island_outage_timeline(1, 4, at_iteration=20, recovery_at=40)
+        direct = ElasticTrainingRunner(
+            scenario_with(timeline), policy=ImmediateReplanPolicy()
+        ).run(tasks)
+        with PlanServicePool(lambda cluster: ExecutionPlanner(cluster)) as pool:
+            served = ElasticTrainingRunner(
+                scenario_with(
+                    island_outage_timeline(1, 4, at_iteration=20, recovery_at=40)
+                ),
+                policy=ImmediateReplanPolicy(),
+                planning_service=pool,
+            ).run(tasks)
+        assert json.dumps(direct.to_document(), sort_keys=True) == json.dumps(
+            served.to_document(), sort_keys=True
+        )
+
+    def test_concurrent_jobs_share_plans_through_the_pool(self, tasks):
+        from repro.core.planner import ExecutionPlanner
+        from repro.service import PlanServicePool
+
+        def timeline():
+            return island_outage_timeline(1, 4, at_iteration=20, recovery_at=40)
+
+        with PlanServicePool(lambda cluster: ExecutionPlanner(cluster)) as pool:
+            first = ElasticTrainingRunner(
+                scenario_with(timeline()),
+                policy=ImmediateReplanPolicy(),
+                planning_service=pool,
+            ).run(tasks)
+            second = ElasticTrainingRunner(
+                scenario_with(timeline()),
+                policy=ImmediateReplanPolicy(),
+                planning_service=pool,
+            ).run(tasks)
+            # The recovery heals back to the initial topology's signature, so
+            # the run touches two distinct substrates: healthy and outage.
+            assert pool.num_services == 2
+        assert not first.initial_plan.cache_hit
+        # Every plan the second job needs is already in the shared cache.
+        assert second.initial_plan.cache_hit
+        assert all(
+            outcome.replan.cache_hit
+            for outcome in second.outcomes
+            if outcome.replan is not None
+        )
+        assert second.overhead_seconds < first.overhead_seconds

@@ -164,3 +164,95 @@ class TestEventStrictness:
         cluster = make_cluster(16, devices_per_node=8)
         snapshot = ElasticClusterView.from_cluster(cluster).snapshot()
         assert snapshot.topology.signature() == cluster.signature()
+
+
+class TestPerDeviceStragglers:
+    def test_device_scoped_onset_demotes_only_its_node(self):
+        view = make_view()
+        view.apply(
+            ClusterEvent(
+                STRAGGLER_ONSET, at_iteration=1, node=0, device=2, severity=0.5
+            )
+        )
+        snapshot = view.snapshot()
+        specs = snapshot.topology.node_specs
+        # The afflicted island paces on its slowest member; the other island
+        # keeps its healthy spec.
+        assert specs[0].achievable_fraction == pytest.approx(
+            A800_SPEC.achievable_fraction * 0.5
+        )
+        assert specs[1] == A800_SPEC
+        assert view.straggling_nodes() == [0]
+
+    def test_device_scoped_clear_heals_only_its_slot(self):
+        view = make_view()
+        for device in (1, 3):
+            view.apply(
+                ClusterEvent(
+                    STRAGGLER_ONSET,
+                    at_iteration=1,
+                    node=0,
+                    device=device,
+                    severity=0.5,
+                )
+            )
+        view.apply(
+            ClusterEvent(STRAGGLER_CLEAR, at_iteration=2, node=0, device=1)
+        )
+        # Slot 3 still straggles, so the island stays demoted.
+        assert view.straggling_nodes() == [0]
+        view.apply(
+            ClusterEvent(STRAGGLER_CLEAR, at_iteration=3, node=0, device=3)
+        )
+        assert view.straggling_nodes() == []
+        assert view.snapshot().topology.node_specs[0] == A800_SPEC
+
+    def test_node_scoped_events_set_every_slot(self):
+        view = make_view()
+        view.apply(
+            ClusterEvent(STRAGGLER_ONSET, at_iteration=1, node=1, severity=0.25)
+        )
+        # A device-scoped clear on one slot cannot heal the node: the other
+        # slots still carry the node-scoped severity.
+        view.apply(
+            ClusterEvent(STRAGGLER_CLEAR, at_iteration=2, node=1, device=0)
+        )
+        assert view.straggling_nodes() == [1]
+        view.apply(ClusterEvent(STRAGGLER_CLEAR, at_iteration=3, node=1))
+        assert view.straggling_nodes() == []
+
+    def test_dead_straggling_device_does_not_demote_the_group(self):
+        """Pacing follows the slowest *alive* member: once the straggling
+        device fails outright, the survivors run at full rate."""
+        view = make_view()
+        view.apply(
+            ClusterEvent(
+                STRAGGLER_ONSET, at_iteration=1, node=0, device=2, severity=0.5
+            )
+        )
+        view.apply(fail(0, 2, at=2))
+        snapshot = view.snapshot()
+        assert snapshot.topology.node_specs[0] == A800_SPEC
+        assert snapshot.topology.island_sizes[0] == 3
+
+    def test_device_straggler_out_of_range_rejected(self):
+        view = make_view()
+        with pytest.raises(ElasticViewError):
+            view.apply(
+                ClusterEvent(
+                    STRAGGLER_ONSET, at_iteration=1, node=0, device=9, severity=0.5
+                )
+            )
+
+    def test_per_device_straggler_creates_distinct_spec_class(self):
+        view = make_view()
+        view.apply(
+            ClusterEvent(
+                STRAGGLER_ONSET, at_iteration=1, node=0, device=0, severity=0.5
+            )
+        )
+        topology = view.snapshot().topology
+        assert topology.num_spec_classes == 2
+        fast, slow = topology.spec_classes()
+        assert fast.islands == (1,)
+        assert slow.islands == (0,)

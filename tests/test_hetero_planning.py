@@ -1,0 +1,402 @@
+"""Spec-class-aware planning: grouping, per-class curves, equivalence, gains.
+
+Three contracts are pinned here:
+
+* **Homogeneous byte-identity** — the spec-class refactor must not move a
+  single byte of any homogeneous plan: fingerprints and serialized plan
+  documents across the Fig. 8 grid are compared against values captured from
+  the pre-refactor planner (``tests/data/fig8_plan_identity.json``).
+* **Optimized/reference equivalence on mixed specs** — the vectorized and the
+  reference planner must emit identical heterogeneity-aware plans on
+  mixed-spec and irregular topologies, with and without profiling noise.
+* **Never worse than slowest-device pacing** — the per-level fallback
+  comparison guarantees the aware planner's simulated iteration time never
+  exceeds the ``spec_aware=False`` floor-paced plan's.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.device import A800_SPEC, TEST_GPU_SPEC, DeviceSpec
+from repro.cluster.topology import (
+    ClusterTopology,
+    make_cluster,
+    make_heterogeneous_cluster,
+)
+from repro.core.estimator import ScalabilityEstimator
+from repro.core.hetero import partition_level
+from repro.core.planner import ExecutionPlanner
+from repro.core.serialization import plan_to_dict
+from repro.costmodel.profiler import SyntheticProfiler
+from repro.runtime.engine import RuntimeEngine
+from tests.conftest import make_chain_task, make_layer_op
+
+IDENTITY_FILE = Path(__file__).parent / "data" / "fig8_plan_identity.json"
+
+MID_SPEC = DeviceSpec(
+    name="MidGPU-80GB",
+    peak_flops=170e12,
+    memory_bytes=A800_SPEC.memory_bytes,
+    achievable_fraction=0.55,
+)
+
+
+@pytest.fixture
+def tasks():
+    return [
+        make_chain_task("audio_task", {"audio": 3, "lm": 3}, batch=8),
+        make_chain_task("vision_task", {"vision": 2, "lm": 2}, batch=4),
+        make_chain_task("text_task", {"text": 2}, batch=2),
+    ]
+
+
+def mixed_clusters() -> list[ClusterTopology]:
+    return [
+        make_heterogeneous_cluster([A800_SPEC, MID_SPEC], devices_per_node=4),
+        make_heterogeneous_cluster(
+            [A800_SPEC, MID_SPEC, TEST_GPU_SPEC], devices_per_node=4
+        ),
+        make_heterogeneous_cluster(
+            [A800_SPEC, A800_SPEC.degraded(0.5)],
+            devices_per_node=8,
+            island_sizes=(7, 8),
+        ),
+    ]
+
+
+class TestSpecClasses:
+    def test_homogeneous_cluster_is_one_class(self):
+        cluster = make_cluster(16)
+        classes = cluster.spec_classes()
+        assert len(classes) == 1
+        assert classes[0].spec == A800_SPEC
+        assert classes[0].islands == (0, 1)
+        assert classes[0].device_ids == tuple(range(16))
+        assert cluster.num_spec_classes == 1
+
+    def test_classes_ordered_fastest_first(self):
+        cluster = make_heterogeneous_cluster(
+            [TEST_GPU_SPEC, A800_SPEC, MID_SPEC, A800_SPEC], devices_per_node=4
+        )
+        classes = cluster.spec_classes()
+        assert [cls.spec.name for cls in classes] == [
+            A800_SPEC.name,
+            MID_SPEC.name,
+            TEST_GPU_SPEC.name,
+        ]
+        rates = [cls.achievable_flops for cls in classes]
+        assert rates == sorted(rates, reverse=True)
+        # The two A800 islands merge into one class.
+        assert classes[0].islands == (1, 3)
+        assert classes[0].num_devices == 8
+
+    def test_device_and_island_lookups(self):
+        cluster = make_heterogeneous_cluster(
+            [MID_SPEC, A800_SPEC], devices_per_node=4
+        )
+        assert cluster.spec_class_of_island(1) == 0  # A800 is the fast class
+        assert cluster.spec_class_of_island(0) == 1
+        assert cluster.spec_class_of(0) == 1
+        assert cluster.spec_class_of(4) == 0
+
+    def test_capacity_and_pacing(self):
+        cluster = make_heterogeneous_cluster(
+            [A800_SPEC, MID_SPEC], devices_per_node=4
+        )
+        fast, mid = cluster.spec_classes()
+        assert fast.achievable_flops == A800_SPEC.achievable_flops
+        assert fast.capacity_flops == 4 * A800_SPEC.achievable_flops
+        assert mid.capacity_flops == 4 * MID_SPEC.achievable_flops
+
+    def test_partition_covered_by_signature(self):
+        """The class partition derives from node_specs, which the canonical
+        document embeds: different partitions can never share a signature,
+        and equal documents imply equal partitions."""
+        a = make_heterogeneous_cluster([A800_SPEC, MID_SPEC], devices_per_node=4)
+        b = make_heterogeneous_cluster([MID_SPEC, A800_SPEC], devices_per_node=4)
+        c = make_heterogeneous_cluster([A800_SPEC, MID_SPEC], devices_per_node=4)
+        assert a.signature() != b.signature()
+        assert a.signature() == c.signature()
+        assert [cls.spec.name for cls in a.spec_classes()] == [
+            cls.spec.name for cls in c.spec_classes()
+        ]
+
+
+class TestPerClassCurves:
+    def test_class_curves_pace_at_class_rate(self):
+        cluster = make_heterogeneous_cluster(
+            [A800_SPEC, TEST_GPU_SPEC], devices_per_node=4
+        )
+        estimator = ScalabilityEstimator(SyntheticProfiler(cluster))
+        fast, slow = cluster.spec_classes()
+        metaop = _metaop()
+        fast_curve = estimator.estimate_metaops_for_class([(0, metaop)], fast)[0]
+        slow_curve = estimator.estimate_metaops_for_class([(0, metaop)], slow)[0]
+        assert fast_curve.time(1) < slow_curve.time(1)
+        # Curves only cover the class's own device range.
+        assert fast_curve.max_devices == fast.num_devices
+        assert slow_curve.max_devices == slow.num_devices
+
+    def test_class_curves_cached_per_class(self):
+        cluster = make_heterogeneous_cluster(
+            [A800_SPEC, TEST_GPU_SPEC], devices_per_node=4
+        )
+        estimator = ScalabilityEstimator(SyntheticProfiler(cluster))
+        fast, slow = cluster.spec_classes()
+        a = estimator.estimate_metaops_for_class([(0, _metaop())], fast)[0]
+        b = estimator.estimate_metaops_for_class([(1, _metaop())], fast)[1]
+        c = estimator.estimate_metaops_for_class([(0, _metaop())], slow)[0]
+        assert a is b  # same class, same workload signature: one profile
+        assert a is not c  # different class: distinct cache entry
+
+    def test_base_estimation_does_not_collide_with_class_cache(self):
+        cluster = make_heterogeneous_cluster(
+            [A800_SPEC, TEST_GPU_SPEC], devices_per_node=4
+        )
+        estimator = ScalabilityEstimator(SyntheticProfiler(cluster))
+        fast = cluster.spec_classes()[0]
+        class_curve = estimator.estimate_metaops_for_class([(0, _metaop())], fast)[0]
+        base_curve = estimator.estimate_metaop(_metaop())
+        assert class_curve is not base_curve
+        # Base curves pace on the floor: slower than the fast class's curve.
+        assert base_curve.time(1) > class_curve.time(1)
+
+
+def _metaop(index: int = 0, batch: int = 8):
+    from repro.core.metagraph import MetaOp
+
+    ops = [make_layer_op(f"m{index}.{i}", batch=batch) for i in range(4)]
+    return MetaOp(index=index, operators=ops)
+
+
+class TestPartitionHeuristic:
+    def test_heavy_metaops_land_on_the_fast_class(self, tasks):
+        cluster = make_heterogeneous_cluster(
+            [A800_SPEC, TEST_GPU_SPEC], devices_per_node=4
+        )
+        from repro.core.contraction import contract_graph
+        from repro.graph.builder import build_unified_graph
+
+        metagraph = contract_graph(build_unified_graph(tasks))
+        estimator = ScalabilityEstimator(SyntheticProfiler(cluster))
+        curves = estimator.estimate(metagraph)
+        classes = cluster.spec_classes()
+        for indices in metagraph.levels():
+            metaops = [metagraph.metaop(i) for i in indices]
+            assignment = partition_level(metaops, curves, classes)
+            assert set(assignment) == {m.index for m in metaops}
+            work = {
+                m.index: curves[m.index].time(1) * m.num_operators for m in metaops
+            }
+            heaviest = max(work, key=lambda idx: (work[idx], -idx))
+            assert assignment[heaviest] == 0  # fastest class
+
+    def test_single_class_partition_is_identity(self, tasks):
+        cluster = make_cluster(8)
+        from repro.core.contraction import contract_graph
+        from repro.graph.builder import build_unified_graph
+
+        metagraph = contract_graph(build_unified_graph(tasks))
+        curves = ScalabilityEstimator(SyntheticProfiler(cluster)).estimate(metagraph)
+        metaops = list(metagraph.metaops.values())
+        assignment = partition_level(metaops, curves, cluster.spec_classes())
+        assert set(assignment.values()) == {0}
+
+
+class TestHomogeneousByteIdentity:
+    """The refactor must not move a byte of any homogeneous plan."""
+
+    def test_fig8_grid_matches_pre_refactor_capture(self):
+        from repro.experiments.workloads import fig8_workloads
+
+        pinned = json.loads(IDENTITY_FILE.read_text())
+        for workload in fig8_workloads():
+            plan = ExecutionPlanner(workload.cluster()).plan(workload.tasks())
+            document = plan_to_dict(plan)
+            document.pop("planning_report")
+            payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+            doc_hash = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            expected = pinned[workload.name]
+            assert plan.fingerprint == expected["fingerprint"], workload.name
+            assert doc_hash == expected["plan_doc_sha256"], workload.name
+
+    def test_homogeneous_plans_ignore_spec_aware_flag(self, tasks):
+        """Identical plan *content* either way; only the cache fingerprint
+        differs (spec_aware=False marks its config so the two configurations
+        never share cache entries)."""
+        cluster = make_cluster(8)
+        aware = ExecutionPlanner(cluster).plan(tasks)
+        floor = ExecutionPlanner(cluster, spec_aware=False).plan(tasks)
+        da = plan_to_dict(aware)
+        da.pop("planning_report")
+        da.pop("fingerprint")
+        df = plan_to_dict(floor)
+        df.pop("planning_report")
+        df.pop("fingerprint")
+        assert da == df
+        assert aware.fingerprint != floor.fingerprint
+        assert aware.report.partitioned_levels == 0
+
+    def test_homogeneous_entries_carry_no_spec_class(self, tasks):
+        plan = ExecutionPlanner(make_cluster(8)).plan(tasks)
+        for wave in plan.waves:
+            for entry in wave.entries:
+                assert entry.spec_class is None
+        document = plan_to_dict(plan)
+        assert "spec_class" not in json.dumps(document)
+
+
+class TestHeterogeneousEquivalence:
+    @pytest.mark.parametrize("index", range(3))
+    def test_optimized_matches_reference_on_mixed_specs(self, index, tasks):
+        cluster = mixed_clusters()[index]
+        optimized = ExecutionPlanner(cluster).plan(tasks)
+        reference = ExecutionPlanner(cluster, optimized=False).plan(tasks)
+        assert optimized.fingerprint == reference.fingerprint
+        do = plan_to_dict(optimized)
+        do.pop("planning_report")
+        dr = plan_to_dict(reference)
+        dr.pop("planning_report")
+        assert do == dr
+
+    def test_noisy_profiling_equivalent_on_mixed_specs(self, tasks):
+        cluster = mixed_clusters()[0]
+        optimized = ExecutionPlanner(cluster, profile_noise_std=0.05).plan(tasks)
+        reference = ExecutionPlanner(
+            cluster, profile_noise_std=0.05, optimized=False
+        ).plan(tasks)
+        assert optimized.fingerprint == reference.fingerprint
+        do = plan_to_dict(optimized)
+        do.pop("planning_report")
+        dr = plan_to_dict(reference)
+        dr.pop("planning_report")
+        assert do == dr
+
+    def test_repeat_planning_is_stable_on_mixed_specs(self, tasks):
+        planner = ExecutionPlanner(mixed_clusters()[0])
+        first = plan_to_dict(planner.plan(tasks))
+        second = plan_to_dict(planner.plan(tasks))
+        first.pop("planning_report")
+        second.pop("planning_report")
+        assert first == second
+
+
+class TestHeterogeneousPlans:
+    @pytest.mark.parametrize("index", range(3))
+    def test_aware_never_worse_than_floor_pacing(self, index, tasks):
+        cluster = mixed_clusters()[index]
+        aware = ExecutionPlanner(cluster).plan(tasks)
+        floor = ExecutionPlanner(cluster, spec_aware=False).plan(tasks)
+        aware_time = RuntimeEngine(aware).run_iteration().iteration_time
+        floor_time = RuntimeEngine(floor).run_iteration().iteration_time
+        assert aware_time <= floor_time * (1 + 1e-9)
+
+    def test_partitioned_entries_stay_on_their_class_islands(self, tasks):
+        cluster = make_heterogeneous_cluster(
+            [A800_SPEC, TEST_GPU_SPEC], devices_per_node=4
+        )
+        plan = ExecutionPlanner(cluster).plan(tasks)
+        assert plan.report.partitioned_levels >= 1
+        classes = {cls.index: set(cls.device_ids) for cls in cluster.spec_classes()}
+        saw_partitioned_entry = False
+        for wave in plan.waves:
+            for entry in wave.entries:
+                if entry.spec_class is None:
+                    continue
+                saw_partitioned_entry = True
+                devices = set(
+                    plan.placement.devices_for(wave.index, entry.metaop_index)
+                )
+                assert devices <= classes[entry.spec_class]
+        assert saw_partitioned_entry
+
+    def test_partitioned_waves_respect_class_budgets(self, tasks):
+        cluster = make_heterogeneous_cluster(
+            [A800_SPEC, MID_SPEC], devices_per_node=4
+        )
+        plan = ExecutionPlanner(cluster).plan(tasks)
+        sizes = {cls.index: cls.num_devices for cls in cluster.spec_classes()}
+        for wave in plan.waves:
+            used: dict[int, int] = {}
+            for entry in wave.entries:
+                if entry.spec_class is not None:
+                    used[entry.spec_class] = (
+                        used.get(entry.spec_class, 0) + entry.n_devices
+                    )
+            for cls_index, devices in used.items():
+                assert devices <= sizes[cls_index]
+
+    def test_spec_class_serialized_on_hetero_plans(self, tasks):
+        cluster = make_heterogeneous_cluster(
+            [A800_SPEC, TEST_GPU_SPEC], devices_per_node=4
+        )
+        plan = ExecutionPlanner(cluster).plan(tasks)
+        document = plan_to_dict(plan)
+        entries = [
+            entry
+            for wave in document["waves"]
+            for entry in wave["entries"]
+            if "spec_class" in entry
+        ]
+        assert entries, "heterogeneous plans must serialize spec classes"
+        partitioned = [
+            level
+            for level in document["level_allocations"].values()
+            if "spec_classes" in level
+        ]
+        assert partitioned
+        for level in partitioned:
+            assert set(level["class_sizes"]) >= set(
+                str(v) for v in level["spec_classes"].values()
+            )
+
+    def test_simulator_paces_entries_on_their_class(self, tasks):
+        """A plan with identical structure runs faster when its entries pace
+        on the fast class than when floor-paced: compare the same workload on
+        a mixed cluster with aware vs floor planning, where the aware plan's
+        fast-class entries must finish quicker than floor pacing would
+        allow."""
+        cluster = make_heterogeneous_cluster(
+            [A800_SPEC, TEST_GPU_SPEC], devices_per_node=4
+        )
+        aware = ExecutionPlanner(cluster).plan(tasks)
+        result = RuntimeEngine(aware).run_iteration()
+        assert result.iteration_time > 0
+        # Every placed device belongs to the cluster.
+        for wave in aware.waves:
+            for entry in wave.entries:
+                assert len(entry.devices) == entry.n_devices
+
+    def test_validate_passes_on_partitioned_plans(self, tasks):
+        for cluster in mixed_clusters():
+            plan = ExecutionPlanner(cluster).plan(tasks)
+            plan.validate()
+
+
+class TestPartitionFallbackGuard:
+    def test_class_infeasible_grid_falls_back_to_classic(self, tasks):
+        """A valid-allocation rule with no valid count inside one class's few
+        devices must not abort planning: the classic cluster-spanning
+        allocation (which is feasible) wins the level (regression)."""
+
+        def multiples_of_six(metaop, max_devices):
+            return [n for n in range(6, max_devices + 1, 6)]
+
+        # Near-equal specs so the 4-device class receives a real work share
+        # (and therefore hits its empty multiples-of-six grid).
+        cluster = make_heterogeneous_cluster(
+            [A800_SPEC, A800_SPEC.degraded(0.9)],
+            devices_per_node=6,
+            island_sizes=(6, 4),
+        )
+        plan = ExecutionPlanner(
+            cluster, valid_allocation_fn=multiples_of_six
+        ).plan(tasks)
+        plan.validate()
+        assert plan.report.partitioned_levels == 0
+        for wave in plan.waves:
+            for entry in wave.entries:
+                assert entry.spec_class is None
