@@ -3,7 +3,6 @@ common :class:`~repro.baselines.base.TrainingSystem` interface."""
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 from repro.baselines.base import SystemCapabilities, TrainingSystem
@@ -13,6 +12,7 @@ from repro.core.planner import ExecutionPlanner
 from repro.costmodel.memory import MemoryModel
 from repro.costmodel.timing import TimingModelConfig
 from repro.graph.task import SpindleTask
+from repro.obs import get_tracer
 from repro.runtime.engine import RuntimeEngine
 from repro.runtime.results import IterationResult
 from repro.service.cache import PlanCache
@@ -72,9 +72,11 @@ class SpindleSystem(TrainingSystem):
                 self.last_plan = cached
                 self.last_plan_cached = True
                 return cached
-        start = time.perf_counter()
-        plan = planner.plan(tasks, fingerprint=fingerprint)
-        self.last_planning_seconds = time.perf_counter() - start
+        with get_tracer().timed(
+            "system.plan", category="system", system=self.name
+        ) as span:
+            plan = planner.plan(tasks, fingerprint=fingerprint)
+        self.last_planning_seconds = span.seconds
         self.last_plan = plan
         self.last_plan_cached = False
         if self.plan_cache is not None:

@@ -29,6 +29,18 @@ Six subcommand families cover the common workflows:
     emitting machine-readable ``BENCH_*.json`` results, and diff result sets
     against a committed baseline with per-metric regression gating.
 
+``repro trace``
+    Run a workload through the plan service and the simulated runtime with
+    span tracing enabled, and write a Chrome ``trace_event`` JSON (openable
+    in Perfetto / ``chrome://tracing``) containing the planner-stage,
+    service-lifecycle and simulator-wave spans plus the simulated
+    utilization timeline as counter tracks.  The document is validated
+    against the trace schema before it is written.
+
+``repro obs report``
+    Render the span tree of a previously captured trace (``--input``), or
+    run a workload live and print its span tree and metrics-registry delta.
+
 Examples
 --------
 ::
@@ -40,6 +52,8 @@ Examples
     repro elastic --model multitask-clip --tasks 4 --gpus 16 --scenario random-failures
     repro bench run --tag smoke --json
     repro bench compare --baseline benchmarks/baselines --fail-on-regress
+    repro trace --model multitask-clip --tasks 4 --gpus 8 --out trace.json
+    repro obs report --input trace.json
 """
 
 from __future__ import annotations
@@ -327,6 +341,101 @@ def _cmd_elastic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _traced_run(workload, num_workers: int):
+    """Run ``workload`` through the plan service + simulator under tracing.
+
+    Returns ``(spans, iteration_result, metrics_delta)``; the pipeline is the
+    shared measurement protocol of ``repro trace`` and ``repro obs report``:
+    planning goes through a :class:`~repro.service.server.PlanService` (so
+    the trace contains the request lifecycle and the worker-thread planner
+    stages) and one simulated iteration runs on the resulting plan.
+    """
+    from repro.core.planner import ExecutionPlanner
+    from repro.obs import get_metrics, get_tracer
+    from repro.runtime.engine import RuntimeEngine
+    from repro.service import PlanService
+
+    tasks = workload.tasks()
+    cluster = workload.cluster()
+    tracer = get_tracer()
+    tracer.clear()
+    metrics = get_metrics()
+    before = metrics.snapshot()
+    with tracer.capture():
+        with PlanService(
+            ExecutionPlanner(cluster), num_workers=num_workers
+        ) as service:
+            plan = service.plan(list(tasks))
+        result = RuntimeEngine(plan).run_iteration()
+    return tracer.records(), result, metrics.snapshot().diff(before)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import TraceValidationError, chrome_trace_document, write_chrome_trace
+
+    if args.workers <= 0:
+        return _fail("--workers must be positive")
+    workload = _workload_from_args(args)
+    spans, result, metrics_delta = _traced_run(workload, args.workers)
+    document = chrome_trace_document(
+        spans,
+        utilization=result.trace,
+        metrics=metrics_delta,
+        metadata={
+            "workload": workload.describe(),
+            "simulated_iteration_seconds": result.iteration_time,
+        },
+    )
+    try:
+        path = write_chrome_trace(args.out, document)
+    except TraceValidationError as exc:  # pragma: no cover - exporter bug guard
+        return _fail(str(exc))
+    num_segments = len(result.trace.segments)
+    print(f"workload         : {workload.describe()}")
+    print(f"wall-clock spans : {len(spans)}")
+    print(f"sim segments     : {num_segments} "
+          f"(simulated iteration {result.iteration_time * 1e3:.1f} ms)")
+    print(f"trace written to {path}")
+    print("open it in Perfetto (https://ui.perfetto.dev) or chrome://tracing")
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs import (
+        TraceValidationError,
+        get_metrics,
+        render_span_tree,
+        spans_from_chrome_trace,
+        validate_chrome_trace,
+    )
+
+    if args.input:
+        path = Path(args.input)
+        if not path.is_file():
+            return _fail(f"no such trace file: {path}")
+        try:
+            document = _json.loads(path.read_text(encoding="utf-8"))
+        except _json.JSONDecodeError as exc:
+            return _fail(f"invalid JSON in {path}: {exc}")
+        try:
+            validate_chrome_trace(document)
+        except TraceValidationError as exc:
+            return _fail(str(exc))
+        print(render_span_tree(spans_from_chrome_trace(document)))
+        return 0
+    if args.model is None:
+        return _fail("obs report needs --input TRACE.json or a workload (--model ...)")
+    workload = _workload_from_args(args)
+    spans, _, metrics_delta = _traced_run(workload, num_workers=2)
+    print(render_span_tree(spans))
+    print()
+    print(get_metrics().render(metrics_delta))
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.requests <= 0:
         return _fail("--requests must be positive")
@@ -477,6 +586,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the canonical JSON report to a file"
     )
     elastic_parser.set_defaults(func=_cmd_elastic)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="capture a Chrome trace_event JSON of planning + simulated execution",
+    )
+    _add_workload_arguments(trace_parser)
+    trace_parser.add_argument(
+        "--out", default="trace.json", help="path of the Chrome trace JSON to write"
+    )
+    trace_parser.add_argument(
+        "--workers", type=int, default=2, help="plan service worker threads"
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="observability reports over spans and the metrics registry"
+    )
+    obs_subparsers = obs_parser.add_subparsers(dest="obs_command", required=True)
+    report_parser = obs_subparsers.add_parser(
+        "report",
+        help="render the span tree of a captured trace, or trace a workload live",
+    )
+    report_parser.add_argument(
+        "--input",
+        default=None,
+        help="a trace.json captured by 'repro trace'; omitted, a workload runs live",
+    )
+    report_parser.add_argument(
+        "--model",
+        choices=sorted(MODEL_REGISTRY),
+        default=None,
+        help="workload from the model zoo (live mode)",
+    )
+    report_parser.add_argument("--tasks", type=int, default=None, help="number of tasks")
+    report_parser.add_argument("--gpus", type=int, default=16, help="cluster size in GPUs")
+    report_parser.add_argument(
+        "--model-size", default=None, help="model size variant (qwen-val only)"
+    )
+    report_parser.set_defaults(func=_cmd_obs_report)
 
     add_bench_subparsers(subparsers)
     return parser

@@ -9,13 +9,15 @@ computation graph) and the target cluster, and runs
 
 producing an :class:`~repro.core.plan.ExecutionPlan` that the runtime engine
 (§3.6) instantiates and executes.  Planning-stage wall-clock timings are
-recorded in the plan's :class:`~repro.core.plan.PlanningReport` (Fig. 12).
+recorded in the plan's :class:`~repro.core.plan.PlanningReport` (Fig. 12);
+each stage additionally runs inside a ``planner.<stage>`` span and feeds the
+``planner.solve_seconds{stage=...}`` histogram of :mod:`repro.obs`, so the
+report, the metrics registry and an exported trace share one clock window.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import time
 from typing import Any, Callable, Mapping, Sequence, Union
 
 from repro.cluster.topology import ClusterTopology
@@ -35,6 +37,7 @@ from repro.costmodel.timing import ExecutionTimeModel, TimingModelConfig
 from repro.graph.builder import build_unified_graph
 from repro.graph.graph import ComputationGraph
 from repro.graph.task import SpindleTask
+from repro.obs import get_metrics, get_tracer
 
 PlannerInput = Union[ComputationGraph, Sequence[SpindleTask]]
 
@@ -155,10 +158,15 @@ class ExecutionPlanner:
             or service) already computed it; omitted, it is derived here.
         """
         report = PlanningReport()
+        tracer = get_tracer()
+        metrics = get_metrics()
 
-        def finish_stage(name: str, start: float) -> None:
-            seconds = time.perf_counter() - start
+        def finish_stage(name: str, span) -> None:
+            # Span, report and hook all observe the *same* clock window, so
+            # the trace and the reported timings can never disagree.
+            seconds = span.seconds
             report.stage_seconds[name] = seconds
+            metrics.observe("planner.solve_seconds", seconds, stage=name)
             if stage_hook is not None:
                 stage_hook(name, seconds)
 
@@ -166,60 +174,70 @@ class ExecutionPlanner:
             fingerprint = self._fingerprint(workload)
         graph = self._resolve_graph(workload)
 
-        start = time.perf_counter()
-        metagraph = contract_graph(graph)
-        finish_stage("graph_contraction", start)
-        report.num_metaops = metagraph.num_metaops
-        report.num_levels = metagraph.num_levels
+        with tracer.timed(
+            "planner.plan", category="planner", fingerprint=fingerprint[:12]
+        ) as plan_span:
+            with tracer.timed("planner.graph_contraction", category="planner") as span:
+                metagraph = contract_graph(graph)
+            finish_stage("graph_contraction", span)
+            report.num_metaops = metagraph.num_metaops
+            report.num_levels = metagraph.num_levels
+            plan_span.set(
+                num_metaops=metagraph.num_metaops, num_levels=metagraph.num_levels
+            )
 
-        start = time.perf_counter()
-        curves, reused = self.estimator.estimate_with_reuse(
-            metagraph, precomputed_curves
-        )
-        finish_stage("scalability_estimation", start)
-        report.reused_curves = reused
+            with tracer.timed(
+                "planner.scalability_estimation", category="planner"
+            ) as span:
+                curves, reused = self.estimator.estimate_with_reuse(
+                    metagraph, precomputed_curves
+                )
+            finish_stage("scalability_estimation", span)
+            report.reused_curves = reused
 
-        start = time.perf_counter()
-        if self.spec_aware and self.cluster.num_spec_classes > 1:
-            hetero = self._hetero()
-            allocation = hetero.allocate(metagraph, curves)
-            level_allocations = allocation.level_allocations
-            scheduling_curves = allocation.curves
-            report.partitioned_levels = len(allocation.partitioned_levels)
-        else:
-            level_allocations = self.allocator.allocate(metagraph, curves)
-            scheduling_curves = curves
-        finish_stage("resource_allocation", start)
-        report.level_c_star = {
-            level: alloc.c_star for level, alloc in level_allocations.items()
-        }
+            with tracer.timed("planner.resource_allocation", category="planner") as span:
+                if self.spec_aware and self.cluster.num_spec_classes > 1:
+                    hetero = self._hetero()
+                    allocation = hetero.allocate(metagraph, curves)
+                    level_allocations = allocation.level_allocations
+                    scheduling_curves = allocation.curves
+                    report.partitioned_levels = len(allocation.partitioned_levels)
+                else:
+                    level_allocations = self.allocator.allocate(metagraph, curves)
+                    scheduling_curves = curves
+            finish_stage("resource_allocation", span)
+            report.level_c_star = {
+                level: alloc.c_star for level, alloc in level_allocations.items()
+            }
 
-        start = time.perf_counter()
-        metaops_by_level = {
-            level: metagraph.metaops_at_level(level)
-            for level in level_allocations
-        }
-        schedule = self.scheduler.schedule(
-            level_allocations, metaops_by_level, scheduling_curves
-        )
-        finish_stage("wavefront_scheduling", start)
-        report.num_waves = schedule.num_waves
+            with tracer.timed(
+                "planner.wavefront_scheduling", category="planner"
+            ) as span:
+                metaops_by_level = {
+                    level: metagraph.metaops_at_level(level)
+                    for level in level_allocations
+                }
+                schedule = self.scheduler.schedule(
+                    level_allocations, metaops_by_level, scheduling_curves
+                )
+            finish_stage("wavefront_scheduling", span)
+            report.num_waves = schedule.num_waves
 
-        start = time.perf_counter()
-        placement = self.placer.place(schedule.waves, metagraph)
-        finish_stage("device_placement", start)
+            with tracer.timed("planner.device_placement", category="planner") as span:
+                placement = self.placer.place(schedule.waves, metagraph)
+            finish_stage("device_placement", span)
 
-        plan = ExecutionPlan(
-            metagraph=metagraph,
-            cluster=self.cluster,
-            schedule=schedule,
-            placement=placement,
-            curves=curves,
-            level_allocations=level_allocations,
-            report=report,
-            fingerprint=fingerprint,
-        )
-        plan.validate()
+            plan = ExecutionPlan(
+                metagraph=metagraph,
+                cluster=self.cluster,
+                schedule=schedule,
+                placement=placement,
+                curves=curves,
+                level_allocations=level_allocations,
+                report=report,
+                fingerprint=fingerprint,
+            )
+            plan.validate()
         return plan
 
     def config_signature(self) -> dict[str, Any]:

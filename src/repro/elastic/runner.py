@@ -33,7 +33,6 @@ no-failure run.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -46,6 +45,7 @@ from repro.elastic.migration import MigrationCostModel, MigrationReport
 from repro.elastic.policy import ReplanContext, ReplanPolicy, SlowdownThresholdPolicy
 from repro.elastic.view import ElasticClusterView, ElasticSnapshot
 from repro.graph.task import SpindleTask
+from repro.obs import get_metrics, get_tracer
 from repro.runtime.engine import RuntimeEngine
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import fingerprint_workload
@@ -419,60 +419,69 @@ class ElasticTrainingRunner:
         last_replan_iteration = 0
         plan_snapshot = snapshot
 
+        tracer = get_tracer()
         for at_iteration, events in self.scenario.timeline.grouped_by_iteration():
             self._append_segment(
                 result, cursor, at_iteration, iteration_seconds * stay_slowdown
             )
             cursor = max(cursor, at_iteration)
 
-            view.apply_all(events)
-            new_snapshot = view.snapshot()
-            pending_groups += 1
-            forced = any(event.kind in CAPACITY_LOSS_KINDS for event in events)
-            stay = self._stay_slowdown(plan_snapshot, new_snapshot)
-            context = ReplanContext(
-                events=tuple(events),
-                old_topology=plan_snapshot.topology,
-                new_topology=new_snapshot.topology,
-                pending_groups=pending_groups,
-                iterations_since_replan=cursor - last_replan_iteration,
-                stay_slowdown=stay,
-            )
-            replanned = forced or self.policy.should_replan(context)
-            outcome = EventOutcome(
+            with tracer.span(
+                "elastic.event_group",
+                category="elastic",
                 iteration=at_iteration,
-                events=tuple(events),
-                forced=forced,
-                replanned=replanned,
-                estimated_slowdown=context.estimated_slowdown,
-                stay_slowdown=1.0,
-                num_devices=new_snapshot.topology.num_devices,
-                topology_signature=new_snapshot.signature,
-            )
-            if replanned:
-                new_plan, record = self._plan(tasks, new_snapshot)
-                outcome.replan = record
-                new_iteration_seconds = self._iteration_seconds(new_plan)
-                # Checkpoint-interval modeling: lost iterations re-execute
-                # under the new plan, so the recompute term uses its rate.
-                outcome.migration = self.migration_model.assess(
-                    plan,
-                    plan_snapshot,
-                    new_plan,
-                    new_snapshot,
-                    at_iteration=at_iteration,
-                    iteration_seconds=new_iteration_seconds,
+                num_events=len(events),
+            ) as group_span:
+                view.apply_all(events)
+                new_snapshot = view.snapshot()
+                pending_groups += 1
+                forced = any(event.kind in CAPACITY_LOSS_KINDS for event in events)
+                stay = self._stay_slowdown(plan_snapshot, new_snapshot)
+                context = ReplanContext(
+                    events=tuple(events),
+                    old_topology=plan_snapshot.topology,
+                    new_topology=new_snapshot.topology,
+                    pending_groups=pending_groups,
+                    iterations_since_replan=cursor - last_replan_iteration,
+                    stay_slowdown=stay,
                 )
-                plan = new_plan
-                plan_snapshot = new_snapshot
-                iteration_seconds = new_iteration_seconds
-                stay_slowdown = 1.0
-                pending_groups = 0
-                last_replan_iteration = cursor
-            else:
-                stay_slowdown = stay
-                outcome.stay_slowdown = stay_slowdown
-            result.outcomes.append(outcome)
+                replanned = forced or self.policy.should_replan(context)
+                group_span.set(forced=forced, replanned=replanned)
+                outcome = EventOutcome(
+                    iteration=at_iteration,
+                    events=tuple(events),
+                    forced=forced,
+                    replanned=replanned,
+                    estimated_slowdown=context.estimated_slowdown,
+                    stay_slowdown=1.0,
+                    num_devices=new_snapshot.topology.num_devices,
+                    topology_signature=new_snapshot.signature,
+                )
+                if replanned:
+                    new_plan, record = self._plan(tasks, new_snapshot)
+                    outcome.replan = record
+                    new_iteration_seconds = self._iteration_seconds(new_plan)
+                    # Checkpoint-interval modeling: lost iterations re-execute
+                    # under the new plan, so the recompute term uses its rate.
+                    with tracer.span("elastic.migration", category="elastic"):
+                        outcome.migration = self.migration_model.assess(
+                            plan,
+                            plan_snapshot,
+                            new_plan,
+                            new_snapshot,
+                            at_iteration=at_iteration,
+                            iteration_seconds=new_iteration_seconds,
+                        )
+                    plan = new_plan
+                    plan_snapshot = new_snapshot
+                    iteration_seconds = new_iteration_seconds
+                    stay_slowdown = 1.0
+                    pending_groups = 0
+                    last_replan_iteration = cursor
+                else:
+                    stay_slowdown = stay
+                    outcome.stay_slowdown = stay_slowdown
+                result.outcomes.append(outcome)
 
         self._append_segment(
             result,
@@ -502,13 +511,15 @@ class ElasticTrainingRunner:
         )
         cached = self.plan_cache.get(fingerprint)
         if cached is not None:
+            get_metrics().inc("elastic.replans", outcome="cache_hit")
             return cached, self._cache_hit_record(cached)
         stage_seconds: dict[str, float] = {}
-        start = time.perf_counter()
-        plan = incremental.plan(
-            tasks, stage_hook=lambda name, seconds: stage_seconds.update({name: seconds})
-        )
-        measured = time.perf_counter() - start
+        with self._replan_span() as span:
+            plan = incremental.plan(
+                tasks,
+                stage_hook=lambda name, seconds: stage_seconds.update({name: seconds}),
+            )
+        measured = self._observe_replan(span.seconds)
         self.plan_cache.put(fingerprint, plan)
         return plan, self._planned_record(plan, measured, stage_seconds)
 
@@ -526,11 +537,27 @@ class ElasticTrainingRunner:
         fingerprint = service.fingerprint(tasks)
         cached = service.cache.get(fingerprint)
         if cached is not None:
+            get_metrics().inc("elastic.replans", outcome="cache_hit")
             return cached, self._cache_hit_record(cached)
-        start = time.perf_counter()
-        plan = service.plan(tasks)
-        measured = time.perf_counter() - start
+        with self._replan_span() as span:
+            plan = service.plan(tasks)
+        measured = self._observe_replan(span.seconds)
         return plan, self._planned_record(plan, measured, {})
+
+    def _replan_span(self):
+        """The timed ``elastic.replan`` span both planning paths run under."""
+        return get_tracer().timed(
+            "elastic.replan", category="elastic", policy=self.policy.describe()
+        )
+
+    def _observe_replan(self, measured: float) -> float:
+        """Record a measured replan into ``elastic.replan_seconds{policy=...}``."""
+        metrics = get_metrics()
+        metrics.observe(
+            "elastic.replan_seconds", measured, policy=self.policy.describe()
+        )
+        metrics.inc("elastic.replans", outcome="planned")
+        return measured
 
     def _cache_hit_record(self, plan: ExecutionPlan) -> ReplanRecord:
         return ReplanRecord(

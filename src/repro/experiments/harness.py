@@ -7,7 +7,6 @@ raw iteration results around for the breakdown / utilization / memory figures.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import wait
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -15,6 +14,7 @@ from typing import Sequence
 from repro.baselines import SYSTEM_CLASSES, TrainingSystem, make_system
 from repro.core.planner import ExecutionPlanner
 from repro.experiments.workloads import WorkloadSpec, planning_request_stream
+from repro.obs import get_tracer
 from repro.runtime.results import IterationResult
 from repro.service import PlanCache, PlanService, ServiceStats, fingerprint_workload
 
@@ -179,10 +179,13 @@ def run_service_benchmark(
         key: fingerprint_workload(request, cluster, config)
         for key, request in unique_requests.items()
     }
-    start = time.perf_counter()
-    for request in stream:
-        planner.plan(request, fingerprint=fingerprints[id(request)])
-    uncached_seconds = time.perf_counter() - start
+    tracer = get_tracer()
+    with tracer.timed(
+        "bench.uncached_planner", category="bench", requests=len(stream)
+    ) as span:
+        for request in stream:
+            planner.plan(request, fingerprint=fingerprints[id(request)])
+    uncached_seconds = span.seconds
 
     service = PlanService(
         lambda: ExecutionPlanner(cluster),
@@ -191,10 +194,12 @@ def run_service_benchmark(
         max_batch_size=max_batch_size,
     )
     with service:
-        start = time.perf_counter()
-        futures = [service.submit(request) for request in stream]
-        wait(futures)
-        service_seconds = time.perf_counter() - start
+        with tracer.timed(
+            "bench.plan_service", category="bench", requests=len(stream)
+        ) as span:
+            futures = [service.submit(request) for request in stream]
+            wait(futures)
+        service_seconds = span.seconds
 
     return ServiceBenchmarkResult(
         num_requests=len(stream),

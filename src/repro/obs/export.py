@@ -1,0 +1,328 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a plain-text span tree.
+
+The Chrome exporter emits the JSON Object Format of the Trace Event spec
+(loadable in Perfetto and ``chrome://tracing``): wall-clock spans become
+complete (``"ph": "X"``) events under the wall-clock process, and — when a
+simulated :class:`~repro.runtime.trace.UtilizationTrace` is supplied — the
+simulator's busy segments become per-device slices plus cluster-wide counter
+(``"ph": "C"``) tracks under a second, *simulated-time* process, so measured
+and simulated timelines sit side by side in one view.
+
+:func:`validate_chrome_trace` checks a document against the subset of the
+schema the exporter produces (and a loader needs); the ``repro trace`` CLI
+refuses to write an invalid document, and CI validates the captured artifact
+with the same function.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from repro.obs.tracer import SpanRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsSnapshot
+    from repro.runtime.trace import UtilizationTrace
+
+
+class TraceValidationError(ValueError):
+    """A document does not conform to the Chrome ``trace_event`` schema."""
+
+
+#: Process ids of the two timelines in one exported document.
+WALL_PID = 1
+SIM_PID = 2
+
+_MICROS = 1e6
+
+#: Event phases the validator accepts, with per-phase required fields.
+_PHASE_FIELDS: dict[str, tuple[str, ...]] = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "B": ("name", "ts", "pid", "tid"),
+    "E": ("ts", "pid", "tid"),
+    "C": ("name", "ts", "pid", "args"),
+    "M": ("name", "pid", "args"),
+    "i": ("name", "ts", "pid"),
+}
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _metadata_event(kind: str, pid: int, tid: int, **args: Any) -> dict[str, Any]:
+    return {"ph": "M", "name": kind, "pid": pid, "tid": tid, "args": dict(args)}
+
+
+def span_events(
+    spans: Sequence[SpanRecord], *, origin: float | None = None
+) -> list[dict[str, Any]]:
+    """Wall-clock spans as complete events, plus thread-name metadata."""
+    if not spans:
+        return []
+    base = origin if origin is not None else min(span.start for span in spans)
+    events: list[dict[str, Any]] = [
+        _metadata_event("process_name", WALL_PID, 0, name="wall clock (repro)"),
+        _metadata_event("process_sort_index", WALL_PID, 0, sort_index=0),
+    ]
+    thread_names: dict[int, str] = {}
+    for span in spans:
+        thread_names.setdefault(span.thread_id, span.thread_name)
+        args = {key: _json_safe(value) for key, value in span.attributes.items()}
+        event: dict[str, Any] = {
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category or "span",
+            "pid": WALL_PID,
+            "tid": span.thread_id,
+            "ts": (span.start - base) * _MICROS,
+            "dur": span.duration * _MICROS,
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    for tid, name in sorted(thread_names.items()):
+        events.append(_metadata_event("thread_name", WALL_PID, tid, name=name))
+    return events
+
+
+def utilization_events(
+    trace: "UtilizationTrace", *, num_points: int = 200
+) -> list[dict[str, Any]]:
+    """A simulated ``UtilizationTrace`` as device slices + counter tracks.
+
+    Busy segments become per-device complete events (one simulated-time
+    "thread" per device), and the sampled cluster timeline becomes two
+    counter tracks: achieved cluster FLOP/s and the cluster utilization
+    fraction of aggregate peak.
+    """
+    events: list[dict[str, Any]] = [
+        _metadata_event("process_name", SIM_PID, 0, name="simulated timeline"),
+        _metadata_event("process_sort_index", SIM_PID, 0, sort_index=1),
+    ]
+    devices_seen: set[int] = set()
+    for segment in trace.segments:
+        devices_seen.add(segment.device_id)
+        args: dict[str, Any] = {"flops_per_second": segment.flops_per_second}
+        if segment.metaop_index is not None:
+            args["metaop_index"] = segment.metaop_index
+        events.append(
+            {
+                "ph": "X",
+                "name": segment.label or f"metaop{segment.metaop_index}",
+                "cat": "simulator",
+                "pid": SIM_PID,
+                "tid": segment.device_id,
+                "ts": segment.start * _MICROS,
+                "dur": segment.duration * _MICROS,
+                "args": args,
+            }
+        )
+    for device_id in sorted(devices_seen):
+        events.append(
+            _metadata_event("thread_name", SIM_PID, device_id, name=f"gpu{device_id}")
+        )
+    aggregate_peak = trace.peak_flops_per_device * trace.num_devices
+    for when, flops in trace.cluster_timeline(num_points=num_points):
+        ts = when * _MICROS
+        events.append(
+            {
+                "ph": "C",
+                "name": "cluster.achieved_flops",
+                "pid": SIM_PID,
+                "ts": ts,
+                "args": {"flops_per_second": flops},
+            }
+        )
+        if aggregate_peak > 0:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": "cluster.utilization",
+                    "pid": SIM_PID,
+                    "ts": ts,
+                    "args": {"fraction": flops / aggregate_peak},
+                }
+            )
+    return events
+
+
+def chrome_trace_document(
+    spans: Sequence[SpanRecord],
+    *,
+    utilization: "UtilizationTrace | None" = None,
+    metrics: "MetricsSnapshot | None" = None,
+    metadata: Mapping[str, Any] | None = None,
+    num_points: int = 200,
+) -> dict[str, Any]:
+    """Assemble the full Chrome trace document (JSON Object Format)."""
+    events = span_events(spans)
+    if utilization is not None:
+        events.extend(utilization_events(utilization, num_points=num_points))
+    other: dict[str, Any] = {"generator": "repro.obs"}
+    if metadata:
+        other.update({key: _json_safe(value) for key, value in metadata.items()})
+    if metrics is not None:
+        other["metrics"] = metrics.as_dict()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def validate_chrome_trace(document: Any, *, max_errors: int = 20) -> int:
+    """Validate a Chrome trace document; returns the number of events.
+
+    Raises :class:`TraceValidationError` listing up to ``max_errors``
+    violations of the ``trace_event`` schema subset this layer emits.
+    """
+    if not isinstance(document, Mapping):
+        raise TraceValidationError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceValidationError("'traceEvents' must be a list")
+    errors: list[str] = []
+    for index, event in enumerate(events):
+        if len(errors) >= max_errors:
+            errors.append("... further errors suppressed")
+            break
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, Mapping):
+            errors.append(f"{where}: event must be an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _PHASE_FIELDS:
+            errors.append(f"{where}: unknown or missing phase {phase!r}")
+            continue
+        for field_name in _PHASE_FIELDS[phase]:
+            if field_name not in event:
+                errors.append(f"{where}: phase {phase!r} requires {field_name!r}")
+        for numeric in ("ts", "dur"):
+            value = event.get(numeric)
+            if value is None:
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"{where}: {numeric!r} must be numeric")
+            elif value < 0:
+                errors.append(f"{where}: {numeric!r} must be non-negative")
+        if "args" in event and not isinstance(event["args"], Mapping):
+            errors.append(f"{where}: 'args' must be an object")
+        name = event.get("name")
+        if name is not None and not isinstance(name, str):
+            errors.append(f"{where}: 'name' must be a string")
+    if errors:
+        raise TraceValidationError(
+            "invalid Chrome trace document:\n  " + "\n  ".join(errors)
+        )
+    return len(events)
+
+
+def write_chrome_trace(path: str | Path, document: Mapping[str, Any]) -> Path:
+    """Validate ``document`` and write it as JSON; returns the path."""
+    validate_chrome_trace(document)
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+    return target
+
+
+def spans_from_chrome_trace(document: Mapping[str, Any]) -> list[SpanRecord]:
+    """Reconstruct span records from a trace document's complete events.
+
+    Parent/child links are re-derived from interval containment by the tree
+    renderer, so ``parent_id`` comes back as ``None``; thread names are
+    resolved from the document's metadata events.
+    """
+    events = document.get("traceEvents", [])
+    thread_names: dict[tuple[int, int], str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            key = (event.get("pid", 0), event.get("tid", 0))
+            thread_names[key] = str(event.get("args", {}).get("name", ""))
+    spans: list[SpanRecord] = []
+    for index, event in enumerate(events):
+        if event.get("ph") != "X":
+            continue
+        pid = event.get("pid", 0)
+        tid = event.get("tid", 0)
+        name = thread_names.get((pid, tid), f"tid{tid}")
+        spans.append(
+            SpanRecord(
+                name=str(event.get("name", "")),
+                category=str(event.get("cat", "")),
+                start=float(event.get("ts", 0.0)) / _MICROS,
+                duration=float(event.get("dur", 0.0)) / _MICROS,
+                thread_id=pid * 10_000_000 + tid,
+                thread_name=f"{name}" if pid == WALL_PID else f"sim:{name}",
+                span_id=index,
+                parent_id=None,
+                depth=0,
+                attributes=dict(event.get("args", {})),
+            )
+        )
+    return spans
+
+
+# ------------------------------------------------------------ text tree report
+def _forest(spans: Iterable[SpanRecord]):
+    """Nest one thread's spans by interval containment; returns root nodes."""
+    ordered = sorted(spans, key=lambda span: (span.start, -span.duration))
+    roots: list[tuple[SpanRecord, list]] = []
+    stack: list[tuple[SpanRecord, list]] = []
+    epsilon = 1e-12
+    for span in ordered:
+        node: tuple[SpanRecord, list] = (span, [])
+        while stack and span.start >= stack[-1][0].end - epsilon:
+            stack.pop()
+        if stack:
+            stack[-1][1].append(node)
+        else:
+            roots.append(node)
+        stack.append(node)
+    return roots
+
+
+def render_span_tree(
+    spans: Sequence[SpanRecord], *, min_fraction: float = 0.0
+) -> str:
+    """Plain-text tree of the spans, one section per thread.
+
+    ``min_fraction`` prunes spans shorter than that fraction of their
+    thread's root span (0 keeps everything).
+    """
+    if not spans:
+        return "(no spans recorded)"
+    by_thread: dict[tuple[int, str], list[SpanRecord]] = {}
+    for span in spans:
+        by_thread.setdefault((span.thread_id, span.thread_name), []).append(span)
+
+    lines: list[str] = []
+
+    def emit(node, root_duration: float, depth: int) -> None:
+        span, children = node
+        if root_duration > 0 and span.duration / root_duration < min_fraction:
+            return
+        share = (
+            f" {span.duration / root_duration * 100:5.1f}%"
+            if root_duration > 0 and depth > 0
+            else ""
+        )
+        label = "  " * depth + span.name
+        lines.append(f"{label:<52} {span.duration * 1e3:10.3f} ms{share}")
+        for child in children:
+            emit(child, root_duration, depth + 1)
+
+    for (_, thread_name), thread_spans in sorted(
+        by_thread.items(), key=lambda item: item[0][1]
+    ):
+        lines.append(f"[{thread_name}]")
+        for root in _forest(thread_spans):
+            emit(root, root[0].duration, 0)
+        lines.append("")
+    return "\n".join(lines).rstrip()

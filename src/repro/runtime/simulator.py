@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.core.plan import ExecutionPlan
 from repro.costmodel.timing import ExecutionTimeModel
+from repro.obs import get_metrics, get_tracer
 from repro.runtime.param_groups import ParameterDeviceGroupPool
 from repro.runtime.results import IterationResult, TimeBreakdown
 from repro.runtime.trace import UtilizationTrace
@@ -72,6 +73,8 @@ class WaveExecutionSimulator:
 
     def run_iteration(self) -> IterationResult:
         cluster = self.plan.cluster
+        tracer = get_tracer()
+        metrics = get_metrics()
         trace = UtilizationTrace(
             num_devices=cluster.num_devices,
             # The fastest device normalises utilization, so heterogeneous
@@ -84,51 +87,69 @@ class WaveExecutionSimulator:
         send_recv_total = 0.0
         wave_timings: list[WaveSimulation] = []
 
-        for wave in self.plan.waves:
-            wave_start = current_time
-            compute_duration = 0.0
-            for entry in wave.entries:
-                metaop = self.plan.metagraph.metaop(entry.metaop_index)
-                devices = self.plan.placement.devices_for(
-                    wave.index, entry.metaop_index
-                )
-                pacing = (
-                    self._class_pacing[entry.spec_class]
-                    if entry.spec_class is not None
-                    else None
-                )
-                per_layer = self.timing_model.operator_time(
-                    metaop.representative, entry.n_devices, pacing_flops=pacing
-                )
-                entry_time = per_layer * entry.layers
-                compute_duration = max(compute_duration, entry_time)
-                achieved = self.timing_model.achieved_flops_per_second(
-                    metaop.representative, entry.n_devices, pacing_flops=pacing
-                )
-                per_device_flops = achieved / max(1, entry.n_devices)
-                for device in devices:
-                    trace.add_busy(
-                        device_id=device,
-                        start=wave_start,
-                        duration=entry_time,
-                        flops_per_second=per_device_flops,
-                        metaop_index=entry.metaop_index,
-                        label=f"wave{wave.index}",
+        with tracer.span(
+            "simulator.run_iteration",
+            category="simulator",
+            num_waves=len(self.plan.waves),
+            num_devices=cluster.num_devices,
+        ):
+            for wave in self.plan.waves:
+                wave_start = current_time
+                compute_duration = 0.0
+                with tracer.span(
+                    "simulator.wave", category="simulator", wave=wave.index
+                ) as wave_span:
+                    for entry in wave.entries:
+                        metaop = self.plan.metagraph.metaop(entry.metaop_index)
+                        devices = self.plan.placement.devices_for(
+                            wave.index, entry.metaop_index
+                        )
+                        pacing = (
+                            self._class_pacing[entry.spec_class]
+                            if entry.spec_class is not None
+                            else None
+                        )
+                        per_layer = self.timing_model.operator_time(
+                            metaop.representative, entry.n_devices, pacing_flops=pacing
+                        )
+                        entry_time = per_layer * entry.layers
+                        compute_duration = max(compute_duration, entry_time)
+                        achieved = self.timing_model.achieved_flops_per_second(
+                            metaop.representative, entry.n_devices, pacing_flops=pacing
+                        )
+                        per_device_flops = achieved / max(1, entry.n_devices)
+                        for device in devices:
+                            trace.add_busy(
+                                device_id=device,
+                                start=wave_start,
+                                duration=entry_time,
+                                flops_per_second=per_device_flops,
+                                metaop_index=entry.metaop_index,
+                                label=f"wave{wave.index}",
+                            )
+                    boundary_duration = self._boundary_durations.get(wave.index, 0.0)
+                    # The simulated wave duration (compute + boundary), not the
+                    # wall time of simulating it, is the observed quantity.
+                    metrics.observe(
+                        "simulator.wave_seconds", compute_duration + boundary_duration
                     )
-            boundary_duration = self._boundary_durations.get(wave.index, 0.0)
-            wave_timings.append(
-                WaveSimulation(
-                    wave_index=wave.index,
-                    start=wave_start,
-                    compute_duration=compute_duration,
-                    boundary_duration=boundary_duration,
+                    wave_span.set(
+                        simulated_compute_seconds=compute_duration,
+                        simulated_boundary_seconds=boundary_duration,
+                    )
+                wave_timings.append(
+                    WaveSimulation(
+                        wave_index=wave.index,
+                        start=wave_start,
+                        compute_duration=compute_duration,
+                        boundary_duration=boundary_duration,
+                    )
                 )
-            )
-            compute_total += compute_duration
-            send_recv_total += boundary_duration
-            current_time = wave_start + compute_duration + boundary_duration
+                compute_total += compute_duration
+                send_recv_total += boundary_duration
+                current_time = wave_start + compute_duration + boundary_duration
 
-        sync_time = self.param_pool.sync_time(cluster)
+            sync_time = self.param_pool.sync_time(cluster)
         iteration_time = current_time + sync_time
         trace.end_time = max(trace.end_time, iteration_time)
 

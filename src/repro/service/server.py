@@ -32,6 +32,7 @@ from repro.core.plan import ExecutionPlan
 from repro.core.planner import ExecutionPlanner, PlannerInput
 from repro.core.serialization import plan_to_json
 from repro.graph.graph import ComputationGraph
+from repro.obs import get_metrics, get_tracer
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import fingerprint_workload
 from repro.service.incremental import IncrementalPlanner
@@ -152,35 +153,48 @@ class PlanService:
         """Enqueue a planning request; returns a future yielding the plan.
 
         Identical in-flight requests share one future (single-flight); cached
-        requests resolve immediately.
+        requests resolve immediately.  The enqueue → dedup portion of the
+        request lifecycle runs inside a ``service.submit`` span whose
+        ``outcome`` attribute records how the request was resolved; the solve
+        and cache-fill steps are spanned in the worker thread
+        (:meth:`_plan_one`).
         """
         start = time.monotonic()
-        if not isinstance(workload, ComputationGraph):
-            workload = tuple(workload)  # snapshot mutable task sequences
-        fp = self.fingerprint(workload)
+        metrics = get_metrics()
+        with get_tracer().span("service.submit", category="service") as span:
+            if not isinstance(workload, ComputationGraph):
+                workload = tuple(workload)  # snapshot mutable task sequences
+            fp = self.fingerprint(workload)
+            span.set(fingerprint=fp[:12])
 
-        # The closed check, inflight registration and enqueue happen under one
-        # lock: close() flips _closed under the same lock before pushing the
-        # shutdown sentinels, so a request can never land behind them (which
-        # would leave its future unresolved forever).
-        with self._lock:
-            if self._closed:
-                raise ServiceError("PlanService is closed")
-            cached = self.cache.get(fp)
-            if cached is not None:
-                future: Future = Future()
-                future.set_result(cached)
-                self.stats.record(OUTCOME_HIT, time.monotonic() - start)
-                return future
-            inflight = self._inflight.get(fp)
-            if inflight is not None:
-                self._record_on_completion(inflight, OUTCOME_COALESCED, start)
-                return inflight
-            future = Future()
-            self._inflight[fp] = future
-            self._record_on_completion(future, OUTCOME_MISS, start)
-            self._queue.put((fp, workload))
-        return future
+            # The closed check, inflight registration and enqueue happen under
+            # one lock: close() flips _closed under the same lock before
+            # pushing the shutdown sentinels, so a request can never land
+            # behind them (which would leave its future unresolved forever).
+            with self._lock:
+                if self._closed:
+                    raise ServiceError("PlanService is closed")
+                cached = self.cache.get(fp)
+                if cached is not None:
+                    future: Future = Future()
+                    future.set_result(cached)
+                    self.stats.record(OUTCOME_HIT, time.monotonic() - start)
+                    metrics.inc("service.cache", outcome=OUTCOME_HIT)
+                    span.set(outcome=OUTCOME_HIT)
+                    return future
+                inflight = self._inflight.get(fp)
+                if inflight is not None:
+                    self._record_on_completion(inflight, OUTCOME_COALESCED, start)
+                    metrics.inc("service.cache", outcome=OUTCOME_COALESCED)
+                    span.set(outcome=OUTCOME_COALESCED)
+                    return inflight
+                future = Future()
+                self._inflight[fp] = future
+                self._record_on_completion(future, OUTCOME_MISS, start)
+                self._queue.put((fp, workload))
+                metrics.inc("service.cache", outcome=OUTCOME_MISS)
+                span.set(outcome=OUTCOME_MISS)
+            return future
 
     def plan(self, workload: PlannerInput, timeout: float | None = None) -> ExecutionPlan:
         """Synchronous convenience wrapper around :meth:`submit`."""
@@ -267,13 +281,21 @@ class PlanService:
     def _plan_one(
         self, planner: ServablePlanner, fp: str, workload: PlannerInput
     ) -> None:
+        tracer = get_tracer()
         try:
-            plan = planner.plan(workload, fingerprint=fp)
-            self.cache.put(fp, plan)
+            with tracer.span(
+                "service.solve", category="service", fingerprint=fp[:12]
+            ):
+                plan = planner.plan(workload, fingerprint=fp)
+            with tracer.span(
+                "service.cache_put", category="service", fingerprint=fp[:12]
+            ):
+                self.cache.put(fp, plan)
         except Exception as exc:  # noqa: BLE001 - surfaced through the future
             with self._lock:
                 future = self._inflight.pop(fp, None)
             self.stats.record_error()
+            get_metrics().inc("service.errors")
             if future is not None:
                 future.set_exception(exc)
             return

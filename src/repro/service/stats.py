@@ -13,7 +13,12 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+from repro.obs.metrics import percentile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 #: Request outcomes recorded by the plan service.
 OUTCOME_HIT = "hit"
@@ -25,7 +30,14 @@ _OUTCOMES = (OUTCOME_HIT, OUTCOME_MISS, OUTCOME_COALESCED)
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Latency distribution of one outcome class, in seconds."""
+    """Latency distribution of one outcome class, in seconds.
+
+    Every field is well-defined on any sample count: an empty summary is all
+    zeros (with ``count == 0`` marking it empty rather than measured-as-zero)
+    and a single sample is its own mean, median, p95 and max.  Percentiles of
+    larger sets use the shared linear-interpolation estimator
+    (:func:`repro.obs.metrics.percentile`), never an index-rounding edge case.
+    """
 
     count: int
     mean: float
@@ -37,17 +49,15 @@ class LatencySummary:
     def from_samples(samples: list[float]) -> "LatencySummary":
         if not samples:
             return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, max=0.0)
+        if len(samples) == 1:
+            value = samples[0]
+            return LatencySummary(count=1, mean=value, p50=value, p95=value, max=value)
         ordered = sorted(samples)
-
-        def percentile(fraction: float) -> float:
-            index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
-            return ordered[index]
-
         return LatencySummary(
             count=len(ordered),
             mean=sum(ordered) / len(ordered),
-            p50=percentile(0.50),
-            p95=percentile(0.95),
+            p50=percentile(ordered, 0.50),
+            p95=percentile(ordered, 0.95),
             max=ordered[-1],
         )
 
@@ -122,21 +132,62 @@ class ServiceStats:
         return LatencySummary.from_samples(merged)
 
     # -------------------------------------------------------------- reporting
+    def to_registry(
+        self, registry: "MetricsRegistry | None" = None
+    ) -> "MetricsRegistry":
+        """Export the accumulated observations under the canonical obs names.
+
+        Fills ``service.requests``, ``service.cache{outcome=...}`` and
+        ``service.errors`` counters, ``service.hit_rate`` /
+        ``service.throughput`` gauges, and the ``service.latency_seconds``
+        histogram (overall plus one per outcome).  A fresh registry is
+        created when none is passed.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = registry if registry is not None else MetricsRegistry()
+        with self._lock:
+            samples = {o: list(v) for o, v in self._latencies.items()}
+            errors = self._errors
+        for outcome, values in samples.items():
+            registry.inc("service.cache", len(values), outcome=outcome)
+            for value in values:
+                registry.observe("service.latency_seconds", value, outcome=outcome)
+                registry.observe("service.latency_seconds", value)
+        registry.inc("service.requests", sum(len(v) for v in samples.values()))
+        registry.inc("service.errors", errors)
+        registry.gauge("service.hit_rate", self.hit_rate)
+        registry.gauge("service.throughput", self.throughput)
+        return registry
+
     def to_metrics(self, prefix: str = "") -> "dict[str, object]":
         """The counters as benchmark :class:`~repro.bench.result.Metric` values.
 
-        Count- and rate-style counters are gated (they are deterministic for a
-        replayed request stream); wall-clock latency/throughput numbers are
-        informational, since they vary with the machine running the suite.
+        Routed through the canonical obs registry names (:meth:`to_registry`)
+        and re-keyed to the metric names the existing ``BENCH_*.json``
+        baselines pin, so the registry naming scheme and the benchmark schema
+        stay one dataset.  Count- and rate-style counters are gated (they are
+        deterministic for a replayed request stream); wall-clock
+        latency/throughput numbers are informational, since they vary with
+        the machine running the suite.
         """
         from repro.bench.result import Metric, informational
 
-        overall = self.overall_latency()
+        registry = self.to_registry()
+        overall = registry.histogram_summary("service.latency_seconds")
         return {
-            f"{prefix}requests": Metric(float(self.total_requests), "req"),
-            f"{prefix}hit_rate": Metric(self.hit_rate, "", higher_is_better=True),
-            f"{prefix}errors": Metric(float(self.errors), "", regression_threshold=0.0),
-            f"{prefix}throughput": informational(self.throughput, "req/s"),
+            f"{prefix}requests": Metric(
+                registry.counter_value("service.requests"), "req"
+            ),
+            f"{prefix}hit_rate": Metric(
+                registry.gauge_value("service.hit_rate"), "", higher_is_better=True
+            ),
+            f"{prefix}errors": Metric(
+                registry.counter_value("service.errors"), "", regression_threshold=0.0
+            ),
+            f"{prefix}throughput": informational(
+                registry.gauge_value("service.throughput"), "req/s"
+            ),
             f"{prefix}latency_p50": informational(overall.p50 * 1e3, "ms"),
             f"{prefix}latency_p95": informational(overall.p95 * 1e3, "ms"),
         }

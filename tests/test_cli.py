@@ -171,3 +171,98 @@ class TestElasticCommand:
         assert main(self.ARGS[:-2] + ["--iterations", "1"]) == 1
         assert main(self.ARGS + ["--events", "0"]) == 1
         capsys.readouterr()
+
+
+class TestTraceCommand:
+    ARGS = ["trace", "--model", "multitask-clip", "--tasks", "2", "--gpus", "8"]
+
+    def test_writes_a_valid_chrome_trace(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        exit_code = main(self.ARGS + ["--out", str(path)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "trace written to" in output
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) > 0
+        assert document["otherData"]["generator"] == "repro.obs"
+
+    def test_trace_covers_planner_service_and_simulator(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(self.ARGS + ["--out", str(path)]) == 0
+        capsys.readouterr()
+        document = json.loads(path.read_text())
+        names = {
+            e["name"] for e in document["traceEvents"] if e.get("ph") == "X"
+        }
+        assert "planner.plan" in names
+        assert "planner.wavefront_scheduling" in names
+        assert "service.submit" in names
+        assert "service.solve" in names
+        assert "simulator.wave" in names
+        counters = {
+            e["name"] for e in document["traceEvents"] if e.get("ph") == "C"
+        }
+        assert "cluster.utilization" in counters
+        cache = document["otherData"]["metrics"]["counters"]
+        assert cache.get("service.cache{outcome=miss}") == 1.0
+
+    def test_tracing_disabled_again_after_capture(self, tmp_path, capsys):
+        from repro.obs import get_tracer
+
+        assert not get_tracer().enabled
+        assert main(self.ARGS + ["--out", str(tmp_path / "t.json")]) == 0
+        capsys.readouterr()
+        assert not get_tracer().enabled
+
+    def test_invalid_workers_fail_cleanly(self, tmp_path, capsys):
+        exit_code = main(
+            self.ARGS + ["--out", str(tmp_path / "t.json"), "--workers", "0"]
+        )
+        capsys.readouterr()
+        assert exit_code == 1
+
+
+class TestObsReportCommand:
+    def test_report_from_captured_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(
+            ["trace", "--model", "multitask-clip", "--tasks", "2",
+             "--gpus", "8", "--out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        exit_code = main(["obs", "report", "--input", str(path)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "planner.plan" in output
+        assert "[sim:gpu0]" in output
+        assert "ms" in output
+
+    def test_live_report_renders_tree_and_metrics(self, capsys):
+        exit_code = main(
+            ["obs", "report", "--model", "multitask-clip", "--tasks", "2",
+             "--gpus", "8"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "planner.plan" in output
+        assert "histograms:" in output
+        assert "planner.solve_seconds{stage=" in output
+
+    def test_missing_input_file_fails_cleanly(self, capsys):
+        assert main(["obs", "report", "--input", "/nonexistent/trace.json"]) == 1
+        capsys.readouterr()
+
+    def test_invalid_trace_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "Z"}]}')
+        assert main(["obs", "report", "--input", str(bad)]) == 1
+        not_json = tmp_path / "not.json"
+        not_json.write_text("not json at all")
+        assert main(["obs", "report", "--input", str(not_json)]) == 1
+        capsys.readouterr()
+
+    def test_needs_input_or_workload(self, capsys):
+        assert main(["obs", "report"]) == 1
+        capsys.readouterr()

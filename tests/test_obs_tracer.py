@@ -1,0 +1,179 @@
+"""Tests for the span tracer: nesting, thread-locality and the no-op path."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import NOOP_SPAN, SpanTracer, get_tracer
+
+
+@pytest.fixture
+def tracer():
+    return SpanTracer(enabled=True)
+
+
+class TestBasicSpans:
+    def test_records_name_category_and_attributes(self, tracer):
+        with tracer.span("work.step", category="work", shard=3):
+            pass
+        (record,) = tracer.records()
+        assert record.name == "work.step"
+        assert record.category == "work"
+        assert record.attributes == {"shard": 3}
+        assert record.duration >= 0.0
+        assert record.end == pytest.approx(record.start + record.duration)
+
+    def test_set_attaches_attributes_mid_span(self, tracer):
+        with tracer.span("work") as span:
+            span.set(outcome="ok", items=2)
+        (record,) = tracer.records()
+        assert record.attributes == {"outcome": "ok", "items": 2}
+
+    def test_nested_spans_link_parent_and_depth(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner"):
+                    pass
+        inner, mid, out = tracer.records()  # completion order: innermost first
+        assert out.name == "outer" and out.parent_id is None and out.depth == 0
+        assert mid.parent_id == out.span_id and mid.depth == 1
+        assert inner.parent_id == mid.span_id and inner.depth == 2
+        assert outer.span_id == out.span_id
+        assert middle.span_id == mid.span_id
+
+    def test_siblings_share_a_parent(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, root = tracer.records()
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert a.depth == b.depth == 1
+
+    def test_exception_still_closes_and_records(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        (record,) = tracer.records()
+        assert record.name == "failing"
+        # The stack unwound: a following span is a root again.
+        with tracer.span("after"):
+            pass
+        after = tracer.records()[-1]
+        assert after.parent_id is None and after.depth == 0
+
+    def test_clear_and_len(self, tracer):
+        with tracer.span("one"):
+            pass
+        assert len(tracer) == 1
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.records() == []
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_noop_singleton(self):
+        tracer = SpanTracer(enabled=False)
+        span = tracer.span("anything", category="x", attr=1)
+        assert span is NOOP_SPAN
+        assert tracer.span("other") is span  # no allocation per call
+        with span as entered:
+            entered.set(ignored=True)
+        assert len(tracer) == 0
+        assert span.seconds == 0.0
+
+    def test_timed_measures_even_when_disabled(self):
+        tracer = SpanTracer(enabled=False)
+        with tracer.timed("slow") as span:
+            time.sleep(0.01)
+        assert span.seconds >= 0.005
+        assert len(tracer) == 0  # measured but not recorded
+
+    def test_timed_records_when_enabled(self, tracer):
+        with tracer.timed("slow") as span:
+            pass
+        (record,) = tracer.records()
+        assert record.duration == pytest.approx(span.seconds)
+
+    def test_enable_disable_and_capture(self):
+        tracer = SpanTracer(enabled=False)
+        with tracer.capture():
+            assert tracer.enabled
+            with tracer.span("captured"):
+                pass
+        assert not tracer.enabled
+        assert [r.name for r in tracer.records()] == ["captured"]
+        tracer.enable()
+        assert tracer.enabled
+        # capture restores the *prior* state, including enabled.
+        with tracer.capture():
+            pass
+        assert tracer.enabled
+        tracer.disable()
+        assert not tracer.enabled
+
+
+class TestThreadLocality:
+    def test_threads_keep_independent_stacks(self, tracer):
+        """Concurrent workers never parent a span onto another thread's span."""
+        barrier = threading.Barrier(4)
+
+        def worker(index: int) -> None:
+            with tracer.span(f"outer{index}"):
+                barrier.wait(timeout=10.0)
+                with tracer.span(f"inner{index}"):
+                    barrier.wait(timeout=10.0)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"w{i}")
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+        records = {r.name: r for r in tracer.records()}
+        assert len(records) == 8
+        for index in range(4):
+            outer = records[f"outer{index}"]
+            inner = records[f"inner{index}"]
+            assert outer.parent_id is None
+            assert inner.parent_id == outer.span_id, (
+                "span parented across threads"
+            )
+            assert inner.thread_id == outer.thread_id
+            assert outer.thread_name == f"w{index}"
+
+    def test_span_ids_unique_across_threads(self, tracer):
+        def worker() -> None:
+            for _ in range(50):
+                with tracer.span("s"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        ids = [r.span_id for r in tracer.records()]
+        assert len(ids) == 200
+        assert len(set(ids)) == 200
+
+
+class TestGlobalTracer:
+    def test_global_tracer_is_a_singleton(self):
+        assert get_tracer() is get_tracer()
+
+    def test_global_tracer_default_state_restorable(self):
+        tracer = get_tracer()
+        previous = tracer.enabled
+        try:
+            with tracer.capture():
+                assert tracer.enabled
+            assert tracer.enabled == previous
+        finally:
+            (tracer.enable if previous else tracer.disable)()
