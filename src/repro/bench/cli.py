@@ -256,10 +256,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return _gate(comparison, args.fail_on_regress)
 
 
+#: ``--help`` epilog: gated metrics and the registry export are documented
+#: alongside the span/metric inventory.
+DOCS_EPILOG = "Docs: docs/observability.md (bench metrics, gating, registry export)"
+
+
 def add_bench_subparsers(subparsers) -> None:
     """Attach ``bench list|run|compare`` under the top-level ``repro`` parser."""
     bench = subparsers.add_parser(
-        "bench", help="registered benchmark suite: list, run, compare"
+        "bench",
+        help="registered benchmark suite: list, run, compare",
+        epilog=DOCS_EPILOG,
     )
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
 
@@ -282,7 +289,9 @@ def add_bench_subparsers(subparsers) -> None:
             help="benchmark name to include (repeatable)",
         )
 
-    list_parser = bench_sub.add_parser("list", help="enumerate registered benchmarks")
+    list_parser = bench_sub.add_parser(
+        "list", help="enumerate registered benchmarks", epilog=DOCS_EPILOG
+    )
     add_selection(list_parser)
     list_parser.add_argument(
         "--json", action="store_true", help="machine-readable listing"
@@ -290,7 +299,9 @@ def add_bench_subparsers(subparsers) -> None:
     list_parser.set_defaults(func=cmd_list)
 
     run_parser = bench_sub.add_parser(
-        "run", help="run benchmarks and write BENCH_*.json results"
+        "run",
+        help="run benchmarks and write BENCH_*.json results",
+        epilog=DOCS_EPILOG,
     )
     add_selection(run_parser)
     run_parser.add_argument(
@@ -327,7 +338,9 @@ def add_bench_subparsers(subparsers) -> None:
     run_parser.set_defaults(func=cmd_run)
 
     compare_parser = bench_sub.add_parser(
-        "compare", help="diff two BENCH_*.json result directories"
+        "compare",
+        help="diff two BENCH_*.json result directories",
+        epilog=DOCS_EPILOG,
     )
     compare_parser.add_argument(
         "--baseline", required=True, help="baseline results directory"

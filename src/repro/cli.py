@@ -41,6 +41,13 @@ Six subcommand families cover the common workflows:
     Render the span tree of a previously captured trace (``--input``), or
     run a workload live and print its span tree and metrics-registry delta.
 
+``repro unified``
+    Replay a composed scenario — workload events (task arrival, departure,
+    phase change) and cluster events (failure, join, straggler) on one
+    timeline — through the unified event-driven runtime, replanning
+    incrementally.  ``--mode both`` additionally runs the retained
+    full-replan reference and checks the canonical reports are identical.
+
 Examples
 --------
 ::
@@ -50,6 +57,7 @@ Examples
     repro scaling --model ofasys --tasks 7 --gpus 32
     repro serve-bench --model multitask-clip --gpus 8 --requests 48
     repro elastic --model multitask-clip --tasks 4 --gpus 16 --scenario random-failures
+    repro unified --model multitask-clip --tasks 4 --gpus 16 --scenario job-churn --mode both
     repro bench run --tag smoke --json
     repro bench compare --baseline benchmarks/baselines --fail-on-regress
     repro trace --model multitask-clip --tasks 4 --gpus 8 --out trace.json
@@ -341,6 +349,219 @@ def _cmd_elastic(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Composed scenario families replayable through ``repro unified``.
+UNIFIED_SCENARIOS = (
+    "arrival-during-outage",
+    "flash-crowd-degraded",
+    "job-churn",
+    "dynamic-phases",
+)
+
+
+def _unified_scenario(args: argparse.Namespace, num_nodes: int, per_node: int):
+    """Build the seeded :class:`UnifiedScenario` of the requested family."""
+    from repro.cluster.device import A800_SPEC
+    from repro.elastic import island_outage_timeline
+    from repro.unified import (
+        UnifiedScenario,
+        arrival_during_outage_timeline,
+        flash_crowd_on_degraded_timeline,
+        job_churn_timeline,
+    )
+
+    workload = _workload_from_args(args)
+    iterations = args.iterations
+    base_tasks = list(workload.tasks())
+    initial = tuple(task.name for task in base_tasks)
+    pool = {task.name: task for task in base_tasks}
+    name = f"{args.scenario}-seed{args.seed}"
+
+    if args.scenario in ("arrival-during-outage", "flash-crowd-degraded"):
+        info = MODEL_REGISTRY[args.model]
+        needed = len(base_tasks) + 2
+        if needed > info.max_tasks:
+            raise ValueError(
+                f"--scenario {args.scenario} needs 2 spare pool tasks; "
+                f"--tasks {len(base_tasks)} leaves none of {args.model}'s "
+                f"{info.max_tasks}"
+            )
+        bigger = WorkloadSpec(
+            model=args.model,
+            num_tasks=needed,
+            num_gpus=args.gpus,
+            model_kwargs=workload.model_kwargs,
+        )
+        arriving = [t for t in bigger.tasks() if t.name not in pool]
+        pool.update({task.name: task for task in arriving})
+        arriving_names = [task.name for task in arriving]
+        if args.scenario == "arrival-during-outage":
+            if num_nodes < 2:
+                raise ValueError(
+                    "--scenario arrival-during-outage needs at least two "
+                    "nodes (--gpus 16+)"
+                )
+            timeline = arrival_during_outage_timeline(
+                arriving_tasks=arriving_names,
+                outage_node=num_nodes - 1,
+                devices_per_node=per_node,
+                at_iteration=max(1, iterations // 3),
+                recovery_at=max(2, 2 * iterations // 3),
+            )
+        else:
+            timeline = flash_crowd_on_degraded_timeline(
+                arriving_tasks=arriving_names,
+                num_new_nodes=1,
+                devices_per_node=per_node,
+                spec=A800_SPEC,
+                num_nodes=num_nodes,
+                total_iterations=iterations,
+                seed=args.seed,
+            )
+    elif args.scenario == "job-churn":
+        # A job resubmitted in place: architecturally identical, new name and
+        # weight — the fingerprint misses (weight is canonical) while the
+        # plan structure matches, so incremental replanning adopts the whole
+        # previous plan.  The replacement is built from the model zoo, which
+        # currently supports this for multitask-clip only.
+        if args.model != "multitask-clip":
+            raise ValueError("--scenario job-churn requires --model multitask-clip")
+        import dataclasses as _dc
+
+        from repro.models.multitask_clip import CLIP_TASKS, build_clip_task
+
+        spec = _dc.replace(CLIP_TASKS[1], name=f"{initial[1]}_resubmit")
+        resubmitted = build_clip_task(spec)
+        resubmitted.weight = 2.0
+        pool[resubmitted.name] = resubmitted
+        timeline = job_churn_timeline(
+            initial,
+            replacements=[(initial[1], resubmitted.name)],
+            at_iterations=[max(1, iterations // 2)],
+        )
+    else:  # dynamic-phases
+        from repro.dynamic import DynamicWorkloadSchedule
+
+        third = max(1, iterations // 3)
+        schedule = DynamicWorkloadSchedule.from_tasks(
+            base_tasks,
+            phases=[
+                (initial, third),
+                (initial[:-1] or initial, third),
+                (initial, max(1, iterations - 2 * third)),
+            ],
+        )
+        cluster_events = None
+        if num_nodes >= 2:
+            cluster_events = island_outage_timeline(
+                node=num_nodes - 1,
+                devices_per_node=per_node,
+                at_iteration=third + third // 2,
+            )
+        return workload, UnifiedScenario.from_dynamic(
+            schedule,
+            num_nodes=num_nodes,
+            devices_per_node=per_node,
+            device_spec=A800_SPEC,
+            cluster_events=cluster_events,
+            name=name,
+        )
+
+    return workload, UnifiedScenario(
+        num_nodes=num_nodes,
+        devices_per_node=per_node,
+        device_spec=A800_SPEC,
+        timeline=timeline,
+        total_iterations=iterations,
+        task_pool=pool,
+        initial_tasks=initial,
+        name=name,
+    )
+
+
+def _cmd_unified(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.elastic import make_policy
+    from repro.unified import UnifiedRunner
+
+    if args.iterations <= 2:
+        return _fail("--iterations must exceed 2")
+    if args.debounce <= 0:
+        return _fail("--debounce must be positive")
+    if args.threshold < 0:
+        return _fail("--threshold must be non-negative")
+    if args.tasks is not None and args.tasks < 2:
+        return _fail("--tasks must be at least 2 (churn and phases need a pool)")
+    per_node = min(8, args.gpus)
+    if args.gpus % per_node != 0:
+        return _fail(f"--gpus {args.gpus} is not a multiple of {per_node}")
+    num_nodes = args.gpus // per_node
+    try:
+        workload, scenario = _unified_scenario(args, num_nodes, per_node)
+    except ValueError as exc:
+        return _fail(str(exc))
+    policy = make_policy(
+        args.policy, min_groups=args.debounce, threshold=args.threshold
+    )
+
+    incremental = args.mode != "full"
+    result = UnifiedRunner(scenario, policy=policy, incremental=incremental).run()
+    document = result.to_document()
+    document["workload"] = workload.describe()
+
+    if args.mode == "both":
+        reference = UnifiedRunner(scenario, policy=policy, incremental=False).run()
+        if _json.dumps(reference.to_document(), sort_keys=True) != _json.dumps(
+            result.to_document(), sort_keys=True
+        ):  # pragma: no cover - equivalence is pinned by the test suite
+            return _fail(
+                "incremental and full-replan reports differ — this is a bug; "
+                "please file it with the exact command line"
+            )
+
+    if args.json:
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(f"workload   : {workload.describe()}")
+        print(f"scenario   : {scenario.name} ({len(scenario.timeline)} events)")
+        print(f"mode       : {result.mode}"
+              + (" (verified == full replan)" if args.mode == "both" else ""))
+        print(f"policy     : {result.policy}")
+        print()
+        print(f"baseline   : {result.baseline_seconds:.1f} s "
+              f"({result.baseline_iteration_seconds * 1e3:.1f} ms/iter)")
+        print(f"training   : {result.training_seconds:.1f} s")
+        print(f"overhead   : {result.overhead_seconds:.2f} s "
+              f"(replan {result.replan_charged_seconds:.2f} s, "
+              f"migration {result.migration_seconds:.2f} s)")
+        print(f"slowdown   : {result.cumulative_slowdown:.3f}x vs no-event run")
+        print(f"replans    : {result.replan_count} "
+              f"({result.cache_hits} cache hits, "
+              f"{result.task_set_changes} task-set changes)")
+        print(f"reuse      : {result.levels_reused} MetaLevel allocations adopted, "
+              f"planner wall-clock {result.replan_measured_seconds * 1e3:.1f} ms "
+              f"(out-of-band)")
+        for outcome in result.outcomes:
+            kinds = [e.kind for e in outcome.cluster_events] + [
+                e.kind for e in outcome.workload_events
+            ]
+            action = "replan" if outcome.replanned else "stay"
+            print(f"  @{outcome.iteration:>5} {'+'.join(kinds):<40} -> {action}, "
+                  f"{outcome.num_devices} GPUs, "
+                  f"{len(outcome.active_tasks)} tasks")
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            _json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nreport written to {path}")
+    return 0
+
+
 def _traced_run(workload, num_workers: int):
     """Run ``workload`` through the plan service + simulator under tracing.
 
@@ -469,14 +690,23 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``--help`` epilogs: every subcommand points at its handbook page.
+DOCS_ARCHITECTURE = "Docs: docs/architecture.md (pipeline, packages, plan lifecycle)"
+DOCS_EVENTS = "Docs: docs/events.md (event model, ordering rules, replan policies)"
+DOCS_OBSERVABILITY = "Docs: docs/observability.md (spans, metrics, Perfetto workflow)"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Spindle reproduction: wavefront scheduling for MT MM training",
+        epilog="Handbook: docs/architecture.md, docs/events.md, docs/observability.md",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    plan_parser = subparsers.add_parser("plan", help="run the execution planner")
+    plan_parser = subparsers.add_parser(
+        "plan", help="run the execution planner", epilog=DOCS_ARCHITECTURE
+    )
     _add_workload_arguments(plan_parser)
     plan_parser.add_argument("--output", default=None, help="write the plan as JSON")
     plan_parser.add_argument(
@@ -485,7 +715,9 @@ def build_parser() -> argparse.ArgumentParser:
     plan_parser.set_defaults(func=_cmd_plan)
 
     compare_parser = subparsers.add_parser(
-        "compare", help="compare Spindle with the baseline systems"
+        "compare",
+        help="compare Spindle with the baseline systems",
+        epilog=DOCS_ARCHITECTURE,
     )
     _add_workload_arguments(compare_parser)
     compare_parser.add_argument(
@@ -498,7 +730,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.set_defaults(func=_cmd_compare)
 
     scaling_parser = subparsers.add_parser(
-        "scaling", help="print the MetaOp scaling curves (Fig. 4)"
+        "scaling",
+        help="print the MetaOp scaling curves (Fig. 4)",
+        epilog=DOCS_ARCHITECTURE,
     )
     _add_workload_arguments(scaling_parser)
     scaling_parser.set_defaults(func=_cmd_scaling)
@@ -506,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser = subparsers.add_parser(
         "serve-bench",
         help="benchmark the caching plan service against the uncached planner",
+        epilog=DOCS_ARCHITECTURE,
     )
     _add_workload_arguments(serve_parser)
     serve_parser.add_argument(
@@ -528,6 +763,7 @@ def build_parser() -> argparse.ArgumentParser:
     elastic_parser = subparsers.add_parser(
         "elastic",
         help="replay a seeded elastic-cluster scenario with event-driven replanning",
+        epilog=DOCS_EVENTS,
     )
     _add_workload_arguments(elastic_parser)
     elastic_parser.add_argument(
@@ -587,9 +823,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     elastic_parser.set_defaults(func=_cmd_elastic)
 
+    unified_parser = subparsers.add_parser(
+        "unified",
+        help="replay composed workload + cluster events through the unified "
+        "runtime with incremental replanning",
+        epilog=DOCS_EVENTS,
+    )
+    _add_workload_arguments(unified_parser)
+    unified_parser.add_argument(
+        "--scenario",
+        choices=UNIFIED_SCENARIOS,
+        default="arrival-during-outage",
+        help="composed scenario family to replay",
+    )
+    unified_parser.add_argument(
+        "--iterations", type=int, default=300, help="total training iterations"
+    )
+    unified_parser.add_argument(
+        "--seed", type=int, default=0, help="seed of the event generators"
+    )
+    unified_parser.add_argument(
+        "--mode",
+        choices=("incremental", "full", "both"),
+        default="incremental",
+        help="planner path: incremental replanning, the full-replan "
+        "reference, or both with an equivalence check",
+    )
+    unified_parser.add_argument(
+        "--policy",
+        choices=("immediate", "debounced", "threshold"),
+        default="threshold",
+        help="replan policy for non-forced event groups",
+    )
+    unified_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.1,
+        help="slowdown threshold of the 'threshold' policy",
+    )
+    unified_parser.add_argument(
+        "--debounce",
+        type=int,
+        default=2,
+        help="event groups absorbed per replan by the 'debounced' policy",
+    )
+    unified_parser.add_argument(
+        "--json", action="store_true", help="print the canonical report as JSON"
+    )
+    unified_parser.add_argument(
+        "--output", default=None, help="write the canonical JSON report to a file"
+    )
+    unified_parser.set_defaults(func=_cmd_unified)
+
     trace_parser = subparsers.add_parser(
         "trace",
         help="capture a Chrome trace_event JSON of planning + simulated execution",
+        epilog=DOCS_OBSERVABILITY,
     )
     _add_workload_arguments(trace_parser)
     trace_parser.add_argument(
@@ -601,12 +890,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.set_defaults(func=_cmd_trace)
 
     obs_parser = subparsers.add_parser(
-        "obs", help="observability reports over spans and the metrics registry"
+        "obs",
+        help="observability reports over spans and the metrics registry",
+        epilog=DOCS_OBSERVABILITY,
     )
     obs_subparsers = obs_parser.add_subparsers(dest="obs_command", required=True)
     report_parser = obs_subparsers.add_parser(
         "report",
         help="render the span tree of a captured trace, or trace a workload live",
+        epilog=DOCS_OBSERVABILITY,
     )
     report_parser.add_argument(
         "--input",

@@ -249,6 +249,10 @@ class PlanningReport:
     #: MetaLevels that adopted a spec-class partition (heterogeneous clusters
     #: only; zero on homogeneous clusters and classic plans).
     partitioned_levels: int = 0
+    #: MetaLevels whose allocation was adopted from a structurally matching
+    #: previous plan (:meth:`ExecutionPlanner.plan_incremental`) instead of
+    #: being re-solved.  Equals ``num_levels`` on a full-structure reuse.
+    reused_levels: int = 0
 
     @property
     def total_seconds(self) -> float:

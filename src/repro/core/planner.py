@@ -29,7 +29,17 @@ from repro.core.allocator import (
 from repro.core.contraction import contract_graph
 from repro.core.estimator import CurveKey, ScalabilityEstimator, ScalingCurve
 from repro.core.placement import LocalityAwarePlacer, SequentialPlacer
-from repro.core.plan import ExecutionPlan, PlanningReport
+from repro.core.plan import (
+    ASLTuple,
+    ExecutionPlan,
+    LevelAllocation,
+    PlacementResult,
+    PlanningReport,
+    Wave,
+    WaveEntry,
+    WavefrontSchedule,
+)
+from repro.core.plandiff import NO_REUSE, diff_metagraphs, remap_indices
 from repro.core.scheduler import WavefrontScheduler
 from repro.costmodel.memory import MemoryModel
 from repro.costmodel.profiler import SyntheticProfiler
@@ -157,6 +167,72 @@ class ExecutionPlanner:
             The workload's canonical fingerprint, if the caller (a plan cache
             or service) already computed it; omitted, it is derived here.
         """
+        return self._solve(
+            workload,
+            precomputed_curves=precomputed_curves,
+            stage_hook=stage_hook,
+            fingerprint=fingerprint,
+            previous=None,
+        )
+
+    def plan_incremental(
+        self,
+        workload: PlannerInput,
+        *,
+        previous: ExecutionPlan | None,
+        precomputed_curves: Mapping[CurveKey, ScalingCurve] | None = None,
+        stage_hook: StageHook | None = None,
+        fingerprint: str | None = None,
+    ) -> ExecutionPlan:
+        """Plan ``workload``, reusing solved pieces of ``previous`` when sound.
+
+        The produced plan is **byte-identical** to what :meth:`plan` would
+        return for the same ``workload`` — identical fingerprint, identical
+        serialized document apart from ``planning_report`` stage timings and
+        reuse counters.  Only the solve cost changes; the equivalence tests
+        pin this contract on every reuse tier.
+
+        Reuse tiers (see :mod:`repro.core.plandiff`):
+
+        1. **Full-structure reuse** — the new contracted graph is structurally
+           identical to ``previous``'s under the identity index mapping
+           (e.g. a departed job replaced by an isomorphic one under a fresh
+           name): allocations, waves *and* device placement transfer; only
+           contraction and (pool-served) estimation run.
+        2. **Per-level reuse** — individual MetaLevels whose signatures match
+           positionally adopt the previous ``LevelAllocation`` (indices
+           remapped); scheduling and placement re-run in full, because both
+           are global.
+        3. **Fallback** — no reuse: behaves exactly like :meth:`plan`.
+
+        Reuse is refused entirely (tier 3) when ``previous`` is ``None``, was
+        planned for a different cluster signature, carries spec-class
+        partitions, when profiling noise is enabled (the RNG stream must not
+        be perturbed), or on heterogeneity-aware multi-class planning.
+        ``previous`` must come from a planner with this planner's
+        configuration (:meth:`config_signature`); callers such as
+        :class:`~repro.service.IncrementalPlanner` guarantee that by
+        construction, and the cluster signature is re-checked here.
+        """
+        if previous is not None and not self._reuse_sound(previous):
+            previous = None
+        return self._solve(
+            workload,
+            precomputed_curves=precomputed_curves,
+            stage_hook=stage_hook,
+            fingerprint=fingerprint,
+            previous=previous,
+        )
+
+    def _solve(
+        self,
+        workload: PlannerInput,
+        *,
+        precomputed_curves: Mapping[CurveKey, ScalingCurve] | None,
+        stage_hook: StageHook | None,
+        fingerprint: str | None,
+        previous: ExecutionPlan | None,
+    ) -> ExecutionPlan:
         report = PlanningReport()
         tracer = get_tracer()
         metrics = get_metrics()
@@ -186,6 +262,13 @@ class ExecutionPlanner:
                 num_metaops=metagraph.num_metaops, num_levels=metagraph.num_levels
             )
 
+            # Structural diff against the previous plan (incremental replans
+            # only).  Cheap — signature tuples over MetaOps and edges — and
+            # purely structural, so it cannot observe names or wall-clock.
+            diff = NO_REUSE
+            if previous is not None:
+                diff = diff_metagraphs(previous.metagraph, metagraph)
+
             with tracer.timed(
                 "planner.scalability_estimation", category="planner"
             ) as span:
@@ -202,6 +285,15 @@ class ExecutionPlanner:
                     level_allocations = allocation.level_allocations
                     scheduling_curves = allocation.curves
                     report.partitioned_levels = len(allocation.partitioned_levels)
+                elif diff.full_structure:
+                    level_allocations = _copy_allocations(previous.level_allocations)
+                    scheduling_curves = curves
+                    report.reused_levels = len(level_allocations)
+                elif diff.reusable_levels:
+                    level_allocations = self._allocate_mixed(
+                        previous, metagraph, curves, set(diff.reusable_levels), report
+                    )
+                    scheduling_curves = curves
                 else:
                     level_allocations = self.allocator.allocate(metagraph, curves)
                     scheduling_curves = curves
@@ -213,19 +305,38 @@ class ExecutionPlanner:
             with tracer.timed(
                 "planner.wavefront_scheduling", category="planner"
             ) as span:
-                metaops_by_level = {
-                    level: metagraph.metaops_at_level(level)
-                    for level in level_allocations
-                }
-                schedule = self.scheduler.schedule(
-                    level_allocations, metaops_by_level, scheduling_curves
-                )
+                if diff.full_structure:
+                    schedule = _copy_schedule(previous.schedule)
+                else:
+                    metaops_by_level = {
+                        level: metagraph.metaops_at_level(level)
+                        for level in level_allocations
+                    }
+                    schedule = self.scheduler.schedule(
+                        level_allocations, metaops_by_level, scheduling_curves
+                    )
             finish_stage("wavefront_scheduling", span)
             report.num_waves = schedule.num_waves
 
             with tracer.timed("planner.device_placement", category="planner") as span:
-                placement = self.placer.place(schedule.waves, metagraph)
+                if diff.full_structure:
+                    placement = _copy_placement(previous.placement)
+                else:
+                    placement = self.placer.place(schedule.waves, metagraph)
             finish_stage("device_placement", span)
+
+            if previous is not None:
+                metrics.inc(
+                    "planner.levels",
+                    float(report.reused_levels),
+                    outcome="reused",
+                )
+                metrics.inc(
+                    "planner.levels",
+                    float(report.num_levels - report.reused_levels),
+                    outcome="solved",
+                )
+                plan_span.set(reused_levels=report.reused_levels)
 
             plan = ExecutionPlan(
                 metagraph=metagraph,
@@ -267,6 +378,57 @@ class ExecutionPlanner:
         return signature
 
     # -------------------------------------------------------------- internals
+    def _reuse_sound(self, previous: ExecutionPlan) -> bool:
+        """Whether any structural reuse of ``previous`` can be byte-faithful."""
+        if self.profiler.noise_std != 0.0:
+            # Reuse skips profiling calls and would shift the RNG stream the
+            # noisy reference path depends on.
+            return False
+        if self.spec_aware and self.cluster.num_spec_classes > 1:
+            # Spec-class partitions are solved across levels; per-level reuse
+            # has no sound unit there yet.
+            return False
+        if any(
+            alloc.spec_classes is not None
+            for alloc in previous.level_allocations.values()
+        ):
+            return False
+        return previous.cluster.signature() == self.cluster.signature()
+
+    def _allocate_mixed(
+        self,
+        previous: ExecutionPlan,
+        metagraph: "MetaGraph",
+        curves: dict[int, ScalingCurve],
+        reusable: set[int],
+        report: PlanningReport,
+    ) -> dict[int, LevelAllocation]:
+        """Per-level allocation: adopt matched levels, solve the rest.
+
+        Mirrors :meth:`ResourceAllocator.allocate` exactly (same iteration
+        order, same dict key order) so the mixed result is indistinguishable
+        from a fresh allocation of the same values.
+        """
+        allocations: dict[int, LevelAllocation] = {}
+        reused = 0
+        for level, indices in enumerate(metagraph.levels()):
+            metaops = [metagraph.metaop(i) for i in indices]
+            adopted = None
+            if level in reusable:
+                prev_alloc = previous.level_allocations.get(level)
+                index_map = remap_indices(previous.metagraph, metagraph, level)
+                if prev_alloc is not None and index_map is not None:
+                    adopted = _remap_allocation(prev_alloc, level, index_map)
+            if adopted is not None:
+                allocations[level] = adopted
+                reused += 1
+            else:
+                allocations[level] = self.allocator.allocate_level(
+                    level, metaops, curves
+                )
+        report.reused_levels = reused
+        return allocations
+
     def _hetero(self) -> "HeterogeneousLevelAllocator":
         """Lazily built heterogeneity-aware level allocator (hetero clusters)."""
         if self._hetero_allocator is None:
@@ -290,3 +452,72 @@ class ExecutionPlanner:
         if not tasks:
             raise ValueError("Planner needs at least one task")
         return build_unified_graph(tasks)
+
+
+# ------------------------------------------------- structural-reuse copying
+# Reused pieces are deep-copied into fresh objects: plans own mutable state
+# (placement mutates ``WaveEntry.devices``; the simulator reads allocations),
+# and two plans must never alias it.
+
+
+def _remap_allocation(
+    alloc: LevelAllocation, level: int, index_map: dict[int, int]
+) -> LevelAllocation:
+    """Adopt one level's allocation under the new graph's MetaOp indices."""
+    return LevelAllocation(
+        level=level,
+        c_star=alloc.c_star,
+        continuous={index_map[i]: v for i, v in alloc.continuous.items()},
+        plan={
+            index_map[i]: [ASLTuple(t.n_devices, t.layers, t.start) for t in tuples]
+            for i, tuples in alloc.plan.items()
+        },
+    )
+
+
+def _copy_allocations(
+    level_allocations: dict[int, LevelAllocation],
+) -> dict[int, LevelAllocation]:
+    """Identity-mapped deep copy of a full allocation set."""
+    return {
+        level: _remap_allocation(
+            alloc, alloc.level, {i: i for i in alloc.continuous}
+        )
+        for level, alloc in level_allocations.items()
+    }
+
+
+def _copy_schedule(schedule: WavefrontSchedule) -> WavefrontSchedule:
+    """Deep copy of a wavefront schedule (placed devices carried over)."""
+    waves = [
+        Wave(
+            index=wave.index,
+            level=wave.level,
+            start=wave.start,
+            duration=wave.duration,
+            entries=[
+                WaveEntry(
+                    metaop_index=entry.metaop_index,
+                    n_devices=entry.n_devices,
+                    layers=entry.layers,
+                    duration=entry.duration,
+                    operator_offset=entry.operator_offset,
+                    devices=tuple(entry.devices),
+                    spec_class=entry.spec_class,
+                )
+                for entry in wave.entries
+            ],
+        )
+        for wave in schedule.waves
+    ]
+    return WavefrontSchedule(waves=waves, makespan=schedule.makespan)
+
+
+def _copy_placement(placement: PlacementResult) -> PlacementResult:
+    """Deep copy of a placement result (assignments, memory, OOM records)."""
+    return PlacementResult(
+        assignments=dict(placement.assignments),
+        device_memory_bytes=dict(placement.device_memory_bytes),
+        oom_events=list(placement.oom_events),
+        backtracks=placement.backtracks,
+    )

@@ -76,6 +76,22 @@ class DynamicWorkloadSchedule:
     def total_iterations(self) -> int:
         return sum(p.num_iterations for p in self.phases)
 
+    def phase_boundaries(self) -> list[tuple[int, WorkloadPhase]]:
+        """``(start_iteration, phase)`` pairs, in schedule order.
+
+        The first phase starts at iteration 0; each subsequent phase starts
+        where its predecessor ends.  This is the hand-off point to the unified
+        runtime: :meth:`repro.unified.UnifiedScenario.from_dynamic` turns
+        every boundary after the first into a ``phase_change`` workload event
+        at exactly this iteration.
+        """
+        boundaries = []
+        start = 0
+        for phase in self.phases:
+            boundaries.append((start, phase))
+            start += phase.num_iterations
+        return boundaries
+
 
 @dataclass
 class PhaseResult:

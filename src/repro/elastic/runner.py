@@ -124,7 +124,14 @@ class ElasticScenario:
 
 @dataclass
 class ReplanRecord:
-    """Bookkeeping of one planner invocation (initial plan or event replan)."""
+    """Bookkeeping of one planner invocation (initial plan or event replan).
+
+    ``charged_seconds`` is the deterministic :class:`ReplanCostModel` figure
+    that enters the timeline and the canonical report; ``measured_seconds``
+    is actual planner wall-clock, reported out-of-band only (excluded from
+    :meth:`to_document` so identical seeds stay byte-identical).  All times
+    are seconds.
+    """
 
     charged_seconds: float
     measured_seconds: float
@@ -147,7 +154,14 @@ class ReplanRecord:
 
 @dataclass
 class EventOutcome:
-    """What happened at one event group of the timeline."""
+    """What happened at one event group of the timeline.
+
+    ``estimated_slowdown``/``stay_slowdown`` are dimensionless factors
+    (≥ 1 means slower than the healthy baseline); the serialized document
+    truncates ``topology_signature`` to 12 hex characters for readability.
+    Every field is a pure function of the seeded scenario, so documents are
+    byte-identical across runs and machines.
+    """
 
     iteration: int
     events: tuple[ClusterEvent, ...]
@@ -208,7 +222,15 @@ class ElasticSegment:
 
 @dataclass
 class ElasticRunResult:
-    """Cumulative-training-time record of one elastic run."""
+    """Cumulative-training-time record of one elastic run.
+
+    The canonical seeded report (``to_document``) carries: the scenario and
+    policy names, segment timings (simulated seconds per iteration), one
+    :class:`EventOutcome` document per event group, the charged replan and
+    migration overheads, and the cumulative slowdown versus the undisturbed
+    run.  Measured planner wall-clock never enters it — identical seeds give
+    byte-identical reports.
+    """
 
     scenario_name: str
     policy: str

@@ -14,6 +14,15 @@ planner as precomputed curves, so a phase transition only profiles the MetaOps
 it has never seen.  The pool must not be shared across different clusters or
 planner configurations — curves embed both — which the class enforces by
 binding to one planner instance.
+
+With ``reuse_levels=True`` the wrapper additionally retains the most recent
+plan and routes requests through
+:meth:`~repro.core.planner.ExecutionPlanner.plan_incremental`, which adopts
+structurally unchanged MetaLevel allocations — and, on a full structural
+match, the schedule and device placement too — instead of re-solving them.
+The produced plans stay byte-identical to a full solve (the planner enforces
+the soundness preconditions and the equivalence tests pin the contract); only
+latency changes, which is what the unified-runtime benchmark gates.
 """
 
 from __future__ import annotations
@@ -45,6 +54,13 @@ class IncrementalStats:
     curves_reused: int = 0
     curves_estimated: int = 0
     estimation_seconds_saved: float = 0.0
+    #: MetaLevel allocations adopted from the retained previous plan
+    #: (``reuse_levels=True`` only; see ``PlanningReport.reused_levels``).
+    levels_reused: int = 0
+    #: Plans that adopted every MetaLevel of the retained previous plan —
+    #: in practice the full-structure tier, which also transfers the
+    #: schedule and device placement wholesale.
+    full_structure_reuses: int = 0
 
     @property
     def reuse_rate(self) -> float:
@@ -65,14 +81,28 @@ class IncrementalPlanner:
         pooled curves transferable between requests.
     max_curves:
         Capacity of the curve pool; least recently used curves are dropped.
+    reuse_levels:
+        Retain the most recent plan and route requests through
+        :meth:`ExecutionPlanner.plan_incremental` so structurally unchanged
+        MetaLevels (or whole plans) are adopted instead of re-solved.  Off by
+        default: callers that never see perturbed resubmissions (one-shot
+        planning, the plan service's arbitrary request streams) should not
+        pay the retained-plan memory.
     """
 
-    def __init__(self, planner: ExecutionPlanner, max_curves: int = 4096) -> None:
+    def __init__(
+        self,
+        planner: ExecutionPlanner,
+        max_curves: int = 4096,
+        reuse_levels: bool = False,
+    ) -> None:
         if max_curves <= 0:
             raise ValueError("max_curves must be positive")
         self.planner = planner
         self.max_curves = max_curves
+        self.reuse_levels = reuse_levels
         self._curves: OrderedDict[tuple, ScalingCurve] = OrderedDict()
+        self._previous_plan: ExecutionPlan | None = None
         self.stats = IncrementalStats()
         self._last_estimation_cost: float | None = None
         self._topology_signature = planner.cluster.signature()
@@ -108,12 +138,28 @@ class IncrementalPlanner:
                 "valid for the topology they were profiled on — create a new "
                 "IncrementalPlanner for the new topology"
             )
-        plan = self.planner.plan(
-            workload,
-            precomputed_curves=self._curves,
-            stage_hook=stage_hook,
-            fingerprint=fingerprint,
-        )
+        if self.reuse_levels:
+            plan = self.planner.plan_incremental(
+                workload,
+                previous=self._previous_plan,
+                precomputed_curves=self._curves,
+                stage_hook=stage_hook,
+                fingerprint=fingerprint,
+            )
+            self._previous_plan = plan
+            self.stats.levels_reused += plan.report.reused_levels
+            if (
+                plan.report.num_levels > 0
+                and plan.report.reused_levels == plan.report.num_levels
+            ):
+                self.stats.full_structure_reuses += 1
+        else:
+            plan = self.planner.plan(
+                workload,
+                precomputed_curves=self._curves,
+                stage_hook=stage_hook,
+                fingerprint=fingerprint,
+            )
         reused = plan.report.reused_curves
         estimated = plan.report.num_metaops - reused
         self.stats.plans += 1
@@ -133,9 +179,11 @@ class IncrementalPlanner:
         The bound planner's estimator keeps its own deterministic curve
         memoization (keyed identically), which must be flushed with the pool —
         otherwise the next plan would be served stale pre-recalibration curves
-        from there instead.
+        from there instead.  The retained previous plan (``reuse_levels``) is
+        dropped with them — its allocations embed the same cost model.
         """
         self._curves.clear()
+        self._previous_plan = None
         self.planner.estimator.clear_cache()
 
     # -------------------------------------------------------------- internals

@@ -1,0 +1,110 @@
+"""The docs checker (``tools/check_docs.py``): clean tree passes, broken
+links and lint violations fail with pointed messages."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repository_docs_are_clean(check_docs, capsys):
+    assert check_docs.main([str(REPO_ROOT)]) == 0
+    assert "pages clean" in capsys.readouterr().out
+
+
+def test_handbook_pages_exist():
+    for page in ("architecture.md", "events.md", "observability.md"):
+        assert (REPO_ROOT / "docs" / page).is_file()
+
+
+def _page(tmp_path, name, text):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def test_broken_relative_link_fails(check_docs, tmp_path):
+    _page(tmp_path, "README.md", "# Title\n\nSee [gone](docs/missing.md).\n")
+    problems = check_docs.check_pages(check_docs.default_targets(tmp_path), tmp_path)
+    assert any("broken link target: docs/missing.md" in p for p in problems)
+
+
+def test_broken_anchor_fails(check_docs, tmp_path):
+    _page(tmp_path, "docs/a.md", "# A\n\n## Real section\n")
+    _page(
+        tmp_path,
+        "README.md",
+        "# Title\n\n[ok](docs/a.md#real-section) [bad](docs/a.md#nope)\n",
+    )
+    problems = check_docs.check_pages(check_docs.default_targets(tmp_path), tmp_path)
+    assert any("broken anchor #nope" in p for p in problems)
+    assert not any("real-section" in p for p in problems)
+
+
+def test_link_escaping_repository_fails(check_docs, tmp_path):
+    _page(tmp_path, "README.md", "# Title\n\n[out](../secrets.md)\n")
+    problems = check_docs.check_pages(check_docs.default_targets(tmp_path), tmp_path)
+    assert any("escapes the repository" in p for p in problems)
+
+
+def test_external_links_are_skipped(check_docs, tmp_path):
+    _page(
+        tmp_path,
+        "README.md",
+        "# Title\n\n[p](https://ui.perfetto.dev) [m](mailto:x@example.com)\n",
+    )
+    assert check_docs.check_pages(
+        check_docs.default_targets(tmp_path), tmp_path
+    ) == []
+
+
+def test_lint_catches_fences_heading_skips_and_multiple_h1(
+    check_docs, tmp_path
+):
+    _page(
+        tmp_path,
+        "README.md",
+        "# One\n\n#### Way too deep\n\n# Two\n\n```python\nunterminated\n",
+    )
+    problems = check_docs.check_pages(check_docs.default_targets(tmp_path), tmp_path)
+    assert any("unbalanced code fences" in p for p in problems)
+    assert any("skips from H1 to H4" in p for p in problems)
+    assert any("expected exactly one H1, found 2" in p for p in problems)
+
+
+def test_links_inside_code_are_ignored(check_docs, tmp_path):
+    _page(
+        tmp_path,
+        "README.md",
+        "# Title\n\n```\n[fake](not/a/file.md)\n```\n\n`[also](gone.md)`\n",
+    )
+    assert check_docs.check_pages(
+        check_docs.default_targets(tmp_path), tmp_path
+    ) == []
+
+
+def test_github_slugs(check_docs):
+    assert check_docs.github_slug("Performance engineering") == (
+        "performance-engineering"
+    )
+    assert check_docs.github_slug("Observability (`repro.obs`)") == (
+        "observability-reproobs"
+    )
+    assert check_docs.github_slug("The benchmark registry (`repro bench`)") == (
+        "the-benchmark-registry-repro-bench"
+    )

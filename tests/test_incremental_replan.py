@@ -1,0 +1,207 @@
+"""Incremental replanning: byte-identical plans, structural reuse tiers.
+
+The contract under test (``ExecutionPlanner.plan_incremental``): given a
+retained previous plan, the planner may adopt structurally unchanged MetaLevel
+allocations — or, on a full structural match, the whole plan skeleton — but
+the produced plan must be **byte-identical** to what a from-scratch solve
+would return.  Equivalence is asserted on ``plan_to_dict`` minus the
+``planning_report`` key (stage timings are machine-dependent and the reuse
+counters legitimately differ).
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.topology import make_cluster
+from repro.core.plandiff import NO_REUSE, diff_metagraphs, graph_signature
+from repro.core.planner import ExecutionPlanner
+from repro.core.serialization import plan_to_dict
+from repro.service.fingerprint import fingerprint_workload
+from repro.service.incremental import IncrementalPlanner, StaleTopologyError
+from tests.conftest import make_chain_task
+
+
+def canonical(plan) -> str:
+    """The byte-equivalence view: everything except the planning report."""
+    document = plan_to_dict(plan)
+    document.pop("planning_report", None)
+    return json.dumps(document, sort_keys=True)
+
+
+def base_tasks():
+    """Two-level workload with task-name-free (shared-scope) param keys."""
+    return [
+        make_chain_task("audio_task", {"audio": 2, "lm": 2}, batch=8,
+                        shared_prefix="zoo.audio"),
+        make_chain_task("vision_task", {"vision": 2, "lm": 2}, batch=4,
+                        shared_prefix="zoo.vision"),
+        make_chain_task("text_task", {"text": 2, "lm": 2}, batch=8,
+                        shared_prefix="zoo.text"),
+    ]
+
+
+def resubmitted(tasks, index, weight=2.0):
+    """The same task list with one task resubmitted: isomorphic, new name
+    and weight — a fingerprint miss that is a full structural match."""
+    replaced = list(tasks)
+    old = replaced[index]
+    prefix = {"audio_task": "zoo.audio", "vision_task": "zoo.vision",
+              "text_task": "zoo.text"}[old.name]
+    modules = {name: len(module.operators) for name, module in old.modules.items()}
+    fresh = make_chain_task(f"{old.name}_v2", modules, batch=old.batch_size,
+                            shared_prefix=prefix)
+    fresh.weight = weight
+    replaced[index] = fresh
+    return replaced
+
+
+@pytest.fixture
+def planner():
+    return ExecutionPlanner(make_cluster(16))
+
+
+# ----------------------------------------------------------- plandiff itself
+def test_graph_signature_invariant_under_rename(planner):
+    plan_a = planner.plan(base_tasks())
+    plan_b = planner.plan(resubmitted(base_tasks(), 1))
+    assert graph_signature(plan_a.metagraph) == graph_signature(plan_b.metagraph)
+    diff = diff_metagraphs(plan_a.metagraph, plan_b.metagraph)
+    assert diff.full_structure
+
+
+def perturbed_tasks():
+    """``base_tasks`` with vision_task's LM head deepened: its level-1 MetaOp
+    changes while level 0 is positionally untouched and reusable."""
+    tasks = base_tasks()
+    tasks[1] = make_chain_task("vision_task", {"vision": 2, "lm": 3},
+                               batch=4, shared_prefix="zoo.vision")
+    return tasks
+
+
+def test_diff_detects_changed_level(planner):
+    plan_a = planner.plan(base_tasks())
+    plan_b = planner.plan(perturbed_tasks())
+    diff = diff_metagraphs(plan_a.metagraph, plan_b.metagraph)
+    assert not diff.full_structure
+    assert 0 < len(diff.reusable_levels) < plan_b.metagraph.num_levels
+
+
+def test_diff_no_reuse_on_disjoint_structures(planner):
+    plan_a = planner.plan(base_tasks())
+    plan_b = planner.plan([
+        make_chain_task("other", {"enc": 3, "dec": 1, "lm": 1}, batch=2)
+    ])
+    assert diff_metagraphs(plan_a.metagraph, plan_b.metagraph) == NO_REUSE
+
+
+# --------------------------------------------------- tier 1: full structure
+def test_full_structure_reuse_is_byte_identical(planner):
+    previous = planner.plan(base_tasks())
+    churned = resubmitted(base_tasks(), 1)
+    incremental = planner.plan_incremental(churned, previous=previous)
+    reference = planner.plan(churned)
+    assert canonical(incremental) == canonical(reference)
+    assert incremental.report.reused_levels == incremental.metagraph.num_levels
+    assert reference.report.reused_levels == 0
+
+
+def test_full_structure_reuse_copies_not_aliases(planner):
+    previous = planner.plan(base_tasks())
+    incremental = planner.plan_incremental(
+        resubmitted(base_tasks(), 0), previous=previous
+    )
+    for level, allocation in incremental.level_allocations.items():
+        assert allocation is not previous.level_allocations[level]
+    assert incremental.schedule is not previous.schedule
+    assert incremental.placement is not previous.placement
+
+
+# ------------------------------------------------------ tier 2: level reuse
+def test_partial_level_reuse_is_byte_identical(planner):
+    previous = planner.plan(base_tasks())
+    perturbed = perturbed_tasks()
+    incremental = planner.plan_incremental(perturbed, previous=previous)
+    reference = planner.plan(perturbed)
+    assert canonical(incremental) == canonical(reference)
+    assert 0 < incremental.report.reused_levels < incremental.metagraph.num_levels
+
+
+# -------------------------------------------------------- tier 3 / refusals
+def test_disjoint_workload_falls_back_to_full_solve(planner):
+    previous = planner.plan(base_tasks())
+    other = [make_chain_task("other", {"enc": 3, "dec": 1, "lm": 1}, batch=2)]
+    incremental = planner.plan_incremental(other, previous=previous)
+    assert canonical(incremental) == canonical(planner.plan(other))
+    assert incremental.report.reused_levels == 0
+
+
+def test_no_previous_plan_matches_plain_plan(planner):
+    tasks = base_tasks()
+    assert canonical(planner.plan_incremental(tasks, previous=None)) == canonical(
+        planner.plan(tasks)
+    )
+
+
+def test_noisy_profiles_refuse_reuse():
+    cluster = make_cluster(16)
+    noisy = ExecutionPlanner(cluster, profile_noise_std=0.05)
+    previous = noisy.plan(base_tasks())
+    incremental = noisy.plan_incremental(
+        resubmitted(base_tasks(), 1), previous=previous
+    )
+    assert incremental.report.reused_levels == 0
+
+
+def test_changed_cluster_refuses_reuse(planner):
+    previous = ExecutionPlanner(make_cluster(8)).plan(base_tasks())
+    churned = resubmitted(base_tasks(), 1)
+    incremental = planner.plan_incremental(churned, previous=previous)
+    assert incremental.report.reused_levels == 0
+    assert canonical(incremental) == canonical(planner.plan(churned))
+
+
+# ------------------------------------------------ IncrementalPlanner wiring
+def test_incremental_planner_reuses_levels_and_stays_equivalent(planner):
+    reusing = IncrementalPlanner(ExecutionPlanner(make_cluster(16)),
+                                 reuse_levels=True)
+    plain = IncrementalPlanner(ExecutionPlanner(make_cluster(16)))
+    sequence = [base_tasks(), resubmitted(base_tasks(), 1),
+                resubmitted(resubmitted(base_tasks(), 1), 0)]
+    for workload in sequence:
+        assert canonical(reusing.plan(workload)) == canonical(plain.plan(workload))
+    assert reusing.stats.levels_reused > 0
+    assert reusing.stats.full_structure_reuses == 2
+    assert plain.stats.levels_reused == 0
+
+
+def test_incremental_planner_clear_drops_previous_plan():
+    reusing = IncrementalPlanner(ExecutionPlanner(make_cluster(16)),
+                                 reuse_levels=True)
+    reusing.plan(base_tasks())
+    reusing.clear()
+    plan = reusing.plan(resubmitted(base_tasks(), 1))
+    assert plan.report.reused_levels == 0
+
+
+def test_stale_topology_error_with_reuse_levels():
+    planner = ExecutionPlanner(make_cluster(16))
+    reusing = IncrementalPlanner(planner, reuse_levels=True)
+    reusing.plan(base_tasks())
+    planner.cluster = make_cluster(8)
+    with pytest.raises(StaleTopologyError):
+        reusing.plan(base_tasks())
+
+
+def test_fingerprint_misses_yet_structure_matches(planner):
+    """The realistic trigger: weight changes the fingerprint, not the plan."""
+    tasks = base_tasks()
+    churned = resubmitted(base_tasks(), 1)
+    cluster = planner.cluster
+    config = planner.config_signature()
+    assert fingerprint_workload(tasks, cluster, config) != fingerprint_workload(
+        churned, cluster, config
+    )
+    previous = planner.plan(tasks)
+    diff = diff_metagraphs(previous.metagraph, planner.plan(churned).metagraph)
+    assert diff.full_structure

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Markdown lint + intra-repo link checker for ``docs/`` and the README.
+
+Stdlib-only, run by the CI ``docs`` job (and by ``tests/test_check_docs.py``
+against the checked-in tree). Two classes of checks:
+
+* **Lint** — balanced code fences, exactly one H1 per page, heading levels
+  that never skip (``##`` to ``####``), and no malformed link syntax
+  (``] (`` with a space).
+* **Links** — every relative link target must exist in the repository, and
+  every ``#fragment`` must match a heading anchor (GitHub slug rules) in the
+  target file. External (``http(s)://``, ``mailto:``) links are not fetched.
+
+Exit status: 0 when clean, 1 with one ``file:line: message`` per problem on
+stderr otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def default_targets(root: Path) -> list[Path]:
+    """The pages the CI job checks: the README plus everything in docs/."""
+    pages = [root / "README.md"]
+    docs = root / "docs"
+    if docs.is_dir():
+        pages.extend(sorted(docs.glob("**/*.md")))
+    return [page for page in pages if page.is_file()]
+
+
+def strip_code(lines: list[str]) -> list[str]:
+    """Blank out fenced blocks and inline code so their contents aren't
+    linted or link-checked (line numbering is preserved)."""
+    stripped = []
+    in_fence = False
+    for line in lines:
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            stripped.append("")
+        elif in_fence:
+            stripped.append("")
+        else:
+            stripped.append(re.sub(r"`[^`]*`", "", line))
+    return stripped
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub derives from a heading line's text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # code spans keep their text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep the label
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    return re.sub(r"[\s]+", "-", text)
+
+
+def heading_anchors(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_fence = False
+    for line in lines:
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slug = github_slug(match.group(2))
+            # GitHub dedupes repeats as slug-1, slug-2, ...; pages here don't
+            # repeat headings, so the base slug is enough.
+            anchors.add(slug)
+    return anchors
+
+
+def lint_page(path: Path, lines: list[str]) -> list[str]:
+    problems = []
+    fence_opens = sum(1 for line in lines if line.lstrip().startswith("```"))
+    if fence_opens % 2:
+        problems.append(f"{path}: unbalanced code fences ({fence_opens} markers)")
+
+    h1_count = 0
+    previous_level = 0
+    in_fence = False
+    for number, line in enumerate(lines, start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        level = len(match.group(1))
+        if level == 1:
+            h1_count += 1
+        elif previous_level and level > previous_level + 1:
+            problems.append(
+                f"{path}:{number}: heading skips from H{previous_level} "
+                f"to H{level}"
+            )
+        previous_level = level
+    if h1_count != 1:
+        problems.append(f"{path}: expected exactly one H1, found {h1_count}")
+
+    for number, line in enumerate(strip_code(lines), start=1):
+        if "] (" in line:
+            problems.append(
+                f"{path}:{number}: space between link text and target (']( ')"
+            )
+    return problems
+
+
+def check_links(path: Path, lines: list[str], root: Path) -> list[str]:
+    problems = []
+    for number, line in enumerate(strip_code(lines), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            file_part, _, fragment = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                try:
+                    resolved.relative_to(root.resolve())
+                except ValueError:
+                    problems.append(
+                        f"{path}:{number}: link escapes the repository: "
+                        f"{target}"
+                    )
+                    continue
+                if not resolved.exists():
+                    problems.append(
+                        f"{path}:{number}: broken link target: {target}"
+                    )
+                    continue
+            else:
+                resolved = path
+            if fragment and resolved.is_file() and resolved.suffix == ".md":
+                if fragment.lower() not in heading_anchors(resolved):
+                    problems.append(
+                        f"{path}:{number}: broken anchor #{fragment} "
+                        f"in {target or path.name}"
+                    )
+    return problems
+
+
+def check_pages(pages: list[Path], root: Path) -> list[str]:
+    problems = []
+    for page in pages:
+        lines = page.read_text(encoding="utf-8").splitlines()
+        problems.extend(lint_page(page, lines))
+        problems.extend(check_links(page, lines, root))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parents[1]
+    pages = default_targets(root)
+    if not pages:
+        print(f"error: no markdown pages found under {root}", file=sys.stderr)
+        return 1
+    problems = check_pages(pages, root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"FAIL: {len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"ok: {len(pages)} pages clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
