@@ -1,0 +1,118 @@
+"""Plan-service resilience under seeded chaos fault campaigns.
+
+Replays planning-request streams through the hardened
+:class:`~repro.service.server.PlanService` while deterministic
+:class:`~repro.faults.plan.FaultPlan` schedules (the ``chaos`` profile:
+injected worker crashes, planner exceptions, slow solves, cache-payload
+corruption and persistence I/O errors) fire at the service's hook points —
+the shared :func:`~repro.experiments.harness.run_resilience_benchmark`
+protocol behind ``repro serve-bench --fault-profile``.
+
+Two fixed campaigns together exercise every fault kind: seed 3 is crash- and
+error-heavy (worker crashes with respawn, retry exhaustion, one request
+served through the degradation ladder's reference tier, injected persistence
+failures), seed 6 adds cache-payload corruption (checksum quarantine) and
+slow solves.
+
+Gated at 0.0% drift:
+
+* **availability** — every request of both campaigns must resolve with a
+  plan (retry + degradation ladder), despite the faults;
+* **plan integrity** — every served plan must be byte-identical (modulo the
+  wall-clock planning report) to the fault-free solve of the same workload;
+* **determinism** — replaying a campaign with the same seed must produce a
+  byte-identical canonical report (same outcomes, tiers, fault counts,
+  everything);
+* the full outcome/tier/fault/persistence census of both campaigns.
+
+Wall-clock elapsed time is informational (the injected backoffs and stalls
+make it machine- and schedule-dependent).
+"""
+
+from bench_utils import emit
+
+from repro.bench import informational, invariant, register_benchmark
+from repro.experiments.harness import run_resilience_benchmark
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import clip_workload
+
+NUM_REQUESTS = 30
+NUM_UNIQUE = 12
+#: Crash-heavy campaign (drives the degradation ladder) and the
+#: corruption-heavy campaign; see the module docstring.
+CRASH_SEED = 3
+CORRUPTION_SEED = 6
+
+
+@register_benchmark(
+    "service_resilience",
+    figure=None,
+    stage="service",
+    tags=("service", "resilience", "smoke"),
+    description="Resilient plan service under seeded chaos fault campaigns",
+)
+def bench_service_resilience(ctx):
+    workload = clip_workload(6, 16)
+    ctx.tasks(workload)  # record the workload fingerprint for the result
+
+    def campaign(seed):
+        return run_resilience_benchmark(
+            workload,
+            num_requests=NUM_REQUESTS,
+            num_unique=NUM_UNIQUE,
+            profile="chaos",
+            seed=seed,
+        )
+
+    crash = campaign(CRASH_SEED)
+    crash_replay = campaign(CRASH_SEED)  # same seed ⇒ byte-identical report
+    corruption = campaign(CORRUPTION_SEED)
+
+    for label, result in (("crash", crash), ("corruption", corruption)):
+        emit(
+            f"service_resilience_{label}",
+            format_table(
+                ["metric", "value"],
+                result.as_rows(),
+                title=f"plan service resilience ({label} campaign, "
+                f"{workload.describe()})",
+            ),
+        )
+
+    crash_outcomes = crash.outcome_counts()
+    total_faults = sum(crash.fault_counts.values()) + sum(
+        corruption.fault_counts.values()
+    )
+    return {
+        "availability": invariant(
+            min(crash.availability, corruption.availability), "fraction"
+        ),
+        "payload_match_rate": invariant(
+            min(crash.payload_match_rate, corruption.payload_match_rate),
+            "fraction",
+        ),
+        "deterministic": invariant(
+            1.0 if crash.signature() == crash_replay.signature() else 0.0, "bool"
+        ),
+        "served": invariant(float(crash_outcomes.get("served", 0)), "req"),
+        "degraded": invariant(float(crash_outcomes.get("degraded", 0)), "req"),
+        "shed": invariant(float(crash_outcomes.get("shed", 0)), "req"),
+        "failed": invariant(float(crash_outcomes.get("error", 0)), "req"),
+        "faults_injected": invariant(float(total_faults), ""),
+        "worker_crashes": invariant(
+            float(crash.fault_counts["worker_crash"]), ""
+        ),
+        "cache_corruptions_quarantined": invariant(
+            float(corruption.corruptions_quarantined), ""
+        ),
+        "persist_failures": invariant(
+            float(crash.persist_failures + corruption.persist_failures), ""
+        ),
+        "warm_start_entries": invariant(float(crash.warm_start_loaded), ""),
+        "breaker_trips": invariant(
+            float(crash.breaker_trips + corruption.breaker_trips), ""
+        ),
+        "elapsed": informational(
+            crash.elapsed_seconds + corruption.elapsed_seconds, "s"
+        ),
+    }

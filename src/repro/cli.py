@@ -76,6 +76,7 @@ from repro.core.serialization import plan_to_json, save_plan
 from repro.costmodel.profiler import default_profile_points
 from repro.experiments.harness import (
     run_comparison,
+    run_resilience_benchmark,
     run_service_benchmark,
     run_single_system,
 )
@@ -667,6 +668,42 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.batch_size <= 0:
         return _fail("--batch-size must be positive")
     workload = _workload_from_args(args)
+    if args.fault_profile is not None:
+        from repro.faults import FAULT_PROFILES
+
+        if args.fault_profile not in FAULT_PROFILES:
+            return _fail(
+                f"unknown fault profile {args.fault_profile!r}; "
+                f"known: {', '.join(sorted(FAULT_PROFILES))}"
+            )
+        chaos = run_resilience_benchmark(
+            workload,
+            num_requests=args.requests,
+            num_unique=args.unique,
+            profile=args.fault_profile,
+            seed=args.fault_seed,
+            num_workers=args.workers,
+            max_batch_size=args.batch_size,
+        )
+        print(
+            format_table(
+                ["metric", "value"],
+                chaos.as_rows(),
+                title=f"plan service resilience, {workload.describe()}",
+            )
+        )
+        print("\n" + chaos.stats.render())
+        if chaos.availability < 1.0:
+            return _fail(
+                f"only {chaos.availability * 100:.1f}% of requests resolved "
+                "with a plan under the fault campaign"
+            )
+        if chaos.payload_match_rate < 1.0:
+            return _fail(
+                f"{chaos.payload_total - chaos.payload_matches} served plans "
+                "differ from the fault-free solves"
+            )
+        return 0
     result = run_service_benchmark(
         workload,
         num_requests=args.requests,
@@ -757,6 +794,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--seed", type=int, default=0, help="seed of the request stream shuffle"
+    )
+    serve_parser.add_argument(
+        "--fault-profile",
+        default=None,
+        help="run the resilience protocol instead, injecting faults from this "
+        "named profile (none, mild, chaos); see docs/resilience.md",
+    )
+    serve_parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the injected fault schedule (same seed, same faults)",
     )
     serve_parser.set_defaults(func=_cmd_serve_bench)
 

@@ -50,7 +50,7 @@ from repro.runtime.engine import RuntimeEngine
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import fingerprint_workload
 from repro.service.incremental import IncrementalPlanner
-from repro.service.server import PlanServicePool
+from repro.service.server import PlanServicePool, ServiceError
 
 
 class ElasticRunError(Exception):
@@ -553,7 +553,10 @@ class ElasticTrainingRunner:
         The pool's cache is consulted first (hits charge the cache-hit cost,
         exactly like the runner's own cache path); misses block on the
         service, where identical concurrent requests from other elastic jobs
-        coalesce onto a single planner run.
+        coalesce onto a single planner run.  With a resilient pool the
+        request resolves through the service's degradation ladder — a
+        degraded replan (stale / incremental / reference tier) still installs
+        a valid plan, and is counted as ``elastic.replans{outcome=degraded}``.
         """
         service = self.planning_service.service_for(snapshot.topology)
         fingerprint = service.fingerprint(tasks)
@@ -562,9 +565,16 @@ class ElasticTrainingRunner:
             get_metrics().inc("elastic.replans", outcome="cache_hit")
             return cached, self._cache_hit_record(cached)
         with self._replan_span() as span:
-            plan = service.plan(tasks)
+            response = service.request(tasks)
+        if not response.ok or response.plan is None:
+            raise ServiceError(
+                f"plan service failed replanning for {snapshot.topology.signature()[:12]}: "
+                f"{response.error}"
+            )
         measured = self._observe_replan(span.seconds)
-        return plan, self._planned_record(plan, measured, {})
+        if response.degraded:
+            get_metrics().inc("elastic.replans", outcome="degraded", tier=response.tier)
+        return response.plan, self._planned_record(response.plan, measured, {})
 
     def _replan_span(self):
         """The timed ``elastic.replan`` span both planning paths run under."""

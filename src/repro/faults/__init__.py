@@ -1,0 +1,52 @@
+"""Deterministic fault injection for the planning service.
+
+Faults are an ordered, seeded event stream (:class:`FaultPlan`) applied at
+fixed hook points by a :class:`FaultInjector` — same seed, same schedule,
+same injections, byte-identical canonical reports.  See
+``docs/resilience.md`` for the fault kinds, the service's recovery policies
+and the determinism rules.
+"""
+
+from repro.faults.injection import (
+    NULL_INJECTOR,
+    FaultInjector,
+    InjectedFault,
+    InjectedPersistError,
+    InjectedPlannerError,
+    InjectedWorkerCrash,
+    NullInjector,
+)
+from repro.faults.plan import (
+    CACHE_CORRUPTION,
+    FAULT_KINDS,
+    FAULT_PROFILES,
+    PERSIST_ERROR,
+    PLANNER_ERROR,
+    SLOW_SOLVE,
+    WORKER_CRASH,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanError,
+    FaultProfile,
+)
+
+__all__ = [
+    "CACHE_CORRUPTION",
+    "FAULT_KINDS",
+    "FAULT_PROFILES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultProfile",
+    "InjectedFault",
+    "InjectedPersistError",
+    "InjectedPlannerError",
+    "InjectedWorkerCrash",
+    "NULL_INJECTOR",
+    "NullInjector",
+    "PERSIST_ERROR",
+    "PLANNER_ERROR",
+    "SLOW_SOLVE",
+    "WORKER_CRASH",
+]

@@ -1,0 +1,162 @@
+"""Fault injection hooks threaded through the planning service.
+
+A :class:`FaultInjector` binds a :class:`~repro.faults.plan.FaultPlan` to a
+running service.  The service calls the injector at well-defined hook points
+(request admission, each solve attempt, cache fill, store save); the injector
+consults the schedule and either lets the operation proceed, stalls it, or
+raises one of the :class:`InjectedFault` exception types.  Every injection is
+counted — in the injector (for canonical reports) and in the shared obs
+registry as ``service.faults{kind=...}``.
+
+The injector holds no randomness of its own: all nondeterminism lives in the
+pre-drawn schedule, so identical schedules drive identical injections.  The
+only mutable state is the pair of ordinal counters (request index, store-save
+index), both assigned under a lock in arrival order — deterministic whenever
+requests are submitted from one thread, which is how the resilience benchmark
+and the fuzz suite drive it.
+
+``sleeper`` is injectable so tests can replay slow-solve schedules without
+real stalls.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.faults.plan import (
+    CACHE_CORRUPTION,
+    FAULT_KINDS,
+    PERSIST_ERROR,
+    PLANNER_ERROR,
+    SLOW_SOLVE,
+    WORKER_CRASH,
+    FaultPlan,
+)
+from repro.obs import get_metrics
+
+
+class InjectedFault(Exception):
+    """Base class of all injected failures (never raised by real bugs)."""
+
+
+class InjectedPlannerError(InjectedFault):
+    """A scheduled planner exception: the solve attempt raises."""
+
+
+class InjectedWorkerCrash(InjectedFault):
+    """A scheduled worker death: the thread running the solve must die."""
+
+
+class InjectedPersistError(InjectedFault, OSError):
+    """A scheduled persistence I/O failure during a plan-store save."""
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` at the service's injection hook points."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        *,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.plan = plan
+        self._sleeper = sleeper
+        self._lock = threading.Lock()
+        self._next_request_index = 0
+        self._next_save_index = 0
+        self._counts: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    # ------------------------------------------------------------- ordinals
+    def assign_index(self) -> int:
+        """Ordinal of the next admitted request (arrival order)."""
+        with self._lock:
+            index = self._next_request_index
+            self._next_request_index += 1
+            return index
+
+    # ----------------------------------------------------------- hook points
+    def on_solve_attempt(self, index: int, attempt: int) -> None:
+        """Called at the top of solve attempt ``attempt`` of request ``index``.
+
+        Applies the scheduled stall, then raises the scheduled failure for
+        this attempt (worker crash before planner error), if any.
+        """
+        delay = self.plan.delay_for(index)
+        if attempt == 0 and delay > 0:
+            self._count(SLOW_SOLVE)
+            self._sleeper(delay)
+        kind = self.plan.failing_kind(index, attempt)
+        if kind == WORKER_CRASH:
+            self._count(WORKER_CRASH)
+            raise InjectedWorkerCrash(
+                f"injected worker crash (request {index}, attempt {attempt})"
+            )
+        if kind == PLANNER_ERROR:
+            self._count(PLANNER_ERROR)
+            raise InjectedPlannerError(
+                f"injected planner error (request {index}, attempt {attempt})"
+            )
+
+    def corrupt_cache_payload(self, index: int) -> bool:
+        """Whether the payload cached for request ``index`` gets corrupted."""
+        if self.plan.corrupts_cache(index):
+            self._count(CACHE_CORRUPTION)
+            return True
+        return False
+
+    def on_persist(self) -> None:
+        """Called once per plan-store save; raises when the save is doomed."""
+        with self._lock:
+            save_index = self._next_save_index
+            self._next_save_index += 1
+        if self.plan.persist_fails(save_index):
+            self._count(PERSIST_ERROR)
+            raise InjectedPersistError(
+                f"injected persistence I/O error (save {save_index})"
+            )
+
+    # -------------------------------------------------------------- counters
+    def counts(self) -> dict[str, int]:
+        """Injections applied so far, per fault kind (deterministic)."""
+        with self._lock:
+            return dict(self._counts)
+
+    @property
+    def total_injected(self) -> int:
+        with self._lock:
+            return sum(self._counts.values())
+
+    def _count(self, kind: str) -> None:
+        with self._lock:
+            self._counts[kind] += 1
+        get_metrics().inc("service.faults", kind=kind)
+
+
+class NullInjector:
+    """No-op injector: the fault-free service path, hook-compatible."""
+
+    def assign_index(self) -> int:
+        return -1
+
+    def on_solve_attempt(self, index: int, attempt: int) -> None:
+        return None
+
+    def corrupt_cache_payload(self, index: int) -> bool:
+        return False
+
+    def on_persist(self) -> None:
+        return None
+
+    def counts(self) -> dict[str, int]:
+        return {kind: 0 for kind in FAULT_KINDS}
+
+    @property
+    def total_injected(self) -> int:
+        return 0
+
+
+#: Shared no-op injector used wherever no fault plan is configured.
+NULL_INJECTOR = NullInjector()

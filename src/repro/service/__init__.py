@@ -7,16 +7,23 @@ instead of recomputed serially:
 * :mod:`repro.service.fingerprint` — canonical, order/naming-insensitive
   content hashes of planning requests,
 * :mod:`repro.service.cache` — a thread-safe LRU+TTL plan cache serving
-  byte-identical serialized plans,
+  byte-identical serialized plans, with payload checksums and stale-entry
+  retention for the degradation ladder,
 * :mod:`repro.service.server` — a concurrent plan service with a bounded
-  worker pool, request batching and single-flight deduplication,
+  worker pool, request batching, single-flight deduplication and (opt-in)
+  retries, deadlines, circuit breaking, load shedding and graceful
+  degradation,
+* :mod:`repro.service.resilience` — the resilience policy, circuit breaker
+  and per-request :class:`~repro.service.resilience.PlanResponse` record,
+* :mod:`repro.service.store` — a crash-safe persistent plan store (atomic
+  snapshots, per-entry checksums, quarantine) for warm starts,
 * :mod:`repro.service.incremental` — incremental re-planning that pools
   per-MetaOp scalability curves across overlapping requests,
 * :mod:`repro.service.stats` — service-level throughput/latency/hit-rate
   accounting.
 """
 
-from repro.service.cache import CacheError, CacheStats, PlanCache
+from repro.service.cache import CacheError, CacheStats, PlanCache, payload_checksum
 from repro.service.fingerprint import (
     canonical_cluster,
     canonical_graph,
@@ -31,30 +38,78 @@ from repro.service.incremental import (
     IncrementalStats,
     StaleTopologyError,
 )
-from repro.service.server import PlanService, PlanServicePool, ServiceError
+from repro.service.resilience import (
+    DEGRADED_TIERS,
+    RESPONSE_DEGRADED,
+    RESPONSE_ERROR,
+    RESPONSE_SERVED,
+    RESPONSE_SHED,
+    TIER_CACHE,
+    TIER_FRESH,
+    TIER_INCREMENTAL,
+    TIER_REFERENCE,
+    TIER_STALE,
+    CircuitBreaker,
+    PlanResponse,
+    ResiliencePolicy,
+)
+from repro.service.server import (
+    PlanService,
+    PlanServicePool,
+    ServiceError,
+    ServiceOverloadError,
+)
 from repro.service.stats import (
     OUTCOME_COALESCED,
+    OUTCOME_DEGRADED,
     OUTCOME_HIT,
     OUTCOME_MISS,
+    OUTCOME_SHED,
     LatencySummary,
     ServiceStats,
+)
+from repro.service.store import (
+    STORE_FORMAT_VERSION,
+    PlanStore,
+    StoreError,
+    StoreLoadResult,
 )
 
 __all__ = [
     "CacheError",
     "CacheStats",
+    "CircuitBreaker",
+    "DEGRADED_TIERS",
     "IncrementalPlanner",
     "IncrementalStats",
     "LatencySummary",
     "OUTCOME_COALESCED",
+    "OUTCOME_DEGRADED",
     "OUTCOME_HIT",
     "OUTCOME_MISS",
+    "OUTCOME_SHED",
     "PlanCache",
+    "PlanResponse",
     "PlanService",
     "PlanServicePool",
+    "PlanStore",
+    "RESPONSE_DEGRADED",
+    "RESPONSE_ERROR",
+    "RESPONSE_SERVED",
+    "RESPONSE_SHED",
+    "STORE_FORMAT_VERSION",
+    "ResiliencePolicy",
     "ServiceError",
+    "ServiceOverloadError",
     "ServiceStats",
     "StaleTopologyError",
+    "StoreError",
+    "StoreLoadResult",
+    "TIER_CACHE",
+    "TIER_FRESH",
+    "TIER_INCREMENTAL",
+    "TIER_REFERENCE",
+    "TIER_STALE",
     "canonical_cluster",
     "canonical_graph",
     "canonical_task",
@@ -62,4 +117,5 @@ __all__ = [
     "canonical_workload",
     "fingerprint_workload",
     "hash_document",
+    "payload_checksum",
 ]

@@ -10,11 +10,20 @@ bytes; deferring the render means cache users that only ever consume live
 plans (e.g. the dynamic-workload runner) never pay for serialization.
 
 Entries expire ``ttl_seconds`` after insertion (``None`` disables expiry) and
-the least-recently-used entry is evicted once ``capacity`` is exceeded.  The
-cache can persist its payloads to a JSON file and reload them later; reloaded
-entries carry the payload only (the live plan objects are not reconstructed),
-which is what a serving tier restarted from a snapshot needs — :meth:`get`
-treats such entries as misses while :meth:`get_payload` serves them.
+the least-recently-used entry is evicted once ``capacity`` is exceeded.
+Expired entries are not discarded outright: they move to a bounded stale side
+list, retrievable via :meth:`get_stale`, which is the "serve stale, flagged"
+tier of the service's degradation ladder — when planning itself is failing, a
+recently-expired plan beats no plan.  The cache can persist its payloads to a
+JSON file and reload them later; reloaded entries carry the payload only (the
+live plan objects are not reconstructed), which is what a serving tier
+restarted from a snapshot needs — :meth:`get` treats such entries as misses
+while :meth:`get_payload` serves them.
+
+Rendered payloads carry a SHA-256 checksum computed at render time;
+:meth:`get_payload` re-verifies it on every serve and quarantines (drops and
+counts) entries whose bytes no longer match — corrupted payloads are treated
+as misses, never served.
 
 Fingerprints are canonical (see :mod:`repro.service.fingerprint`): requests
 that differ only in task naming or ordering share one entry, so the served
@@ -24,6 +33,7 @@ was planned first.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 import time
@@ -39,6 +49,11 @@ from repro.core.serialization import plan_to_json
 CACHE_SNAPSHOT_VERSION = 1
 
 
+def payload_checksum(payload: str) -> str:
+    """SHA-256 hex digest of a serialized plan payload."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 class CacheError(Exception):
     """Raised for invalid cache configuration or malformed snapshots."""
 
@@ -52,6 +67,10 @@ class CacheStats:
     puts: int = 0
     evictions: int = 0
     expirations: int = 0
+    #: Payloads whose checksum no longer matched at serve time (quarantined).
+    corruptions: int = 0
+    #: Expired or snapshot-only entries served through :meth:`get_stale`.
+    stale_hits: int = 0
 
     @property
     def requests(self) -> int:
@@ -70,6 +89,8 @@ class CacheStats:
             "puts": self.puts,
             "evictions": self.evictions,
             "expirations": self.expirations,
+            "corruptions": self.corruptions,
+            "stale_hits": self.stale_hits,
             "hit_rate": self.hit_rate,
         }
 
@@ -79,7 +100,25 @@ class _CacheEntry:
     plan: Optional[ExecutionPlan]
     inserted_at: float
     payload: Optional[str] = None
+    checksum: Optional[str] = None
     hits: int = field(default=0)
+
+    def render(self) -> str:
+        """Render (and checksum) the payload on first access."""
+        if self.payload is None:
+            self.payload = plan_to_json(self.plan)
+            self.checksum = payload_checksum(self.payload)
+        return self.payload
+
+    def payload_intact(self) -> bool:
+        """Whether the stored payload still matches its checksum.
+
+        Entries without a checksum (legacy v1 snapshots) are trusted —
+        there is nothing to verify against.
+        """
+        if self.payload is None or self.checksum is None:
+            return True
+        return payload_checksum(self.payload) == self.checksum
 
 
 class PlanCache:
@@ -111,6 +150,9 @@ class PlanCache:
         self.ttl_seconds = ttl_seconds
         self._clock = clock
         self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
+        # Expired entries, retained (bounded by capacity) for the service's
+        # stale-serving degradation tier; never returned by get()/get_payload().
+        self._stale: OrderedDict[str, _CacheEntry] = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -127,17 +169,57 @@ class PlanCache:
     def get_payload(self, fingerprint: str) -> Optional[str]:
         """Return the serialized plan document (byte-identical across hits).
 
-        The document is rendered on first access and stored, so every
-        subsequent hit serves the exact same bytes.
+        The document is rendered on first access and stored with its
+        checksum, so every subsequent hit serves the exact same verified
+        bytes.  A checksum mismatch quarantines the entry (dropped, counted
+        in ``stats.corruptions``) and reports a miss — corrupt bytes are
+        never served.
         """
         entry = self._lookup(fingerprint)
         if entry is None:
             return None
-        if entry.payload is None:
-            # Render outside the lock; concurrent renders of the same plan
-            # produce identical strings, so last-writer-wins is benign.
-            entry.payload = plan_to_json(entry.plan)
-        return entry.payload
+        # Render outside the lock; concurrent renders of the same plan
+        # produce identical strings, so last-writer-wins is benign.
+        payload = entry.render()
+        if not entry.payload_intact():
+            self._quarantine(fingerprint)
+            return None
+        return payload
+
+    def get_stale(self, fingerprint: str) -> "Optional[tuple[ExecutionPlan | None, str | None]]":
+        """Serve an expired or snapshot-only entry (degraded tier).
+
+        Returns ``(plan, payload)`` — either may be ``None`` (snapshot
+        entries carry no live plan; never-rendered expired entries carry no
+        payload).  Corrupted payloads are quarantined here too.  Fresh
+        entries are *not* served through this path; use :meth:`get`.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                if self._expired(entry):
+                    del self._entries[fingerprint]
+                    self._remember_stale(fingerprint, entry)
+                    self.stats.expirations += 1
+                elif entry.plan is None:
+                    # Snapshot-loaded payload-only entry: stale-servable.
+                    pass
+                else:
+                    return None  # fresh and live: not a stale serve
+            entry = self._stale.get(fingerprint) or (
+                entry if entry is not None and entry.plan is None else None
+            )
+            if entry is None:
+                return None
+        if entry.payload is not None and not entry.payload_intact():
+            with self._lock:
+                self._stale.pop(fingerprint, None)
+                self._entries.pop(fingerprint, None)
+                self.stats.corruptions += 1
+            return None
+        with self._lock:
+            self.stats.stale_hits += 1
+        return entry.plan, entry.payload
 
     def put(
         self,
@@ -146,7 +228,39 @@ class PlanCache:
         payload: str | None = None,
     ) -> None:
         """Insert a plan; its payload is rendered lazily unless supplied."""
-        entry = _CacheEntry(payload=payload, plan=plan, inserted_at=self._clock())
+        entry = _CacheEntry(
+            payload=payload,
+            checksum=payload_checksum(payload) if payload is not None else None,
+            plan=plan,
+            inserted_at=self._clock(),
+        )
+        with self._lock:
+            self._entries[fingerprint] = entry
+            self._entries.move_to_end(fingerprint)
+            self.stats.puts += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def put_payload(
+        self,
+        fingerprint: str,
+        payload: str,
+        checksum: str | None = None,
+    ) -> None:
+        """Insert a payload-only entry (snapshot restore / warm start).
+
+        Such entries serve ``get_payload``/``get_stale`` but miss on
+        :meth:`get` — the live plan was not reconstructed.  ``checksum``
+        enables integrity verification on every serve; ``None`` (legacy v1
+        snapshots) stores the payload unverified.
+        """
+        entry = _CacheEntry(
+            payload=payload,
+            checksum=checksum,
+            plan=None,
+            inserted_at=self._clock(),
+        )
         with self._lock:
             self._entries[fingerprint] = entry
             self._entries.move_to_end(fingerprint)
@@ -163,9 +277,10 @@ class PlanCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._stale.clear()
 
     def purge_expired(self) -> int:
-        """Drop all expired entries; returns how many were removed."""
+        """Move all expired entries to the stale list; returns how many."""
         if self.ttl_seconds is None:
             return 0
         now = self._clock()
@@ -176,9 +291,26 @@ class PlanCache:
                 if now - entry.inserted_at > self.ttl_seconds
             ]
             for key in stale:
-                del self._entries[key]
+                self._remember_stale(key, self._entries.pop(key))
                 self.stats.expirations += 1
         return len(stale)
+
+    def corrupt(self, fingerprint: str) -> bool:
+        """Flip bytes in the stored payload (fault injection / tests only).
+
+        Renders the payload first so there is something to corrupt; the
+        checksum is *not* updated, which is the point — the next
+        :meth:`get_payload` or store save must detect the mismatch.  Returns
+        whether an entry was corrupted.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint) or self._stale.get(fingerprint)
+        if entry is None:
+            return False
+        if entry.payload is None:
+            entry.render()
+        entry.payload = entry.payload[:-8] + "CORRUPT}"
+        return True
 
     def __contains__(self, fingerprint: str) -> bool:
         with self._lock:
@@ -200,8 +332,7 @@ class PlanCache:
         """Write the cached payloads (keyed by fingerprint) to ``path``."""
         with self._lock:
             for entry in self._entries.values():
-                if entry.payload is None:
-                    entry.payload = plan_to_json(entry.plan)
+                entry.render()
             snapshot = {
                 "format_version": CACHE_SNAPSHOT_VERSION,
                 "entries": {
@@ -248,6 +379,30 @@ class PlanCache:
             and self._clock() - entry.inserted_at > self.ttl_seconds
         )
 
+    def _remember_stale(self, fingerprint: str, entry: _CacheEntry) -> None:
+        """Retain an expired entry for stale serving (bounded, LRU)."""
+        self._stale[fingerprint] = entry
+        self._stale.move_to_end(fingerprint)
+        while len(self._stale) > self.capacity:
+            self._stale.popitem(last=False)
+
+    def _quarantine(self, fingerprint: str) -> None:
+        """Drop a corrupted entry everywhere and count the detection.
+
+        The triggering access was already counted as a hit by ``_lookup``;
+        re-classify it as a miss so ``requests`` still counts it once.
+        """
+        with self._lock:
+            self._entries.pop(fingerprint, None)
+            self._stale.pop(fingerprint, None)
+            self.stats.corruptions += 1
+            self.stats.hits -= 1
+            self.stats.misses += 1
+
+    def stale_fingerprints(self) -> list[str]:
+        with self._lock:
+            return list(self._stale)
+
     def _lookup(
         self, fingerprint: str, need_plan: bool = False
     ) -> Optional[_CacheEntry]:
@@ -257,7 +412,7 @@ class PlanCache:
                 self.stats.misses += 1
                 return None
             if self._expired(entry):
-                del self._entries[fingerprint]
+                self._remember_stale(fingerprint, self._entries.pop(fingerprint))
                 self.stats.expirations += 1
                 self.stats.misses += 1
                 return None

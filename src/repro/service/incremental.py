@@ -173,6 +173,13 @@ class IncrementalPlanner:
     def num_pooled_curves(self) -> int:
         return len(self._curves)
 
+    @property
+    def has_retained_plan(self) -> bool:
+        """Whether a previous plan is retained for structural reuse
+        (``reuse_levels`` only; the service's incremental ladder tier keys
+        off this)."""
+        return self.reuse_levels and self._previous_plan is not None
+
     def clear(self) -> None:
         """Drop the pooled curves (e.g. after recalibrating the cost model).
 

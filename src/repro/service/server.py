@@ -1,4 +1,4 @@
-"""Concurrent plan service: worker pool, request batching and single-flight.
+"""Concurrent plan service: worker pool, batching, single-flight, resilience.
 
 :class:`PlanService` turns the execution planner into a servable component.
 Requests (task sets or raw computation graphs) are fingerprinted on arrival
@@ -14,6 +14,24 @@ and resolved through three paths, cheapest first:
    wake-up) and group batch items by fingerprint, so duplicates that reach the
    queue are still planned only once.
 
+With a :class:`~repro.service.resilience.ResiliencePolicy` the fresh-planning
+path is hardened: solve attempts are bounded by per-request deadlines and
+retried with seeded exponential backoff, a circuit breaker trips after
+consecutive failures, bounded-queue admission control sheds excess load
+explicitly, and exhausted requests walk a degradation ladder —
+
+    fresh cache hit → retry fresh solve → stale cache entry (flagged)
+    → incremental reuse → reference-path solve → ``ServiceError``
+
+— so every admitted request resolves in exactly one outcome (``served`` /
+``degraded`` / ``shed`` / ``error``); futures never hang, including across
+injected worker crashes (the pool respawns dead workers and requeues their
+in-flight requests) and across :meth:`PlanService.close`.
+
+Fault injection (:mod:`repro.faults`) threads through the same hook points
+deterministically; see ``docs/resilience.md`` for the ladder, the policy
+knobs and the determinism rules.
+
 Every completed request records its outcome and end-to-end latency in a
 :class:`~repro.service.stats.ServiceStats` accumulator.
 """
@@ -25,21 +43,40 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
 from typing import Callable, Union
 
 from repro.cluster.topology import ClusterTopology
 from repro.core.plan import ExecutionPlan
 from repro.core.planner import ExecutionPlanner, PlannerInput
 from repro.core.serialization import plan_to_json
+from repro.faults.injection import NULL_INJECTOR, InjectedWorkerCrash
 from repro.graph.graph import ComputationGraph
 from repro.obs import get_metrics, get_tracer
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import fingerprint_workload
 from repro.service.incremental import IncrementalPlanner
+from repro.service.resilience import (
+    RESPONSE_DEGRADED,
+    RESPONSE_ERROR,
+    RESPONSE_SERVED,
+    RESPONSE_SHED,
+    TIER_CACHE,
+    TIER_FRESH,
+    TIER_INCREMENTAL,
+    TIER_REFERENCE,
+    TIER_STALE,
+    CircuitBreaker,
+    PlanResponse,
+    ResiliencePolicy,
+)
 from repro.service.stats import (
     OUTCOME_COALESCED,
+    OUTCOME_DEGRADED,
     OUTCOME_HIT,
     OUTCOME_MISS,
+    OUTCOME_SHED,
     ServiceStats,
 )
 
@@ -52,7 +89,36 @@ _SHUTDOWN = object()
 
 
 class ServiceError(Exception):
-    """Raised for invalid service configuration or use after shutdown."""
+    """Raised for invalid service configuration, shutdown, or exhausted
+    degradation ladders."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The request was shed by bounded-queue admission control."""
+
+
+@dataclass
+class _Request:
+    """One queued planning request: its identity, future and retry state."""
+
+    fingerprint: str
+    workload: PlannerInput
+    future: Future
+    index: int = -1
+    attempt: int = 0
+    submitted_at: float = field(default_factory=time.monotonic)
+    deadline_at: float | None = None
+
+    def past_deadline(self) -> bool:
+        return self.deadline_at is not None and time.monotonic() > self.deadline_at
+
+
+class _WorkerCrashed(Exception):
+    """Internal: an injected worker crash; carries the requests to requeue."""
+
+    def __init__(self, requests: "list[_Request]") -> None:
+        super().__init__("injected worker crash")
+        self.requests = requests
 
 
 class PlanService:
@@ -74,6 +140,20 @@ class PlanService:
         Size of the bounded worker pool.
     max_batch_size:
         Maximum number of queued requests one worker drains per wake-up.
+    resilience:
+        Optional :class:`ResiliencePolicy` enabling retries, deadlines, the
+        circuit breaker, admission control and the degradation ladder.
+        Defaults to a stock policy whenever ``fault_injector`` is given
+        (an injected fault campaign without recovery would be pointless).
+    fault_injector:
+        Optional :class:`~repro.faults.injection.FaultInjector` applying a
+        deterministic fault schedule at the service's hook points.
+    reference_planner_factory:
+        Builds the planner of the last-resort ``reference`` ladder tier; by
+        default an ``ExecutionPlanner(cluster, optimized=False)`` on the
+        prototype's cluster.  Override it when the primary planner is
+        non-default-configured, so the reference tier plans under the same
+        configuration (and therefore the same fingerprints).
     """
 
     def __init__(
@@ -84,6 +164,9 @@ class PlanService:
         stats: ServiceStats | None = None,
         num_workers: int = 2,
         max_batch_size: int = 8,
+        resilience: ResiliencePolicy | None = None,
+        fault_injector=None,
+        reference_planner_factory: Callable[[], ExecutionPlanner] | None = None,
     ) -> None:
         if num_workers <= 0:
             raise ServiceError("num_workers must be positive")
@@ -105,10 +188,25 @@ class PlanService:
         self.cache = cache if cache is not None else PlanCache(capacity=64)
         self.stats = stats if stats is not None else ServiceStats()
         self.max_batch_size = max_batch_size
+        if resilience is None and fault_injector is not None:
+            resilience = ResiliencePolicy()
+        self.resilience = resilience
+        self.injector = fault_injector if fault_injector is not None else NULL_INJECTOR
+        self._reference_planner_factory = reference_planner_factory
+        self._reference_planner: ExecutionPlanner | None = None
+        self._reference_lock = threading.Lock()
+        self._topology_label = self._prototype.cluster.signature()[:12]
+        self.breaker = CircuitBreaker(
+            failure_threshold=(
+                resilience.breaker_failure_threshold if resilience else 0
+            ),
+            reset_seconds=(resilience.breaker_reset_seconds if resilience else 0.5),
+        )
         self._queue: queue.Queue = queue.Queue()
         self._inflight: dict[str, Future] = {}
         self._lock = threading.Lock()
         self._closed = False
+        self._cancel_pending = False
         # Fingerprint memo keyed by the identity of the request's task objects.
         # Resubmitting the same task objects (the common serving pattern) skips
         # canonicalisation entirely; entries hold strong references to their
@@ -118,6 +216,7 @@ class PlanService:
             OrderedDict()
         )
         self._fingerprint_memo_capacity = 1024
+        self._num_workers = num_workers
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"plan-worker-{i}", daemon=True
@@ -126,6 +225,7 @@ class PlanService:
         ]
         for worker in self._workers:
             worker.start()
+        self._update_breaker_gauge()
 
     # ------------------------------------------------------------- public API
     def fingerprint(self, workload: PlannerInput) -> str:
@@ -153,11 +253,13 @@ class PlanService:
         """Enqueue a planning request; returns a future yielding the plan.
 
         Identical in-flight requests share one future (single-flight); cached
-        requests resolve immediately.  The enqueue → dedup portion of the
-        request lifecycle runs inside a ``service.submit`` span whose
-        ``outcome`` attribute records how the request was resolved; the solve
-        and cache-fill steps are spanned in the worker thread
-        (:meth:`_plan_one`).
+        requests resolve immediately; with admission control enabled, a
+        request arriving over the queue bound resolves immediately with
+        :class:`ServiceOverloadError` (explicit load shedding — the future
+        never hangs).  The enqueue → dedup portion of the request lifecycle
+        runs inside a ``service.submit`` span whose ``outcome`` attribute
+        records how the request was resolved; the solve and cache-fill steps
+        are spanned in the worker thread.
         """
         start = time.monotonic()
         metrics = get_metrics()
@@ -177,6 +279,15 @@ class PlanService:
                 cached = self.cache.get(fp)
                 if cached is not None:
                     future: Future = Future()
+                    self._attach_response(
+                        future,
+                        PlanResponse(
+                            outcome=RESPONSE_SERVED,
+                            tier=TIER_CACHE,
+                            fingerprint=fp,
+                            plan=cached,
+                        ),
+                    )
                     future.set_result(cached)
                     self.stats.record(OUTCOME_HIT, time.monotonic() - start)
                     metrics.inc("service.cache", outcome=OUTCOME_HIT)
@@ -188,17 +299,109 @@ class PlanService:
                     metrics.inc("service.cache", outcome=OUTCOME_COALESCED)
                     span.set(outcome=OUTCOME_COALESCED)
                     return inflight
+                if (
+                    self.resilience is not None
+                    and self.resilience.max_queue_depth is not None
+                    and len(self._inflight) >= self.resilience.max_queue_depth
+                ):
+                    future = Future()
+                    self._attach_response(
+                        future,
+                        PlanResponse(
+                            outcome=RESPONSE_SHED,
+                            tier=None,
+                            fingerprint=fp,
+                            error="shed by admission control",
+                        ),
+                    )
+                    future.set_exception(
+                        ServiceOverloadError(
+                            f"request shed: {len(self._inflight)} requests "
+                            "already queued or in flight"
+                        )
+                    )
+                    self.stats.record(OUTCOME_SHED, time.monotonic() - start)
+                    metrics.inc("service.shed")
+                    span.set(outcome=OUTCOME_SHED)
+                    return future
                 future = Future()
+                future._repro_fingerprint = fp  # for timeout cleanup
+                deadline = None
+                if (
+                    self.resilience is not None
+                    and self.resilience.deadline_seconds is not None
+                ):
+                    deadline = start + self.resilience.deadline_seconds
+                request = _Request(
+                    fingerprint=fp,
+                    workload=workload,
+                    future=future,
+                    index=self.injector.assign_index(),
+                    submitted_at=start,
+                    deadline_at=deadline,
+                )
                 self._inflight[fp] = future
-                self._record_on_completion(future, OUTCOME_MISS, start)
-                self._queue.put((fp, workload))
+                self._queue.put(request)
                 metrics.inc("service.cache", outcome=OUTCOME_MISS)
                 span.set(outcome=OUTCOME_MISS)
             return future
 
     def plan(self, workload: PlannerInput, timeout: float | None = None) -> ExecutionPlan:
-        """Synchronous convenience wrapper around :meth:`submit`."""
-        return self.submit(workload).result(timeout=timeout)
+        """Synchronous convenience wrapper around :meth:`submit`.
+
+        A timeout abandons the request: the single-flight entry for its
+        fingerprint is released, so a later identical request plans afresh
+        (or hits the cache once the abandoned solve lands) instead of
+        latching onto the abandoned future forever.
+        """
+        future = self.submit(workload)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            self._abandon(future)
+            raise
+
+    def request(
+        self, workload: PlannerInput, timeout: float | None = None
+    ) -> PlanResponse:
+        """Resolve one request into its :class:`PlanResponse`.
+
+        This is the resilient entry point: it never raises for shed,
+        degraded or failed requests — the response's ``outcome`` says what
+        happened, and ``response.plan`` carries the plan whenever one was
+        served.  (A client-side ``timeout`` expiry is the one exception that
+        still surfaces as an ``error`` response rather than an exception.)
+        """
+        future = self.submit(workload)
+        try:
+            plan = future.result(timeout=timeout)
+        except FutureTimeoutError:
+            self._abandon(future)
+            return PlanResponse(
+                outcome=RESPONSE_ERROR,
+                tier=None,
+                fingerprint=getattr(future, "_repro_fingerprint", ""),
+                error=f"client timeout after {timeout}s",
+            )
+        except Exception as exc:  # noqa: BLE001 - folded into the response
+            response = self._response_of(future)
+            if response is not None:
+                return response
+            return PlanResponse(
+                outcome=RESPONSE_ERROR,
+                tier=None,
+                fingerprint=getattr(future, "_repro_fingerprint", ""),
+                error=str(exc),
+            )
+        response = self._response_of(future)
+        if response is not None:
+            return response
+        return PlanResponse(
+            outcome=RESPONSE_SERVED,
+            tier=TIER_FRESH,
+            fingerprint=plan.fingerprint or "",
+            plan=plan,
+        )
 
     def serialized_plan(
         self, workload: PlannerInput, timeout: float | None = None
@@ -213,27 +416,42 @@ class PlanService:
 
     @property
     def num_workers(self) -> int:
-        return len(self._workers)
+        """Configured worker-pool size (crashed workers are respawned)."""
+        return self._num_workers
 
     def pending_requests(self) -> int:
         """Number of requests queued or being planned right now."""
         with self._lock:
             return len(self._inflight)
 
-    def close(self, wait: bool = True) -> None:
+    def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
         """Stop accepting requests and shut the worker pool down.
 
-        Requests submitted before the close are still planned (they sit ahead
-        of the shutdown sentinels in the queue)."""
+        Requests already queued are still planned by default (they sit ahead
+        of the shutdown sentinels in the queue); with ``cancel_pending`` they
+        resolve immediately with :class:`ServiceError` instead.  Either way,
+        after a ``wait=True`` close every future this service ever returned
+        is resolved: any request left unresolved when the workers exit (e.g.
+        one requeued behind the sentinels by a crashed worker) is failed with
+        :class:`ServiceError` rather than left hanging.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            self._cancel_pending = cancel_pending
             for _ in self._workers:
                 self._queue.put(_SHUTDOWN)
         if wait:
-            for worker in self._workers:
-                worker.join()
+            while True:
+                with self._lock:
+                    workers = list(self._workers)
+                for worker in workers:
+                    worker.join()
+                with self._lock:
+                    if len(self._workers) == len(workers):
+                        break
+            self._fail_leftovers()
 
     def __enter__(self) -> "PlanService":
         return self
@@ -242,6 +460,61 @@ class PlanService:
         self.close()
 
     # -------------------------------------------------------------- internals
+    def _attach_response(self, future: Future, response: PlanResponse) -> None:
+        future._repro_response = response
+
+    @staticmethod
+    def _response_of(future: Future) -> PlanResponse | None:
+        return getattr(future, "_repro_response", None)
+
+    def _abandon(self, future: Future) -> None:
+        """Release the single-flight slot of a timed-out request.
+
+        The worker still resolves the abandoned future when its solve lands
+        (coalesced waiters may hold it), but new identical submissions get a
+        fresh future instead of latching onto this one.
+        """
+        fp = getattr(future, "_repro_fingerprint", None)
+        if fp is None:
+            return
+        with self._lock:
+            if self._inflight.get(fp) is future:
+                del self._inflight[fp]
+
+    def _fail_leftovers(self) -> None:
+        """Resolve every still-pending future after the workers exited."""
+        with self._lock:
+            leftovers = list(self._inflight.items())
+            self._inflight.clear()
+            drained: list[_Request] = []
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _SHUTDOWN:
+                    drained.append(item)
+        for request in drained:
+            self._fail_request(
+                request, ServiceError("PlanService closed before planning started")
+            )
+        for fp, future in leftovers:
+            if not future.done():
+                self._attach_response(
+                    future,
+                    PlanResponse(
+                        outcome=RESPONSE_ERROR,
+                        tier=None,
+                        fingerprint=fp,
+                        error="PlanService closed before the request completed",
+                    ),
+                )
+                self.stats.record_error()
+                get_metrics().inc("service.errors")
+                future.set_exception(
+                    ServiceError("PlanService closed before the request completed")
+                )
+
     def _record_on_completion(self, future: Future, outcome: str, start: float) -> None:
         def _done(completed: Future) -> None:
             # Failed requests are accounted as errors by the worker, not as
@@ -253,13 +526,20 @@ class PlanService:
 
         future.add_done_callback(_done)
 
+    def _update_breaker_gauge(self) -> None:
+        get_metrics().gauge(
+            "service.breaker_state",
+            float(self.breaker.state),
+            topology=self._topology_label,
+        )
+
     def _worker_loop(self) -> None:
         planner = self._planner_factory()
         while True:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
-            batch = [item]
+            batch: list[_Request] = [item]
             while len(batch) < self.max_batch_size:
                 try:
                     extra = self._queue.get_nowait()
@@ -269,40 +549,261 @@ class PlanService:
                     self._queue.put(_SHUTDOWN)  # leave the signal for a peer
                     break
                 batch.append(extra)
+            if self._cancel_pending:
+                for request in batch:
+                    self._fail_request(
+                        request,
+                        ServiceError("PlanService closed before planning started"),
+                    )
+                continue
             # Group by fingerprint: duplicates that reached the queue (e.g.
             # submitted between a cache eviction and re-planning) are planned
             # once per batch.
-            grouped: dict[str, PlannerInput] = {}
-            for fp, workload in batch:
-                grouped.setdefault(fp, workload)
-            for fp, workload in grouped.items():
-                self._plan_one(planner, fp, workload)
+            grouped: dict[str, list[_Request]] = {}
+            for request in batch:
+                grouped.setdefault(request.fingerprint, []).append(request)
+            for fp, requests in grouped.items():
+                try:
+                    self._serve_group(planner, fp, requests)
+                except _WorkerCrashed as crash:
+                    # Simulated worker death: requeue the crashed group (and
+                    # any batch groups not yet served), hand the pool a
+                    # replacement thread, and let this one die.
+                    served = False
+                    for other_fp, other_requests in grouped.items():
+                        if other_fp == fp:
+                            served = True
+                            for request in crash.requests:
+                                self._queue.put(request)
+                            continue
+                        if served:
+                            for request in other_requests:
+                                self._queue.put(request)
+                    self._respawn_worker()
+                    return
 
-    def _plan_one(
-        self, planner: ServablePlanner, fp: str, workload: PlannerInput
+    def _respawn_worker(self) -> None:
+        with self._lock:
+            if self._closed:
+                # No replacement: close() already queued one sentinel per
+                # worker; its final sweep resolves whatever was requeued.
+                return
+            replacement = threading.Thread(
+                target=self._worker_loop,
+                name=f"plan-worker-respawn-{len(self._workers)}",
+                daemon=True,
+            )
+            self._workers.append(replacement)
+        replacement.start()
+
+    # ------------------------------------------------------------- resolution
+    def _resolve_group(
+        self,
+        requests: list[_Request],
+        plan: ExecutionPlan,
+        tier: str,
+        attempts: int,
     ) -> None:
+        degraded = tier in (TIER_STALE, TIER_INCREMENTAL, TIER_REFERENCE)
+        outcome = OUTCOME_DEGRADED if degraded else OUTCOME_MISS
+        metrics = get_metrics()
+        if degraded:
+            metrics.inc("service.degraded", tier=tier)
+        for request in requests:
+            with self._lock:
+                if self._inflight.get(request.fingerprint) is request.future:
+                    del self._inflight[request.fingerprint]
+            self._attach_response(
+                request.future,
+                PlanResponse(
+                    outcome=RESPONSE_DEGRADED if degraded else RESPONSE_SERVED,
+                    tier=tier,
+                    fingerprint=request.fingerprint,
+                    plan=plan,
+                    attempts=attempts,
+                ),
+            )
+            if not request.future.done():
+                self.stats.record(
+                    outcome, time.monotonic() - request.submitted_at
+                )
+                request.future.set_result(plan)
+
+    def _fail_request(
+        self, request: _Request, exc: Exception, attempts: int = 0
+    ) -> None:
+        with self._lock:
+            if self._inflight.get(request.fingerprint) is request.future:
+                del self._inflight[request.fingerprint]
+        self._attach_response(
+            request.future,
+            PlanResponse(
+                outcome=RESPONSE_ERROR,
+                tier=None,
+                fingerprint=request.fingerprint,
+                attempts=attempts,
+                error=str(exc),
+            ),
+        )
+        self.stats.record_error()
+        get_metrics().inc("service.errors")
+        if not request.future.done():
+            request.future.set_exception(exc)
+
+    # ----------------------------------------------------------------- solving
+    def _serve_group(
+        self, planner: ServablePlanner, fp: str, requests: list[_Request]
+    ) -> None:
+        """Serve one fingerprint group: retries, then the degradation ladder.
+
+        Raises :class:`_WorkerCrashed` (to the worker loop) when an injected
+        worker crash is scheduled and retry budget remains; every other path
+        resolves all futures of the group.
+        """
         tracer = get_tracer()
-        try:
-            with tracer.span(
-                "service.solve", category="service", fingerprint=fp[:12]
-            ):
-                plan = planner.plan(workload, fingerprint=fp)
+        metrics = get_metrics()
+        primary = requests[0]
+        policy = self.resilience
+        max_attempts = policy.max_attempts if policy is not None else 1
+        last_error: Exception | None = None
+        attempt = primary.attempt
+        while attempt < max_attempts:
+            if primary.past_deadline():
+                last_error = last_error or ServiceError(
+                    f"deadline exceeded before attempt {attempt}"
+                )
+                metrics.inc("service.deadline_exceeded")
+                break
+            if not self.breaker.allow():
+                last_error = last_error or ServiceError("circuit breaker open")
+                break
+            if attempt > 0:
+                metrics.inc("service.retries")
+                if policy is not None:
+                    backoff = policy.backoff_seconds(primary.index, attempt)
+                    if backoff > 0 and not primary.past_deadline():
+                        time.sleep(backoff)
+            try:
+                self.injector.on_solve_attempt(primary.index, attempt)
+                with tracer.span(
+                    "service.solve",
+                    category="service",
+                    fingerprint=fp[:12],
+                    attempt=attempt,
+                ):
+                    plan = planner.plan(primary.workload, fingerprint=fp)
+            except InjectedWorkerCrash:
+                self.breaker.record_failure()
+                self._update_breaker_gauge()
+                if attempt + 1 < max_attempts:
+                    for request in requests:
+                        request.attempt = attempt + 1
+                    raise _WorkerCrashed(requests)
+                last_error = ServiceError(
+                    f"worker crashed on final attempt {attempt}"
+                )
+                attempt += 1
+                continue
+            except Exception as exc:  # noqa: BLE001 - retried, then degraded
+                self.breaker.record_failure()
+                self._update_breaker_gauge()
+                last_error = exc
+                attempt += 1
+                continue
+            # Success: fill the cache (possibly corrupted by the fault plan —
+            # checksums catch that at serve time) and resolve the group.
+            self.breaker.record_success()
+            self._update_breaker_gauge()
             with tracer.span(
                 "service.cache_put", category="service", fingerprint=fp[:12]
             ):
                 self.cache.put(fp, plan)
-        except Exception as exc:  # noqa: BLE001 - surfaced through the future
-            with self._lock:
-                future = self._inflight.pop(fp, None)
-            self.stats.record_error()
-            get_metrics().inc("service.errors")
-            if future is not None:
-                future.set_exception(exc)
+            if self.injector.corrupt_cache_payload(primary.index):
+                self.cache.corrupt(fp)
+            self._resolve_group(requests, plan, TIER_FRESH, attempts=attempt + 1)
             return
-        with self._lock:
-            future = self._inflight.pop(fp, None)
-        if future is not None:
-            future.set_result(plan)
+        self._degrade_group(planner, fp, requests, last_error, attempt)
+
+    def _degrade_group(
+        self,
+        planner: ServablePlanner,
+        fp: str,
+        requests: list[_Request],
+        last_error: Exception | None,
+        attempts: int,
+    ) -> None:
+        """Walk the degradation ladder for a group whose retries ran out."""
+        policy = self.resilience
+        tracer = get_tracer()
+        if policy is None:
+            # No resilience configured: surface the planner's own exception
+            # (the pre-hardening contract callers and tests rely on).
+            error = last_error if last_error is not None else ServiceError(
+                "planning failed"
+            )
+            for request in requests:
+                self._fail_request(request, error, attempts=attempts)
+            return
+        if policy is not None and policy.allow_stale:
+            stale = self.cache.get_stale(fp)
+            if stale is not None and stale[0] is not None:
+                self._resolve_group(requests, stale[0], TIER_STALE, attempts)
+                return
+        if (
+            policy is not None
+            and policy.allow_incremental
+            and isinstance(planner, IncrementalPlanner)
+            and planner.has_retained_plan
+        ):
+            try:
+                with tracer.span(
+                    "service.solve",
+                    category="service",
+                    fingerprint=fp[:12],
+                    tier=TIER_INCREMENTAL,
+                ):
+                    plan = planner.plan(requests[0].workload, fingerprint=fp)
+            except Exception as exc:  # noqa: BLE001 - last tier still pending
+                last_error = exc
+            else:
+                self.cache.put(fp, plan)
+                self._resolve_group(requests, plan, TIER_INCREMENTAL, attempts)
+                return
+        if policy is not None and policy.allow_reference:
+            try:
+                with tracer.span(
+                    "service.solve",
+                    category="service",
+                    fingerprint=fp[:12],
+                    tier=TIER_REFERENCE,
+                ):
+                    plan = self._reference_plan(requests[0].workload, fp)
+            except Exception as exc:  # noqa: BLE001 - ladder exhausted
+                last_error = exc
+            else:
+                self.cache.put(fp, plan)
+                self._resolve_group(requests, plan, TIER_REFERENCE, attempts)
+                return
+        error = ServiceError(
+            f"planning failed after {attempts} attempt(s) and the degradation "
+            f"ladder was exhausted: {last_error}"
+        )
+        error.__cause__ = last_error
+        for request in requests:
+            self._fail_request(request, error, attempts=attempts)
+
+    def _reference_plan(self, workload: PlannerInput, fp: str) -> ExecutionPlan:
+        """Last-resort solve on the reference-path planner (built lazily)."""
+        with self._reference_lock:
+            if self._reference_planner is None:
+                if self._reference_planner_factory is not None:
+                    self._reference_planner = self._reference_planner_factory()
+                else:
+                    self._reference_planner = ExecutionPlanner(
+                        self._prototype.cluster, optimized=False
+                    )
+            reference = self._reference_planner
+        return reference.plan(workload, fingerprint=fp)
 
 
 class PlanServicePool:
@@ -322,7 +823,14 @@ class PlanServicePool:
     * **curve pooling per substrate** — each service wraps its planner in an
       :class:`~repro.service.incremental.IncrementalPlanner`, so curves warm
       up across successive replans on a recurring topology but never leak
-      across topologies.
+      across topologies;
+    * **resilience per substrate** — with a ``resilience`` policy every
+      per-topology service gets its own circuit breaker (keyed, therefore,
+      by topology signature) while sharing one fault injector and one
+      admission-control policy;
+    * **durability** — with a ``store`` the shared cache is warm-started
+      from the last snapshot at construction and persisted (atomically,
+      checksummed) by :meth:`persist` and on :meth:`close`.
 
     Parameters
     ----------
@@ -334,6 +842,12 @@ class PlanServicePool:
         omitted.
     num_workers / max_batch_size:
         Per-topology service worker-pool configuration.
+    resilience / fault_injector:
+        Forwarded to every per-topology service.
+    store:
+        Optional :class:`~repro.service.store.PlanStore`; loaded into the
+        shared cache now (``warm_start``) and saved on :meth:`persist` /
+        :meth:`close`.
     """
 
     def __init__(
@@ -344,15 +858,25 @@ class PlanServicePool:
         stats: ServiceStats | None = None,
         num_workers: int = 2,
         max_batch_size: int = 8,
+        resilience: ResiliencePolicy | None = None,
+        fault_injector=None,
+        store=None,
+        warm_start: bool = True,
     ) -> None:
         self.planner_factory = planner_factory
         self.cache = cache if cache is not None else PlanCache(capacity=64)
         self.stats = stats if stats is not None else ServiceStats()
         self.num_workers = num_workers
         self.max_batch_size = max_batch_size
+        self.resilience = resilience
+        self.fault_injector = fault_injector
+        self.store = store
         self._services: dict[str, PlanService] = {}
         self._lock = threading.Lock()
         self._closed = False
+        self.warm_started = 0
+        if store is not None and warm_start:
+            self.warm_started = store.load_into(self.cache).loaded
 
     def service_for(self, topology: ClusterTopology) -> PlanService:
         """The (shared) service planning for ``topology``'s signature."""
@@ -368,6 +892,8 @@ class PlanServicePool:
                     stats=self.stats,
                     num_workers=self.num_workers,
                     max_batch_size=self.max_batch_size,
+                    resilience=self.resilience,
+                    fault_injector=self.fault_injector,
                 )
                 self._services[signature] = service
         return service
@@ -377,15 +903,31 @@ class PlanServicePool:
         with self._lock:
             return len(self._services)
 
-    def close(self, wait: bool = True) -> None:
-        """Shut every per-topology service down."""
+    def persist(self) -> bool:
+        """Snapshot the shared cache through the store (atomic, checksummed).
+
+        Returns whether a snapshot was written; injected or real persistence
+        I/O errors are absorbed (the previous snapshot stays intact) and
+        reported as ``False``.
+        """
+        if self.store is None:
+            return False
+        try:
+            self.store.save(self.cache)
+        except OSError:
+            return False
+        return True
+
+    def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Shut every per-topology service down (persisting first)."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             services = list(self._services.values())
+        self.persist()
         for service in services:
-            service.close(wait=wait)
+            service.close(wait=wait, cancel_pending=cancel_pending)
 
     def __enter__(self) -> "PlanServicePool":
         return self

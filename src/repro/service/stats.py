@@ -20,12 +20,23 @@ from repro.obs.metrics import percentile
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
 
-#: Request outcomes recorded by the plan service.
+#: Request outcomes recorded by the plan service.  ``degraded`` marks
+#: requests served through a degradation-ladder tier (stale / incremental /
+#: reference) after fresh planning failed; ``shed`` marks requests rejected
+#: by bounded-queue admission control.
 OUTCOME_HIT = "hit"
 OUTCOME_MISS = "miss"
 OUTCOME_COALESCED = "coalesced"
+OUTCOME_DEGRADED = "degraded"
+OUTCOME_SHED = "shed"
 
-_OUTCOMES = (OUTCOME_HIT, OUTCOME_MISS, OUTCOME_COALESCED)
+_OUTCOMES = (
+    OUTCOME_HIT,
+    OUTCOME_MISS,
+    OUTCOME_COALESCED,
+    OUTCOME_DEGRADED,
+    OUTCOME_SHED,
+)
 
 
 @dataclass(frozen=True)
@@ -199,6 +210,8 @@ class ServiceStats:
             "hits": self.count(OUTCOME_HIT),
             "misses": self.count(OUTCOME_MISS),
             "coalesced": self.count(OUTCOME_COALESCED),
+            "degraded": self.count(OUTCOME_DEGRADED),
+            "shed": self.count(OUTCOME_SHED),
             "errors": self.errors,
             "hit_rate": self.hit_rate,
             "throughput_rps": self.throughput,
@@ -209,11 +222,18 @@ class ServiceStats:
 
     def render(self) -> str:
         """Human-readable multi-line summary of the service counters."""
+        resilience = ""
+        if self.count(OUTCOME_DEGRADED) or self.count(OUTCOME_SHED):
+            resilience = (
+                f", degraded {self.count(OUTCOME_DEGRADED)}, "
+                f"shed {self.count(OUTCOME_SHED)}"
+            )
         lines = [
             f"requests     : {self.total_requests} "
             f"(hits {self.count(OUTCOME_HIT)}, "
             f"coalesced {self.count(OUTCOME_COALESCED)}, "
-            f"misses {self.count(OUTCOME_MISS)}, errors {self.errors})",
+            f"misses {self.count(OUTCOME_MISS)}, errors {self.errors}"
+            f"{resilience})",
             f"hit rate     : {self.hit_rate * 100:.1f}%",
             f"throughput   : {self.throughput:.1f} req/s",
         ]

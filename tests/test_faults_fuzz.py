@@ -1,0 +1,95 @@
+"""Seeded property-based fuzz over random fault campaigns.
+
+Each campaign replays a request stream through the hardened plan service
+under a randomly drawn (profile, seed) fault schedule and asserts the
+service's core invariants.  The campaign draw itself is seeded — from
+``REPRO_FUZZ_SEED`` when set (the chaos CI step pins it) — so every failure
+is replayable from the seed printed in the assertion message.
+
+Invariants checked per campaign:
+
+* every request resolves with exactly one terminal outcome
+  (served / degraded / shed / error);
+* with the default resilience policy every request gets a plan
+  (availability 1.0 through retry + the degradation ladder);
+* every served or degraded plan is byte-identical (modulo the wall-clock
+  planning report) to the fault-free solve of the same workload;
+* replaying a campaign with the identical seed yields a byte-identical
+  canonical report.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.experiments.harness import run_resilience_benchmark
+from repro.experiments.workloads import clip_workload
+from repro.faults import FAULT_PROFILES
+from repro.service import (
+    RESPONSE_DEGRADED,
+    RESPONSE_ERROR,
+    RESPONSE_SERVED,
+    RESPONSE_SHED,
+)
+
+MASTER_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+NUM_CAMPAIGNS = 4
+NUM_REQUESTS = 16
+NUM_UNIQUE = 6
+
+_OUTCOMES = {RESPONSE_SERVED, RESPONSE_DEGRADED, RESPONSE_SHED, RESPONSE_ERROR}
+
+
+def _draw_campaigns():
+    rng = random.Random(f"fuzz:{MASTER_SEED}")
+    profiles = [name for name in ("mild", "chaos") if name in FAULT_PROFILES]
+    return [
+        (rng.choice(profiles), rng.randrange(10_000)) for _ in range(NUM_CAMPAIGNS)
+    ]
+
+
+CAMPAIGNS = _draw_campaigns()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return clip_workload(4, 8)
+
+
+@pytest.mark.parametrize(("profile", "seed"), CAMPAIGNS)
+def test_campaign_invariants(workload, profile, seed):
+    label = f"campaign profile={profile} seed={seed} (REPRO_FUZZ_SEED={MASTER_SEED})"
+    result = run_resilience_benchmark(
+        workload,
+        num_requests=NUM_REQUESTS,
+        num_unique=NUM_UNIQUE,
+        profile=profile,
+        seed=seed,
+    )
+    # Exactly one terminal outcome per submitted request.
+    assert len(result.responses) == NUM_REQUESTS, label
+    for response in result.responses:
+        assert response.outcome in _OUTCOMES, label
+    # The default policy never sheds (unbounded queue) and the reference
+    # tier cannot fail, so the ladder guarantees full availability.
+    assert result.availability == 1.0, label
+    # Every plan served equals its fault-free solve, byte for byte.
+    assert result.payload_matches == result.payload_total, label
+    assert result.payload_match_rate == 1.0, label
+
+
+@pytest.mark.parametrize(("profile", "seed"), CAMPAIGNS[:2])
+def test_same_seed_same_report(workload, profile, seed):
+    kwargs = dict(
+        num_requests=NUM_REQUESTS,
+        num_unique=NUM_UNIQUE,
+        profile=profile,
+        seed=seed,
+    )
+    first = run_resilience_benchmark(workload, **kwargs)
+    second = run_resilience_benchmark(workload, **kwargs)
+    label = f"profile={profile} seed={seed} (REPRO_FUZZ_SEED={MASTER_SEED})"
+    assert first.signature() == second.signature(), label
+    assert first.canonical_report() == second.canonical_report(), label
+    assert first.fault_plan_signature == second.fault_plan_signature, label

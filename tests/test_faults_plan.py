@@ -1,0 +1,137 @@
+"""Tests for deterministic fault schedules (repro.faults.plan)."""
+
+import pytest
+
+from repro.faults import (
+    CACHE_CORRUPTION,
+    FAULT_KINDS,
+    FAULT_PROFILES,
+    PERSIST_ERROR,
+    PLANNER_ERROR,
+    SLOW_SOLVE,
+    WORKER_CRASH,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanError,
+    FaultProfile,
+)
+
+
+class TestFaultProfile:
+    def test_rates_validated(self):
+        with pytest.raises(FaultPlanError):
+            FaultProfile(name="bad", worker_crash_rate=1.5)
+        with pytest.raises(FaultPlanError):
+            FaultProfile(name="bad", cache_corruption_rate=-0.1)
+        with pytest.raises(FaultPlanError):
+            FaultProfile(name="bad", slow_solve_seconds=-1.0)
+        with pytest.raises(FaultPlanError):
+            FaultProfile(name="bad", max_fail_attempts=0)
+
+    def test_named_profiles_present(self):
+        assert set(FAULT_PROFILES) >= {"none", "mild", "chaos"}
+        none = FAULT_PROFILES["none"]
+        assert all(
+            getattr(none, f"{field}_rate" if field != "slow_solve" else "slow_solve_rate") == 0.0
+            for field in ("worker_crash", "planner_error", "slow_solve")
+        )
+
+    def test_chaos_meets_the_acceptance_floor(self):
+        chaos = FAULT_PROFILES["chaos"]
+        assert chaos.worker_crash_rate >= 0.10
+        assert chaos.cache_corruption_rate >= 0.05
+        assert chaos.slow_solve_rate > 0.0
+
+    def test_canonical_dict_round_trips_fields(self):
+        profile = FAULT_PROFILES["mild"]
+        document = profile.canonical_dict()
+        assert document["name"] == "mild"
+        assert document["worker_crash_rate"] == profile.worker_crash_rate
+        assert FaultProfile(**document) == profile
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(index=0, kind="meteor_strike")
+        with pytest.raises(FaultPlanError):
+            FaultEvent(index=-1, kind=WORKER_CRASH)
+        with pytest.raises(FaultPlanError):
+            FaultEvent(index=0, kind=WORKER_CRASH, attempts=0)
+        with pytest.raises(FaultPlanError):
+            FaultEvent(index=0, kind=SLOW_SOLVE, delay_seconds=-0.1)
+
+
+class TestGeneration:
+    def test_same_inputs_same_schedule(self):
+        chaos = FAULT_PROFILES["chaos"]
+        a = FaultPlan.generate(chaos, 50, seed=11)
+        b = FaultPlan.generate(chaos, 50, seed=11)
+        assert a.signature() == b.signature()
+        assert a.canonical_dict() == b.canonical_dict()
+
+    def test_different_seed_different_schedule(self):
+        chaos = FAULT_PROFILES["chaos"]
+        a = FaultPlan.generate(chaos, 50, seed=11)
+        b = FaultPlan.generate(chaos, 50, seed=12)
+        assert a.signature() != b.signature()
+
+    def test_schedule_depends_on_profile_and_length(self):
+        chaos = FAULT_PROFILES["chaos"]
+        mild = FAULT_PROFILES["mild"]
+        assert (
+            FaultPlan.generate(chaos, 50, seed=0).signature()
+            != FaultPlan.generate(mild, 50, seed=0).signature()
+        )
+        assert (
+            FaultPlan.generate(chaos, 50, seed=0).signature()
+            != FaultPlan.generate(chaos, 51, seed=0).signature()
+        )
+
+    def test_none_profile_generates_nothing(self):
+        plan = FaultPlan.generate(FAULT_PROFILES["none"], 100, seed=0)
+        assert len(plan) == 0
+
+    def test_negative_request_count_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.generate(FAULT_PROFILES["none"], -1)
+
+
+class TestLookups:
+    def _plan(self):
+        return FaultPlan(
+            [
+                FaultEvent(index=0, kind=WORKER_CRASH, attempts=2),
+                FaultEvent(index=0, kind=PLANNER_ERROR, attempts=1),
+                FaultEvent(index=1, kind=SLOW_SOLVE, delay_seconds=0.25),
+                FaultEvent(index=2, kind=CACHE_CORRUPTION),
+                FaultEvent(index=1, kind=PERSIST_ERROR),
+            ]
+        )
+
+    def test_crash_attempts_scheduled_before_error_attempts(self):
+        plan = self._plan()
+        assert plan.failing_kind(0, 0) == WORKER_CRASH
+        assert plan.failing_kind(0, 1) == WORKER_CRASH
+        assert plan.failing_kind(0, 2) == PLANNER_ERROR
+        assert plan.failing_kind(0, 3) is None
+        assert plan.fail_attempts(0) == 3
+
+    def test_unscheduled_requests_are_clean(self):
+        plan = self._plan()
+        assert plan.failing_kind(7, 0) is None
+        assert plan.fail_attempts(7) == 0
+        assert plan.delay_for(7) == 0.0
+        assert not plan.corrupts_cache(7)
+
+    def test_delay_corruption_and_persist_lookups(self):
+        plan = self._plan()
+        assert plan.delay_for(1) == pytest.approx(0.25)
+        assert plan.corrupts_cache(2)
+        assert plan.persist_fails(1)
+        assert not plan.persist_fails(0)
+
+    def test_events_sorted_canonically(self):
+        plan = self._plan()
+        keys = [(e.index, FAULT_KINDS.index(e.kind)) for e in plan.events]
+        assert keys == sorted(keys)

@@ -238,3 +238,93 @@ class TestPlanServicePool:
         pool.close()
         with pytest.raises(ServiceError):
             pool.service_for(make_cluster(4, devices_per_node=4))
+
+
+class TestShutdownUnderLoad:
+    def test_close_resolves_queued_requests_instead_of_hanging(
+        self, cluster, tiny_tasks, chain_task_factory
+    ):
+        """cancel_pending=True fails queued work fast; nothing hangs."""
+        gate = threading.Event()
+        planner = GatedPlanner(cluster, gate)
+        service = PlanService(planner, num_workers=1, max_batch_size=1)
+        in_flight = service.submit(tiny_tasks)
+        queued = [
+            service.submit([chain_task_factory(f"queued-{i}", {"lm": 2})])
+            for i in range(2)
+        ]
+
+        closer = threading.Thread(
+            target=service.close, kwargs={"cancel_pending": True}
+        )
+        closer.start()
+        gate.set()  # let the in-flight solve finish
+        closer.join(timeout=30.0)
+        assert not closer.is_alive()
+
+        assert in_flight.result(timeout=30.0) is not None
+        for future in queued:
+            assert future.done()
+            with pytest.raises(ServiceError):
+                future.result(timeout=0)
+        assert service.pending_requests() == 0
+
+    def test_default_close_still_plans_queued_requests(
+        self, cluster, tiny_tasks, chain_task_factory
+    ):
+        gate = threading.Event()
+        planner = GatedPlanner(cluster, gate)
+        service = PlanService(planner, num_workers=1, max_batch_size=1)
+        first = service.submit(tiny_tasks)
+        second = service.submit([chain_task_factory("later", {"lm": 2})])
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        gate.set()
+        closer.join(timeout=30.0)
+        assert first.result(timeout=30.0) is not None
+        assert second.result(timeout=30.0) is not None
+
+
+class TestTimeoutCleanup:
+    def test_timed_out_fingerprint_is_released(self, cluster, tiny_tasks):
+        """plan(timeout=...) must not leave the fingerprint latched onto the
+        abandoned future: a later identical request gets a fresh resolution."""
+        gate = threading.Event()
+        planner = GatedPlanner(cluster, gate)
+        with PlanService(planner, num_workers=1) as service:
+            with pytest.raises(TimeoutError):
+                service.plan(tiny_tasks, timeout=0.05)
+            assert service.pending_requests() == 0  # slot released
+            gate.set()
+            # The resubmission is served (cache hit once the abandoned
+            # solve lands, or a fresh solve) — not stuck on the old future.
+            plan = service.plan(tiny_tasks, timeout=30.0)
+            assert plan is not None
+            assert planner.calls >= 1
+
+    def test_request_timeout_returns_error_response(self, cluster, tiny_tasks):
+        gate = threading.Event()
+        planner = GatedPlanner(cluster, gate)
+        with PlanService(planner, num_workers=1) as service:
+            response = service.request(tiny_tasks, timeout=0.05)
+            assert response.outcome == "error"
+            assert "timeout" in (response.error or "")
+            gate.set()
+
+
+class TestRequestApi:
+    def test_request_served_fresh_then_cache(self, cluster, tiny_tasks):
+        with PlanService(ExecutionPlanner(cluster), num_workers=1) as service:
+            first = service.request(tiny_tasks, timeout=30.0)
+            second = service.request(tiny_tasks, timeout=30.0)
+        assert first.ok and first.tier == "fresh"
+        assert second.ok and second.tier == "cache"
+        assert first.plan is second.plan
+        assert first.fingerprint == second.fingerprint
+
+    def test_request_folds_planner_errors_into_the_response(self, cluster):
+        with PlanService(ExecutionPlanner(cluster), num_workers=1) as service:
+            response = service.request([], timeout=30.0)
+        assert response.outcome == "error"
+        assert response.plan is None
+        assert response.error

@@ -1,0 +1,212 @@
+"""Tests for the crash-safe persistent plan store (repro.service.store)."""
+
+import json
+
+import pytest
+
+from repro.cluster.topology import make_cluster
+from repro.core.planner import ExecutionPlanner
+from repro.faults import FaultEvent, FaultInjector, FaultPlan, InjectedPersistError
+from repro.faults.plan import PERSIST_ERROR
+from repro.service import (
+    STORE_FORMAT_VERSION,
+    PlanCache,
+    PlanServicePool,
+    PlanStore,
+    StoreError,
+    payload_checksum,
+)
+
+
+@pytest.fixture
+def populated_cache(tiny_tasks):
+    """A cache holding one planned entry (with rendered payload)."""
+    planner = ExecutionPlanner(make_cluster(4, devices_per_node=4))
+    plan = planner.plan(tiny_tasks)
+    cache = PlanCache(capacity=8)
+    cache.put(plan.fingerprint, plan)
+    assert cache.get_payload(plan.fingerprint) is not None
+    return cache, plan.fingerprint
+
+
+class TestRoundTrip:
+    def test_save_then_warm_start(self, tmp_path, populated_cache):
+        cache, fingerprint = populated_cache
+        store = PlanStore(tmp_path / "plans.json")
+        store.save(cache)
+
+        restored = PlanCache(capacity=8)
+        result = PlanStore(tmp_path / "plans.json").load_into(restored)
+        assert result.loaded == 1
+        assert result.quarantined == {}
+        # Payload-only entries serve payload lookups but miss on get().
+        assert restored.get_payload(fingerprint) == cache.get_payload(fingerprint)
+        assert restored.get(fingerprint) is None
+
+    def test_missing_snapshot_loads_nothing(self, tmp_path):
+        result = PlanStore(tmp_path / "absent.json").load_into(PlanCache())
+        assert result.loaded == 0 and result.total == 0
+
+    def test_snapshot_format_is_versioned_and_checksummed(
+        self, tmp_path, populated_cache
+    ):
+        cache, fingerprint = populated_cache
+        path = PlanStore(tmp_path / "plans.json").save(cache)
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+        assert snapshot["format_version"] == STORE_FORMAT_VERSION
+        assert snapshot["entry_count"] == 1
+        record = snapshot["entries"][fingerprint]
+        assert record["checksum"] == payload_checksum(record["payload"])
+
+
+class TestAtomicity:
+    def _failing_store(self, path, *, fail_saves):
+        events = [FaultEvent(index=i, kind=PERSIST_ERROR) for i in fail_saves]
+        return PlanStore(path, injector=FaultInjector(FaultPlan(events)))
+
+    def test_injected_failure_leaves_no_snapshot(self, tmp_path, populated_cache):
+        cache, _ = populated_cache
+        store = self._failing_store(tmp_path / "plans.json", fail_saves=[0])
+        with pytest.raises(InjectedPersistError):
+            store.save(cache)
+        assert not (tmp_path / "plans.json").exists()
+        assert PlanStore(tmp_path / "plans.json").load_into(PlanCache()).loaded == 0
+
+    def test_injected_failure_preserves_previous_snapshot(
+        self, tmp_path, populated_cache
+    ):
+        cache, fingerprint = populated_cache
+        store = self._failing_store(tmp_path / "plans.json", fail_saves=[1])
+        store.save(cache)  # save 0 succeeds
+        before = (tmp_path / "plans.json").read_text(encoding="utf-8")
+        cache.invalidate(fingerprint)
+        with pytest.raises(InjectedPersistError):
+            store.save(cache)  # save 1 dies mid-write (torn temp file)
+        assert (tmp_path / "plans.json").read_text(encoding="utf-8") == before
+        restored = PlanCache()
+        assert PlanStore(tmp_path / "plans.json").load_into(restored).loaded == 1
+        assert restored.get_payload(fingerprint) is not None
+
+
+class TestQuarantine:
+    def test_corrupt_entry_quarantined_intact_entries_load(
+        self, tmp_path, populated_cache
+    ):
+        cache, fingerprint = populated_cache
+        path = PlanStore(tmp_path / "plans.json").save(cache)
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+        good = snapshot["entries"][fingerprint]
+        snapshot["entries"]["bad-fp"] = {
+            "payload": good["payload"] + " ",
+            "checksum": good["checksum"],
+        }
+        snapshot["entry_count"] = 2
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+
+        restored = PlanCache()
+        store = PlanStore(path)
+        result = store.load_into(restored)
+        assert result.loaded == 1
+        assert result.quarantined == {"bad-fp": "checksum mismatch"}
+        assert store.quarantined == result.quarantined
+        assert restored.get_payload(fingerprint) is not None
+        assert restored.get_payload("bad-fp") is None
+
+    def test_entry_count_mismatch_is_flagged(self, tmp_path, populated_cache):
+        cache, _ = populated_cache
+        path = PlanStore(tmp_path / "plans.json").save(cache)
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+        snapshot["entry_count"] = 5  # truncation: fewer entries than declared
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+        result = PlanStore(path).load_into(PlanCache())
+        assert result.loaded == 1
+        assert "<snapshot>" in result.quarantined
+
+    def test_non_object_entry_quarantined(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format_version": STORE_FORMAT_VERSION,
+                    "entry_count": 1,
+                    "entries": {"fp": "not-an-object"},
+                }
+            ),
+            encoding="utf-8",
+        )
+        result = PlanStore(path).load_into(PlanCache())
+        assert result.quarantined == {"fp": "entry is not an object"}
+
+
+class TestStructuralErrors:
+    def test_unparseable_snapshot_raises(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text('{"torn": ', encoding="utf-8")
+        with pytest.raises(StoreError):
+            PlanStore(path).load_into(PlanCache())
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps({"format_version": 99, "entries": {}}))
+        with pytest.raises(StoreError):
+            PlanStore(path).load_into(PlanCache())
+
+    def test_missing_entries_mapping_raises(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps({"format_version": STORE_FORMAT_VERSION}))
+        with pytest.raises(StoreError):
+            PlanStore(path).load_into(PlanCache())
+
+
+class TestLegacyV1:
+    def test_cache_save_snapshot_loads_unverified(self, tmp_path, populated_cache):
+        cache, fingerprint = populated_cache
+        path = cache.save(tmp_path / "v1.json")  # legacy PlanCache snapshot
+        restored = PlanCache()
+        result = PlanStore(path).load_into(restored)
+        assert result.loaded == 1
+        assert restored.get_payload(fingerprint) is not None
+
+
+class TestPoolIntegration:
+    def test_pool_warm_starts_and_persists(self, tmp_path, tiny_tasks):
+        path = tmp_path / "pool.json"
+        cluster = make_cluster(4, devices_per_node=4)
+        with PlanServicePool(
+            lambda topology: ExecutionPlanner(topology),
+            store=PlanStore(path),
+        ) as pool:
+            response = pool.service_for(cluster).request(tiny_tasks, timeout=30.0)
+            assert response.ok
+            assert pool.warm_started == 0
+        assert path.is_file()  # close() persisted the shared cache
+
+        reborn = PlanServicePool(
+            lambda topology: ExecutionPlanner(topology), store=PlanStore(path)
+        )
+        try:
+            assert reborn.warm_started == 1
+            assert reborn.cache.get_payload(response.fingerprint) is not None
+        finally:
+            reborn.close()
+
+    def test_pool_persist_absorbs_injected_failures(self, tmp_path, tiny_tasks):
+        injector = FaultInjector(
+            FaultPlan([FaultEvent(index=0, kind=PERSIST_ERROR)])
+        )
+        pool = PlanServicePool(
+            lambda topology: ExecutionPlanner(topology),
+            store=PlanStore(tmp_path / "pool.json", injector=injector),
+        )
+        try:
+            assert pool.persist() is False  # injected I/O error, absorbed
+            assert pool.persist() is True
+        finally:
+            pool.close()
+
+    def test_pool_without_store_reports_no_persist(self):
+        pool = PlanServicePool(lambda topology: ExecutionPlanner(topology))
+        try:
+            assert pool.persist() is False
+        finally:
+            pool.close()
