@@ -22,7 +22,11 @@ Gated at 0.0% drift:
   wall-clock planning report) to the fault-free solve of the same workload;
 * **determinism** — replaying a campaign with the same seed must produce a
   byte-identical canonical report (same outcomes, tiers, fault counts,
-  everything);
+  everything) *and* a byte-identical telemetry journal;
+* **attribution** — the journal must account for 100% of the requests
+  (every lifecycle opened by ``request.submitted`` and closed by
+  ``request.resolved``, no orphan events), and its per-request fault census
+  must agree exactly with the injector's own counters;
 * the full outcome/tier/fault/persistence census of both campaigns.
 
 Wall-clock elapsed time is informational (the injected backoffs and stalls
@@ -35,6 +39,7 @@ from repro.bench import informational, invariant, register_benchmark
 from repro.experiments.harness import run_resilience_benchmark
 from repro.experiments.reporting import format_table
 from repro.experiments.workloads import clip_workload
+from repro.obs import TelemetryJournal, attribution_report
 
 NUM_REQUESTS = 30
 NUM_UNIQUE = 12
@@ -56,17 +61,21 @@ def bench_service_resilience(ctx):
     ctx.tasks(workload)  # record the workload fingerprint for the result
 
     def campaign(seed):
-        return run_resilience_benchmark(
+        journal = TelemetryJournal()
+        result = run_resilience_benchmark(
             workload,
             num_requests=NUM_REQUESTS,
             num_unique=NUM_UNIQUE,
             profile="chaos",
             seed=seed,
+            journal=journal,
         )
+        return result, journal
 
-    crash = campaign(CRASH_SEED)
-    crash_replay = campaign(CRASH_SEED)  # same seed ⇒ byte-identical report
-    corruption = campaign(CORRUPTION_SEED)
+    crash, crash_journal = campaign(CRASH_SEED)
+    # Same seed ⇒ byte-identical report and byte-identical journal.
+    crash_replay, crash_replay_journal = campaign(CRASH_SEED)
+    corruption, corruption_journal = campaign(CORRUPTION_SEED)
 
     for label, result in (("crash", crash), ("corruption", corruption)):
         emit(
@@ -78,6 +87,33 @@ def bench_service_resilience(ctx):
                 f"{workload.describe()})",
             ),
         )
+
+    # Journal attribution: every request accounted for, and the journal's
+    # fault census (request-attributed plus store-scoped) must agree with
+    # the injector's counters, kind by kind.
+    attributions = [
+        attribution_report(journal.events())
+        for journal in (crash_journal, corruption_journal)
+    ]
+
+    def census_matches(result, report) -> bool:
+        for kind, count in result.fault_counts.items():
+            journaled = report["faults"].get(kind, 0) + report["unattributed"].get(
+                kind, 0
+            )
+            if journaled != count:
+                return False
+        return True
+
+    attribution_complete = min(
+        report["complete"] / report["requests"] if report["requests"] else 0.0
+        for report in attributions
+    )
+    orphan_events = sum(report["orphan_events"] for report in attributions)
+    fault_census_ok = all(
+        census_matches(result, report)
+        for result, report in zip((crash, corruption), attributions)
+    )
 
     crash_outcomes = crash.outcome_counts()
     total_faults = sum(crash.fault_counts.values()) + sum(
@@ -93,6 +129,15 @@ def bench_service_resilience(ctx):
         ),
         "deterministic": invariant(
             1.0 if crash.signature() == crash_replay.signature() else 0.0, "bool"
+        ),
+        "journal_deterministic": invariant(
+            1.0 if crash_journal.dumps() == crash_replay_journal.dumps() else 0.0,
+            "bool",
+        ),
+        "attribution_complete_rate": invariant(attribution_complete, "fraction"),
+        "attribution_orphan_events": invariant(float(orphan_events), ""),
+        "fault_census_matches": invariant(
+            1.0 if fault_census_ok else 0.0, "bool"
         ),
         "served": invariant(float(crash_outcomes.get("served", 0)), "req"),
         "degraded": invariant(float(crash_outcomes.get("degraded", 0)), "req"),

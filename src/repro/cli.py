@@ -41,6 +41,18 @@ Six subcommand families cover the common workflows:
     Render the span tree of a previously captured trace (``--input``), or
     run a workload live and print its span tree and metrics-registry delta.
 
+``repro obs journal``
+    Inspect a request-scoped telemetry journal (JSONL, written by
+    ``serve-bench --journal``): per-request lifecycle table plus the
+    attribution census, one request's full event history (``--request``),
+    or a per-tenant slice (``--tenant``).
+
+``repro obs slo``
+    Fold a telemetry journal's resolved requests into the per-tenant SLO
+    table — availability, shed/degraded/error rates and error-budget burn
+    against a declared availability target — or emit the Prometheus-style
+    text exposition (``--prometheus``).
+
 ``repro unified``
     Replay a composed scenario — workload events (task arrival, departure,
     phase change) and cluster events (failure, join, straggler) on one
@@ -62,11 +74,16 @@ Examples
     repro bench compare --baseline benchmarks/baselines --fail-on-regress
     repro trace --model multitask-clip --tasks 4 --gpus 8 --out trace.json
     repro obs report --input trace.json
+    repro serve-bench --model multitask-clip --gpus 8 --requests 48 \\
+        --fault-profile chaos --journal telemetry.jsonl --tenants 3
+    repro obs journal telemetry.jsonl --tenant tenant-0
+    repro obs slo --input telemetry.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -658,6 +675,201 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lifecycle_summary(lifecycle) -> dict:
+    """JSON-friendly summary of one reconstructed request lifecycle."""
+    return {
+        "trace_id": lifecycle.trace_id,
+        "tenant": lifecycle.tenant,
+        "topology": lifecycle.topology,
+        "fingerprint": lifecycle.fingerprint,
+        "outcome": lifecycle.outcome,
+        "tier": lifecycle.tier,
+        "attempts": lifecycle.attempts,
+        "retries": lifecycle.retries,
+        "requeues": lifecycle.requeues,
+        "leader": lifecycle.leader,
+        "faults": list(lifecycle.faults),
+        "complete": lifecycle.complete,
+    }
+
+
+def _load_journal(path_arg: str):
+    """Read + schema-validate a journal file; returns (events, error_exit)."""
+    from pathlib import Path
+
+    from repro.obs import JournalError, TelemetryJournal
+
+    path = Path(path_arg)
+    if not path.is_file():
+        return None, _fail(f"no such journal file: {path}")
+    try:
+        return TelemetryJournal.read(path), None
+    except JournalError as exc:
+        return None, _fail(str(exc))
+
+
+def _cmd_obs_journal(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import attribution_report, reconstruct_requests
+
+    events, error = _load_journal(args.path)
+    if events is None:
+        return error
+    lifecycles = reconstruct_requests(events)
+
+    if args.request is not None:
+        lifecycle = lifecycles.get(args.request)
+        if lifecycle is None:
+            return _fail(
+                f"no request {args.request!r} in {args.path} "
+                f"({len(lifecycles)} requests journaled)"
+            )
+        if args.json:
+            record = _lifecycle_summary(lifecycle)
+            record["events"] = lifecycle.events
+            print(_json.dumps(record, indent=2, sort_keys=True))
+            return 0
+        print(f"request     : {lifecycle.trace_id}")
+        print(f"tenant      : {lifecycle.tenant or '-'}")
+        print(f"topology    : {lifecycle.topology or '-'}")
+        print(f"fingerprint : {lifecycle.fingerprint or '-'}")
+        print(f"outcome     : {lifecycle.outcome or '?'} "
+              f"(tier {lifecycle.tier or '-'})")
+        print(f"attempts    : {lifecycle.attempts} "
+              f"({lifecycle.retries} retries, {lifecycle.requeues} requeues)")
+        if lifecycle.leader:
+            print(f"coalesced   : behind leader {lifecycle.leader}")
+        rows = [
+            [
+                str(event["seq"]),
+                event["kind"],
+                event.get("tier") or "",
+                "" if event.get("attempt") is None else str(event["attempt"]),
+                event.get("outcome") or "",
+                event.get("fault") or "",
+            ]
+            for event in lifecycle.events
+        ]
+        print(
+            format_table(
+                ["seq", "event", "tier", "attempt", "outcome", "fault"],
+                rows,
+                title="event history",
+            )
+        )
+        return 0
+
+    selected = lifecycles
+    if args.tenant is not None:
+        selected = {
+            trace_id: lifecycle
+            for trace_id, lifecycle in lifecycles.items()
+            if lifecycle.tenant == args.tenant
+        }
+        if not selected:
+            return _fail(f"no requests for tenant {args.tenant!r} in {args.path}")
+    report = attribution_report(events)
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "attribution": report,
+                    "requests": [
+                        _lifecycle_summary(l) for l in selected.values()
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    rows = [
+        [
+            lifecycle.trace_id,
+            lifecycle.tenant or "-",
+            lifecycle.outcome or "?",
+            lifecycle.tier or "-",
+            str(lifecycle.attempts),
+            str(lifecycle.retries),
+            ",".join(lifecycle.faults) or "-",
+        ]
+        for lifecycle in selected.values()
+    ]
+    title = f"request lifecycles ({len(selected)})"
+    if args.tenant is not None:
+        title += f", tenant {args.tenant}"
+    print(
+        format_table(
+            ["trace id", "tenant", "outcome", "tier", "attempts", "retries",
+             "faults"],
+            rows,
+            title=title,
+        )
+    )
+
+    def _census(counts: dict) -> str:
+        return ", ".join(f"{k} {v}" for k, v in counts.items()) or "none"
+
+    print()
+    print(f"events      : {report['events']} "
+          f"({sum(report['unattributed'].values())} unattributed)")
+    print(f"requests    : {report['requests']} ({report['complete']} complete, "
+          f"{report['orphan_requests']} orphan)")
+    print(f"outcomes    : {_census(report['outcomes'])}")
+    print(f"faults      : {_census(report['faults'])}")
+    print(f"retries     : {report['retries']}")
+    print(f"degraded    : {_census(report['degraded_tiers'])}")
+    print(f"store-scoped: {_census(report['unattributed'])}")
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    from repro.obs import SloPolicy, reconstruct_requests, slo_from_outcomes
+
+    events, error = _load_journal(args.input)
+    if events is None:
+        return error
+    lifecycles = reconstruct_requests(events)
+    resolved = [
+        (lifecycle.outcome, lifecycle.tenant)
+        for lifecycle in lifecycles.values()
+        if lifecycle.outcome is not None
+    ]
+    policy = SloPolicy(
+        availability_target=args.availability_target,
+        max_shed_rate=args.max_shed_rate,
+        max_degraded_rate=args.max_degraded_rate,
+    )
+    tracker = slo_from_outcomes(resolved, policy)
+    if args.prometheus:
+        print(tracker.render_prometheus(), end="")
+        return 0
+    print(tracker.render())
+    print()
+    print(
+        f"{len(resolved)} resolved requests from {args.input}; latency "
+        "percentiles read 0 because the journal carries no wall-clock — "
+        "use serve-bench --slo for live latency SLOs"
+    )
+    return 0
+
+
+def _write_telemetry(journal, slo, journal_path) -> None:
+    """Shared serve-bench epilogue: persist the journal, print the SLO table."""
+    if journal is not None and journal_path is not None:
+        from repro.obs import attribution_report
+
+        path = journal.write(journal_path)
+        report = attribution_report(journal.events())
+        print(
+            f"\ntelemetry journal : {path} ({report['events']} events, "
+            f"{report['complete']}/{report['requests']} lifecycles complete)"
+        )
+    if slo is not None:
+        print("\n" + slo.render())
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.requests <= 0:
         return _fail("--requests must be positive")
@@ -667,7 +879,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         return _fail("--workers must be positive")
     if args.batch_size <= 0:
         return _fail("--batch-size must be positive")
+    if args.tenants < 0:
+        return _fail("--tenants must be non-negative")
     workload = _workload_from_args(args)
+    journal = slo = None
+    if args.journal is not None:
+        from repro.obs import TelemetryJournal
+
+        journal = TelemetryJournal()
+    if args.slo or args.tenants > 0:
+        from repro.obs import SloTracker
+
+        slo = SloTracker()
     if args.fault_profile is not None:
         from repro.faults import FAULT_PROFILES
 
@@ -684,6 +907,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             seed=args.fault_seed,
             num_workers=args.workers,
             max_batch_size=args.batch_size,
+            journal=journal,
+            slo=slo,
+            num_tenants=args.tenants,
         )
         print(
             format_table(
@@ -693,6 +919,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             )
         )
         print("\n" + chaos.stats.render())
+        _write_telemetry(journal, slo, args.journal)
         if chaos.availability < 1.0:
             return _fail(
                 f"only {chaos.availability * 100:.1f}% of requests resolved "
@@ -711,6 +938,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         max_batch_size=args.batch_size,
         seed=args.seed,
+        journal=journal,
+        slo=slo,
+        num_tenants=args.tenants,
     )
     if result.failed_requests:
         return _fail(
@@ -724,6 +954,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         )
     )
     print("\n" + result.stats.render())
+    _write_telemetry(journal, slo, args.journal)
     return 0
 
 
@@ -806,6 +1037,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="seed of the injected fault schedule (same seed, same faults)",
+    )
+    serve_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write the request-scoped telemetry journal (JSONL) to PATH; "
+        "inspect it with 'repro obs journal PATH'",
+    )
+    serve_parser.add_argument(
+        "--tenants",
+        type=int,
+        default=0,
+        metavar="N",
+        help="label request i with tenant-(i mod N) and print per-tenant "
+        "SLO rollups (0 disables tenant labelling)",
+    )
+    serve_parser.add_argument(
+        "--slo",
+        action="store_true",
+        help="track and print the sliding-window SLO table for the run",
     )
     serve_parser.set_defaults(func=_cmd_serve_bench)
 
@@ -967,6 +1218,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.set_defaults(func=_cmd_obs_report)
 
+    journal_parser = obs_subparsers.add_parser(
+        "journal",
+        help="inspect a telemetry journal: lifecycles, attribution census, "
+        "or one request's event history",
+        epilog=DOCS_OBSERVABILITY,
+    )
+    journal_parser.add_argument(
+        "path", help="a telemetry .jsonl written by 'repro serve-bench --journal'"
+    )
+    journal_parser.add_argument(
+        "--request",
+        default=None,
+        metavar="TRACE_ID",
+        help="show the full event history of one request",
+    )
+    journal_parser.add_argument(
+        "--tenant",
+        default=None,
+        help="only list requests submitted under this tenant label",
+    )
+    journal_parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of tables"
+    )
+    journal_parser.set_defaults(func=_cmd_obs_journal)
+
+    slo_parser = obs_subparsers.add_parser(
+        "slo",
+        help="per-tenant SLO table (availability, shed/degraded rates, "
+        "error-budget burn) from a telemetry journal",
+        epilog=DOCS_OBSERVABILITY,
+    )
+    slo_parser.add_argument(
+        "--input",
+        required=True,
+        metavar="JOURNAL",
+        help="a telemetry .jsonl written by 'repro serve-bench --journal'",
+    )
+    slo_parser.add_argument(
+        "--availability-target",
+        type=float,
+        default=0.999,
+        help="availability objective the burn rate is measured against",
+    )
+    slo_parser.add_argument(
+        "--max-shed-rate",
+        type=float,
+        default=None,
+        help="compliance ceiling on the shed fraction (default: disabled)",
+    )
+    slo_parser.add_argument(
+        "--max-degraded-rate",
+        type=float,
+        default=None,
+        help="compliance ceiling on the degraded fraction (default: disabled)",
+    )
+    slo_parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit Prometheus-style text exposition instead of the table",
+    )
+    slo_parser.set_defaults(func=_cmd_obs_slo)
+
     add_bench_subparsers(subparsers)
     return parser
 
@@ -974,7 +1287,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed early (`repro obs journal ... | head`); suppress
+        # the traceback and the interpreter-shutdown flush error on stdout.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

@@ -168,6 +168,9 @@ def run_service_benchmark(
     num_workers: int = 4,
     max_batch_size: int = 8,
     seed: int = 0,
+    journal=None,
+    slo=None,
+    num_tenants: int = 0,
 ) -> ServiceBenchmarkResult:
     """Replay one planning-request stream uncached, then through the service.
 
@@ -176,6 +179,13 @@ def run_service_benchmark(
     one full ``ExecutionPlanner.plan()`` per request serially, the service run
     submits the same stream to a :class:`PlanService` and waits for every
     future.
+
+    ``journal`` (a :class:`~repro.obs.TelemetryJournal`) and ``slo`` (a
+    :class:`~repro.obs.SloTracker`) are threaded into the service when given;
+    ``num_tenants > 0`` labels request ``i`` with tenant ``tenant-{i % n}``
+    so per-tenant SLO rollups have something to group by.  The telemetry
+    overhead benchmark runs this protocol twice — bare, then instrumented —
+    and gates the ratio.
     """
     tasks = workload.tasks()
     cluster = workload.cluster()
@@ -206,12 +216,22 @@ def run_service_benchmark(
         cache=PlanCache(capacity=max(64, num_unique)),
         num_workers=num_workers,
         max_batch_size=max_batch_size,
+        journal=journal,
+        slo=slo,
     )
     with service:
         with tracer.timed(
             "bench.plan_service", category="bench", requests=len(stream)
         ) as span:
-            futures = [service.submit(request) for request in stream]
+            futures = [
+                service.submit(
+                    request,
+                    tenant=(
+                        f"tenant-{index % num_tenants}" if num_tenants > 0 else None
+                    ),
+                )
+                for index, request in enumerate(stream)
+            ]
             wait(futures)
         service_seconds = span.seconds
 
@@ -376,6 +396,9 @@ def run_resilience_benchmark(
     persist_every: int = 8,
     store_path: str | Path | None = None,
     policy: ResiliencePolicy | None = None,
+    journal=None,
+    slo=None,
+    num_tenants: int = 0,
 ) -> ResilienceBenchmarkResult:
     """Replay one request stream through the service under a seeded fault plan.
 
@@ -400,6 +423,13 @@ def run_resilience_benchmark(
     per-fault failure streak, disables the wall-clock-coupled knobs
     (deadline, breaker) so outcomes stay a pure function of the seed, and
     leaves every degradation tier enabled; pass ``policy`` to override.
+
+    ``journal`` attaches a :class:`~repro.obs.TelemetryJournal` to the
+    service (the service shares it with the injector and the cache, so fault
+    injections and quarantines land in the same event stream); because
+    submission is serial, two same-seed runs write byte-identical journals.
+    ``slo`` threads a :class:`~repro.obs.SloTracker`; ``num_tenants > 0``
+    labels request ``i`` with tenant ``tenant-{i % n}``.
     """
     if isinstance(profile, str):
         try:
@@ -464,6 +494,8 @@ def run_resilience_benchmark(
             max_batch_size=max_batch_size,
             resilience=policy,
             fault_injector=injector,
+            journal=journal,
+            slo=slo,
         )
         responses: list[PlanResponse] = []
         with service:
@@ -474,7 +506,10 @@ def run_resilience_benchmark(
                 profile=profile.name,
             ) as span:
                 for index, request in enumerate(stream):
-                    responses.append(service.request(request))
+                    tenant = (
+                        f"tenant-{index % num_tenants}" if num_tenants > 0 else None
+                    )
+                    responses.append(service.request(request, tenant=tenant))
                     if persist_every > 0 and (index + 1) % persist_every == 0:
                         _persist()
                 _persist()

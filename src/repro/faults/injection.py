@@ -6,7 +6,12 @@ running service.  The service calls the injector at well-defined hook points
 consults the schedule and either lets the operation proceed, stalls it, or
 raises one of the :class:`InjectedFault` exception types.  Every injection is
 counted — in the injector (for canonical reports) and in the shared obs
-registry as ``service.faults{kind=...}``.
+registry as ``service.faults{kind=...}`` — and, when a
+:class:`~repro.obs.telemetry.TelemetryJournal` is attached, journaled as a
+``fault.injected`` event carrying the trace ID of the request it hit
+(persist faults are store-scoped and journal with no trace ID), so the
+chaos-report fault census can be cross-checked against
+:func:`~repro.obs.telemetry.reconstruct_requests`.
 
 The injector holds no randomness of its own: all nondeterminism lives in the
 pre-drawn schedule, so identical schedules drive identical injections.  The
@@ -61,8 +66,10 @@ class FaultInjector:
         plan: FaultPlan,
         *,
         sleeper: Callable[[float], None] = time.sleep,
+        journal=None,
     ) -> None:
         self.plan = plan
+        self.journal = journal
         self._sleeper = sleeper
         self._lock = threading.Lock()
         self._next_request_index = 0
@@ -78,7 +85,9 @@ class FaultInjector:
             return index
 
     # ----------------------------------------------------------- hook points
-    def on_solve_attempt(self, index: int, attempt: int) -> None:
+    def on_solve_attempt(
+        self, index: int, attempt: int, *, trace_id: str | None = None
+    ) -> None:
         """Called at the top of solve attempt ``attempt`` of request ``index``.
 
         Applies the scheduled stall, then raises the scheduled failure for
@@ -86,24 +95,26 @@ class FaultInjector:
         """
         delay = self.plan.delay_for(index)
         if attempt == 0 and delay > 0:
-            self._count(SLOW_SOLVE)
+            self._count(SLOW_SOLVE, trace_id=trace_id, attempt=attempt)
             self._sleeper(delay)
         kind = self.plan.failing_kind(index, attempt)
         if kind == WORKER_CRASH:
-            self._count(WORKER_CRASH)
+            self._count(WORKER_CRASH, trace_id=trace_id, attempt=attempt)
             raise InjectedWorkerCrash(
                 f"injected worker crash (request {index}, attempt {attempt})"
             )
         if kind == PLANNER_ERROR:
-            self._count(PLANNER_ERROR)
+            self._count(PLANNER_ERROR, trace_id=trace_id, attempt=attempt)
             raise InjectedPlannerError(
                 f"injected planner error (request {index}, attempt {attempt})"
             )
 
-    def corrupt_cache_payload(self, index: int) -> bool:
+    def corrupt_cache_payload(
+        self, index: int, *, trace_id: str | None = None
+    ) -> bool:
         """Whether the payload cached for request ``index`` gets corrupted."""
         if self.plan.corrupts_cache(index):
-            self._count(CACHE_CORRUPTION)
+            self._count(CACHE_CORRUPTION, trace_id=trace_id)
             return True
         return False
 
@@ -129,22 +140,41 @@ class FaultInjector:
         with self._lock:
             return sum(self._counts.values())
 
-    def _count(self, kind: str) -> None:
+    def _count(
+        self,
+        kind: str,
+        *,
+        trace_id: str | None = None,
+        attempt: int | None = None,
+    ) -> None:
         with self._lock:
             self._counts[kind] += 1
         get_metrics().inc("service.faults", kind=kind)
+        if self.journal is not None:
+            self.journal.emit(
+                "fault.injected",
+                trace_id,
+                fault=kind,
+                attempt=attempt,
+            )
 
 
 class NullInjector:
     """No-op injector: the fault-free service path, hook-compatible."""
 
+    journal = None
+
     def assign_index(self) -> int:
         return -1
 
-    def on_solve_attempt(self, index: int, attempt: int) -> None:
+    def on_solve_attempt(
+        self, index: int, attempt: int, *, trace_id: str | None = None
+    ) -> None:
         return None
 
-    def corrupt_cache_payload(self, index: int) -> bool:
+    def corrupt_cache_payload(
+        self, index: int, *, trace_id: str | None = None
+    ) -> bool:
         return False
 
     def on_persist(self) -> None:

@@ -90,6 +90,7 @@ class HistogramSummary:
     mean: float = 0.0
     p50: float = 0.0
     p95: float = 0.0
+    p99: float = 0.0
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -100,6 +101,7 @@ class HistogramSummary:
             "mean": self.mean,
             "p50": self.p50,
             "p95": self.p95,
+            "p99": self.p99,
         }
 
 
@@ -134,6 +136,7 @@ class _Histogram:
             mean=self.total / self.count,
             p50=percentile(ordered, 0.50),
             p95=percentile(ordered, 0.95),
+            p99=percentile(ordered, 0.99),
         )
 
 
@@ -259,7 +262,8 @@ class MetricsRegistry:
 
         Counters and gauges export their value; histograms export
         ``<key>.count`` plus (for second-valued names, i.e. names whose base
-        ends in ``_seconds``) ``<key>.p50_ms``/``<key>.p95_ms``.  Everything
+        ends in ``_seconds``) ``<key>.p50_ms``/``<key>.p95_ms``/``<key>.p99_ms``.
+        Everything
         defaults to informational — registry values are measurements, not
         gates — except keys listed in ``gated``, which carry the default
         regression threshold.
@@ -288,6 +292,9 @@ class MetricsRegistry:
                 )
                 metrics[f"{prefix}{key}.p95_ms"] = informational(
                     summary.p95 * 1e3, "ms"
+                )
+                metrics[f"{prefix}{key}.p99_ms"] = informational(
+                    summary.p99 * 1e3, "ms"
                 )
         return metrics
 
@@ -331,7 +338,7 @@ class MetricsRegistry:
                 lines.append(
                     f"  {key:<48} n={summary.count} mean={summary.mean:.6g} "
                     f"p50={summary.p50:.6g} p95={summary.p95:.6g} "
-                    f"max={summary.max:.6g}"
+                    f"p99={summary.p99:.6g} max={summary.max:.6g}"
                 )
         if not lines:
             return "(no metrics recorded)"

@@ -23,7 +23,11 @@ while :meth:`get_payload` serves them.
 Rendered payloads carry a SHA-256 checksum computed at render time;
 :meth:`get_payload` re-verifies it on every serve and quarantines (drops and
 counts) entries whose bytes no longer match — corrupted payloads are treated
-as misses, never served.
+as misses, never served.  With a telemetry ``journal`` attached each
+quarantine is additionally journaled as a ``cache.quarantined`` event
+carrying the entry's fingerprint (cache-scoped, so no trace ID — the
+corruption is attributed to the *entry*, while the injection that caused it
+is attributed to its request by the fault injector).
 
 Fingerprints are canonical (see :mod:`repro.service.fingerprint`): requests
 that differ only in task naming or ordering share one entry, so the served
@@ -134,6 +138,11 @@ class PlanCache:
         ``None`` means entries never expire.
     clock:
         Monotonic time source, injectable for deterministic TTL tests.
+    journal:
+        Optional :class:`~repro.obs.telemetry.TelemetryJournal` receiving a
+        ``cache.quarantined`` event per checksum-mismatch quarantine; a
+        :class:`~repro.service.server.PlanService` attaches its own journal
+        here when the cache has none.
     """
 
     def __init__(
@@ -141,6 +150,7 @@ class PlanCache:
         capacity: int = 64,
         ttl_seconds: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        journal=None,
     ) -> None:
         if capacity <= 0:
             raise CacheError("Cache capacity must be positive")
@@ -149,6 +159,7 @@ class PlanCache:
         self.capacity = capacity
         self.ttl_seconds = ttl_seconds
         self._clock = clock
+        self.journal = journal
         self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
         # Expired entries, retained (bounded by capacity) for the service's
         # stale-serving degradation tier; never returned by get()/get_payload().
@@ -216,6 +227,7 @@ class PlanCache:
                 self._stale.pop(fingerprint, None)
                 self._entries.pop(fingerprint, None)
                 self.stats.corruptions += 1
+            self._journal_quarantine(fingerprint)
             return None
         with self._lock:
             self.stats.stale_hits += 1
@@ -398,6 +410,11 @@ class PlanCache:
             self.stats.corruptions += 1
             self.stats.hits -= 1
             self.stats.misses += 1
+        self._journal_quarantine(fingerprint)
+
+    def _journal_quarantine(self, fingerprint: str) -> None:
+        if self.journal is not None:
+            self.journal.emit("cache.quarantined", None, fingerprint=fingerprint)
 
     def stale_fingerprints(self) -> list[str]:
         with self._lock:

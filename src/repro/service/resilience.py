@@ -225,6 +225,13 @@ class PlanResponse:
     attempts actually started (0 for cache hits and sheds); ``retries`` is
     ``max(attempts - 1, 0)`` plus ladder attempts.  ``error`` carries the
     final error string for ``outcome == "error"``.
+
+    ``trace_id`` is the deterministic request ID minted at submission (the
+    key into the telemetry journal; coalesced followers keep their own IDs
+    even though they resolve with the leader's plan), and ``tenant`` the
+    optional accounting label the request was submitted under.  Both are
+    deterministic under serial submission, so they belong in the canonical
+    report.
     """
 
     outcome: str
@@ -234,6 +241,8 @@ class PlanResponse:
     payload: str | None = None
     attempts: int = 0
     error: str | None = None
+    trace_id: str | None = None
+    tenant: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -254,4 +263,6 @@ class PlanResponse:
             ),
             "attempts": self.attempts,
             "error": self.error,
+            "trace_id": self.trace_id,
+            "tenant": self.tenant,
         }

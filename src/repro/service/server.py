@@ -34,6 +34,20 @@ knobs and the determinism rules.
 
 Every completed request records its outcome and end-to-end latency in a
 :class:`~repro.service.stats.ServiceStats` accumulator.
+
+Request-scoped telemetry threads through every path: each submission mints a
+deterministic trace ID (:class:`~repro.obs.telemetry.TraceIdGenerator` —
+fingerprint prefix + seeded counter, so same-seed serial replays mint
+identical IDs), attaches it to the ``service.submit``/``service.solve``
+spans, and — when a :class:`~repro.obs.telemetry.TelemetryJournal` is
+configured — journals the full lifecycle: submission, cache hit /
+coalescing (recording the leader's ID) / shed / enqueue, every solve
+attempt and retry, injected faults, worker-crash requeues, degradation
+tiers and final resolution.  Resolution events are emitted *before* the
+future resolves, so a serial submitter observes a fully-ordered journal
+(byte-identical across same-seed replays).  A
+:class:`~repro.obs.slo.SloTracker` can ride along to fold outcomes and
+latencies into per-tenant/per-topology service levels.
 """
 
 from __future__ import annotations
@@ -54,6 +68,20 @@ from repro.core.serialization import plan_to_json
 from repro.faults.injection import NULL_INJECTOR, InjectedWorkerCrash
 from repro.graph.graph import ComputationGraph
 from repro.obs import get_metrics, get_tracer
+from repro.obs.telemetry import (
+    EVENT_ATTEMPT,
+    EVENT_CACHE_HIT,
+    EVENT_COALESCED,
+    EVENT_DEGRADED,
+    EVENT_ENQUEUED,
+    EVENT_REQUEUED,
+    EVENT_RESOLVED,
+    EVENT_RETRY,
+    EVENT_SHED,
+    EVENT_SUBMITTED,
+    TelemetryJournal,
+    TraceIdGenerator,
+)
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import fingerprint_workload
 from repro.service.incremental import IncrementalPlanner
@@ -108,6 +136,8 @@ class _Request:
     attempt: int = 0
     submitted_at: float = field(default_factory=time.monotonic)
     deadline_at: float | None = None
+    trace_id: str | None = None
+    tenant: str | None = None
 
     def past_deadline(self) -> bool:
         return self.deadline_at is not None and time.monotonic() > self.deadline_at
@@ -154,6 +184,18 @@ class PlanService:
         prototype's cluster.  Override it when the primary planner is
         non-default-configured, so the reference tier plans under the same
         configuration (and therefore the same fingerprints).
+    journal:
+        Optional :class:`~repro.obs.telemetry.TelemetryJournal`; when given,
+        every request's lifecycle is journaled (see the module docstring).
+        Shared with the fault injector by the benchmark harness so injected
+        faults land in the same stream.
+    slo:
+        Optional :class:`~repro.obs.slo.SloTracker` fed one sample per
+        resolved request (outcome, latency, tenant, topology).
+    trace_ids:
+        Optional shared :class:`~repro.obs.telemetry.TraceIdGenerator`
+        (a pool passes one across its per-topology services); by default a
+        private generator seeded with ``trace_seed``.
     """
 
     def __init__(
@@ -167,6 +209,10 @@ class PlanService:
         resilience: ResiliencePolicy | None = None,
         fault_injector=None,
         reference_planner_factory: Callable[[], ExecutionPlanner] | None = None,
+        journal: TelemetryJournal | None = None,
+        slo=None,
+        trace_ids: TraceIdGenerator | None = None,
+        trace_seed: int = 0,
     ) -> None:
         if num_workers <= 0:
             raise ServiceError("num_workers must be positive")
@@ -192,6 +238,19 @@ class PlanService:
             resilience = ResiliencePolicy()
         self.resilience = resilience
         self.injector = fault_injector if fault_injector is not None else NULL_INJECTOR
+        self.journal = journal
+        self.slo = slo
+        self.trace_ids = (
+            trace_ids if trace_ids is not None else TraceIdGenerator(trace_seed)
+        )
+        # Journal-less collaborators inherit the service's journal so cache
+        # quarantines and injected faults land in the same event stream as
+        # the request lifecycles they belong to.
+        if journal is not None:
+            if self.cache.journal is None:
+                self.cache.journal = journal
+            if self.injector is not NULL_INJECTOR and self.injector.journal is None:
+                self.injector.journal = journal
         self._reference_planner_factory = reference_planner_factory
         self._reference_planner: ExecutionPlanner | None = None
         self._reference_lock = threading.Lock()
@@ -249,7 +308,9 @@ class PlanService:
                 self._fingerprint_memo.popitem(last=False)
         return fp
 
-    def submit(self, workload: PlannerInput) -> Future:
+    def submit(
+        self, workload: PlannerInput, *, tenant: str | None = None
+    ) -> Future:
         """Enqueue a planning request; returns a future yielding the plan.
 
         Identical in-flight requests share one future (single-flight); cached
@@ -260,6 +321,12 @@ class PlanService:
         runs inside a ``service.submit`` span whose ``outcome`` attribute
         records how the request was resolved; the solve and cache-fill steps
         are spanned in the worker thread.
+
+        Every submission mints a trace ID — even coalesced ones, whose
+        journal entry records the in-flight leader's ID (the returned future
+        is the leader's, so ``future._repro_trace_id`` stays the leader's
+        too).  ``tenant`` is an optional accounting label carried through
+        the journal, the :class:`PlanResponse` and the SLO tracker.
         """
         start = time.monotonic()
         metrics = get_metrics()
@@ -267,7 +334,9 @@ class PlanService:
             if not isinstance(workload, ComputationGraph):
                 workload = tuple(workload)  # snapshot mutable task sequences
             fp = self.fingerprint(workload)
-            span.set(fingerprint=fp[:12])
+            trace_id = self.trace_ids.mint(fp)
+            span.set(fingerprint=fp[:12], trace_id=trace_id)
+            self._emit(EVENT_SUBMITTED, trace_id, tenant=tenant, fingerprint=fp)
 
             # The closed check, inflight registration and enqueue happen under
             # one lock: close() flips _closed under the same lock before
@@ -279,6 +348,7 @@ class PlanService:
                 cached = self.cache.get(fp)
                 if cached is not None:
                     future: Future = Future()
+                    future._repro_trace_id = trace_id
                     self._attach_response(
                         future,
                         PlanResponse(
@@ -286,7 +356,22 @@ class PlanService:
                             tier=TIER_CACHE,
                             fingerprint=fp,
                             plan=cached,
+                            trace_id=trace_id,
+                            tenant=tenant,
                         ),
+                    )
+                    self._emit(
+                        EVENT_CACHE_HIT, trace_id, tenant=tenant, tier=TIER_CACHE
+                    )
+                    self._emit(
+                        EVENT_RESOLVED,
+                        trace_id,
+                        tenant=tenant,
+                        tier=TIER_CACHE,
+                        outcome=RESPONSE_SERVED,
+                    )
+                    self._slo_record(
+                        RESPONSE_SERVED, time.monotonic() - start, tenant
                     )
                     future.set_result(cached)
                     self.stats.record(OUTCOME_HIT, time.monotonic() - start)
@@ -295,7 +380,13 @@ class PlanService:
                     return future
                 inflight = self._inflight.get(fp)
                 if inflight is not None:
-                    self._record_on_completion(inflight, OUTCOME_COALESCED, start)
+                    leader = getattr(inflight, "_repro_trace_id", None)
+                    self._emit(
+                        EVENT_COALESCED, trace_id, tenant=tenant, leader=leader
+                    )
+                    self._record_on_completion(
+                        inflight, OUTCOME_COALESCED, start, trace_id, tenant
+                    )
                     metrics.inc("service.cache", outcome=OUTCOME_COALESCED)
                     span.set(outcome=OUTCOME_COALESCED)
                     return inflight
@@ -305,6 +396,7 @@ class PlanService:
                     and len(self._inflight) >= self.resilience.max_queue_depth
                 ):
                     future = Future()
+                    future._repro_trace_id = trace_id
                     self._attach_response(
                         future,
                         PlanResponse(
@@ -312,7 +404,19 @@ class PlanService:
                             tier=None,
                             fingerprint=fp,
                             error="shed by admission control",
+                            trace_id=trace_id,
+                            tenant=tenant,
                         ),
+                    )
+                    self._emit(EVENT_SHED, trace_id, tenant=tenant)
+                    self._emit(
+                        EVENT_RESOLVED,
+                        trace_id,
+                        tenant=tenant,
+                        outcome=RESPONSE_SHED,
+                    )
+                    self._slo_record(
+                        RESPONSE_SHED, time.monotonic() - start, tenant
                     )
                     future.set_exception(
                         ServiceOverloadError(
@@ -326,6 +430,7 @@ class PlanService:
                     return future
                 future = Future()
                 future._repro_fingerprint = fp  # for timeout cleanup
+                future._repro_trace_id = trace_id
                 deadline = None
                 if (
                     self.resilience is not None
@@ -339,14 +444,23 @@ class PlanService:
                     index=self.injector.assign_index(),
                     submitted_at=start,
                     deadline_at=deadline,
+                    trace_id=trace_id,
+                    tenant=tenant,
                 )
                 self._inflight[fp] = future
                 self._queue.put(request)
+                self._emit(EVENT_ENQUEUED, trace_id, tenant=tenant)
                 metrics.inc("service.cache", outcome=OUTCOME_MISS)
                 span.set(outcome=OUTCOME_MISS)
             return future
 
-    def plan(self, workload: PlannerInput, timeout: float | None = None) -> ExecutionPlan:
+    def plan(
+        self,
+        workload: PlannerInput,
+        timeout: float | None = None,
+        *,
+        tenant: str | None = None,
+    ) -> ExecutionPlan:
         """Synchronous convenience wrapper around :meth:`submit`.
 
         A timeout abandons the request: the single-flight entry for its
@@ -354,7 +468,7 @@ class PlanService:
         (or hits the cache once the abandoned solve lands) instead of
         latching onto the abandoned future forever.
         """
-        future = self.submit(workload)
+        future = self.submit(workload, tenant=tenant)
         try:
             return future.result(timeout=timeout)
         except FutureTimeoutError:
@@ -362,7 +476,11 @@ class PlanService:
             raise
 
     def request(
-        self, workload: PlannerInput, timeout: float | None = None
+        self,
+        workload: PlannerInput,
+        timeout: float | None = None,
+        *,
+        tenant: str | None = None,
     ) -> PlanResponse:
         """Resolve one request into its :class:`PlanResponse`.
 
@@ -372,7 +490,7 @@ class PlanService:
         served.  (A client-side ``timeout`` expiry is the one exception that
         still surfaces as an ``error`` response rather than an exception.)
         """
-        future = self.submit(workload)
+        future = self.submit(workload, tenant=tenant)
         try:
             plan = future.result(timeout=timeout)
         except FutureTimeoutError:
@@ -382,6 +500,8 @@ class PlanService:
                 tier=None,
                 fingerprint=getattr(future, "_repro_fingerprint", ""),
                 error=f"client timeout after {timeout}s",
+                trace_id=getattr(future, "_repro_trace_id", None),
+                tenant=tenant,
             )
         except Exception as exc:  # noqa: BLE001 - folded into the response
             response = self._response_of(future)
@@ -392,6 +512,8 @@ class PlanService:
                 tier=None,
                 fingerprint=getattr(future, "_repro_fingerprint", ""),
                 error=str(exc),
+                trace_id=getattr(future, "_repro_trace_id", None),
+                tenant=tenant,
             )
         response = self._response_of(future)
         if response is not None:
@@ -401,6 +523,8 @@ class PlanService:
             tier=TIER_FRESH,
             fingerprint=plan.fingerprint or "",
             plan=plan,
+            trace_id=getattr(future, "_repro_trace_id", None),
+            tenant=tenant,
         )
 
     def serialized_plan(
@@ -460,6 +584,24 @@ class PlanService:
         self.close()
 
     # -------------------------------------------------------------- internals
+    def _emit(self, kind: str, trace_id: str | None, **fields) -> None:
+        """Journal one lifecycle event (no-op without a journal)."""
+        if self.journal is not None:
+            self.journal.emit(
+                kind, trace_id, topology=self._topology_label, **fields
+            )
+
+    def _slo_record(
+        self, outcome: str, latency_seconds: float, tenant: str | None
+    ) -> None:
+        if self.slo is not None:
+            self.slo.record(
+                outcome,
+                latency_seconds,
+                tenant=tenant,
+                topology=self._topology_label,
+            )
+
     def _attach_response(self, future: Future, response: PlanResponse) -> None:
         future._repro_response = response
 
@@ -500,6 +642,7 @@ class PlanService:
             )
         for fp, future in leftovers:
             if not future.done():
+                trace_id = getattr(future, "_repro_trace_id", None)
                 self._attach_response(
                     future,
                     PlanResponse(
@@ -507,22 +650,52 @@ class PlanService:
                         tier=None,
                         fingerprint=fp,
                         error="PlanService closed before the request completed",
+                        trace_id=trace_id,
                     ),
                 )
                 self.stats.record_error()
                 get_metrics().inc("service.errors")
+                self._emit(EVENT_RESOLVED, trace_id, outcome=RESPONSE_ERROR)
                 future.set_exception(
                     ServiceError("PlanService closed before the request completed")
                 )
 
-    def _record_on_completion(self, future: Future, outcome: str, start: float) -> None:
+    def _record_on_completion(
+        self,
+        future: Future,
+        outcome: str,
+        start: float,
+        trace_id: str | None = None,
+        tenant: str | None = None,
+    ) -> None:
         def _done(completed: Future) -> None:
             # Failed requests are accounted as errors by the worker, not as
             # outcomes — recording them here too would double-count them and
             # pollute the latency percentiles.
             if completed.cancelled() or completed.exception() is not None:
                 return
-            self.stats.record(outcome, time.monotonic() - start)
+            latency = time.monotonic() - start
+            if trace_id is not None:
+                # The coalesced follower resolves with the leader's response:
+                # journal its lifecycle close under its *own* trace ID.
+                response = self._response_of(completed)
+                self._emit(
+                    EVENT_RESOLVED,
+                    trace_id,
+                    tenant=tenant,
+                    tier=response.tier if response is not None else None,
+                    outcome=(
+                        response.outcome
+                        if response is not None
+                        else RESPONSE_SERVED
+                    ),
+                )
+                self._slo_record(
+                    response.outcome if response is not None else RESPONSE_SERVED,
+                    latency,
+                    tenant,
+                )
+            self.stats.record(outcome, latency)
 
         future.add_done_callback(_done)
 
@@ -574,10 +747,22 @@ class PlanService:
                         if other_fp == fp:
                             served = True
                             for request in crash.requests:
+                                self._emit(
+                                    EVENT_REQUEUED,
+                                    request.trace_id,
+                                    tenant=request.tenant,
+                                    attempt=request.attempt,
+                                )
                                 self._queue.put(request)
                             continue
                         if served:
                             for request in other_requests:
+                                self._emit(
+                                    EVENT_REQUEUED,
+                                    request.trace_id,
+                                    tenant=request.tenant,
+                                    attempt=request.attempt,
+                                )
                                 self._queue.put(request)
                     self._respawn_worker()
                     return
@@ -606,9 +791,20 @@ class PlanService:
     ) -> None:
         degraded = tier in (TIER_STALE, TIER_INCREMENTAL, TIER_REFERENCE)
         outcome = OUTCOME_DEGRADED if degraded else OUTCOME_MISS
+        response_outcome = RESPONSE_DEGRADED if degraded else RESPONSE_SERVED
         metrics = get_metrics()
         if degraded:
             metrics.inc("service.degraded", tier=tier)
+            # One ladder decision per group: journaled once, under the
+            # leader's trace ID (per-request tiers land in their resolved
+            # events below).
+            self._emit(
+                EVENT_DEGRADED,
+                requests[0].trace_id,
+                tenant=requests[0].tenant,
+                tier=tier,
+                attempt=attempts,
+            )
         for request in requests:
             with self._lock:
                 if self._inflight.get(request.fingerprint) is request.future:
@@ -616,17 +812,30 @@ class PlanService:
             self._attach_response(
                 request.future,
                 PlanResponse(
-                    outcome=RESPONSE_DEGRADED if degraded else RESPONSE_SERVED,
+                    outcome=response_outcome,
                     tier=tier,
                     fingerprint=request.fingerprint,
                     plan=plan,
                     attempts=attempts,
+                    trace_id=request.trace_id,
+                    tenant=request.tenant,
                 ),
             )
             if not request.future.done():
-                self.stats.record(
-                    outcome, time.monotonic() - request.submitted_at
+                latency = time.monotonic() - request.submitted_at
+                # Resolution is journaled before the future resolves so a
+                # blocked serial submitter can't interleave its next
+                # request's events ahead of this one's close.
+                self._emit(
+                    EVENT_RESOLVED,
+                    request.trace_id,
+                    tenant=request.tenant,
+                    tier=tier,
+                    attempt=attempts,
+                    outcome=response_outcome,
                 )
+                self._slo_record(response_outcome, latency, request.tenant)
+                self.stats.record(outcome, latency)
                 request.future.set_result(plan)
 
     def _fail_request(
@@ -643,11 +852,25 @@ class PlanService:
                 fingerprint=request.fingerprint,
                 attempts=attempts,
                 error=str(exc),
+                trace_id=request.trace_id,
+                tenant=request.tenant,
             ),
         )
         self.stats.record_error()
         get_metrics().inc("service.errors")
         if not request.future.done():
+            self._emit(
+                EVENT_RESOLVED,
+                request.trace_id,
+                tenant=request.tenant,
+                attempt=attempts,
+                outcome=RESPONSE_ERROR,
+            )
+            self._slo_record(
+                RESPONSE_ERROR,
+                time.monotonic() - request.submitted_at,
+                request.tenant,
+            )
             request.future.set_exception(exc)
 
     # ----------------------------------------------------------------- solving
@@ -679,17 +902,32 @@ class PlanService:
                 break
             if attempt > 0:
                 metrics.inc("service.retries")
+                self._emit(
+                    EVENT_RETRY,
+                    primary.trace_id,
+                    tenant=primary.tenant,
+                    attempt=attempt,
+                )
                 if policy is not None:
                     backoff = policy.backoff_seconds(primary.index, attempt)
                     if backoff > 0 and not primary.past_deadline():
                         time.sleep(backoff)
+            self._emit(
+                EVENT_ATTEMPT,
+                primary.trace_id,
+                tenant=primary.tenant,
+                attempt=attempt,
+            )
             try:
-                self.injector.on_solve_attempt(primary.index, attempt)
+                self.injector.on_solve_attempt(
+                    primary.index, attempt, trace_id=primary.trace_id
+                )
                 with tracer.span(
                     "service.solve",
                     category="service",
                     fingerprint=fp[:12],
                     attempt=attempt,
+                    trace_id=primary.trace_id,
                 ):
                     plan = planner.plan(primary.workload, fingerprint=fp)
             except InjectedWorkerCrash:
@@ -718,7 +956,9 @@ class PlanService:
                 "service.cache_put", category="service", fingerprint=fp[:12]
             ):
                 self.cache.put(fp, plan)
-            if self.injector.corrupt_cache_payload(primary.index):
+            if self.injector.corrupt_cache_payload(
+                primary.index, trace_id=primary.trace_id
+            ):
                 self.cache.corrupt(fp)
             self._resolve_group(requests, plan, TIER_FRESH, attempts=attempt + 1)
             return
@@ -761,6 +1001,7 @@ class PlanService:
                     category="service",
                     fingerprint=fp[:12],
                     tier=TIER_INCREMENTAL,
+                    trace_id=requests[0].trace_id,
                 ):
                     plan = planner.plan(requests[0].workload, fingerprint=fp)
             except Exception as exc:  # noqa: BLE001 - last tier still pending
@@ -776,6 +1017,7 @@ class PlanService:
                     category="service",
                     fingerprint=fp[:12],
                     tier=TIER_REFERENCE,
+                    trace_id=requests[0].trace_id,
                 ):
                     plan = self._reference_plan(requests[0].workload, fp)
             except Exception as exc:  # noqa: BLE001 - ladder exhausted
@@ -848,6 +1090,11 @@ class PlanServicePool:
         Optional :class:`~repro.service.store.PlanStore`; loaded into the
         shared cache now (``warm_start``) and saved on :meth:`persist` /
         :meth:`close`.
+    journal / slo:
+        Shared telemetry journal and SLO tracker, forwarded to every
+        per-topology service; one :class:`TraceIdGenerator` (seeded with
+        ``trace_seed``) is shared pool-wide so trace IDs stay unique across
+        topologies.
     """
 
     def __init__(
@@ -862,6 +1109,9 @@ class PlanServicePool:
         fault_injector=None,
         store=None,
         warm_start: bool = True,
+        journal: TelemetryJournal | None = None,
+        slo=None,
+        trace_seed: int = 0,
     ) -> None:
         self.planner_factory = planner_factory
         self.cache = cache if cache is not None else PlanCache(capacity=64)
@@ -871,6 +1121,9 @@ class PlanServicePool:
         self.resilience = resilience
         self.fault_injector = fault_injector
         self.store = store
+        self.journal = journal
+        self.slo = slo
+        self.trace_ids = TraceIdGenerator(trace_seed)
         self._services: dict[str, PlanService] = {}
         self._lock = threading.Lock()
         self._closed = False
@@ -894,6 +1147,9 @@ class PlanServicePool:
                     max_batch_size=self.max_batch_size,
                     resilience=self.resilience,
                     fault_injector=self.fault_injector,
+                    journal=self.journal,
+                    slo=self.slo,
+                    trace_ids=self.trace_ids,
                 )
                 self._services[signature] = service
         return service

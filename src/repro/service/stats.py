@@ -55,14 +55,19 @@ class LatencySummary:
     p50: float
     p95: float
     max: float
+    p99: float = 0.0
 
     @staticmethod
     def from_samples(samples: list[float]) -> "LatencySummary":
         if not samples:
-            return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, max=0.0)
+            return LatencySummary(
+                count=0, mean=0.0, p50=0.0, p95=0.0, max=0.0, p99=0.0
+            )
         if len(samples) == 1:
             value = samples[0]
-            return LatencySummary(count=1, mean=value, p50=value, p95=value, max=value)
+            return LatencySummary(
+                count=1, mean=value, p50=value, p95=value, max=value, p99=value
+            )
         ordered = sorted(samples)
         return LatencySummary(
             count=len(ordered),
@@ -70,6 +75,7 @@ class LatencySummary:
             p50=percentile(ordered, 0.50),
             p95=percentile(ordered, 0.95),
             max=ordered[-1],
+            p99=percentile(ordered, 0.99),
         )
 
 
@@ -201,6 +207,7 @@ class ServiceStats:
             ),
             f"{prefix}latency_p50": informational(overall.p50 * 1e3, "ms"),
             f"{prefix}latency_p95": informational(overall.p95 * 1e3, "ms"),
+            f"{prefix}latency_p99": informational(overall.p99 * 1e3, "ms"),
         }
 
     def as_dict(self) -> dict[str, float]:
@@ -218,6 +225,7 @@ class ServiceStats:
             "latency_mean_s": overall.mean,
             "latency_p50_s": overall.p50,
             "latency_p95_s": overall.p95,
+            "latency_p99_s": overall.p99,
         }
 
     def render(self) -> str:

@@ -213,5 +213,57 @@ class TestRender:
         assert "histograms:" in text and "h_seconds" in text
 
 
+class TestConcurrentWriters:
+    def test_barrier_synced_workers_keep_exact_aggregates(self):
+        """4 workers hammer one histogram + counter through the same barrier.
+
+        Label kwargs arrive in a different order per worker, so the test also
+        proves canonicalization under contention: every write lands on the
+        same key, and count/total stay exact even past the sample reservoir.
+        """
+        registry = MetricsRegistry(max_samples=16)
+        barrier = threading.Barrier(4)
+        per_worker = 500
+        errors: list[Exception] = []
+
+        def worker(index: int) -> None:
+            try:
+                barrier.wait(timeout=10.0)
+                for step in range(per_worker):
+                    if index % 2 == 0:
+                        registry.observe(
+                            "solve_seconds", 0.001, stage="alloc", node=1
+                        )
+                        registry.inc("requests", outcome="hit", tier="cache")
+                    else:
+                        registry.observe(
+                            "solve_seconds", 0.001, node=1, stage="alloc"
+                        )
+                        registry.inc("requests", tier="cache", outcome="hit")
+            except Exception as exc:  # pragma: no cover - surfaced via assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+
+        snap = registry.snapshot()
+        # Canonical label ordering: exactly one series per metric.
+        assert list(snap.histograms) == ["solve_seconds{node=1,stage=alloc}"]
+        assert list(snap.counters) == ["requests{outcome=hit,tier=cache}"]
+        summary = registry.histogram_summary("solve_seconds", stage="alloc", node=1)
+        assert summary.count == 4 * per_worker
+        assert summary.total == pytest.approx(4 * per_worker * 0.001)
+        assert (
+            registry.counter_value("requests", outcome="hit", tier="cache")
+            == 4 * per_worker
+        )
+
+
 def test_global_registry_is_a_singleton():
     assert get_metrics() is get_metrics()

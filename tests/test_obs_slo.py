@@ -1,0 +1,154 @@
+"""Tests for sliding-window SLO tracking: fold math, burn, compliance, exports."""
+
+import pytest
+
+from repro.obs import SloPolicy, SloTracker, slo_from_outcomes
+
+
+def fill(tracker: SloTracker, outcomes, latency=0.01, tenant=None, topology=None):
+    for outcome in outcomes:
+        tracker.record(outcome, latency, tenant=tenant, topology=topology)
+
+
+class TestPolicy:
+    def test_error_budget_is_the_unavailability_allowance(self):
+        assert SloPolicy(availability_target=0.999).error_budget() == pytest.approx(
+            0.001
+        )
+        assert SloPolicy(availability_target=1.0).error_budget() == 0.0
+
+
+class TestFold:
+    def test_empty_window_is_compliant_with_zeroes(self):
+        report = SloTracker().report()
+        assert report.count == 0
+        assert report.availability == 1.0
+        assert report.error_budget_burn == 0.0
+        assert report.compliant
+
+    def test_availability_counts_degraded_as_success(self):
+        tracker = SloTracker(SloPolicy(availability_target=0.5))
+        fill(tracker, ["served", "degraded", "error", "shed"])
+        report = tracker.report()
+        assert report.count == 4
+        assert report.availability == pytest.approx(0.5)
+        assert report.shed_rate == pytest.approx(0.25)
+        assert report.degraded_rate == pytest.approx(0.25)
+        assert report.error_rate == pytest.approx(0.25)
+
+    def test_latency_percentiles_cover_successes_only(self):
+        tracker = SloTracker()
+        tracker.record("served", 0.010)
+        tracker.record("served", 0.030)
+        tracker.record("error", 99.0)  # failures carry no success latency
+        report = tracker.report()
+        assert report.p50_latency_seconds == pytest.approx(0.020)
+        assert report.p99_latency_seconds <= 0.030
+
+    def test_burn_is_unavailability_over_budget(self):
+        tracker = SloTracker(SloPolicy(availability_target=0.9))
+        fill(tracker, ["served"] * 8 + ["error"] * 2)
+        # 20% unavailable against a 10% budget: burning 2x.
+        assert tracker.report().error_budget_burn == pytest.approx(2.0)
+
+    def test_zero_budget_burns_infinite_on_any_failure(self):
+        tracker = SloTracker(SloPolicy(availability_target=1.0))
+        fill(tracker, ["served", "error"])
+        assert tracker.report().error_budget_burn == float("inf")
+
+    def test_compliance_checks_every_enabled_objective(self):
+        policy = SloPolicy(
+            availability_target=0.5,
+            p95_latency_seconds=0.05,
+            max_shed_rate=0.0,
+            max_degraded_rate=0.5,
+        )
+        ok = SloTracker(policy)
+        fill(ok, ["served"] * 4, latency=0.01)
+        assert ok.report().compliant
+
+        slow = SloTracker(policy)
+        fill(slow, ["served"] * 4, latency=0.2)
+        assert not slow.report().compliant
+
+        shedding = SloTracker(policy)
+        fill(shedding, ["served"] * 4 + ["shed"])
+        assert not shedding.report().compliant
+
+    def test_sliding_window_forgets_old_samples(self):
+        tracker = SloTracker(window=4)
+        fill(tracker, ["error"] * 4)
+        fill(tracker, ["served"] * 4)  # pushes every error out
+        assert tracker.report().availability == 1.0
+
+
+class TestScopes:
+    def test_per_tenant_and_topology_windows(self):
+        tracker = SloTracker()
+        tracker.record("served", 0.01, tenant="a", topology="t1")
+        tracker.record("error", 0.01, tenant="b", topology="t1")
+        assert tracker.tenants() == ["a", "b"]
+        tenants = tracker.tenant_reports()
+        assert tenants["a"].availability == 1.0
+        assert tenants["b"].availability == 0.0
+        topologies = tracker.topology_reports()
+        assert topologies["t1"].count == 2
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            SloTracker(window=0)
+
+
+class TestExports:
+    def test_bench_metrics_flatten_global_and_tenant_scopes(self):
+        tracker = SloTracker()
+        tracker.record("served", 0.010, tenant="a")
+        metrics = tracker.to_bench_metrics()
+        assert metrics["slo.count"] == 1.0
+        assert metrics["slo.availability"] == 1.0
+        assert metrics["slo.p50_ms"] == pytest.approx(10.0)
+        assert metrics["slo.tenant.a.count"] == 1.0
+
+    def test_infinite_burn_exports_as_minus_one(self):
+        tracker = SloTracker(SloPolicy(availability_target=1.0))
+        fill(tracker, ["error"])
+        assert tracker.to_bench_metrics()["slo.error_budget_burn"] == -1.0
+        prom = tracker.render_prometheus()
+        assert "repro_slo_error_budget_burn -1" in prom
+
+    def test_render_lists_every_scope(self):
+        tracker = SloTracker()
+        tracker.record("served", 0.01, tenant="a", topology="x")
+        text = tracker.render()
+        assert "_global" in text
+        assert "tenant:a" in text
+        assert "topology:x" in text
+
+    def test_prometheus_exposition_shape(self):
+        tracker = SloTracker()
+        tracker.record("served", 0.01, tenant="a")
+        text = tracker.render_prometheus()
+        assert "# HELP repro_slo_availability" in text
+        assert "# TYPE repro_slo_availability gauge" in text
+        assert 'repro_slo_availability{tenant="a"} 1' in text
+        assert text.endswith("\n")
+
+    def test_as_dict_round_trips_report_fields(self):
+        tracker = SloTracker()
+        fill(tracker, ["served", "degraded"])
+        data = tracker.report().as_dict()
+        assert data["count"] == 2
+        assert data["degraded_rate"] == pytest.approx(0.5)
+        assert data["compliant"] is True
+
+
+class TestFromOutcomes:
+    def test_builds_tracker_from_journal_style_pairs(self):
+        tracker = slo_from_outcomes(
+            [("served", "a"), ("shed", "a"), ("served", None)],
+            SloPolicy(availability_target=0.5),
+        )
+        report = tracker.report()
+        assert report.count == 3
+        assert report.shed_rate == pytest.approx(1 / 3)
+        assert tracker.tenant_reports()["a"].count == 2

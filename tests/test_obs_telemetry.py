@@ -1,0 +1,249 @@
+"""Tests for request-scoped telemetry: IDs, the journal, lifecycle reducers."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JournalError,
+    TelemetryJournal,
+    TraceIdGenerator,
+    attribution_report,
+    reconstruct_requests,
+    validate_event,
+    validate_journal,
+)
+from repro.obs.telemetry import (
+    EVENT_FIELDS,
+    EVENT_KINDS,
+    JOURNAL_SCHEMA_VERSION,
+    event_line,
+    unattributed_events,
+)
+
+
+class TestTraceIdGenerator:
+    def test_ids_are_fingerprint_prefixed_ordinals(self):
+        ids = TraceIdGenerator(seed=7)
+        assert ids.mint("abcdef1234567890") == "abcdef12-7-000000"
+        assert ids.mint("abcdef1234567890") == "abcdef12-7-000001"
+        assert ids.mint("ffff") == "ffff-7-000002"
+
+    def test_empty_fingerprint_gets_anon_prefix(self):
+        assert TraceIdGenerator().mint() == "anon-0-000000"
+
+    def test_same_seed_same_stream(self):
+        one = [TraceIdGenerator(seed=3).mint("aa") for _ in range(4)]
+        other = [TraceIdGenerator(seed=3).mint("aa") for _ in range(4)]
+        # Fresh generators replay identically; a different seed does not.
+        assert one == other
+        assert TraceIdGenerator(seed=4).mint("aa") not in one
+
+
+class TestValidateEvent:
+    def make_event(self, **overrides):
+        event = {name: None for name in EVENT_FIELDS}
+        event.update(
+            v=JOURNAL_SCHEMA_VERSION, seq=0, kind="request.submitted"
+        )
+        event.update(overrides)
+        return event
+
+    def test_valid_event_passes(self):
+        validate_event(self.make_event())
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(JournalError, match="must be an object"):
+            validate_event(["not", "an", "event"])
+
+    def test_unknown_field_rejected(self):
+        event = self.make_event()
+        event["bogus"] = 1
+        with pytest.raises(JournalError, match="unknown fields"):
+            validate_event(event)
+
+    def test_missing_field_rejected(self):
+        event = self.make_event()
+        del event["tenant"]
+        with pytest.raises(JournalError, match="missing fields"):
+            validate_event(event)
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(JournalError, match="schema version"):
+            validate_event(self.make_event(v=99))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(JournalError, match="unknown event kind"):
+            validate_event(self.make_event(kind="request.vanished"))
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(JournalError, match="'seq'"):
+            validate_event(self.make_event(seq=-1))
+
+    def test_non_string_optional_field_rejected(self):
+        with pytest.raises(JournalError, match="'tenant'"):
+            validate_event(self.make_event(tenant=42))
+
+    def test_bool_attempt_rejected(self):
+        with pytest.raises(JournalError, match="'attempt'"):
+            validate_event(self.make_event(attempt=True))
+
+    def test_non_mapping_detail_rejected(self):
+        with pytest.raises(JournalError, match="'detail'"):
+            validate_event(self.make_event(detail=[1, 2]))
+
+
+class TestJournal:
+    def test_emit_returns_fixed_shape_events(self):
+        journal = TelemetryJournal()
+        event = journal.emit("request.submitted", "id-0", fingerprint="fp")
+        assert set(event) == set(EVENT_FIELDS)
+        assert event["seq"] == 0
+        assert event["trace_id"] == "id-0"
+        assert event["tenant"] is None
+
+    def test_emit_gates_bad_kind_and_types(self):
+        journal = TelemetryJournal()
+        with pytest.raises(JournalError, match="unknown event kind"):
+            journal.emit("not.a.kind", "id-0")
+        with pytest.raises(JournalError, match="'tenant'"):
+            journal.emit("request.submitted", "id-0", tenant=7)
+        with pytest.raises(JournalError, match="'attempt'"):
+            journal.emit("solve.attempt", "id-0", attempt=-1)
+        with pytest.raises(JournalError, match="'detail'"):
+            journal.emit("request.submitted", "id-0", detail="oops")
+        # Nothing landed: the gate rejects before the buffer mutates.
+        assert len(journal) == 0
+        assert journal.total_events == 0
+
+    def test_every_kind_is_emittable(self):
+        journal = TelemetryJournal()
+        for kind in EVENT_KINDS:
+            journal.emit(kind, "id-0")
+        assert [e["kind"] for e in journal.events()] == list(EVENT_KINDS)
+
+    def test_ring_buffer_drops_oldest_but_seq_keeps_rising(self):
+        journal = TelemetryJournal(capacity=3)
+        for index in range(5):
+            journal.emit("request.submitted", f"id-{index}")
+        events = journal.events()
+        assert len(events) == 3
+        assert [e["seq"] for e in events] == [2, 3, 4]
+        assert journal.dropped == 2
+        assert journal.total_events == 5
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(JournalError):
+            TelemetryJournal(capacity=0)
+
+    def test_dumps_is_canonical_and_byte_stable(self):
+        def build():
+            journal = TelemetryJournal()
+            journal.emit("request.submitted", "id-0", tenant="t", fingerprint="fp")
+            journal.emit(
+                "request.resolved", "id-0", outcome="served", tier="fresh"
+            )
+            return journal.dumps()
+
+        assert build() == build()
+        lines = build().splitlines()
+        assert len(lines) == 2
+        # Canonical rendering: sorted keys, no whitespace.
+        assert lines[0] == event_line(json.loads(lines[0]))
+
+    def test_write_and_read_round_trip(self, tmp_path):
+        journal = TelemetryJournal()
+        journal.emit("request.submitted", "id-0")
+        journal.emit("request.resolved", "id-0", outcome="served")
+        path = journal.write(tmp_path / "sub" / "telemetry.jsonl")
+        assert TelemetryJournal.read(path) == journal.events()
+
+    def test_sink_streams_every_event(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with TelemetryJournal(sink=path) as journal:
+            journal.emit("request.submitted", "id-0")
+            journal.emit("request.resolved", "id-0", outcome="served")
+        assert TelemetryJournal.read(path) == journal.events()
+
+    def test_validate_journal_rejects_non_increasing_seq(self):
+        journal = TelemetryJournal()
+        a = journal.emit("request.submitted", "id-0")
+        b = journal.emit("request.resolved", "id-0", outcome="served")
+        assert validate_journal([a, b]) == 2
+        with pytest.raises(JournalError, match="not increasing"):
+            validate_journal([b, a])
+
+    def test_validate_journal_reads_files(self, tmp_path):
+        journal = TelemetryJournal()
+        journal.emit("request.submitted", "id-0")
+        path = journal.write(tmp_path / "telemetry.jsonl")
+        assert validate_journal(path) == 1
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(JournalError, match="invalid JSON"):
+            validate_journal(path)
+
+
+class TestReconstruction:
+    def chaos_stream(self):
+        """A small hand-built stream: a retry, a coalesce, a store fault."""
+        journal = TelemetryJournal()
+        journal.emit("request.submitted", "a-0", tenant="t0", fingerprint="fa")
+        journal.emit("request.enqueued", "a-0", tenant="t0")
+        journal.emit("solve.attempt", "a-0", attempt=0)
+        journal.emit("fault.injected", "a-0", fault="planner_error", attempt=0)
+        journal.emit("solve.retry", "a-0", attempt=1)
+        journal.emit("solve.attempt", "a-0", attempt=1)
+        journal.emit("request.submitted", "b-1", tenant="t1", fingerprint="fa")
+        journal.emit("request.coalesced", "b-1", tenant="t1", leader="a-0")
+        journal.emit(
+            "request.resolved", "a-0", outcome="served", tier="fresh", attempt=2
+        )
+        journal.emit("request.resolved", "b-1", outcome="served", tier="fresh")
+        journal.emit("fault.injected", None, fault="persist_error")
+        journal.emit("cache.quarantined", None, fingerprint="fa")
+        return journal.events()
+
+    def test_lifecycles_fold_per_trace_id(self):
+        lifecycles = reconstruct_requests(self.chaos_stream())
+        assert set(lifecycles) == {"a-0", "b-1"}
+        leader = lifecycles["a-0"]
+        assert leader.tenant == "t0"
+        assert leader.attempts == 2
+        assert leader.retries == 1
+        assert leader.faults == ["planner_error"]
+        assert leader.outcome == "served"
+        assert leader.tier == "fresh"
+        assert leader.complete
+        follower = lifecycles["b-1"]
+        assert follower.leader == "a-0"
+        assert follower.attempts == 0
+        assert follower.complete
+
+    def test_unattributed_events_are_store_scoped(self):
+        unattributed = unattributed_events(self.chaos_stream())
+        assert [e["kind"] for e in unattributed] == [
+            "fault.injected",
+            "cache.quarantined",
+        ]
+
+    def test_attribution_report_census(self):
+        report = attribution_report(self.chaos_stream())
+        assert report["requests"] == 2
+        assert report["complete"] == 2
+        assert report["orphan_requests"] == 0
+        assert report["orphan_events"] == 0
+        assert report["outcomes"] == {"served": 2}
+        assert report["faults"] == {"planner_error": 1}
+        assert report["retries"] == 1
+        assert report["unattributed"] == {
+            "cache.quarantined": 1,
+            "persist_error": 1,
+        }
+
+    def test_orphan_lifecycles_are_counted(self):
+        journal = TelemetryJournal()
+        journal.emit("solve.attempt", "ghost-9", attempt=0)
+        report = attribution_report(journal.events())
+        assert report["orphan_requests"] == 1
+        assert report["orphan_events"] == 1
+        assert report["complete"] == 0

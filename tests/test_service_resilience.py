@@ -162,6 +162,8 @@ class TestPlanResponse:
             "plan_fingerprint": None,
             "attempts": 3,
             "error": "x",
+            "trace_id": None,
+            "tenant": None,
         }
 
 

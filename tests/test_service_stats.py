@@ -108,6 +108,7 @@ class TestServiceStats:
             "service.throughput",
             "service.latency_p50",
             "service.latency_p95",
+            "service.latency_p99",
         }
         assert metrics["service.requests"].value == 4
         assert metrics["service.requests"].gated
