@@ -1,0 +1,137 @@
+"""Fleet throughput: fingerprint-sharded serving vs a single-service reference.
+
+Replays a flash-crowd request stream at 10x the ``bench_service_throughput``
+volume through the two-phase :func:`~repro.experiments.load_replay.
+run_load_replay` protocol: a live 2-shard :class:`~repro.service.fleet.
+PlanServiceFleet` serves the stream under multi-threaded closed clients with
+every unique payload verified byte-identical (canonically) against an
+uncached single-planner reference, then the identical arrival schedule is
+replayed in deterministic virtual time for 1/2/4/8 shards.
+
+The gated metrics all come from the virtual-time phase (plus the payload
+audit), so they are exact functions of (workload, seed, rate) and hold at
+0.0% drift on any machine; wall-clock numbers from the live phase are
+informational.  The scaling gate asserts the fleet's simulated throughput
+grows >= 2x from 1 to 4 shards.
+"""
+
+import pytest
+
+from bench_utils import emit
+
+from repro.bench import Metric, informational, invariant, register_benchmark
+from repro.experiments.load_replay import run_load_replay
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import clip_workload
+from repro.obs.slo import SloTracker
+
+WORKLOAD = clip_workload(10, 16)
+NUM_REQUESTS = 400  # 10x bench_service_throughput's 40-request stream
+NUM_UNIQUE = 48
+RATE = 20000.0
+SEED = 7
+
+
+def _campaign(num_requests: int = NUM_REQUESTS, slo: SloTracker | None = None):
+    return run_load_replay(
+        WORKLOAD,
+        num_requests=num_requests,
+        num_unique=NUM_UNIQUE,
+        rate=RATE,
+        scenario="flash-crowd",
+        shard_counts=(1, 2, 4, 8),
+        real_shards=2,
+        seed=SEED,
+        slo=slo,
+    )
+
+
+@register_benchmark(
+    "fleet_throughput",
+    figure=None,
+    stage="service",
+    tags=("service", "fleet", "throughput", "smoke"),
+    description="Sharded plan-service fleet scaling on a flash-crowd replay",
+)
+def bench_fleet_throughput(ctx):
+    ctx.tasks(WORKLOAD)  # record the workload fingerprint for the result
+    slo = SloTracker()
+    result = _campaign(slo=slo)
+    metrics = {
+        # Virtual-time phase: deterministic, tightly gated.
+        "scaling_1_to_4": Metric(
+            result.scaling_ratio(1, 4),
+            "x",
+            higher_is_better=True,
+            regression_threshold=0.05,
+        ),
+        "scaling_1_to_8": Metric(
+            result.scaling_ratio(1, 8),
+            "x",
+            higher_is_better=True,
+            regression_threshold=0.05,
+        ),
+        "payload_match_rate": invariant(result.payload_match_rate, "fraction"),
+        "failed_requests": Metric(
+            float(result.failed_requests), "req", regression_threshold=0.0
+        ),
+        "unique_fingerprints": invariant(float(result.num_unique), "fp"),
+        # Live-fleet phase: wall-clock, machine-dependent, informational.
+        "real_throughput_rps": informational(result.real_rps, "req/s"),
+        "reference_solve_ms": informational(result.reference_solve_ms, "ms"),
+    }
+    for shards, run in sorted(result.simulated.items()):
+        metrics[f"sim_throughput_{shards}shard_rps"] = Metric(
+            run.throughput_rps,
+            "req/s",
+            higher_is_better=True,
+            regression_threshold=0.05,
+        )
+        metrics[f"sim_p99_{shards}shard_ms"] = Metric(
+            run.p99_ms, "ms", regression_threshold=0.05
+        )
+    # Live latency percentiles through the shared SLO rollup (wall-clock).
+    slo_report = slo.report()
+    metrics["slo_p50_ms"] = informational(
+        slo_report.p50_latency_seconds * 1000.0, "ms"
+    )
+    metrics["slo_p95_ms"] = informational(
+        slo_report.p95_latency_seconds * 1000.0, "ms"
+    )
+    metrics["slo_p99_ms"] = informational(
+        slo_report.p99_latency_seconds * 1000.0, "ms"
+    )
+    return metrics
+
+
+@pytest.mark.parametrize("num_requests", [NUM_REQUESTS], ids=["flash-crowd"])
+def test_fleet_throughput(num_requests):
+    result = _campaign(num_requests=num_requests)
+    emit(
+        "fleet_throughput",
+        format_table(
+            ["metric", "value"],
+            result.as_rows(),
+            title=f"plan-service fleet replay ({WORKLOAD.describe()})",
+        ),
+    )
+    # Acceptance: every served payload byte-identical to the reference,
+    # no failures, and simulated throughput scaling >= 2x from 1 -> 4 shards.
+    assert result.failed_requests == 0
+    assert result.payload_match_rate == 1.0
+    assert result.num_requests >= 10 * 40
+    ratio = result.scaling_ratio(1, 4)
+    assert ratio >= 2.0, (
+        f"fleet only scaled {ratio:.2f}x from 1 to 4 shards (need >= 2x)"
+    )
+
+
+def test_fleet_replay_deterministic():
+    """Same seed -> identical simulated throughputs and latencies."""
+    first = _campaign(num_requests=120)
+    second = _campaign(num_requests=120)
+    for shards in first.simulated:
+        a, b = first.simulated[shards], second.simulated[shards]
+        assert a.throughput_rps == b.throughput_rps
+        assert (a.p50_ms, a.p95_ms, a.p99_ms) == (b.p50_ms, b.p95_ms, b.p99_ms)
+        assert (a.solves, a.hits, a.coalesced) == (b.solves, b.hits, b.coalesced)

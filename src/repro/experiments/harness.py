@@ -142,6 +142,7 @@ class ServiceBenchmarkResult:
 
     def as_rows(self) -> list[list[str]]:
         """The metric/value rows reported by serve-bench and the benchmark."""
+        latency = self.stats.overall_latency()
         return [
             ["requests", str(self.num_requests)],
             ["unique workloads", str(self.num_unique)],
@@ -158,6 +159,11 @@ class ServiceBenchmarkResult:
                 f"({self.num_requests / self.service_seconds:.1f} req/s)",
             ],
             ["speedup", f"{self.speedup:.1f}x"],
+            [
+                "service latency",
+                f"p50 {latency.p50 * 1e3:.2f} / p95 {latency.p95 * 1e3:.2f} / "
+                f"p99 {latency.p99 * 1e3:.2f} ms",
+            ],
         ]
 
 

@@ -13,6 +13,9 @@ instead of recomputed serially:
   worker pool, request batching, single-flight deduplication and (opt-in)
   retries, deadlines, circuit breaking, load shedding and graceful
   degradation,
+* :mod:`repro.service.fleet` — a fingerprint-range-sharded fleet of plan
+  services behind one routing front end, with a lock-striped shared cache
+  and per-shard store partitions,
 * :mod:`repro.service.resilience` — the resilience policy, circuit breaker
   and per-request :class:`~repro.service.resilience.PlanResponse` record,
 * :mod:`repro.service.store` — a crash-safe persistent plan store (atomic
@@ -32,6 +35,13 @@ from repro.service.fingerprint import (
     canonical_workload,
     fingerprint_workload,
     hash_document,
+)
+from repro.service.fleet import (
+    FleetError,
+    PlanServiceFleet,
+    StripedPlanCache,
+    jump_consistent_hash,
+    shard_for_fingerprint,
 )
 from repro.service.incremental import (
     IncrementalPlanner,
@@ -54,6 +64,7 @@ from repro.service.resilience import (
     ResiliencePolicy,
 )
 from repro.service.server import (
+    FingerprintMemo,
     PlanService,
     PlanServicePool,
     ServiceError,
@@ -80,6 +91,8 @@ __all__ = [
     "CacheStats",
     "CircuitBreaker",
     "DEGRADED_TIERS",
+    "FingerprintMemo",
+    "FleetError",
     "IncrementalPlanner",
     "IncrementalStats",
     "LatencySummary",
@@ -91,6 +104,7 @@ __all__ = [
     "PlanCache",
     "PlanResponse",
     "PlanService",
+    "PlanServiceFleet",
     "PlanServicePool",
     "PlanStore",
     "RESPONSE_DEGRADED",
@@ -105,6 +119,7 @@ __all__ = [
     "StaleTopologyError",
     "StoreError",
     "StoreLoadResult",
+    "StripedPlanCache",
     "TIER_CACHE",
     "TIER_FRESH",
     "TIER_INCREMENTAL",
@@ -117,5 +132,7 @@ __all__ = [
     "canonical_workload",
     "fingerprint_workload",
     "hash_document",
+    "jump_consistent_hash",
     "payload_checksum",
+    "shard_for_fingerprint",
 ]

@@ -1,0 +1,614 @@
+"""Fingerprint-sharded serving fleet: routing, lock striping, partitions.
+
+:class:`PlanServiceFleet` scales the single :class:`~repro.service.server.
+PlanService` into N shards addressed by **fingerprint-range routing**: the
+canonical workload fingerprint's hex prefix is folded into a 64-bit key and
+mapped to a shard with :func:`jump_consistent_hash` (Lamping & Veach's
+jump consistent hash), so
+
+* identical fingerprints always land on the same shard — single-flight
+  coalescing therefore holds *across* router entry points for free (two
+  clients submitting the same workload through different fleet handles
+  still share one solve);
+* resharding from N to M shards moves only the minimal ``|M - N| / max``
+  fraction of the keyspace, and the moved keys re-route deterministically —
+  a warm-started fleet re-serves byte-identical payloads after a shard-count
+  change because entries reload into whichever shard now owns their range.
+
+The shared plan cache is a :class:`StripedPlanCache`: K independent
+:class:`~repro.service.cache.PlanCache` stripes keyed by the same
+fingerprint-range routing, each behind its own lock, with LRU/TTL semantics
+preserved *globally* — stripes share one monotonic recency-stamp counter, so
+the eviction victim under capacity pressure is the globally least-recently-
+used entry, exactly as in the flat cache.  Byte-identical payload serving,
+checksum quarantine and stale-entry retention are inherited per stripe.
+
+Durability is partitioned: each shard owns one
+:class:`~repro.service.store.PlanStore` snapshot file covering its
+fingerprint range.  Warm starts preload every partition in parallel, and
+:meth:`PlanServiceFleet.persist` writes each shard's currently-owned range
+(so a fleet restarted with a different shard count repartitions the store on
+its next persist).
+
+Telemetry stays deterministic under sharding: each shard mints trace IDs
+from its own :class:`~repro.obs.telemetry.TraceIdGenerator` namespaced by
+the shard ordinal (``<fp8>-s<shard>-<seed>-<ordinal>``), so a request's ID
+depends only on its shard and its position in that shard's submission order
+— never on cross-shard interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.core.plan import ExecutionPlan
+from repro.core.planner import ExecutionPlanner, PlannerInput
+from repro.graph.graph import ComputationGraph
+from repro.obs.telemetry import TelemetryJournal, TraceIdGenerator
+from repro.service.cache import CacheStats, PlanCache
+from repro.service.resilience import PlanResponse, ResiliencePolicy
+from repro.service.server import (
+    FingerprintMemo,
+    PlanService,
+    ServiceError,
+)
+from repro.service.stats import ServiceStats
+from repro.service.store import PlanStore
+
+_JUMP_MULTIPLIER = 2862933555777941757
+_MASK_64 = (1 << 64) - 1
+
+
+class FleetError(ServiceError):
+    """Raised for invalid fleet configuration or use after close."""
+
+
+def jump_consistent_hash(key: int, num_buckets: int) -> int:
+    """Map a 64-bit key onto ``[0, num_buckets)`` with minimal resharding.
+
+    Lamping & Veach's jump consistent hash: growing from N to N+1 buckets
+    moves exactly ~1/(N+1) of the keyspace and never moves a key between two
+    pre-existing buckets, which is what keeps a persisted fleet's partitions
+    stable (only the minimal range re-routes on a shard-count change).
+    """
+    if num_buckets <= 0:
+        raise FleetError("num_buckets must be positive")
+    key &= _MASK_64
+    bucket, candidate = -1, 0
+    while candidate < num_buckets:
+        bucket = candidate
+        key = (key * _JUMP_MULTIPLIER + 1) & _MASK_64
+        candidate = int((bucket + 1) * ((1 << 31) / ((key >> 33) + 1)))
+    return bucket
+
+
+def shard_for_fingerprint(fingerprint: str, num_shards: int) -> int:
+    """Shard ordinal owning ``fingerprint``'s range.
+
+    The canonical fingerprint is a SHA-256 hex digest; its first 16 hex
+    characters are a uniformly-distributed 64-bit key, folded through
+    :func:`jump_consistent_hash`.  Non-hex prefixes (foreign fingerprint
+    schemes) fall back to Python's string hash folded to 64 bits — stable
+    within a process, which is the scope a fleet instance lives in.
+    """
+    if not fingerprint:
+        return 0
+    prefix = fingerprint[:16]
+    try:
+        key = int(prefix, 16)
+    except ValueError:
+        key = hash(prefix) & _MASK_64
+    return jump_consistent_hash(key, num_shards)
+
+
+class StripedPlanCache:
+    """A lock-striped :class:`PlanCache`: K stripes, one global LRU order.
+
+    Each stripe is a full :class:`PlanCache` (its own lock, LRU order, TTL
+    expiry, stale list, checksum quarantine) holding the fingerprints whose
+    range routes to it (:func:`shard_for_fingerprint` with ``num_stripes``
+    buckets).  Capacity is enforced *globally*: stripes share one monotonic
+    recency-stamp counter, so when the fleet overflows ``capacity`` the trim
+    evicts the stripe head with the smallest stamp — the same entry a flat
+    LRU cache would evict.  Accesses to different ranges never contend on
+    one lock; semantics (including the eviction order and byte-identical
+    payload serving) are preserved, which the flat cache's test suite
+    verifies against both implementations.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        ttl_seconds: float | None = None,
+        clock=None,
+        journal=None,
+        num_stripes: int = 8,
+    ) -> None:
+        import itertools
+        import time
+
+        if num_stripes <= 0:
+            raise FleetError("num_stripes must be positive")
+        clock = clock if clock is not None else time.monotonic
+        stamps = itertools.count(1)
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self.num_stripes = num_stripes
+        self._journal = journal
+        # Each stripe gets the full global capacity: per-stripe self-eviction
+        # must never fire before the global trim (which alone knows the
+        # cross-stripe LRU order).  The degenerate all-keys-in-one-stripe
+        # case still evicts correctly — that stripe's LRU is the global LRU.
+        self._stripes = [
+            PlanCache(
+                capacity=capacity,
+                ttl_seconds=ttl_seconds,
+                clock=clock,
+                journal=journal,
+                stamp_source=stamps,
+            )
+            for _ in range(num_stripes)
+        ]
+        self._trim_lock = threading.Lock()
+
+    # -------------------------------------------------------------- routing
+    def stripe_of(self, fingerprint: str) -> int:
+        return shard_for_fingerprint(fingerprint, self.num_stripes)
+
+    def _stripe(self, fingerprint: str) -> PlanCache:
+        return self._stripes[self.stripe_of(fingerprint)]
+
+    @property
+    def stripes(self) -> "list[PlanCache]":
+        return list(self._stripes)
+
+    # ------------------------------------------------------------- journal
+    # PlanService adopts journal-less caches (``cache.journal = journal``);
+    # propagate assignments to every stripe so quarantines keep journaling.
+    @property
+    def journal(self):
+        return self._journal
+
+    @journal.setter
+    def journal(self, journal) -> None:
+        self._journal = journal
+        for stripe in self._stripes:
+            stripe.journal = journal
+
+    # -------------------------------------------------------------- access
+    def get(self, fingerprint: str) -> Optional[ExecutionPlan]:
+        return self._stripe(fingerprint).get(fingerprint)
+
+    def get_payload(self, fingerprint: str) -> Optional[str]:
+        return self._stripe(fingerprint).get_payload(fingerprint)
+
+    def get_stale(self, fingerprint: str):
+        return self._stripe(fingerprint).get_stale(fingerprint)
+
+    def put(
+        self, fingerprint: str, plan: ExecutionPlan, payload: str | None = None
+    ) -> None:
+        self._stripe(fingerprint).put(fingerprint, plan, payload)
+        self._trim()
+
+    def put_payload(
+        self, fingerprint: str, payload: str, checksum: str | None = None
+    ) -> None:
+        self._stripe(fingerprint).put_payload(fingerprint, payload, checksum)
+        self._trim()
+
+    def invalidate(self, fingerprint: str) -> bool:
+        return self._stripe(fingerprint).invalidate(fingerprint)
+
+    def corrupt(self, fingerprint: str) -> bool:
+        return self._stripe(fingerprint).corrupt(fingerprint)
+
+    def clear(self) -> None:
+        for stripe in self._stripes:
+            stripe.clear()
+
+    def purge_expired(self) -> int:
+        return sum(stripe.purge_expired() for stripe in self._stripes)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._stripe(fingerprint)
+
+    def __len__(self) -> int:
+        return sum(len(stripe) for stripe in self._stripes)
+
+    def fingerprints(self) -> list[str]:
+        out: list[str] = []
+        for stripe in self._stripes:
+            out.extend(stripe.fingerprints())
+        return out
+
+    def stale_fingerprints(self) -> list[str]:
+        out: list[str] = []
+        for stripe in self._stripes:
+            out.extend(stripe.stale_fingerprints())
+        return out
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated counters across every stripe (read-only snapshot)."""
+        merged = CacheStats()
+        for stripe in self._stripes:
+            stats = stripe.stats
+            merged.hits += stats.hits
+            merged.misses += stats.misses
+            merged.puts += stats.puts
+            merged.evictions += stats.evictions
+            merged.expirations += stats.expirations
+            merged.corruptions += stats.corruptions
+            merged.stale_hits += stats.stale_hits
+        return merged
+
+    # --------------------------------------------------------- persistence
+    def save(self, path) -> "Path":
+        """Snapshot every stripe's payloads into one flat-format file."""
+        import json
+
+        from repro.service.cache import CACHE_SNAPSHOT_VERSION
+
+        entries: dict[str, str] = {}
+        for stripe in self._stripes:
+            for fingerprint in stripe.fingerprints():
+                payload = stripe.get_payload(fingerprint)
+                if payload is not None:
+                    entries[fingerprint] = payload
+        snapshot = {
+            "format_version": CACHE_SNAPSHOT_VERSION,
+            "entries": entries,
+        }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+        return path
+
+    def load(self, path) -> int:
+        """Load a flat snapshot, routing each entry to its stripe."""
+        # Parse/validate once via a scratch flat cache, then re-route.
+        scratch = PlanCache(capacity=max(self.capacity, 1))
+        count = scratch.load(path)
+        for fingerprint in scratch.fingerprints():
+            payload = scratch.get_payload(fingerprint)
+            if payload is not None:
+                self.put_payload(fingerprint, payload)
+        return count
+
+    # ------------------------------------------------------------ internals
+    def _trim(self) -> None:
+        """Evict globally-LRU entries until the fleet is within capacity.
+
+        Serialized by ``_trim_lock`` (evictions are rare relative to
+        accesses); each victim lookup is O(stripes) over the stripe heads.
+        """
+        if len(self) <= self.capacity:
+            return
+        with self._trim_lock:
+            while len(self) > self.capacity:
+                victim: PlanCache | None = None
+                victim_stamp: int | None = None
+                for stripe in self._stripes:
+                    stamp = stripe.lru_stamp()
+                    if stamp is None:
+                        continue
+                    if victim_stamp is None or stamp < victim_stamp:
+                        victim, victim_stamp = stripe, stamp
+                if victim is None:
+                    return
+                victim.evict_lru()
+
+
+class PlanServiceFleet:
+    """N fingerprint-range-sharded :class:`PlanService` shards, one front end.
+
+    The router fingerprints each request once (shared
+    :class:`~repro.service.server.FingerprintMemo`), routes it to the shard
+    owning its range, and hands the precomputed fingerprint down — so a
+    request is canonicalised exactly once no matter how many shards or
+    entry points exist.  Identical fingerprints deterministically route to
+    one shard, preserving single-flight coalescing across entry points.
+
+    Parameters
+    ----------
+    planner_factory:
+        Zero-argument factory building an :class:`ExecutionPlanner` (each
+        shard's workers build their own instance, as in
+        :class:`PlanService`).
+    num_shards:
+        Shard count; :func:`shard_for_fingerprint` with this bucket count
+        is the routing function.
+    num_stripes:
+        Stripe count of the shared :class:`StripedPlanCache`; defaults to
+        ``num_shards`` so cache stripes and shards cover the same
+        fingerprint ranges.
+    cache:
+        Pre-built shared cache (striped or flat); by default a
+        :class:`StripedPlanCache` of ``capacity`` entries.
+    num_workers / max_batch_size / resilience:
+        Per-shard :class:`PlanService` configuration.
+    store_dir:
+        Directory of per-shard :class:`PlanStore` partitions
+        (``shard-<ordinal>.json``).  With ``warm_start`` every partition is
+        preloaded in parallel at construction — including partitions written
+        under a *different* shard count, whose entries re-route to their
+        current owners through the shared cache.
+    auto_compact_threshold:
+        Forwarded to each partition store: a load that quarantines at least
+        this many entries triggers an automatic snapshot compaction.
+    journal / slo:
+        Shared telemetry journal and SLO tracker.  Each shard additionally
+        gets its own trace-ID namespace (``s<ordinal>``) and scope label
+        (``<topology>/s<ordinal>``), so journals from same-seed serial
+        replays are byte-identical and SLO rollups stay separable per shard.
+    """
+
+    def __init__(
+        self,
+        planner_factory: Callable[[], ExecutionPlanner],
+        *,
+        num_shards: int = 4,
+        num_stripes: int | None = None,
+        cache=None,
+        capacity: int = 256,
+        stats: ServiceStats | None = None,
+        num_workers: int = 1,
+        max_batch_size: int = 8,
+        resilience: ResiliencePolicy | None = None,
+        store_dir: "str | Path | None" = None,
+        warm_start: bool = True,
+        auto_compact_threshold: int | None = None,
+        journal: TelemetryJournal | None = None,
+        slo=None,
+        trace_seed: int = 0,
+    ) -> None:
+        if num_shards <= 0:
+            raise FleetError("num_shards must be positive")
+        prototype = planner_factory()
+        self.num_shards = num_shards
+        self.cache = (
+            cache
+            if cache is not None
+            else StripedPlanCache(
+                capacity=capacity,
+                num_stripes=num_stripes if num_stripes is not None else num_shards,
+            )
+        )
+        self.stats = stats if stats is not None else ServiceStats()
+        self.journal = journal
+        self.slo = slo
+        self.trace_seed = trace_seed
+        self._fingerprints = FingerprintMemo(
+            prototype.cluster, prototype.config_signature()
+        )
+        self._topology = prototype.cluster.signature()[:8]
+        self._closed = False
+        self._lock = threading.Lock()
+
+        self.stores: list[PlanStore] = []
+        self._store_dir: Path | None = None
+        if store_dir is not None:
+            self._store_dir = Path(store_dir)
+            self.stores = [
+                PlanStore(
+                    self._store_dir / f"shard-{ordinal:02d}.json",
+                    auto_compact_threshold=auto_compact_threshold,
+                )
+                for ordinal in range(num_shards)
+            ]
+        self.warm_started = 0
+        if self._store_dir is not None and warm_start:
+            self.warm_started = self._parallel_warm_start()
+
+        self.shards: list[PlanService] = [
+            PlanService(
+                planner_factory,
+                cache=self.cache,
+                stats=self.stats,
+                num_workers=num_workers,
+                max_batch_size=max_batch_size,
+                resilience=resilience,
+                journal=journal,
+                slo=slo,
+                trace_ids=TraceIdGenerator(trace_seed, namespace=f"s{ordinal}"),
+                label=f"{self._topology}/s{ordinal}",
+            )
+            for ordinal in range(num_shards)
+        ]
+        self._shard_requests = [0] * num_shards
+
+    # ------------------------------------------------------------- routing
+    def fingerprint(self, workload: PlannerInput) -> str:
+        """Canonical fingerprint, memoized once fleet-wide."""
+        if not isinstance(workload, ComputationGraph):
+            workload = tuple(workload)
+        return self._fingerprints.fingerprint(workload)
+
+    def shard_of(self, fingerprint: str) -> int:
+        """Ordinal of the shard owning ``fingerprint``'s range."""
+        return shard_for_fingerprint(fingerprint, self.num_shards)
+
+    def shard_census(self) -> list[int]:
+        """Requests routed to each shard since construction."""
+        with self._lock:
+            return list(self._shard_requests)
+
+    # ------------------------------------------------------------ serving
+    def submit(
+        self, workload: PlannerInput, *, tenant: str | None = None
+    ) -> Future:
+        """Route one request to its shard; returns the shard's future."""
+        if not isinstance(workload, ComputationGraph):
+            workload = tuple(workload)
+        fp = self.fingerprint(workload)
+        shard = self._route(fp)
+        return shard.submit(workload, tenant=tenant, fingerprint=fp)
+
+    def submit_many(
+        self, workloads, *, tenant: str | None = None
+    ) -> "list[Future]":
+        """One dispatch cycle: fingerprint, group by shard, batch-submit.
+
+        Same-shard requests of the cycle are handed to their shard as one
+        batch (one :meth:`PlanService.submit_many` call per shard), and the
+        returned futures line up with ``workloads`` positionally.
+        """
+        snapshot = [
+            w if isinstance(w, ComputationGraph) else tuple(w) for w in workloads
+        ]
+        fps = [self.fingerprint(w) for w in snapshot]
+        groups: dict[int, list[int]] = {}
+        for index, fp in enumerate(fps):
+            groups.setdefault(self.shard_of(fp), []).append(index)
+        futures: list[Future | None] = [None] * len(snapshot)
+        for ordinal, indices in groups.items():
+            shard = self._route_ordinal(ordinal, count=len(indices))
+            batch = shard.submit_many(
+                [snapshot[i] for i in indices],
+                tenant=tenant,
+                fingerprints=[fps[i] for i in indices],
+            )
+            for i, future in zip(indices, batch):
+                futures[i] = future
+        return futures  # type: ignore[return-value]
+
+    def plan(
+        self,
+        workload: PlannerInput,
+        timeout: float | None = None,
+        *,
+        tenant: str | None = None,
+    ) -> ExecutionPlan:
+        if not isinstance(workload, ComputationGraph):
+            workload = tuple(workload)
+        fp = self.fingerprint(workload)
+        return self._route(fp).plan(
+            workload, timeout, tenant=tenant, fingerprint=fp
+        )
+
+    def request(
+        self,
+        workload: PlannerInput,
+        timeout: float | None = None,
+        *,
+        tenant: str | None = None,
+    ) -> PlanResponse:
+        if not isinstance(workload, ComputationGraph):
+            workload = tuple(workload)
+        fp = self.fingerprint(workload)
+        return self._route(fp).request(
+            workload, timeout, tenant=tenant, fingerprint=fp
+        )
+
+    def serialized_plan(
+        self, workload: PlannerInput, timeout: float | None = None
+    ) -> str:
+        """The serialized plan document, byte-identical across hits/shards."""
+        fp = self.fingerprint(workload)
+        payload = self.cache.get_payload(fp)
+        if payload is not None:
+            return payload
+        self.plan(workload, timeout=timeout)
+        payload = self.cache.get_payload(fp)
+        if payload is None:  # pragma: no cover - evicted between plan and read
+            from repro.core.serialization import plan_to_json
+
+            payload = plan_to_json(self.plan(workload, timeout=timeout))
+        return payload
+
+    def pending_requests(self) -> int:
+        return sum(shard.pending_requests() for shard in self.shards)
+
+    # --------------------------------------------------------- durability
+    def persist(self) -> int:
+        """Write each shard's currently-owned fingerprint range to its
+        partition; returns how many partitions were written.
+
+        Ownership is recomputed at persist time, so a fleet warm-started
+        from partitions written under a different shard count repartitions
+        the store here.  I/O errors on one partition don't stop the rest.
+        """
+        if not self.stores:
+            return 0
+        owned: dict[int, list[str]] = {i: [] for i in range(self.num_shards)}
+        for fingerprint in self.cache.fingerprints():
+            owned[self.shard_of(fingerprint)].append(fingerprint)
+        written = 0
+        for ordinal, store in enumerate(self.stores):
+            try:
+                store.save(self.cache, fingerprints=owned[ordinal])
+            except OSError:
+                continue
+            written += 1
+        # Shrinking fleets leave higher-ordinal partitions behind; their
+        # entries were just rewritten into the current owners, so drop them
+        # rather than letting a future warm start resurrect stale payloads.
+        if self._store_dir is not None and self._store_dir.is_dir():
+            own = {store.path for store in self.stores}
+            for path in self._store_dir.glob("shard-*.json"):
+                if path not in own:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+        return written
+
+    def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.persist()
+        for shard in self.shards:
+            shard.close(wait=wait, cancel_pending=cancel_pending)
+
+    def __enter__(self) -> "PlanServiceFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- internals
+    def _route(self, fingerprint: str) -> PlanService:
+        return self._route_ordinal(self.shard_of(fingerprint))
+
+    def _route_ordinal(self, ordinal: int, count: int = 1) -> PlanService:
+        with self._lock:
+            if self._closed:
+                raise FleetError("PlanServiceFleet is closed")
+            self._shard_requests[ordinal] += count
+        return self.shards[ordinal]
+
+    def _parallel_warm_start(self) -> int:
+        """Preload every on-disk partition concurrently into the shared cache.
+
+        Loads every ``shard-*.json`` present in the store directory — not
+        just the current fleet's own partitions — so a fleet restarted with
+        *fewer* shards than the one that persisted still recovers the whole
+        keyspace (the extra partitions' entries re-route to their new owners
+        via the shared cache, and the next :meth:`persist` repartitions the
+        directory).  Partitions cover disjoint fingerprint ranges, and the
+        striped cache takes per-stripe locks, so the loads don't serialize
+        on one another (beyond the GIL).  Returns total entries loaded.
+        """
+        own = {store.path for store in self.stores}
+        stores = list(self.stores)
+        if self._store_dir is not None and self._store_dir.is_dir():
+            stores.extend(
+                PlanStore(path)
+                for path in sorted(self._store_dir.glob("shard-*.json"))
+                if path not in own
+            )
+        if not stores:
+            return 0
+        with ThreadPoolExecutor(
+            max_workers=len(stores), thread_name_prefix="fleet-warm"
+        ) as pool:
+            results = list(
+                pool.map(lambda store: store.load_into(self.cache), stores)
+            )
+        return sum(result.loaded for result in results)

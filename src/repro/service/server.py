@@ -116,6 +116,61 @@ PlannerOrFactory = Union[ServablePlanner, Callable[[], ServablePlanner]]
 _SHUTDOWN = object()
 
 
+class FingerprintMemo:
+    """Identity-keyed memo of workload fingerprints.
+
+    Resubmitting the same task objects (the common serving pattern) skips
+    canonicalisation entirely; entries hold strong references to their
+    workloads so CPython cannot recycle the memoized ids.  Workloads are
+    treated as immutable once submitted.  Shared by :class:`PlanService`
+    and the fleet router (:class:`~repro.service.fleet.PlanServiceFleet`),
+    which fingerprints once at the front end and hands the result down.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterTopology,
+        config_signature: str,
+        capacity: int = 1024,
+    ) -> None:
+        self.cluster = cluster
+        self.config_signature = config_signature
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._memo: OrderedDict[tuple[int, ...], tuple[object, str]] = OrderedDict()
+
+    @staticmethod
+    def key_of(workload: PlannerInput) -> tuple[int, ...]:
+        if isinstance(workload, ComputationGraph):
+            return (id(workload),)
+        return tuple(id(task) for task in workload)
+
+    def fingerprint(self, workload: PlannerInput) -> str:
+        key = self.key_of(workload)
+        with self._lock:
+            memoized = self._memo.get(key)
+            if memoized is not None:
+                self._memo.move_to_end(key)
+                return memoized[1]
+        fp = fingerprint_workload(workload, self.cluster, self.config_signature)
+        self.remember(workload, fp, key=key)
+        return fp
+
+    def remember(
+        self,
+        workload: PlannerInput,
+        fingerprint: str,
+        key: "tuple[int, ...] | None" = None,
+    ) -> None:
+        """Seed the memo with an externally computed fingerprint."""
+        key = key if key is not None else self.key_of(workload)
+        with self._lock:
+            self._memo[key] = (workload, fingerprint)
+            self._memo.move_to_end(key)
+            while len(self._memo) > self.capacity:
+                self._memo.popitem(last=False)
+
+
 class ServiceError(Exception):
     """Raised for invalid service configuration, shutdown, or exhausted
     degradation ladders."""
@@ -196,6 +251,10 @@ class PlanService:
         Optional shared :class:`~repro.obs.telemetry.TraceIdGenerator`
         (a pool passes one across its per-topology services); by default a
         private generator seeded with ``trace_seed``.
+    label:
+        Scope label stamped on journal events and SLO samples (``topology``
+        field); defaults to the topology-signature prefix.  A fleet passes
+        ``<topology>/s<ordinal>`` so per-shard rollups stay separable.
     """
 
     def __init__(
@@ -213,6 +272,7 @@ class PlanService:
         slo=None,
         trace_ids: TraceIdGenerator | None = None,
         trace_seed: int = 0,
+        label: str | None = None,
     ) -> None:
         if num_workers <= 0:
             raise ServiceError("num_workers must be positive")
@@ -254,7 +314,9 @@ class PlanService:
         self._reference_planner_factory = reference_planner_factory
         self._reference_planner: ExecutionPlanner | None = None
         self._reference_lock = threading.Lock()
-        self._topology_label = self._prototype.cluster.signature()[:12]
+        self._topology_label = (
+            label if label is not None else self._prototype.cluster.signature()[:12]
+        )
         self.breaker = CircuitBreaker(
             failure_threshold=(
                 resilience.breaker_failure_threshold if resilience else 0
@@ -266,15 +328,9 @@ class PlanService:
         self._lock = threading.Lock()
         self._closed = False
         self._cancel_pending = False
-        # Fingerprint memo keyed by the identity of the request's task objects.
-        # Resubmitting the same task objects (the common serving pattern) skips
-        # canonicalisation entirely; entries hold strong references to their
-        # workloads so CPython cannot recycle the memoized ids.  Workloads are
-        # treated as immutable once submitted.
-        self._fingerprint_memo: OrderedDict[tuple[int, ...], tuple[object, str]] = (
-            OrderedDict()
+        self._fingerprints = FingerprintMemo(
+            self._prototype.cluster, self._prototype.config_signature()
         )
-        self._fingerprint_memo_capacity = 1024
         self._num_workers = num_workers
         self._workers = [
             threading.Thread(
@@ -289,27 +345,14 @@ class PlanService:
     # ------------------------------------------------------------- public API
     def fingerprint(self, workload: PlannerInput) -> str:
         """Fingerprint a request exactly as :meth:`submit` would."""
-        if isinstance(workload, ComputationGraph):
-            key = (id(workload),)
-        else:
-            key = tuple(id(task) for task in workload)
-        with self._lock:
-            memoized = self._fingerprint_memo.get(key)
-            if memoized is not None:
-                self._fingerprint_memo.move_to_end(key)
-                return memoized[1]
-        fp = fingerprint_workload(
-            workload, self._prototype.cluster, self._prototype.config_signature()
-        )
-        with self._lock:
-            self._fingerprint_memo[key] = (workload, fp)
-            self._fingerprint_memo.move_to_end(key)
-            while len(self._fingerprint_memo) > self._fingerprint_memo_capacity:
-                self._fingerprint_memo.popitem(last=False)
-        return fp
+        return self._fingerprints.fingerprint(workload)
 
     def submit(
-        self, workload: PlannerInput, *, tenant: str | None = None
+        self,
+        workload: PlannerInput,
+        *,
+        tenant: str | None = None,
+        fingerprint: str | None = None,
     ) -> Future:
         """Enqueue a planning request; returns a future yielding the plan.
 
@@ -327,13 +370,22 @@ class PlanService:
         is the leader's, so ``future._repro_trace_id`` stays the leader's
         too).  ``tenant`` is an optional accounting label carried through
         the journal, the :class:`PlanResponse` and the SLO tracker.
+
+        ``fingerprint`` accepts the request's precomputed canonical
+        fingerprint (a fleet router fingerprints once to pick the shard);
+        when given, the service trusts it and seeds its memo instead of
+        re-canonicalising.
         """
         start = time.monotonic()
         metrics = get_metrics()
         with get_tracer().span("service.submit", category="service") as span:
             if not isinstance(workload, ComputationGraph):
                 workload = tuple(workload)  # snapshot mutable task sequences
-            fp = self.fingerprint(workload)
+            if fingerprint is not None:
+                fp = fingerprint
+                self._fingerprints.remember(workload, fp)
+            else:
+                fp = self.fingerprint(workload)
             trace_id = self.trace_ids.mint(fp)
             span.set(fingerprint=fp[:12], trace_id=trace_id)
             self._emit(EVENT_SUBMITTED, trace_id, tenant=tenant, fingerprint=fp)
@@ -454,12 +506,38 @@ class PlanService:
                 span.set(outcome=OUTCOME_MISS)
             return future
 
+    def submit_many(
+        self,
+        workloads: "list[PlannerInput]",
+        *,
+        tenant: str | None = None,
+        fingerprints: "list[str] | None" = None,
+    ) -> "list[Future]":
+        """Submit one dispatch cycle's worth of requests, in order.
+
+        The fleet router groups same-shard requests per dispatch cycle and
+        hands each shard its group through this entry point; duplicates
+        within the batch coalesce exactly as serial :meth:`submit` calls
+        would (the first is the single-flight leader).
+        """
+        if fingerprints is not None and len(fingerprints) != len(workloads):
+            raise ServiceError("fingerprints must match workloads one-to-one")
+        return [
+            self.submit(
+                workload,
+                tenant=tenant,
+                fingerprint=fingerprints[i] if fingerprints is not None else None,
+            )
+            for i, workload in enumerate(workloads)
+        ]
+
     def plan(
         self,
         workload: PlannerInput,
         timeout: float | None = None,
         *,
         tenant: str | None = None,
+        fingerprint: str | None = None,
     ) -> ExecutionPlan:
         """Synchronous convenience wrapper around :meth:`submit`.
 
@@ -468,7 +546,7 @@ class PlanService:
         (or hits the cache once the abandoned solve lands) instead of
         latching onto the abandoned future forever.
         """
-        future = self.submit(workload, tenant=tenant)
+        future = self.submit(workload, tenant=tenant, fingerprint=fingerprint)
         try:
             return future.result(timeout=timeout)
         except FutureTimeoutError:
@@ -481,6 +559,7 @@ class PlanService:
         timeout: float | None = None,
         *,
         tenant: str | None = None,
+        fingerprint: str | None = None,
     ) -> PlanResponse:
         """Resolve one request into its :class:`PlanResponse`.
 
@@ -490,7 +569,7 @@ class PlanService:
         served.  (A client-side ``timeout`` expiry is the one exception that
         still surfaces as an ``error`` response rather than an exception.)
         """
-        future = self.submit(workload, tenant=tenant)
+        future = self.submit(workload, tenant=tenant, fingerprint=fingerprint)
         try:
             plan = future.result(timeout=timeout)
         except FutureTimeoutError:

@@ -5,10 +5,11 @@ versioned snapshots of a :class:`~repro.service.cache.PlanCache`'s payloads
 and reloads them on restart (warm start), with three crash-safety
 guarantees:
 
-* **Atomic snapshots** — every save writes to a temp file in the target
-  directory and ``os.replace``\\ s it over the snapshot, so a crash (or an
-  injected persistence fault) mid-write leaves the previous snapshot intact;
-  readers never observe a torn file.
+* **Atomic, crash-consistent snapshots** — every save writes to a temp file
+  in the target directory, ``fsync``\\ s it, and ``os.replace``\\ s it over
+  the snapshot, so a crash (or an injected persistence fault) mid-write —
+  or a power loss right after the rename — leaves a complete snapshot on
+  disk; readers never observe a torn file.
 * **Per-entry checksums** — each payload is stored with its SHA-256; the
   format also carries a whole-snapshot entry count so truncation is
   detectable even when individual entries parse.
@@ -78,24 +79,46 @@ class PlanStore:
     injector:
         Optional fault injector consulted once per save
         (``persist_error`` faults abort the save before the atomic rename).
+    auto_compact_threshold:
+        When a load quarantines at least this many entries, the snapshot is
+        automatically compacted (rewritten without the dead entries) right
+        after the load.  ``None`` (default) disables auto-compaction.
     """
 
-    def __init__(self, path: str | Path, *, injector=None) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        injector=None,
+        auto_compact_threshold: int | None = None,
+    ) -> None:
         self.path = Path(path)
         self.injector = injector
+        self.auto_compact_threshold = auto_compact_threshold
         #: Quarantine log of the most recent load (fingerprint -> reason).
         self.quarantined: dict[str, str] = {}
 
     # ------------------------------------------------------------------ save
-    def save(self, cache: PlanCache) -> Path:
+    def save(
+        self, cache: PlanCache, *, fingerprints: "list[str] | None" = None
+    ) -> Path:
         """Atomically snapshot ``cache``'s payloads (fresh entries only).
 
-        The write goes to ``<path>.tmp`` and is renamed over the snapshot in
-        one step; any failure before the rename — injected persistence
-        faults included — leaves the previous snapshot untouched.
+        With ``fingerprints``, only those entries are written — the
+        partitioned-save path used by fleet shards, where each store owns
+        one fingerprint range of a shared cache.
+
+        The write goes to ``<path>.tmp``, is fsynced, and is renamed over
+        the snapshot in one step; any failure before the rename — injected
+        persistence faults included — leaves the previous snapshot
+        untouched, and the fsync guarantees the renamed file's contents
+        survive a crash immediately after.
         """
+        selection = (
+            cache.fingerprints() if fingerprints is None else fingerprints
+        )
         entries: dict[str, dict[str, str]] = {}
-        for fingerprint in cache.fingerprints():
+        for fingerprint in selection:
             payload = cache.get_payload(fingerprint)
             if payload is None:
                 continue  # expired or quarantined between listing and read
@@ -108,20 +131,75 @@ class PlanStore:
             "entry_count": len(entries),
             "entries": entries,
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
         if self.injector is not None:
             # The injected fault models a crash mid-write: the temp file may
             # exist (partially written) but the snapshot must stay intact.
             try:
                 self.injector.on_persist()
             except Exception:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = self.path.with_name(self.path.name + ".tmp")
                 tmp.write_text('{"torn": ', encoding="utf-8")
                 raise
-        tmp.write_text(json.dumps(document), encoding="utf-8")
-        os.replace(tmp, self.path)
+        self._write_snapshot(document)
         get_metrics().inc("service.store", event="saved")
         return self.path
+
+    def _write_snapshot(self, document: dict) -> None:
+        """Durably write ``document`` as the snapshot: tmp + fsync + rename."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(document))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    # --------------------------------------------------------------- compact
+    def compact(self) -> int:
+        """Rewrite the snapshot keeping only intact entries.
+
+        Dead weight — entries that fail checksum/structure verification, a
+        stale ``entry_count``, or legacy v1 framing — is dropped and the
+        survivors are rewritten as a fresh v2 snapshot (legacy payloads gain
+        checksums).  Returns how many entries were dropped.  A missing
+        snapshot is a no-op.
+        """
+        if not self.path.is_file():
+            return 0
+        try:
+            snapshot = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"Unreadable plan-store snapshot {self.path}: {exc}")
+        raw = snapshot.get("entries")
+        if not isinstance(raw, dict):
+            raise StoreError(f"Snapshot {self.path} is missing its 'entries' mapping")
+        legacy = snapshot.get("format_version") == CACHE_SNAPSHOT_VERSION
+        entries: dict[str, dict[str, str]] = {}
+        dropped = 0
+        for fingerprint, record in raw.items():
+            if legacy:
+                record = (
+                    {"payload": record, "checksum": payload_checksum(record)}
+                    if isinstance(record, str)
+                    else record
+                )
+            if self._verify(record) is not None:
+                dropped += 1
+                continue
+            entries[fingerprint] = {
+                "payload": record["payload"],
+                "checksum": record["checksum"],
+            }
+        self._write_snapshot(
+            {
+                "format_version": STORE_FORMAT_VERSION,
+                "entry_count": len(entries),
+                "entries": entries,
+            }
+        )
+        get_metrics().inc("service.store", event="compacted")
+        return dropped
 
     # ------------------------------------------------------------------ load
     def load_into(self, cache: PlanCache) -> StoreLoadResult:
@@ -169,7 +247,13 @@ class PlanStore:
             result.loaded += 1
         self.quarantined = dict(result.quarantined)
         metrics.inc("service.store", event="loaded")
+        self._maybe_auto_compact(result)
         return result
+
+    def _maybe_auto_compact(self, result: StoreLoadResult) -> None:
+        threshold = self.auto_compact_threshold
+        if threshold is not None and len(result.quarantined) >= threshold:
+            self.compact()
 
     @staticmethod
     def _verify(record: object) -> str | None:
@@ -204,4 +288,5 @@ class PlanStore:
             cache.put_payload(fingerprint, payload, checksum=None)
             result.loaded += 1
         self.quarantined = dict(result.quarantined)
+        self._maybe_auto_compact(result)
         return result

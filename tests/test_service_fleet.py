@@ -1,0 +1,305 @@
+"""Tests for the fingerprint-sharded plan-service fleet.
+
+Covers the routing function (jump consistent hash and its minimal-movement
+guarantee), cross-shard single-flight coalescing, reshard byte-identity,
+partitioned persistence with parallel warm start, and same-seed telemetry
+journal determinism.
+"""
+
+import threading
+from concurrent.futures import wait
+
+import pytest
+
+from repro.cluster.topology import make_cluster
+from repro.core.plan import ExecutionPlan
+from repro.core.planner import ExecutionPlanner
+from repro.obs import TelemetryJournal
+from repro.service import (
+    FleetError,
+    PlanService,
+    PlanServiceFleet,
+    PlanCache,
+    StripedPlanCache,
+    jump_consistent_hash,
+    shard_for_fingerprint,
+)
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster(4, devices_per_node=4)
+
+
+class CountingFactory:
+    """Planner factory whose planners share one invocation counter."""
+
+    def __init__(self, cluster, gate: threading.Event | None = None) -> None:
+        self.cluster = cluster
+        self.gate = gate
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self) -> ExecutionPlanner:
+        factory = self
+
+        class _Planner(ExecutionPlanner):
+            def plan(self, workload, **kwargs) -> ExecutionPlan:
+                with factory._lock:
+                    factory.calls += 1
+                if factory.gate is not None:
+                    assert factory.gate.wait(timeout=10.0), "gate never opened"
+                return super().plan(workload, **kwargs)
+
+        return _Planner(self.cluster)
+
+
+class TestJumpConsistentHash:
+    def test_range_and_determinism(self):
+        for key in (0, 1, 17, 2**31, 2**63 - 1, 2**64 - 1):
+            for buckets in (1, 2, 4, 8, 100):
+                bucket = jump_consistent_hash(key, buckets)
+                assert 0 <= bucket < buckets
+                assert bucket == jump_consistent_hash(key, buckets)
+
+    def test_single_bucket_is_zero(self):
+        assert all(jump_consistent_hash(k, 1) == 0 for k in range(50))
+
+    def test_minimal_movement_on_growth(self):
+        """Growing N -> N+1 only ever moves keys into the new bucket."""
+        keys = [hash(("key", i)) & (2**64 - 1) for i in range(500)]
+        for buckets in range(1, 9):
+            moved = 0
+            for key in keys:
+                before = jump_consistent_hash(key, buckets)
+                after = jump_consistent_hash(key, buckets + 1)
+                if after != before:
+                    assert after == buckets  # only into the new bucket
+                    moved += 1
+            # Expected movement is ~1/(N+1) of the keyspace.
+            assert moved < len(keys) * 2.5 / (buckets + 1)
+
+    def test_rejects_bad_bucket_count(self):
+        with pytest.raises(FleetError):
+            jump_consistent_hash(42, 0)
+
+    def test_fingerprint_routing_spreads(self):
+        import hashlib
+
+        fingerprints = [
+            hashlib.sha256(str(i).encode()).hexdigest() for i in range(256)
+        ]
+        census = [0] * 8
+        for fingerprint in fingerprints:
+            census[shard_for_fingerprint(fingerprint, 8)] += 1
+        assert all(count > 0 for count in census)
+
+    def test_non_hex_fingerprints_still_route(self):
+        assert 0 <= shard_for_fingerprint("not-hex-at-all!", 4) < 4
+        assert shard_for_fingerprint("", 4) == 0
+
+
+class TestFleetServing:
+    def test_plan_matches_direct_planner(self, cluster, tiny_tasks):
+        direct = ExecutionPlanner(cluster).plan(tiny_tasks)
+        with PlanServiceFleet(
+            lambda: ExecutionPlanner(cluster), num_shards=3
+        ) as fleet:
+            served = fleet.plan(tiny_tasks, timeout=30.0)
+        assert served.fingerprint == direct.fingerprint
+        assert served.schedule.makespan == pytest.approx(direct.schedule.makespan)
+
+    def test_identical_fingerprints_route_to_one_shard(self, cluster, tiny_tasks):
+        with PlanServiceFleet(
+            lambda: ExecutionPlanner(cluster), num_shards=4
+        ) as fleet:
+            fleet.plan(tiny_tasks, timeout=30.0)
+            fleet.plan(list(reversed(tiny_tasks)), timeout=30.0)
+            census = fleet.shard_census()
+        assert sum(census) == 2
+        assert max(census) == 2  # canonical fingerprint -> same shard twice
+
+    def test_coalescing_across_entry_points(self, cluster, tiny_tasks):
+        """The same fingerprint submitted through submit(), submit_many() and
+        plan()-bound threads coalesces to a single solve fleet-wide."""
+        gate = threading.Event()
+        factory = CountingFactory(cluster, gate)
+        fleet = PlanServiceFleet(factory, num_shards=4, num_workers=2)
+        try:
+            direct = fleet.submit(tiny_tasks)
+            batch = fleet.submit_many([tiny_tasks, list(reversed(tiny_tasks))])
+            assert fleet.pending_requests() == 1  # all three coalesced
+            gate.set()
+            wait([direct, *batch], timeout=30.0)
+            assert direct.result().fingerprint == batch[1].result().fingerprint
+        finally:
+            gate.set()
+            fleet.close()
+        assert factory.calls == 1
+
+    def test_submit_many_preserves_input_order(self, cluster, tiny_tasks):
+        workloads = [tiny_tasks, tiny_tasks[:1], tiny_tasks[1:]]
+        with PlanServiceFleet(
+            lambda: ExecutionPlanner(cluster), num_shards=4
+        ) as fleet:
+            futures = fleet.submit_many(workloads)
+            wait(futures, timeout=30.0)
+            expected = [fleet.fingerprint(w) for w in workloads]
+        assert [f.result().fingerprint for f in futures] == expected
+
+    def test_fleet_payloads_match_single_service(self, cluster, tiny_tasks):
+        workloads = [tiny_tasks, tiny_tasks[:1], tiny_tasks[1:]]
+        with PlanServiceFleet(
+            lambda: ExecutionPlanner(cluster), num_shards=4
+        ) as fleet:
+            fleet_payloads = {
+                fleet.fingerprint(w): fleet.serialized_plan(w, timeout=30.0)
+                for w in workloads
+            }
+        with PlanService(
+            lambda: ExecutionPlanner(cluster), cache=PlanCache()
+        ) as service:
+            for workload in workloads:
+                service.plan(workload, timeout=30.0)
+            from repro.experiments.harness import _canonical_plan_payload
+            import json
+
+            def canon(text: str) -> str:
+                return json.dumps(
+                    {
+                        k: v
+                        for k, v in json.loads(text).items()
+                        if k != "planning_report"
+                    },
+                    sort_keys=True,
+                )
+
+            for fingerprint, payload in fleet_payloads.items():
+                reference = service.cache.get_payload(fingerprint)
+                assert reference is not None
+                assert canon(payload) == canon(reference)
+
+    def test_shared_striped_cache_serves_all_shards(self, cluster, tiny_tasks):
+        cache = StripedPlanCache(capacity=16, num_stripes=4)
+        with PlanServiceFleet(
+            lambda: ExecutionPlanner(cluster), num_shards=2, cache=cache
+        ) as fleet:
+            first = fleet.serialized_plan(tiny_tasks, timeout=30.0)
+            second = fleet.serialized_plan(tiny_tasks, timeout=30.0)
+        assert first.encode() == second.encode()
+        assert cache.stats.puts >= 1
+
+    def test_closed_fleet_rejects_requests(self, cluster, tiny_tasks):
+        fleet = PlanServiceFleet(lambda: ExecutionPlanner(cluster), num_shards=2)
+        fleet.close()
+        with pytest.raises(FleetError):
+            fleet.submit(tiny_tasks)
+
+    def test_invalid_shard_count_rejected(self, cluster):
+        with pytest.raises(FleetError):
+            PlanServiceFleet(lambda: ExecutionPlanner(cluster), num_shards=0)
+
+
+class TestTraceDeterminism:
+    def test_per_shard_trace_namespaces(self, cluster, tiny_tasks):
+        journal = TelemetryJournal()
+        with PlanServiceFleet(
+            lambda: ExecutionPlanner(cluster), num_shards=4, journal=journal
+        ) as fleet:
+            fleet.plan(tiny_tasks, timeout=30.0)
+            shard = fleet.shard_of(fleet.fingerprint(tiny_tasks))
+        trace_ids = {
+            event["trace_id"]
+            for event in journal.events()
+            if "trace_id" in event
+        }
+        assert trace_ids
+        for trace_id in trace_ids:
+            assert f"-s{shard}-" in trace_id
+
+    def test_same_seed_runs_produce_identical_journals(self, cluster, tiny_tasks):
+        """Two same-seed fleets serving the same serial stream journal
+        byte-identically (trace IDs namespaced by shard ordinal, no
+        wall-clock in the journal)."""
+        workloads = [tiny_tasks, tiny_tasks[:1], tiny_tasks, tiny_tasks[1:]]
+
+        def run() -> str:
+            journal = TelemetryJournal()
+            with PlanServiceFleet(
+                lambda: ExecutionPlanner(cluster),
+                num_shards=4,
+                num_workers=1,
+                journal=journal,
+                trace_seed=11,
+            ) as fleet:
+                for workload in workloads:
+                    fleet.plan(workload, timeout=30.0)
+            return journal.dumps()
+
+        assert run() == run()
+
+
+class TestPartitionedPersistence:
+    def _serve(self, fleet, workloads):
+        return {
+            fleet.fingerprint(w): fleet.serialized_plan(w, timeout=30.0)
+            for w in workloads
+        }
+
+    def test_persist_and_parallel_warm_start(self, cluster, tiny_tasks, tmp_path):
+        workloads = [tiny_tasks, tiny_tasks[:1], tiny_tasks[1:]]
+        with PlanServiceFleet(
+            lambda: ExecutionPlanner(cluster), num_shards=4, store_dir=tmp_path
+        ) as fleet:
+            payloads = self._serve(fleet, workloads)
+        assert sorted(p.name for p in tmp_path.glob("shard-*.json")) == [
+            f"shard-{i:02d}.json" for i in range(4)
+        ]
+
+        factory = CountingFactory(cluster)
+        with PlanServiceFleet(
+            factory, num_shards=4, store_dir=tmp_path
+        ) as warmed:
+            assert warmed.warm_started == len(payloads)
+            reserved = self._serve(warmed, workloads)
+        assert factory.calls == 0  # every request served from the warm cache
+        assert reserved == payloads
+
+    def test_reshard_returns_byte_identical_payloads(
+        self, cluster, tiny_tasks, tmp_path
+    ):
+        """A shard-count change re-routes every fingerprint but serves the
+        exact bytes the old fleet persisted."""
+        workloads = [tiny_tasks, tiny_tasks[:1], tiny_tasks[1:]]
+        with PlanServiceFleet(
+            lambda: ExecutionPlanner(cluster), num_shards=4, store_dir=tmp_path
+        ) as fleet:
+            payloads = self._serve(fleet, workloads)
+
+        for new_count in (2, 8):
+            factory = CountingFactory(cluster)
+            with PlanServiceFleet(
+                factory, num_shards=new_count, store_dir=tmp_path
+            ) as resharded:
+                assert self._serve(resharded, workloads) == payloads
+            assert factory.calls == 0
+
+        # After the 8-shard fleet persisted, exactly its partitions remain.
+        assert sorted(p.name for p in tmp_path.glob("shard-*.json")) == [
+            f"shard-{i:02d}.json" for i in range(8)
+        ]
+
+    def test_persist_repartitions_for_current_owners(
+        self, cluster, tiny_tasks, tmp_path
+    ):
+        with PlanServiceFleet(
+            lambda: ExecutionPlanner(cluster), num_shards=4, store_dir=tmp_path
+        ) as fleet:
+            fleet.plan(tiny_tasks, timeout=30.0)
+        with PlanServiceFleet(
+            lambda: ExecutionPlanner(cluster), num_shards=2, store_dir=tmp_path
+        ) as shrunk:
+            assert shrunk.warm_started == 1
+        # The shrunk fleet rewrote the directory down to its own partitions.
+        names = sorted(p.name for p in tmp_path.glob("shard-*.json"))
+        assert names == ["shard-00.json", "shard-01.json"]

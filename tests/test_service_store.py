@@ -210,3 +210,96 @@ class TestPoolIntegration:
             assert pool.persist() is False
         finally:
             pool.close()
+
+
+class TestCompaction:
+    def _corrupt_snapshot(self, path, extra_bad: int = 2):
+        """Append ``extra_bad`` checksum-mismatched entries to a snapshot."""
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+        good = next(iter(snapshot["entries"].values()))
+        for index in range(extra_bad):
+            snapshot["entries"][f"bad-{index}"] = {
+                "payload": good["payload"] + " ",
+                "checksum": good["checksum"],
+            }
+        snapshot["entry_count"] = len(snapshot["entries"])
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+
+    def test_compact_drops_dead_entries(self, tmp_path, populated_cache):
+        cache, fingerprint = populated_cache
+        store = PlanStore(tmp_path / "plans.json")
+        path = store.save(cache)
+        self._corrupt_snapshot(path, extra_bad=2)
+
+        assert store.compact() == 2
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+        assert snapshot["entry_count"] == 1
+        assert list(snapshot["entries"]) == [fingerprint]
+        # A post-compaction load is clean.
+        result = PlanStore(path).load_into(PlanCache())
+        assert result.loaded == 1 and result.quarantined == {}
+
+    def test_compact_missing_snapshot_is_noop(self, tmp_path):
+        assert PlanStore(tmp_path / "absent.json").compact() == 0
+
+    def test_compact_upgrades_legacy_v1(self, tmp_path, populated_cache):
+        cache, fingerprint = populated_cache
+        path = cache.save(tmp_path / "v1.json")
+        store = PlanStore(path)
+        assert store.compact() == 0
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+        assert snapshot["format_version"] == STORE_FORMAT_VERSION
+        assert snapshot["entries"][fingerprint]["checksum"] == payload_checksum(
+            snapshot["entries"][fingerprint]["payload"]
+        )
+
+    def test_auto_compaction_threshold(self, tmp_path, populated_cache):
+        cache, _ = populated_cache
+        store = PlanStore(tmp_path / "plans.json", auto_compact_threshold=2)
+        path = store.save(cache)
+        self._corrupt_snapshot(path, extra_bad=2)
+
+        result = store.load_into(PlanCache())
+        assert len(result.quarantined) == 2
+        # The threshold was met, so the snapshot was rewritten clean.
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+        assert snapshot["entry_count"] == 1
+        rerun = store.load_into(PlanCache())
+        assert rerun.quarantined == {}
+
+    def test_below_threshold_keeps_snapshot(self, tmp_path, populated_cache):
+        cache, _ = populated_cache
+        store = PlanStore(tmp_path / "plans.json", auto_compact_threshold=5)
+        path = store.save(cache)
+        self._corrupt_snapshot(path, extra_bad=2)
+        store.load_into(PlanCache())
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+        assert snapshot["entry_count"] == 3  # untouched
+
+
+class TestPartitionedSave:
+    def test_save_filters_to_given_fingerprints(self, tmp_path, tiny_tasks):
+        planner = ExecutionPlanner(make_cluster(4, devices_per_node=4))
+        cache = PlanCache(capacity=8)
+        plans = [
+            planner.plan(tiny_tasks),
+            planner.plan(tiny_tasks[:1]),
+        ]
+        for plan in plans:
+            cache.put(plan.fingerprint, plan)
+        store = PlanStore(tmp_path / "part.json")
+        store.save(cache, fingerprints=[plans[0].fingerprint])
+        snapshot = json.loads(
+            (tmp_path / "part.json").read_text(encoding="utf-8")
+        )
+        assert list(snapshot["entries"]) == [plans[0].fingerprint]
+        assert snapshot["entry_count"] == 1
+
+    def test_save_with_empty_selection_writes_empty_snapshot(
+        self, tmp_path, populated_cache
+    ):
+        cache, _ = populated_cache
+        store = PlanStore(tmp_path / "empty.json")
+        store.save(cache, fingerprints=[])
+        result = PlanStore(tmp_path / "empty.json").load_into(PlanCache())
+        assert result.loaded == 0 and result.quarantined == {}
